@@ -1,0 +1,74 @@
+"""Fig. 12 — time-multiplexed virtual devices: real time-per-batch.
+
+Paper: a synthetic PyTorch model over {1..8} virtual GPUs multiplexed on
+{1, 2, 4} physical T4s (clocks locked); average time-per-batch stays
+within 10% of baseline as virtual devices increase, and its standard
+deviation *decreases* with more virtual devices (steadier loading).
+
+Reproduction: physical devices are lock-guarded numpy compute resources
+(GIL-releasing matmuls) per the DESIGN.md substitution; same metric, same
+sweep shape at container scale.
+"""
+
+from conftest import report
+
+from repro.bench import TextTable
+from repro.multiplex import run_multiplex_experiment
+
+SWEEP = [
+    (1, 1),
+    (2, 1),
+    (4, 1),
+    (2, 2),
+    (4, 2),
+    (8, 2),
+]
+
+
+def run_sweep():
+    table = TextTable(
+        ["config (v/p)", "mean_us_per_batch", "std_us", "samples", "task_loads"],
+        title=(
+            "Fig. 12 (scaled): real time-per-batch across virtual/physical "
+            "device configurations\npaper: mean within 10% of baseline; std "
+            "shrinks with more virtual devices"
+        ),
+    )
+    results = []
+    for virtual, physical in SWEEP:
+        result = run_multiplex_experiment(
+            virtual=virtual,
+            physical=physical,
+            batches=6,
+            batch_size=48,
+            work_dim=96,
+        )
+        results.append(result)
+        table.add_row(
+            result.label(),
+            result.mean_seconds * 1e6,
+            result.std_seconds * 1e6,
+            result.samples,
+            result.device_loads,
+        )
+    report("fig12_multiplex", table.render())
+    return results
+
+
+def test_fig12_multiplexing_is_stable(benchmark):
+    results = run_sweep()
+    # Every configuration completes all its batches on real hardware.
+    for result in results:
+        assert result.samples == result.virtual * 6
+        assert result.mean_seconds > 0
+    # Multiplexing keeps the mean in the same order of magnitude as the
+    # unshared baseline (the paper: within 10% on locked-clock GPUs; a
+    # shared CPU container is noisier, so the bound is looser here).
+    baseline = results[0].mean_seconds
+    for result in results:
+        assert result.mean_seconds < baseline * 10
+    benchmark.pedantic(
+        lambda: run_multiplex_experiment(2, 1, batches=4, batch_size=32, work_dim=64),
+        rounds=2,
+        iterations=1,
+    )

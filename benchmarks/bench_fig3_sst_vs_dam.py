@@ -1,0 +1,124 @@
+"""Fig. 3 — DAM vs SST on reduction-tree forests.
+
+Paper configuration: {2, 8, 32} binary reduction trees of depth {8, 10},
+100000 reductions per tree, per-node work fib({16, 20}) (C++ via FFI),
+imbalance +4 on the first tree; 88-core server; min speedup 1.93x (CFS) /
+3.3x (SCHED_FIFO).
+
+Scaled reproduction (single-core Python container; see EXPERIMENTS.md):
+the wall-clock lever the paper exploits — OS threads across 88 cores —
+does not exist here, so the reproducible shape is (a) DAM's runtime
+overhead per unit of communication is lower than the event-queue
+engine's (who wins sequentially), and (b) the event engine pays for
+global ordering (events through a heap) plus, in parallel mode, a global
+barrier per minimum-link-latency window, which DAM structurally avoids.
+Measurements are interleaved min-of-3 to tame single-core timer noise.
+"""
+
+from conftest import report
+
+from repro.bench import (
+    TextTable,
+    TreeConfig,
+    run_dam_forest,
+    run_eventsim_forest,
+)
+
+CONFIGS = [
+    TreeConfig(trees=trees, depth=depth, reductions=20, fib_index=fib_index,
+               imbalance=imbalance)
+    for trees in (2, 4)
+    for depth in (3, 4)
+    for fib_index in (4, 10)
+    for imbalance in (0, 4)
+]
+
+REPEATS = 3
+
+
+def measure(config):
+    """Interleaved min-of-REPEATS for both engines on one config."""
+    sst_times, dam_times = [], []
+    sst_result = dam_result = None
+    for _ in range(REPEATS):
+        sst_result = run_eventsim_forest(config, workers=1)
+        dam_result = run_dam_forest(config, policy="fifo")
+        sst_times.append(sst_result["real_seconds"])
+        dam_times.append(dam_result["real_seconds"])
+    expected = config.expected_root_sums()
+    assert all(r == expected for r in dam_result["root_sums"])
+    assert all(r == expected for r in sst_result["root_sums"])
+    return min(sst_times), min(dam_times), sst_result, dam_result
+
+
+def run_sweep():
+    table = TextTable(
+        ["config", "sst_s", "dam_s", "speedup", "sst_events", "dam_ops"],
+        title=(
+            "Fig. 3 (scaled, 1 core): DAM vs SST-style event-driven engine\n"
+            "paper: min speedup 1.93x (CFS) / 3.3x (FIFO) on 88 cores"
+        ),
+    )
+    speedups = []
+    for config in CONFIGS:
+        sst_s, dam_s, sst, dam = measure(config)
+        speedup = sst_s / dam_s
+        speedups.append((config, speedup))
+        table.add_row(
+            config.label(),
+            sst_s,
+            dam_s,
+            speedup,
+            sst["stats"].events_processed,
+            dam["summary"].ops_executed,
+        )
+    geomean = 1.0
+    for _, s in speedups:
+        geomean *= s
+    geomean **= 1.0 / len(speedups)
+    table.add_row("GEOMEAN", "", "", geomean, "", "")
+    report("fig3_sst_vs_dam", table.render())
+    return speedups, geomean
+
+
+def test_fig3_sst_vs_dam(benchmark):
+    speedups, geomean = run_sweep()
+    # Single-core shape: DAM at least matches the event engine overall
+    # (the paper's multicore advantage is out of scope here).
+    assert geomean > 0.85
+    # On framework-bound (light-work) configs DAM's lower per-op cost wins.
+    light = [s for cfg, s in speedups if cfg.fib_index == 4]
+    assert max(light) > 1.0
+    config = TreeConfig(trees=2, depth=4, reductions=20, fib_index=4)
+    benchmark.pedantic(
+        lambda: run_dam_forest(config, policy="fifo"), rounds=3, iterations=1
+    )
+
+
+def test_fig3_barrier_cost_structure(benchmark):
+    """The scaling-wall structure: the parallel event engine executes a
+    global barrier per conservative window (bounded by the minimum link
+    latency — here 1 cycle), while DAM has none."""
+    config = TreeConfig(trees=2, depth=4, reductions=20, fib_index=4)
+    from repro.eventsim import ParallelEngine
+    from repro.bench.reduction_tree import build_eventsim_forest
+
+    engine = ParallelEngine(workers=4)
+    build_eventsim_forest(config, engine)
+    stats = engine.run()
+    table = TextTable(
+        ["engine", "barriers", "events/ops"],
+        title="Fig. 3 structure: global synchronization per run",
+    )
+    table.add_row("SST-style parallel (4 workers)", engine.barriers_executed,
+                  stats.events_processed)
+    dam = run_dam_forest(config, policy="fifo")
+    table.add_row("DAM (no barriers, pairwise sync)", 0,
+                  dam["summary"].ops_executed)
+    report("fig3_barriers", table.render())
+    # One barrier round per populated conservative window: with latency-1
+    # links that is nearly one per simulated cycle with events in flight.
+    assert engine.barriers_executed >= stats.final_time // 2
+    benchmark.pedantic(
+        lambda: run_eventsim_forest(config, workers=4), rounds=3, iterations=1
+    )

@@ -1,0 +1,88 @@
+"""Table I — FIFO vs CFS scheduling on the parallel sparse-MHA workload.
+
+Paper configuration: multithreaded MHA, parallelization factor 32, on an
+88-core instance; SCHED_FIFO beats CFS in every perf counter (2.3x
+runtime) because the boosting fair scheduler lets each newly woken thread
+preempt its waker, ping-ponging through oversaturated producer/consumer
+chains.
+
+Reproduction: the cooperative executor's scheduling policies model the
+two disciplines directly (DESIGN.md substitution table).  The simulated
+results are identical by construction; what Table I compares — context
+switches, wakeups, preemptions, and runtime — comes from the policy.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.bench import TextTable
+from repro.core import FairPolicy, SequentialExecutor
+from repro.sam.graphs.mha import build_parallel_mha
+
+
+def mha_workload(heads=4, seq_len=10, d=4, parallelism=4, seed=0):
+    rng = np.random.default_rng(seed)
+    mask = (rng.random((heads, seq_len, seq_len)) < 0.4).astype(float)
+    for h in range(heads):
+        np.fill_diagonal(mask[h], 1.0)
+    q = rng.standard_normal((heads, seq_len, d))
+    k = rng.standard_normal((heads, seq_len, d))
+    v = rng.standard_normal((heads, seq_len, d))
+    return build_parallel_mha(mask, q, k, v, parallelism=parallelism)
+
+
+def run_policy(policy):
+    mha = mha_workload()
+    executor = SequentialExecutor(policy=policy)
+    summary = executor.execute(mha.program)
+    return summary
+
+
+def test_table1_fifo_vs_cfs(benchmark):
+    fifo = run_policy("fifo")
+    cfs = run_policy(FairPolicy(timeslice=16, boost=True))
+
+    table = TextTable(
+        ["metric", "FIFO", "CFS-like", "fifo_advantage"],
+        title=(
+            "Table I (modeled scheduler): FIFO vs boosting-fair on parallel "
+            "sparse MHA\npaper: FIFO better in every metric, 2.3x runtime"
+        ),
+    )
+    table.add_row(
+        "context switches",
+        fifo.context_switches,
+        cfs.context_switches,
+        cfs.context_switches / max(fifo.context_switches, 1),
+    )
+    table.add_row(
+        "wakeups", fifo.wakeups, cfs.wakeups,
+        cfs.wakeups / max(fifo.wakeups, 1),
+    )
+    table.add_row(
+        "preemptions", fifo.preemptions, cfs.preemptions,
+        cfs.preemptions / max(fifo.preemptions, 1),
+    )
+    table.add_row(
+        "real seconds", fifo.real_seconds, cfs.real_seconds,
+        cfs.real_seconds / fifo.real_seconds,
+    )
+    table.add_row(
+        "simulated cycles (identical)", fifo.elapsed_cycles,
+        cfs.elapsed_cycles, 1.0,
+    )
+    report("table1_scheduling", table.render())
+
+    # The Table I shape: FIFO strictly fewer switches; results unchanged.
+    assert fifo.context_switches < cfs.context_switches
+    assert fifo.preemptions <= cfs.preemptions
+    assert fifo.elapsed_cycles == cfs.elapsed_cycles
+    benchmark.pedantic(lambda: run_policy("fifo"), rounds=3, iterations=1)
+
+
+def test_table1_cfs_timing(benchmark):
+    benchmark.pedantic(
+        lambda: run_policy(FairPolicy(timeslice=16, boost=True)),
+        rounds=3,
+        iterations=1,
+    )

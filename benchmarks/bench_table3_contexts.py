@@ -1,0 +1,73 @@
+"""Table III — context counts per SAM application.
+
+Paper: per-application context usage for MMAdd, SpMSpM, SDDMM, and MHA,
+with the parallel MHA sweep surpassing two thousand contexts/threads at a
+parallelization factor of 64.
+
+Reproduction: graph sizes are structural (independent of data scale), so
+these counts are directly comparable in spirit: each kernel's context and
+channel totals, and the parallel-MHA context growth.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.bench import TextTable
+from repro.sam import CsfTensor
+from repro.sam.graphs import build_mmadd, build_sddmm, build_sparse_mha, build_spmspm
+from repro.sam.graphs.mha import build_parallel_mha
+from repro.sam.tensor import random_dense
+
+
+def mha_inputs(heads, seq_len=8, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    mask = (rng.random((heads, seq_len, seq_len)) < 0.4).astype(float)
+    for h in range(heads):
+        np.fill_diagonal(mask[h], 1.0)
+    return (
+        mask,
+        rng.standard_normal((heads, seq_len, d)),
+        rng.standard_normal((heads, seq_len, d)),
+        rng.standard_normal((heads, seq_len, d)),
+    )
+
+
+def build_kernels():
+    a = random_dense(8, 8, density=0.5, seed=1)
+    b = random_dense(8, 8, density=0.5, seed=2)
+    mmadd = build_mmadd(CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc"))
+    spmspm = build_spmspm(
+        CsfTensor.from_dense(random_dense(8, 8, density=0.1, seed=3), "cc"),
+        CsfTensor.from_dense(random_dense(8, 8, density=0.1, seed=4), "cc"),
+    )
+    sddmm = build_sddmm(
+        CsfTensor.from_dense(random_dense(8, 8, density=0.3, seed=5), "cc"),
+        random_dense(8, 4, density=1.0, seed=6),
+        random_dense(8, 4, density=1.0, seed=7),
+    )
+    mask, q, k, v = mha_inputs(heads=2)
+    mha = build_sparse_mha(CsfTensor.from_dense(mask, "dcc"), q, k, v)
+    return {"MMAdd": mmadd, "SpMSpM": spmspm, "SDDMM": sddmm, "Sparse MHA": mha}
+
+
+def test_table3_context_counts(benchmark):
+    kernels = benchmark.pedantic(build_kernels, rounds=1, iterations=1)
+    table = TextTable(
+        ["application", "contexts", "channels"],
+        title="Table III: context usage per SAM application",
+    )
+    for name, kernel in kernels.items():
+        table.add_row(name, kernel.context_count, kernel.channel_count)
+
+    mask, q, k, v = mha_inputs(heads=64)
+    for parallelism in [1, 16, 64]:
+        parallel = build_parallel_mha(mask, q, k, v, parallelism=parallelism)
+        table.add_row(
+            f"Parallel MHA (p={parallelism})",
+            parallel.context_count,
+            parallel.channel_count,
+        )
+        if parallelism == 64:
+            # The paper: "contexts/threads ... surpasses two thousand".
+            assert parallel.context_count > 2000
+    report("table3_contexts", table.render())

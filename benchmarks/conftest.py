@@ -1,0 +1,22 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one paper table/figure: it runs the (scaled)
+sweep, prints the paper-shaped rows, and persists them under
+``benchmarks/results/`` so the output survives pytest's capture.  The
+``benchmark`` fixture additionally times one representative configuration
+so ``pytest benchmarks/ --benchmark-only`` produces comparable timings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,69 @@
+"""Case study walkthrough: exploring streaming attention designs (Sec. VII).
+
+Uses DAM as an algorithm-exploration tool, reproducing the paper's
+narrative end to end:
+
+1. The standard streaming attention (Fig. 4a) needs a row buffer of depth
+   N + alpha: we find the deadlock boundary empirically.
+2. The sequence-length-agnostic design (Fig. 4b) runs at peak throughput
+   with constant channel depth — Table II's comparison.
+3. Both designs compute the same attention output (checked vs numpy).
+
+Run:  python examples/attention_exploration.py
+"""
+
+import numpy as np
+
+from repro.attention import (
+    attention_reference,
+    build_seq_agnostic_attention,
+    build_standard_attention,
+)
+from repro.core import DeadlockError
+
+SEQ_LEN = 24
+HEAD_DIM = 8
+
+
+def main():
+    rng = np.random.default_rng(7)
+    q = rng.standard_normal((SEQ_LEN, HEAD_DIM)) * 0.4
+    k = rng.standard_normal((SEQ_LEN, HEAD_DIM)) * 0.4
+    v = rng.standard_normal((SEQ_LEN, HEAD_DIM))
+    reference = attention_reference(q, k, v)
+
+    print(f"== standard streaming attention (N={SEQ_LEN}) ==")
+    print("probing the row-buffer deadlock boundary:")
+    for depth in [4, 8, 16, SEQ_LEN, SEQ_LEN + 22]:
+        pipeline = build_standard_attention(q, k, v, buffer_depth=depth)
+        try:
+            summary = pipeline.run()
+            ok = np.allclose(pipeline.result(), reference)
+            print(f"  depth {depth:>3}: completed in {summary.elapsed_cycles} "
+                  f"cycles (correct={ok})")
+        except DeadlockError:
+            print(f"  depth {depth:>3}: DEADLOCK (buffer < row population)")
+
+    print()
+    print("== sequence-length-agnostic attention (Fig. 4b) ==")
+    for n in [16, 32, 64]:
+        qn = rng.standard_normal((n, HEAD_DIM)) * 0.4
+        kn = rng.standard_normal((n, HEAD_DIM)) * 0.4
+        vn = rng.standard_normal((n, HEAD_DIM))
+        bounded = build_seq_agnostic_attention(qn, kn, vn, depth=22)
+        s_bounded = bounded.run()
+        unbounded = build_seq_agnostic_attention(qn, kn, vn, depth=None)
+        s_unbounded = unbounded.run()
+        assert np.allclose(bounded.result(), attention_reference(qn, kn, vn))
+        print(
+            f"  N={n:>3}: depth-22 cycles={s_bounded.elapsed_cycles}, "
+            f"unbounded cycles={s_unbounded.elapsed_cycles}  "
+            f"(equal={s_bounded.elapsed_cycles == s_unbounded.elapsed_cycles})"
+        )
+    print()
+    print("constant O(1) buffering reaches peak throughput at every N —")
+    print("the Table II result.")
+
+
+if __name__ == "__main__":
+    main()

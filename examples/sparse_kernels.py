@@ -1,0 +1,75 @@
+"""Case study walkthrough: sparse tensor algebra on SAM-on-DAM (Sec. VIII).
+
+Builds and runs the three SAM kernels plus sparse multi-head attention,
+verifies each against dense numpy, compares against the legacy
+cycle-based simulator, and demonstrates the timing-parameter knob the
+calibration study tunes.
+
+Run:  python examples/sparse_kernels.py
+"""
+
+import numpy as np
+
+from repro.sam import CsfTensor
+from repro.sam.graphs import build_mmadd, build_sddmm, build_sparse_mha, build_spmspm
+from repro.sam.primitives import TimingParams
+from repro.sam.reference import sddmm as ref_sddmm
+from repro.sam.reference import sparse_mha as ref_mha
+from repro.sam.tensor import random_dense
+from repro.samlegacy import build_legacy_spmspm
+
+
+def main():
+    print("== MMAdd: X = B + C (50% nonzeros) ==")
+    b = random_dense(12, 12, density=0.5, seed=1)
+    c = random_dense(12, 12, density=0.5, seed=2)
+    kernel = build_mmadd(CsfTensor.from_dense(b, "cc"), CsfTensor.from_dense(c, "cc"))
+    summary = kernel.run()
+    print(f"  correct={np.allclose(kernel.result_dense(), b + c)}  "
+          f"cycles={summary.elapsed_cycles}  contexts={kernel.context_count}")
+
+    print("== SpMSpM: X = B @ C (10% nonzeros), both simulators ==")
+    bm = random_dense(12, 12, density=0.1, seed=3)
+    ct = random_dense(12, 12, density=0.1, seed=4)
+    dam = build_spmspm(CsfTensor.from_dense(bm, "cc"), CsfTensor.from_dense(ct, "cc"))
+    dam_summary = dam.run()
+    legacy = build_legacy_spmspm(
+        CsfTensor.from_dense(bm, "cc"), CsfTensor.from_dense(ct, "cc")
+    )
+    legacy_stats = legacy.run()
+    assert np.allclose(dam.result_dense(), legacy.result_dense())
+    assert np.allclose(dam.result_dense(), bm @ ct.T)
+    print(f"  DAM:    {dam_summary.real_seconds:.4f}s "
+          f"({dam_summary.ops_executed} ops)")
+    print(f"  legacy: {legacy_stats.real_seconds:.4f}s "
+          f"({legacy_stats.ticks} component-ticks)")
+
+    print("== SDDMM: X = S .* (A @ B^T) (30% nonzeros) ==")
+    s = random_dense(10, 10, density=0.3, seed=5)
+    a = random_dense(10, 6, density=1.0, seed=6)
+    bt = random_dense(10, 6, density=1.0, seed=7)
+    kernel = build_sddmm(CsfTensor.from_dense(s, "cc"), a, bt)
+    kernel.run()
+    print(f"  correct={np.allclose(kernel.result_dense(), ref_sddmm(s, a, bt))}")
+
+    print("== Sparse MHA (40% nonzeros) with timing parameters ==")
+    rng = np.random.default_rng(8)
+    H, N, d = 2, 10, 4
+    mask = (rng.random((H, N, N)) < 0.4).astype(float)
+    for h in range(H):
+        np.fill_diagonal(mask[h], 1.0)
+    q = rng.standard_normal((H, N, d))
+    k = rng.standard_normal((H, N, d))
+    v = rng.standard_normal((H, N, d))
+    for timing in [TimingParams(), TimingParams(ii=2, stop_bubble=3)]:
+        kernel = build_sparse_mha(
+            CsfTensor.from_dense(mask, "dcc"), q, k, v, timing=timing
+        )
+        summary = kernel.run()
+        assert np.allclose(kernel.result_dense(), ref_mha(q, k, v, mask))
+        print(f"  timing={timing}: cycles={summary.elapsed_cycles} "
+              "(values identical — timing changes only the clock)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Debugging dataflow programs: deadlock reports and simulation traces.
+
+Two facilities that make DAM programs debuggable:
+
+1. **Deadlock reports** — when no context can make progress, the executor
+   raises a DeadlockError naming every blocked context and the channel
+   operation it is stuck on; the blocked set *is* the dependency cycle.
+2. **Simulation traces** — a Tracer attached to the sequential executor
+   records every completed operation (context, kind, channel, simulated
+   time), answering "what happened before things went wrong?" and
+   providing per-stream timelines for calibration.
+
+Run:  python examples/tracing_and_debugging.py
+"""
+
+import numpy as np
+
+from repro.core import DeadlockError, SequentialExecutor, Tracer
+from repro.attention import build_standard_attention
+from repro.sam import CsfTensor
+from repro.sam.graphs import build_mmadd
+from repro.sam.tensor import random_dense
+
+
+def deadlock_demo():
+    print("== deadlock reporting ==")
+    rng = np.random.default_rng(0)
+    n, d = 16, 4
+    q = rng.standard_normal((n, d)) * 0.4
+    k = rng.standard_normal((n, d)) * 0.4
+    v = rng.standard_normal((n, d))
+    # Undersize the softmax row buffer: the reduction needs the whole row.
+    pipeline = build_standard_attention(q, k, v, buffer_depth=4)
+    try:
+        pipeline.run()
+    except DeadlockError as error:
+        print("  the executor names the cycle of blocked contexts:")
+        for line in str(error).split(": ", 1)[1].split("; "):
+            print(f"    {line}")
+
+
+def tracing_demo():
+    print()
+    print("== simulation tracing ==")
+    a = random_dense(4, 4, density=0.6, seed=1)
+    b = random_dense(4, 4, density=0.6, seed=2)
+    kernel = build_mmadd(
+        CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc")
+    )
+    tracer = Tracer(capture_payloads=True)
+    SequentialExecutor(tracer=tracer).execute(kernel.program)
+
+    print(f"  {len(tracer)} operations recorded")
+    print("  the output value stream's timeline (channel 'vX'):")
+    for event in tracer.for_channel("vX"):
+        if event.kind == "dequeue" and isinstance(event.payload, float):
+            print(f"    t={event.time:>3}  {event.payload:.3f}")
+    print("  ops per context:")
+    names = sorted({event.context for event in tracer})
+    for name in names:
+        print(f"    {name:<12} {len(tracer.for_context(name))}")
+
+
+if __name__ == "__main__":
+    deadlock_demo()
+    tracing_demo()

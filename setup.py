@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs on environments without
+the `wheel` package (PEP 517 editable wheels need it; `setup.py develop`
+does not). Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

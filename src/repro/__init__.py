@@ -1,0 +1,96 @@
+"""repro — a Python reproduction of the Dataflow Abstract Machine (DAM).
+
+DAM (ISCA 2024) is a parallel simulator framework for dataflow systems
+built on three ideas: a CSP-with-time (CSPT) programming interface,
+asynchronous distributed time with pairwise synchronization, and
+time-bridging channels.  This package reimplements the framework and every
+substrate its evaluation depends on — see DESIGN.md for the inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import Context, IncrCycles, ProgramBuilder
+
+    class Doubler(Context):
+        def __init__(self, inp, out):
+            super().__init__()
+            self.inp, self.out = inp, out
+            self.register(inp, out)
+
+        def run(self):
+            while True:
+                value = yield self.inp.dequeue()
+                yield IncrCycles(1)
+                yield self.out.enqueue(2 * value)
+
+See ``examples/quickstart.py`` for a complete runnable program.
+"""
+
+from .core import (
+    INFINITY,
+    AdvanceTo,
+    Channel,
+    ChannelClosed,
+    ChannelElement,
+    Context,
+    DamError,
+    DeadlockError,
+    Dequeue,
+    Enqueue,
+    FairPolicy,
+    FifoPolicy,
+    FunctionContext,
+    GraphConstructionError,
+    IncrCycles,
+    Peek,
+    Program,
+    ProgramBuilder,
+    Receiver,
+    RunSummary,
+    Sender,
+    SequentialExecutor,
+    SimulationError,
+    ThreadedExecutor,
+    Time,
+    TimeCell,
+    ViewTime,
+    WaitUntil,
+    make_channel,
+    peak_simulated_occupancy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "INFINITY",
+    "AdvanceTo",
+    "Channel",
+    "ChannelClosed",
+    "ChannelElement",
+    "Context",
+    "DamError",
+    "DeadlockError",
+    "Dequeue",
+    "Enqueue",
+    "FairPolicy",
+    "FifoPolicy",
+    "FunctionContext",
+    "GraphConstructionError",
+    "IncrCycles",
+    "Peek",
+    "Program",
+    "ProgramBuilder",
+    "Receiver",
+    "RunSummary",
+    "Sender",
+    "SequentialExecutor",
+    "SimulationError",
+    "ThreadedExecutor",
+    "Time",
+    "TimeCell",
+    "ViewTime",
+    "WaitUntil",
+    "make_channel",
+    "peak_simulated_occupancy",
+    "__version__",
+]

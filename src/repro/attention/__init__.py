@@ -1,0 +1,31 @@
+"""Case study: streaming attention on abstract dataflow hardware (Sec. VII).
+
+Two streaming implementations of the attention algorithm
+``O = softmax(Q K^T / sqrt(d)) V``:
+
+* **Standard** (Fig. 4a): scores stream row-major through exp; the exp
+  stream is buffered in channel *C* while the row sum accumulates, so *C*
+  needs depth ``N + alpha`` — O(N) local memory — for peak throughput
+  (undersized buffers deadlock the reduction).
+* **Sequence-length-agnostic** (Fig. 4b): an additional running-sum
+  context accumulates the numerator and denominator together, so every
+  channel needs only O(1) depth regardless of sequence length (Table II).
+
+A cycle-by-cycle implementation of the standard pipeline
+(:mod:`repro.attention.cyclever`) plays the role of Spatial's simulator in
+the Fig. 5/6 real-time comparisons.
+"""
+
+from .blocks import AttentionParams
+from .cyclever import run_cycle_standard_attention
+from .reference import attention_reference
+from .seq_agnostic import build_seq_agnostic_attention
+from .standard import build_standard_attention
+
+__all__ = [
+    "AttentionParams",
+    "attention_reference",
+    "build_standard_attention",
+    "build_seq_agnostic_attention",
+    "run_cycle_standard_attention",
+]

@@ -1,0 +1,231 @@
+"""Streaming attention building blocks (the Fig. 4 computation graphs).
+
+The pipelines are *dense* row-major streams: each context knows the
+sequence length N, so no control tokens are needed — position within the
+row is counted.  Each block charges one initiation interval per element
+(``params.ii``), matching the abstract dataflow hardware model of [51]:
+contexts map to compute units, channels to buffers, and pipeline latencies
+live on channel visibility stamps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.channel import Receiver, Sender
+from ..core.context import Context
+from ..core.ops import IncrCycles
+from ..core.time import Time
+
+
+@dataclass(frozen=True)
+class AttentionParams:
+    """Shared configuration for an attention pipeline."""
+
+    seq_len: int
+    head_dim: int
+    ii: Time = 1
+
+    @property
+    def scale(self) -> float:
+        return 1.0 / math.sqrt(self.head_dim)
+
+
+class ScoreProducer(Context):
+    """The QK unit: emits s_ij = (q_i . k_j) / sqrt(d), row-major.
+
+    ``ii`` defaults to the head dimension: one multiply-accumulate per
+    cycle, so a d-element dot product initiates every d cycles.  This is
+    the abstract hardware model's MAC-limited unit — and the source of
+    the idle time DAM's local time acceleration skips (Fig. 5/6).
+    """
+
+    def __init__(
+        self,
+        out: Sender,
+        q: np.ndarray,
+        k: np.ndarray,
+        params: AttentionParams,
+        ii: Time | None = None,
+        name=None,
+    ):
+        super().__init__(name=name or "qk_unit")
+        self.out = out
+        self.q = np.asarray(q, dtype=np.float64)
+        self.k = np.asarray(k, dtype=np.float64)
+        self.params = params
+        self.ii = params.ii if ii is None else ii
+        self.register(out)
+
+    def run(self):
+        params = self.params
+        ii = self.ii
+        for i in range(params.seq_len):
+            q_row = self.q[i]
+            for j in range(params.seq_len):
+                score = float(q_row @ self.k[j]) * params.scale
+                yield self.out.enqueue(score)
+                yield IncrCycles(ii)
+
+
+class ExpUnit(Context):
+    """Elementwise exp."""
+
+    def __init__(self, inp: Receiver, out: Sender, params: AttentionParams, name=None):
+        super().__init__(name=name or "exp_unit")
+        self.inp = inp
+        self.out = out
+        self.params = params
+        self.register(inp, out)
+
+    def run(self):
+        total = self.params.seq_len * self.params.seq_len
+        ii = self.params.ii
+        for _ in range(total):
+            value = yield self.inp.dequeue()
+            yield self.out.enqueue(math.exp(value))
+            yield IncrCycles(ii)
+
+
+class RowSum(Context):
+    """Sums each row of N elements; one sum out per row."""
+
+    def __init__(self, inp: Receiver, out: Sender, params: AttentionParams, name=None):
+        super().__init__(name=name or "row_sum")
+        self.inp = inp
+        self.out = out
+        self.params = params
+        self.register(inp, out)
+
+    def run(self):
+        n = self.params.seq_len
+        ii = self.params.ii
+        for _ in range(n):
+            total = 0.0
+            for _ in range(n):
+                value = yield self.inp.dequeue()
+                total += value
+                yield IncrCycles(ii)
+            yield self.out.enqueue(total)
+
+
+class Divide(Context):
+    """a_ij = e_ij / rowsum_i: re-reads the buffered exp row (channel C)."""
+
+    def __init__(
+        self,
+        e_buf: Receiver,
+        row_sums: Receiver,
+        out: Sender,
+        params: AttentionParams,
+        name=None,
+    ):
+        super().__init__(name=name or "divide")
+        self.e_buf = e_buf
+        self.row_sums = row_sums
+        self.out = out
+        self.params = params
+        self.register(e_buf, row_sums, out)
+
+    def run(self):
+        n = self.params.seq_len
+        ii = self.params.ii
+        for _ in range(n):
+            denominator = yield self.row_sums.dequeue()
+            for _ in range(n):
+                numerator = yield self.e_buf.dequeue()
+                yield self.out.enqueue(numerator / denominator)
+                yield IncrCycles(ii)
+
+
+class WeightedVSum(Context):
+    """o_i = sum_j w_ij * v_j for the incoming weight stream."""
+
+    def __init__(self, inp: Receiver, out: Sender, v: np.ndarray, params: AttentionParams, name=None):
+        super().__init__(name=name or "av_unit")
+        self.inp = inp
+        self.out = out
+        self.v = np.asarray(v, dtype=np.float64)
+        self.params = params
+        self.register(inp, out)
+
+    def run(self):
+        n = self.params.seq_len
+        ii = self.params.ii
+        for _ in range(n):
+            accumulator = np.zeros(self.params.head_dim)
+            for j in range(n):
+                weight = yield self.inp.dequeue()
+                accumulator = accumulator + weight * self.v[j]
+                yield IncrCycles(ii)
+            yield self.out.enqueue(accumulator)
+
+
+class RunningSum(Context):
+    """The extra context of Fig. 4b: running numerator and denominator.
+
+    Consumes the exp stream once, accumulating both the weighted-V
+    numerator vector and the scalar denominator, and emits the pair per
+    row — no row buffering anywhere, so O(1) channel depth suffices.
+    """
+
+    def __init__(self, inp: Receiver, out: Sender, v: np.ndarray, params: AttentionParams, name=None):
+        super().__init__(name=name or "running_sum")
+        self.inp = inp
+        self.out = out
+        self.v = np.asarray(v, dtype=np.float64)
+        self.params = params
+        self.register(inp, out)
+
+    def run(self):
+        n = self.params.seq_len
+        ii = self.params.ii
+        for _ in range(n):
+            numerator = np.zeros(self.params.head_dim)
+            denominator = 0.0
+            for j in range(n):
+                value = yield self.inp.dequeue()
+                numerator = numerator + value * self.v[j]
+                denominator += value
+                yield IncrCycles(ii)
+            yield self.out.enqueue((numerator, denominator))
+
+
+class Finalize(Context):
+    """o_i = numerator / denominator (Fig. 4b's output divide)."""
+
+    def __init__(self, inp: Receiver, out: Sender, params: AttentionParams, name=None):
+        super().__init__(name=name or "finalize")
+        self.inp = inp
+        self.out = out
+        self.params = params
+        self.register(inp, out)
+
+    def run(self):
+        ii = self.params.ii
+        for _ in range(self.params.seq_len):
+            numerator, denominator = yield self.inp.dequeue()
+            yield self.out.enqueue(numerator / denominator)
+            yield IncrCycles(ii)
+
+
+class RowCollector(Context):
+    """Gathers the output rows into a matrix."""
+
+    def __init__(self, inp: Receiver, params: AttentionParams, name=None):
+        super().__init__(name=name or "out_sink")
+        self.inp = inp
+        self.params = params
+        self.rows: list[np.ndarray] = []
+        self.register(inp)
+
+    def run(self):
+        for _ in range(self.params.seq_len):
+            row = yield self.inp.dequeue()
+            self.rows.append(np.asarray(row))
+
+    def result(self) -> np.ndarray:
+        return np.stack(self.rows)

@@ -1,0 +1,197 @@
+"""Cycle-by-cycle standard attention: the Spatial-simulator stand-in.
+
+Runs the Fig. 4a pipeline on :mod:`repro.cyclesim` — every unit ticked
+every cycle, register channels committed at cycle boundaries.  Real time
+scales with ``simulated cycles x component count`` with no idle skipping,
+which is the behaviour Fig. 5/6 measure DAM's advantage against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from ..cyclesim import CycleComponent, CycleEngine, CycleStats
+
+
+class _CycleScoreProducer(CycleComponent):
+    def __init__(self, out, q, k, scale, ii=1, name="qk_unit"):
+        super().__init__(name=name)
+        self.out = out
+        self.q = q
+        self.k = k
+        self.scale = scale
+        self.ii = ii
+        self._cooldown = 0
+        self.i = 0
+        self.j = 0
+        self.n = q.shape[0]
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if not self.out.can_push():
+            return
+        self.out.push(float(self.q[self.i] @ self.k[self.j]) * self.scale)
+        self._cooldown = self.ii - 1
+        self.j += 1
+        if self.j == self.n:
+            self.j = 0
+            self.i += 1
+            if self.i == self.n:
+                self.finished = True
+
+
+class _CycleExp(CycleComponent):
+    def __init__(self, inp, out, total, name="exp_unit"):
+        super().__init__(name=name)
+        self.inp = inp
+        self.out = out
+        self.remaining = total
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self.inp.can_pop() and self.out.can_push():
+            self.out.push(math.exp(self.inp.pop()))
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.finished = True
+
+
+class _CycleBroadcast(CycleComponent):
+    def __init__(self, inp, outs, total, name="e_bcast"):
+        super().__init__(name=name)
+        self.inp = inp
+        self.outs = outs
+        self.remaining = total
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self.inp.can_pop() and all(out.can_push() for out in self.outs):
+            value = self.inp.pop()
+            for out in self.outs:
+                out.push(value)
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.finished = True
+
+
+class _CycleRowSum(CycleComponent):
+    def __init__(self, inp, out, n, name="row_sum"):
+        super().__init__(name=name)
+        self.inp = inp
+        self.out = out
+        self.n = n
+        self.acc = 0.0
+        self.count = 0
+        self.rows_left = n
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self.count < self.n and self.inp.can_pop():
+            self.acc += self.inp.pop()
+            self.count += 1
+        # Emit in the same cycle the last element arrives (combinational
+        # output register), matching the DAM pipeline's timing.
+        if self.count == self.n and self.out.can_push():
+            self.out.push(self.acc)
+            self.acc = 0.0
+            self.count = 0
+            self.rows_left -= 1
+            if self.rows_left == 0:
+                self.finished = True
+
+
+class _CycleDivide(CycleComponent):
+    def __init__(self, e_buf, row_sums, out, n, name="divide"):
+        super().__init__(name=name)
+        self.e_buf = e_buf
+        self.row_sums = row_sums
+        self.out = out
+        self.n = n
+        self.denominator: Any = None
+        self.count = 0
+        self.rows_left = n
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        # Latching the row sum is combinational with the first divide
+        # (same cycle), matching the DAM pipeline's timing.
+        if self.denominator is None and self.row_sums.can_pop():
+            self.denominator = self.row_sums.pop()
+            self.count = 0
+        if self.denominator is None:
+            return
+        if self.e_buf.can_pop() and self.out.can_push():
+            self.out.push(self.e_buf.pop() / self.denominator)
+            self.count += 1
+            if self.count == self.n:
+                self.denominator = None
+                self.rows_left -= 1
+                if self.rows_left == 0:
+                    self.finished = True
+
+
+class _CycleWeightedV(CycleComponent):
+    def __init__(self, inp, v, n, name="av_unit"):
+        super().__init__(name=name)
+        self.inp = inp
+        self.v = v
+        self.n = n
+        self.acc = np.zeros(v.shape[1])
+        self.j = 0
+        self.rows: list[np.ndarray] = []
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self.inp.can_pop():
+            weight = self.inp.pop()
+            self.acc = self.acc + weight * self.v[self.j]
+            self.j += 1
+            if self.j == self.n:
+                self.rows.append(self.acc)
+                self.acc = np.zeros(self.v.shape[1])
+                self.j = 0
+                if len(self.rows) == self.n:
+                    self.finished = True
+
+
+def run_cycle_standard_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    buffer_depth: int | None = None,
+    small_depth: int = 8,
+    score_ii: int = 1,
+) -> tuple[np.ndarray, CycleStats]:
+    """Run Fig. 4a on the cycle engine; returns (output, stats)."""
+    n, d = q.shape
+    if buffer_depth is None:
+        buffer_depth = n + 32
+    engine = CycleEngine()
+    scores = engine.channel(small_depth, "scores")
+    exp = engine.channel(small_depth, "exp")
+    e_sum = engine.channel(small_depth, "e_sum")
+    e_buf = engine.channel(buffer_depth, "C_row_buffer")
+    sums = engine.channel(small_depth, "row_sums")
+    weights = engine.channel(small_depth, "weights")
+
+    scale = 1.0 / math.sqrt(d)
+    engine.add(_CycleScoreProducer(scores, q, k, scale, ii=score_ii))
+    engine.add(_CycleExp(scores, exp, n * n))
+    engine.add(_CycleBroadcast(exp, [e_sum, e_buf], n * n))
+    engine.add(_CycleRowSum(e_sum, sums, n))
+    engine.add(_CycleDivide(e_buf, sums, weights, n))
+    sink = engine.add(_CycleWeightedV(weights, v, n))
+    stats = engine.run()
+    return np.stack(sink.rows), stats

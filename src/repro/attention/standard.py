@@ -1,0 +1,88 @@
+"""Standard streaming attention (Fig. 4a): the O(N)-memory pipeline.
+
+The exp stream fans out to the row-sum reduction and to channel *C*, the
+row buffer the divide unit replays once the sum arrives.  Peak throughput
+(and deadlock freedom, in this blocking formulation) requires
+``depth(C) >= N + alpha`` where alpha covers the pipeline slack between
+the producer's initiation interval and the consumer's latency; every
+other channel needs only constant depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..contexts import Broadcast
+from ..core.program import Program, ProgramBuilder
+from .blocks import (
+    AttentionParams,
+    Divide,
+    ExpUnit,
+    RowCollector,
+    RowSum,
+    ScoreProducer,
+    WeightedVSum,
+)
+
+#: Constant slack on top of N for the row buffer (the paper measured
+#: alpha = 22 for its hardware parameters; ours is smaller because the
+#: pipeline between the exp fanout and the divide is shorter).
+DEFAULT_ALPHA = 22
+
+
+class StandardAttention:
+    """A built Fig. 4a pipeline; run then read ``result()``."""
+
+    def __init__(self, program: Program, sink: RowCollector, params: AttentionParams):
+        self.program = program
+        self.sink = sink
+        self.params = params
+        self.summary = None
+
+    def run(self, executor: str = "sequential", **kwargs):
+        self.summary = self.program.run(executor=executor, **kwargs)
+        return self.summary
+
+    def result(self) -> np.ndarray:
+        return self.sink.result()
+
+
+def build_standard_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    buffer_depth: int | None = None,
+    small_depth: int = 8,
+    ii: int = 1,
+    score_ii: int | None = None,
+) -> StandardAttention:
+    """Build the standard pipeline.
+
+    ``buffer_depth`` sizes channel *C* (default ``N + DEFAULT_ALPHA``;
+    undersize it to study the deadlock).  ``small_depth`` is the constant
+    depth of every other channel.  ``score_ii`` is the MAC-limited QK
+    unit's initiation interval (defaults to ``ii``; pass ``d`` for the
+    one-MAC hardware model used by the Fig. 5/6 comparison).
+    """
+    n, d = q.shape
+    params = AttentionParams(seq_len=n, head_dim=d, ii=ii)
+    if buffer_depth is None:
+        buffer_depth = n + DEFAULT_ALPHA
+
+    builder = ProgramBuilder()
+    s_scores, r_scores = builder.bounded(small_depth, name="scores")
+    s_exp, r_exp = builder.bounded(small_depth, name="exp")
+    s_esum, r_esum = builder.bounded(small_depth, name="e_sum")
+    s_ebuf, r_ebuf = builder.bounded(buffer_depth, name="C_row_buffer")
+    s_sums, r_sums = builder.bounded(small_depth, name="row_sums")
+    s_w, r_w = builder.bounded(small_depth, name="weights")
+    s_out, r_out = builder.bounded(small_depth, name="out_rows")
+
+    builder.add(ScoreProducer(s_scores, q, k, params, ii=score_ii))
+    builder.add(ExpUnit(r_scores, s_exp, params))
+    builder.add(Broadcast(r_exp, [s_esum, s_ebuf], name="e_bcast"))
+    builder.add(RowSum(r_esum, s_sums, params))
+    builder.add(Divide(r_ebuf, r_sums, s_w, params))
+    builder.add(WeightedVSum(r_w, s_out, v, params))
+    sink = builder.add(RowCollector(r_out, params))
+    return StandardAttention(builder.build(), sink, params)

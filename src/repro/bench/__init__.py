@@ -1,0 +1,21 @@
+"""Benchmark harness utilities: workloads, table formatting, timers."""
+
+from .fib import fib
+from .reduction_tree import (
+    TreeConfig,
+    build_dam_forest,
+    build_eventsim_forest,
+    run_dam_forest,
+    run_eventsim_forest,
+)
+from .table import TextTable
+
+__all__ = [
+    "fib",
+    "TreeConfig",
+    "build_dam_forest",
+    "build_eventsim_forest",
+    "run_dam_forest",
+    "run_eventsim_forest",
+    "TextTable",
+]

@@ -1,0 +1,18 @@
+"""The per-node work function of the DAM-vs-SST microbenchmark.
+
+The paper varies per-node work by computing the {16, 20}th Fibonacci number
+"using the naive exponential method" inside every tree node, and creates
+imbalance by adding 4 to the index for the first tree (a ~16x work
+increase, since naive Fibonacci cost grows by the golden ratio per index).
+The same function is used for both engines, mirroring the paper's use of a
+single C++ implementation for both systems.
+"""
+
+from __future__ import annotations
+
+
+def fib(n: int) -> int:
+    """Naive exponential-time Fibonacci (deliberately unmemoized work)."""
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)

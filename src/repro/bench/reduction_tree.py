@@ -1,0 +1,253 @@
+"""Binary reduction-tree forests on both engines (the Fig. 3 workload).
+
+The paper's DAM-vs-SST microbenchmark: a forest of {2, 8, 32} binary
+reduction trees of depth {8, 10}, each running 100000 reductions, with per
+node work of fib({16, 20}), and optional imbalance (+4 on the first tree's
+Fibonacci index, a ~16x work increase).  We reproduce the same generator
+with scaled-down defaults suited to Python real-time budgets; every bench
+prints both the paper's configuration and the one actually run.
+
+Both backends build the *same* logical forest:
+
+* DAM: leaves are :class:`~repro.contexts.source.RampSource`, internal
+  nodes :class:`~repro.contexts.reduce.ReduceNode`, roots drain into
+  :class:`~repro.contexts.sink.Collector`.
+* eventsim: leaf/node/root components over latency-1 links, with the
+  event-driven alignment buffering the paper's Listing 2 illustrates.
+
+Correctness link: both must report the same root sums (reduction of
+0..R-1 ramps through the tree), checked by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..contexts import Collector, RampSource, ReduceNode
+from ..core import ProgramBuilder, Program
+from ..eventsim import Component, Engine, Link, ParallelEngine, PortBuffer
+from .fib import fib
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """One Fig. 3 configuration point."""
+
+    trees: int
+    depth: int
+    reductions: int
+    fib_index: int
+    imbalance: int = 0  # added to fib_index for the FIRST tree only
+
+    @property
+    def leaves_per_tree(self) -> int:
+        return 2**self.depth
+
+    @property
+    def nodes_per_tree(self) -> int:
+        return 2**self.depth - 1
+
+    def fib_for_tree(self, tree: int) -> int:
+        return self.fib_index + (self.imbalance if tree == 0 else 0)
+
+    def label(self) -> str:
+        return (
+            f"trees={self.trees} depth={self.depth} fib={self.fib_index} "
+            f"imb={self.imbalance} R={self.reductions}"
+        )
+
+    def expected_root_sums(self) -> list[int]:
+        """Per-reduction root values: sum of all leaf values in wave r."""
+        # Every leaf emits the ramp 0..R-1, so wave r reduces to r * leaves.
+        return [r * self.leaves_per_tree for r in range(self.reductions)]
+
+
+# ----------------------------------------------------------------------
+# DAM backend.
+# ----------------------------------------------------------------------
+
+
+def build_dam_forest(
+    config: TreeConfig, capacity: int = 8
+) -> tuple[Program, list[Collector]]:
+    """Build the forest as a DAM program; returns (program, root collectors)."""
+    builder = ProgramBuilder()
+    roots: list[Collector] = []
+    for tree in range(config.trees):
+        fib_index = config.fib_for_tree(tree)
+        work = (lambda k: (lambda: fib(k)))(fib_index)
+        # Build level by level, bottom-up: level 0 are the leaf sources.
+        receivers = []
+        for leaf in range(config.leaves_per_tree):
+            snd, rcv = builder.bounded(capacity, latency=1)
+            builder.add(
+                RampSource(
+                    snd,
+                    config.reductions,
+                    ii=1,
+                    name=f"t{tree}_leaf{leaf}",
+                )
+            )
+            receivers.append(rcv)
+        level = 0
+        while len(receivers) > 1:
+            next_receivers = []
+            for pair in range(0, len(receivers), 2):
+                snd, rcv = builder.bounded(capacity, latency=1)
+                builder.add(
+                    ReduceNode(
+                        receivers[pair],
+                        receivers[pair + 1],
+                        snd,
+                        combine=lambda a, b: a + b,
+                        work_fn=work,
+                        ii=1,
+                        name=f"t{tree}_n{level}_{pair // 2}",
+                    )
+                )
+                next_receivers.append(rcv)
+            receivers = next_receivers
+            level += 1
+        roots.append(
+            builder.add(Collector(receivers[0], name=f"t{tree}_root"))
+        )
+    return builder.build(), roots
+
+
+def run_dam_forest(
+    config: TreeConfig,
+    executor: str = "sequential",
+    policy: str = "fifo",
+    capacity: int = 8,
+) -> dict[str, Any]:
+    program, roots = build_dam_forest(config, capacity=capacity)
+    kwargs = {"policy": policy} if executor == "sequential" else {}
+    summary = program.run(executor=executor, **kwargs)
+    return {
+        "summary": summary,
+        "root_sums": [list(root.values) for root in roots],
+        "real_seconds": summary.real_seconds,
+        "cycles": summary.elapsed_cycles,
+    }
+
+
+# ----------------------------------------------------------------------
+# Event-driven (SST-style) backend.
+# ----------------------------------------------------------------------
+
+
+class LeafSource(Component):
+    """Emits the ramp 0..R-1, one value per cycle, on start."""
+
+    def __init__(self, out_link, reductions: int, name: str | None = None):
+        super().__init__(name=name)
+        self.out_link = out_link
+        self.reductions = reductions
+        self.on("emit", self._on_emit)
+
+    def start(self) -> None:
+        self.schedule_self("emit", 0, 0)
+
+    def _on_emit(self, time: int, value: int) -> None:
+        self.send(self.out_link, time, value)
+        if value + 1 < self.reductions:
+            self.schedule_self("emit", time + 1, value + 1)
+
+
+class ReduceComponent(Component):
+    """Event-driven reduce node: explicit alignment buffers + fib work."""
+
+    def __init__(self, out_link, fib_index: int, name: str | None = None):
+        super().__init__(name=name)
+        self.out_link = out_link
+        self.fib_index = fib_index
+        self.buffer_a = PortBuffer()
+        self.buffer_b = PortBuffer()
+        self.on("a", self._on_a)
+        self.on("b", self._on_b)
+
+    def _on_a(self, time: int, payload: int) -> None:
+        self.buffer_a.push(payload)
+        self._try_fire(time)
+
+    def _on_b(self, time: int, payload: int) -> None:
+        self.buffer_b.push(payload)
+        self._try_fire(time)
+
+    def _try_fire(self, time: int) -> None:
+        while self.buffer_a and self.buffer_b:
+            result = self.buffer_a.pop() + self.buffer_b.pop()
+            result += fib(self.fib_index) * 0  # work is timed, not valued
+            self.send(self.out_link, time, result, extra_delay=1)
+
+
+class RootSink(Component):
+    """Collects the per-wave reduction results."""
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name=name)
+        self.values: list[int] = []
+        self.on("in", self._on_in)
+
+    def _on_in(self, _time: int, payload: int) -> None:
+        self.values.append(payload)
+
+
+def build_eventsim_forest(
+    config: TreeConfig, engine: Engine | ParallelEngine
+) -> list[RootSink]:
+    """Populate ``engine`` with the forest; returns the root sinks."""
+    parallel = isinstance(engine, ParallelEngine)
+
+    def make_link(dst: Component, port: str):
+        if parallel:
+            return engine.link(dst, port, latency=1)
+        return Link(dst, port, latency=1)
+
+    roots: list[RootSink] = []
+    for tree in range(config.trees):
+        fib_index = config.fib_for_tree(tree)
+        root = RootSink(name=f"t{tree}_root")
+        engine.add(root)
+        roots.append(root)
+        # Build the internal nodes top-down so each child knows its uplink.
+        uplinks = [make_link(root, "in")]
+        nodes_by_level = []
+        for level in range(config.depth):
+            next_uplinks = []
+            level_nodes = []
+            for index, uplink in enumerate(uplinks):
+                node = ReduceComponent(
+                    uplink, fib_index, name=f"t{tree}_n{level}_{index}"
+                )
+                engine.add(node)
+                level_nodes.append(node)
+                next_uplinks.append(make_link(node, "a"))
+                next_uplinks.append(make_link(node, "b"))
+            nodes_by_level.append(level_nodes)
+            uplinks = next_uplinks
+        for index, uplink in enumerate(uplinks):
+            engine.add(
+                LeafSource(
+                    uplink, config.reductions, name=f"t{tree}_leaf{index}"
+                )
+            )
+    return roots
+
+
+def run_eventsim_forest(
+    config: TreeConfig, workers: int = 1
+) -> dict[str, Any]:
+    if workers == 1:
+        engine: Engine | ParallelEngine = Engine()
+    else:
+        engine = ParallelEngine(workers=workers)
+    roots = build_eventsim_forest(config, engine)
+    stats = engine.run()
+    return {
+        "stats": stats,
+        "root_sums": [list(root.values) for root in roots],
+        "real_seconds": stats.real_seconds,
+        "final_time": stats.final_time,
+    }

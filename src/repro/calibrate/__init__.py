@@ -1,0 +1,29 @@
+"""Automated performance calibration (Section VIII-A4, Fig. 10).
+
+The paper tunes the SAM-on-DAM simulator's timing parameters (e.g. the
+pipeline-bubble cycles charged after control tokens, exposed through
+``time.incr_cycles(x)``) to match RTL simulation traces, using OpenTuner
+over ~3000 iterations to reach sub-cycle average error.
+
+This package reproduces that loop with a self-contained autotuner
+(random search + hill climbing + simulated annealing — the standard
+ensemble OpenTuner itself coordinates):
+
+* :class:`~repro.calibrate.problem.SamTimingProblem` — runs a SAM kernel
+  under candidate :class:`~repro.sam.primitives.base.TimingParams` and
+  scores the cycle error against reference traces produced by a
+  hidden-parameter run (the "RTL simulation" stand-in).
+* :class:`~repro.calibrate.tuner.Autotuner` — the search loop, recording
+  best-error-so-far per iteration (the Fig. 10 series).
+"""
+
+from .problem import SamTimingProblem, make_reference_traces
+from .tuner import Autotuner, IntParameter, TuningResult
+
+__all__ = [
+    "Autotuner",
+    "IntParameter",
+    "TuningResult",
+    "SamTimingProblem",
+    "make_reference_traces",
+]

@@ -1,0 +1,143 @@
+"""A small autotuner: random search, hill climbing, simulated annealing.
+
+OpenTuner's core idea is an ensemble of search techniques sharing one
+result database; this miniature keeps that structure (phases sharing a
+best-so-far) at a fraction of the machinery.  The interface is a plain
+objective function over named integer parameters.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class IntParameter:
+    """A tunable integer in [lo, hi]."""
+
+    name: str
+    lo: int
+    hi: int
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.lo, self.hi)
+
+    def neighbor(self, value: int, rng: random.Random, radius: int = 1) -> int:
+        step = rng.randint(-radius, radius)
+        return min(self.hi, max(self.lo, value + step))
+
+
+@dataclass
+class TuningResult:
+    """The outcome of a tuning run."""
+
+    best_params: dict[str, int]
+    best_error: float
+    evaluations: int
+    #: best-error-so-far after each evaluation (the Fig. 10 series).
+    history: list[float] = field(default_factory=list)
+
+    def converged_at(self, threshold: float) -> int | None:
+        """First evaluation index where the error dropped below threshold."""
+        for index, error in enumerate(self.history):
+            if error <= threshold:
+                return index
+        return None
+
+
+class Autotuner:
+    """Minimize ``objective(params)`` over integer parameters.
+
+    Phases: (1) pure random exploration, (2) hill climbing around the
+    incumbent, (3) simulated annealing to escape local minima.  The phase
+    budget split follows OpenTuner's default bias toward exploitation.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[IntParameter],
+        objective: Callable[[dict[str, int]], float],
+        seed: int = 0,
+    ):
+        if not parameters:
+            raise ValueError("need at least one parameter")
+        self.parameters = list(parameters)
+        self.objective = objective
+        self.rng = random.Random(seed)
+        self._cache: dict[tuple[int, ...], float] = {}
+
+    def _key(self, params: dict[str, int]) -> tuple[int, ...]:
+        return tuple(params[p.name] for p in self.parameters)
+
+    def _evaluate(self, params: dict[str, int]) -> float:
+        key = self._key(params)
+        if key not in self._cache:
+            self._cache[key] = self.objective(params)
+        return self._cache[key]
+
+    def tune(self, iterations: int = 300, target_error: float = 0.0) -> TuningResult:
+        rng = self.rng
+        explore = max(1, iterations // 4)
+        climb = max(1, iterations // 2)
+        anneal = max(0, iterations - explore - climb)
+
+        best_params = {p.name: p.sample(rng) for p in self.parameters}
+        best_error = self._evaluate(best_params)
+        history = [best_error]
+        evaluations = 1
+
+        def record(params: dict[str, int], error: float) -> None:
+            nonlocal best_params, best_error
+            if error < best_error:
+                best_error = error
+                best_params = dict(params)
+            history.append(best_error)
+
+        # Phase 1: random exploration.
+        for _ in range(explore):
+            if best_error <= target_error:
+                break
+            candidate = {p.name: p.sample(rng) for p in self.parameters}
+            record(candidate, self._evaluate(candidate))
+            evaluations += 1
+
+        # Phase 2: hill climbing around the incumbent.
+        for _ in range(climb):
+            if best_error <= target_error:
+                break
+            candidate = {
+                p.name: p.neighbor(best_params[p.name], rng)
+                for p in self.parameters
+            }
+            record(candidate, self._evaluate(candidate))
+            evaluations += 1
+
+        # Phase 3: simulated annealing from the incumbent.
+        current = dict(best_params)
+        current_error = best_error
+        for step in range(anneal):
+            if best_error <= target_error:
+                break
+            temperature = max(1e-6, 1.0 - step / max(anneal, 1))
+            candidate = {
+                p.name: p.neighbor(current[p.name], rng, radius=2)
+                for p in self.parameters
+            }
+            error = self._evaluate(candidate)
+            evaluations += 1
+            accept = error < current_error or rng.random() < math.exp(
+                -(error - current_error) / (temperature * 10.0)
+            )
+            if accept:
+                current, current_error = candidate, error
+            record(candidate, error)
+
+        return TuningResult(
+            best_params=best_params,
+            best_error=best_error,
+            evaluations=evaluations,
+            history=history,
+        )

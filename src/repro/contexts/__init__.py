@@ -1,0 +1,28 @@
+"""Reusable context library.
+
+Generic building blocks used throughout the case studies and benchmarks:
+iterable-driven sources, collecting sinks, unary/binary function units with
+configurable initiation interval and latency, the paper's merge unit
+(Listing 1), broadcasters, and reduction-tree nodes (the Fig. 3 workload).
+"""
+
+from .broadcast import Broadcast
+from .function import BinaryFunction, UnaryFunction
+from .merge import Merge
+from .reduce import ReduceNode, StreamReducer
+from .sink import Checker, Collector, NullSink
+from .source import IterableSource, RampSource
+
+__all__ = [
+    "Broadcast",
+    "UnaryFunction",
+    "BinaryFunction",
+    "Merge",
+    "ReduceNode",
+    "StreamReducer",
+    "Collector",
+    "Checker",
+    "NullSink",
+    "IterableSource",
+    "RampSource",
+]

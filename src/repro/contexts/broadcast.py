@@ -1,0 +1,45 @@
+"""Broadcast: replicate one stream onto several output channels."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.channel import Receiver, Sender
+from ..core.context import Context
+from ..core.errors import ChannelClosed
+from ..core.ops import IncrCycles
+from ..core.time import Time
+
+
+class Broadcast(Context):
+    """Copy every input element to each output channel, in order.
+
+    A full copy is issued per initiation interval; a slow consumer on any
+    branch backpressures the broadcast (and therefore every branch), just
+    as a physical fan-out buffer would.
+    """
+
+    def __init__(
+        self,
+        inp: Receiver,
+        outs: Sequence[Sender],
+        ii: Time = 1,
+        name: str | None = None,
+    ):
+        if not outs:
+            raise ValueError("Broadcast needs at least one output")
+        super().__init__(name=name)
+        self.inp = inp
+        self.outs = list(outs)
+        self.ii = ii
+        self.register(inp, *outs)
+
+    def run(self):
+        try:
+            while True:
+                value = yield self.inp.dequeue()
+                for out in self.outs:
+                    yield out.enqueue(value)
+                yield IncrCycles(self.ii)
+        except ChannelClosed:
+            return

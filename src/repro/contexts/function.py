@@ -1,0 +1,102 @@
+"""Function units: pipelined unary/binary operators with II and latency.
+
+These model the archetypal dataflow compute unit: a pipeline that accepts
+one input set per initiation interval (``ii``) and produces the result
+``latency`` cycles later.  Following the paper's modeling idiom, the
+unit's local clock tracks *issue* time (advancing by ``ii`` per input);
+pipeline depth cannot be charged by advancing and then rolling the clock
+back (time is monotonic), so it lives on the *output channel's*
+visibility stamp instead — configure the output channel with
+``latency = pipeline depth`` at graph construction time.
+
+The helpers below additionally take an optional ``extra_latency`` for
+ad-hoc graphs where reconfiguring the channel is inconvenient; it
+advances the clock before the enqueue, modeling an *unpipelined* unit
+(the next issue waits out the latency too).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.channel import Receiver, Sender
+from ..core.context import Context
+from ..core.errors import ChannelClosed
+from ..core.ops import IncrCycles
+from ..core.time import Time
+
+
+class UnaryFunction(Context):
+    """Apply ``fn`` elementwise: one input per ``ii`` cycles."""
+
+    def __init__(
+        self,
+        inp: Receiver,
+        out: Sender,
+        fn: Callable[[Any], Any],
+        ii: Time = 1,
+        extra_latency: Time = 0,
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.inp = inp
+        self.out = out
+        self.fn = fn
+        self.ii = ii
+        self.extra_latency = extra_latency
+        self.register(inp, out)
+
+    def run(self):
+        fn = self.fn
+        try:
+            while True:
+                value = yield self.inp.dequeue()
+                if self.extra_latency:
+                    yield IncrCycles(self.extra_latency)
+                yield self.out.enqueue(fn(value))
+                yield IncrCycles(self.ii)
+        except ChannelClosed:
+            return
+
+
+class BinaryFunction(Context):
+    """Apply ``fn`` to aligned pairs from two input channels.
+
+    Both inputs are peeked before either is dequeued so the unit fires only
+    when a full input set is available — the CSPT equivalent of the
+    event-alignment code an event-driven model needs (Listing 2).
+    """
+
+    def __init__(
+        self,
+        left: Receiver,
+        right: Receiver,
+        out: Sender,
+        fn: Callable[[Any, Any], Any],
+        ii: Time = 1,
+        extra_latency: Time = 0,
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.left = left
+        self.right = right
+        self.out = out
+        self.fn = fn
+        self.ii = ii
+        self.extra_latency = extra_latency
+        self.register(left, right, out)
+
+    def run(self):
+        fn = self.fn
+        try:
+            while True:
+                a = yield self.left.peek()
+                b = yield self.right.peek()
+                yield self.left.dequeue()
+                yield self.right.dequeue()
+                if self.extra_latency:
+                    yield IncrCycles(self.extra_latency)
+                yield self.out.enqueue(fn(a, b))
+                yield IncrCycles(self.ii)
+        except ChannelClosed:
+            return

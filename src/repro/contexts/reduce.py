@@ -1,0 +1,123 @@
+"""Reduction contexts: streaming reducers and tree nodes (Fig. 3 workload)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.channel import Receiver, Sender
+from ..core.context import Context
+from ..core.errors import ChannelClosed
+from ..core.ops import IncrCycles
+from ..core.time import Time
+
+
+class ReduceNode(Context):
+    """A binary tree node: combine one element from each child per firing.
+
+    This is the unit of the paper's DAM-vs-SST microbenchmark: a binary
+    reduction tree whose nodes combine their children's values and
+    optionally perform extra work per firing (``work_fn``, the naive
+    Fibonacci in Section VI-B).
+    """
+
+    def __init__(
+        self,
+        left: Receiver,
+        right: Receiver,
+        out: Sender,
+        combine: Callable[[Any, Any], Any],
+        work_fn: Callable[[], Any] | None = None,
+        ii: Time = 1,
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.left = left
+        self.right = right
+        self.out = out
+        self.combine = combine
+        self.work_fn = work_fn
+        self.ii = ii
+        self.register(left, right, out)
+
+    def run(self):
+        combine = self.combine
+        work_fn = self.work_fn
+        try:
+            while True:
+                a = yield self.left.dequeue()
+                b = yield self.right.dequeue()
+                result = combine(a, b)
+                if work_fn is not None:
+                    result = result + work_fn() * 0  # work is timed, not valued
+                yield IncrCycles(self.ii)
+                yield self.out.enqueue(result)
+        except ChannelClosed:
+            return
+
+
+class StreamReducer(Context):
+    """Reduce fixed-size groups of a stream to single values.
+
+    Consumes ``group`` consecutive elements, emits their reduction, and
+    repeats until the input closes.  ``group=None`` reduces the entire
+    stream to one value at close.
+    """
+
+    def __init__(
+        self,
+        inp: Receiver,
+        out: Sender,
+        combine: Callable[[Any, Any], Any],
+        group: int | None = None,
+        initial: Any = None,
+        ii: Time = 1,
+        name: str | None = None,
+    ):
+        if group is not None and group < 1:
+            raise ValueError("group must be >= 1")
+        super().__init__(name=name)
+        self.inp = inp
+        self.out = out
+        self.combine = combine
+        self.group = group
+        self.initial = initial
+        self.ii = ii
+        self.register(inp, out)
+
+    def run(self):
+        combine = self.combine
+        if self.group is None:
+            accumulator = self.initial
+            saw_any = False
+            try:
+                while True:
+                    value = yield self.inp.dequeue()
+                    yield IncrCycles(self.ii)
+                    if not saw_any and accumulator is None:
+                        accumulator = value
+                    else:
+                        accumulator = combine(accumulator, value)
+                    saw_any = True
+            except ChannelClosed:
+                if saw_any or self.initial is not None:
+                    yield self.out.enqueue(accumulator)
+                return
+        while True:
+            accumulator = self.initial
+            saw_any = False
+            for _ in range(self.group):
+                try:
+                    value = yield self.inp.dequeue()
+                except ChannelClosed:
+                    if saw_any:
+                        raise AssertionError(
+                            f"{self.name}: input closed mid-group"
+                        ) from None
+                    return
+                yield IncrCycles(self.ii)
+                if not saw_any and accumulator is None:
+                    accumulator = value
+                else:
+                    accumulator = combine(accumulator, value)
+                saw_any = True
+            yield self.out.enqueue(accumulator)

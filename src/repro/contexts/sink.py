@@ -1,0 +1,100 @@
+"""Sink contexts: terminate streams, collect or check their contents."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..core.channel import Receiver
+from ..core.context import Context
+from ..core.errors import ChannelClosed
+from ..core.ops import IncrCycles
+from ..core.time import Time
+
+
+class Collector(Context):
+    """Drain a channel into ``self.values`` until it closes.
+
+    With ``timestamps=True`` it records ``(dequeue_time, value)`` pairs,
+    which is how calibration traces and latency measurements are captured.
+    """
+
+    def __init__(
+        self,
+        inp: Receiver,
+        ii: Time = 0,
+        timestamps: bool = False,
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.inp = inp
+        self.ii = ii
+        self.timestamps = timestamps
+        self.values: list[Any] = []
+        self.register(inp)
+
+    def run(self):
+        try:
+            while True:
+                value = yield self.inp.dequeue()
+                if self.timestamps:
+                    self.values.append((self.time.now(), value))
+                else:
+                    self.values.append(value)
+                if self.ii:
+                    yield IncrCycles(self.ii)
+        except ChannelClosed:
+            return
+
+
+class Checker(Context):
+    """Assert a channel delivers exactly an expected sequence.
+
+    Raises ``AssertionError`` (surfaced as a SimulationError) on the first
+    mismatch, extra element, or early close.
+    """
+
+    def __init__(self, inp: Receiver, expected: Iterable[Any], name: str | None = None):
+        super().__init__(name=name)
+        self.inp = inp
+        self.expected = list(expected)
+        self.seen = 0
+        self.register(inp)
+
+    def run(self):
+        for index, expected in enumerate(self.expected):
+            try:
+                value = yield self.inp.dequeue()
+            except ChannelClosed:
+                raise AssertionError(
+                    f"{self.name}: channel closed after {index} of "
+                    f"{len(self.expected)} expected elements"
+                ) from None
+            if value != expected:
+                raise AssertionError(
+                    f"{self.name}: element {index}: expected {expected!r}, "
+                    f"got {value!r}"
+                )
+            self.seen += 1
+        try:
+            extra = yield self.inp.dequeue()
+        except ChannelClosed:
+            return
+        raise AssertionError(f"{self.name}: unexpected extra element {extra!r}")
+
+
+class NullSink(Context):
+    """Discard everything; useful to terminate unused outputs."""
+
+    def __init__(self, inp: Receiver, name: str | None = None):
+        super().__init__(name=name)
+        self.inp = inp
+        self.count = 0
+        self.register(inp)
+
+    def run(self):
+        try:
+            while True:
+                yield self.inp.dequeue()
+                self.count += 1
+        except ChannelClosed:
+            return

@@ -1,0 +1,56 @@
+"""Source contexts: inject data into a dataflow graph."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..core.channel import Sender
+from ..core.context import Context
+from ..core.ops import IncrCycles
+from ..core.time import Time
+
+
+class IterableSource(Context):
+    """Emit every item of an iterable, one per initiation interval.
+
+    ``initial_delay`` models fill latency before the first element; the
+    initiation interval (``ii``) is the simulated cycles between issues.
+    """
+
+    def __init__(
+        self,
+        out: Sender,
+        items: Iterable[Any],
+        ii: Time = 1,
+        initial_delay: Time = 0,
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.out = out
+        self.items = items
+        self.ii = ii
+        self.initial_delay = initial_delay
+        self.register(out)
+
+    def run(self):
+        if self.initial_delay:
+            yield IncrCycles(self.initial_delay)
+        for item in self.items:
+            yield self.out.enqueue(item)
+            yield IncrCycles(self.ii)
+
+
+class RampSource(Context):
+    """Emit ``0, 1, ..., count - 1`` — a compact numeric source."""
+
+    def __init__(self, out: Sender, count: int, ii: Time = 1, name: str | None = None):
+        super().__init__(name=name)
+        self.out = out
+        self.count = count
+        self.ii = ii
+        self.register(out)
+
+    def run(self):
+        for value in range(self.count):
+            yield self.out.enqueue(value)
+            yield IncrCycles(self.ii)

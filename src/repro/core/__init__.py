@@ -1,0 +1,81 @@
+"""The DAM core: CSPT contexts, time-bridging channels, and executors.
+
+This package implements the paper's primary contribution — see DESIGN.md
+section 5 for the precise cycle semantics shared by both executors.
+"""
+
+from .channel import (
+    Channel,
+    ChannelStats,
+    Receiver,
+    Sender,
+    make_channel,
+    peak_simulated_occupancy,
+)
+from .context import Context, ContextGenerator, FunctionContext
+from .element import ChannelElement
+from .errors import (
+    ChannelClosed,
+    DamError,
+    DeadlockError,
+    GraphConstructionError,
+    SimulationError,
+)
+from .executor import (
+    FairPolicy,
+    FifoPolicy,
+    RunSummary,
+    SequentialExecutor,
+    ThreadedExecutor,
+)
+from .ops import (
+    AdvanceTo,
+    Dequeue,
+    Enqueue,
+    IncrCycles,
+    Op,
+    Peek,
+    ViewTime,
+    WaitUntil,
+)
+from .program import Program, ProgramBuilder
+from .time import INFINITY, Time, TimeCell
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "Sender",
+    "Receiver",
+    "make_channel",
+    "peak_simulated_occupancy",
+    "Context",
+    "ContextGenerator",
+    "FunctionContext",
+    "ChannelElement",
+    "ChannelClosed",
+    "DamError",
+    "DeadlockError",
+    "GraphConstructionError",
+    "SimulationError",
+    "RunSummary",
+    "SequentialExecutor",
+    "ThreadedExecutor",
+    "FifoPolicy",
+    "FairPolicy",
+    "Op",
+    "Enqueue",
+    "Dequeue",
+    "Peek",
+    "IncrCycles",
+    "AdvanceTo",
+    "ViewTime",
+    "WaitUntil",
+    "Program",
+    "ProgramBuilder",
+    "INFINITY",
+    "Time",
+    "TimeCell",
+    "Tracer",
+    "TraceEvent",
+]

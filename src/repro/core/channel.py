@@ -1,0 +1,374 @@
+"""Time-bridging channels (paper Section V).
+
+A channel is a directed, statically-connected link between a sender context
+and a receiver context.  It is *time-bridging*: the two endpoints may sit at
+wildly different simulated times (asynchronous distributed time), and the
+channel reconciles them using only timestamps:
+
+* The **data queue** carries :class:`~repro.core.element.ChannelElement`
+  values stamped with the earliest simulated time the receiver may observe
+  them (sender time at enqueue + channel ``latency``).
+
+* The **response queue** carries, for every dequeue, the simulated time at
+  which the sender should *see* the freed slot (receiver dequeue time +
+  ``resp_latency``).  A sender that finds the channel full drains responses
+  in FIFO order, advancing its own clock to each response time — this is
+  how backpressure advances simulated time (local time acceleration on the
+  send side).
+
+* The receiver's clock jumps to ``max(now, element.time)`` on dequeue —
+  local time acceleration on the receive side; starvation costs simulated
+  time without any polling.
+
+Every state transition is a function of *simulated* state only (the FIFO
+contents and the endpoint clocks), never of the real schedule.  That is the
+determinism argument: the cooperative and threaded executors drive the same
+transitions in the same per-channel order, so simulated results are
+identical (asserted by the cross-executor test suite).
+
+Termination semantics mirror DAM-RS:
+
+* When the **sender** finishes, the channel *closes*: the receiver may drain
+  remaining data, after which dequeue/peek raise
+  :class:`~repro.core.errors.ChannelClosed`.
+
+* When the **receiver** finishes, the channel becomes *void*: enqueues
+  succeed immediately and the data is discarded.  Responses already in
+  flight are still drained first so the sender's clock advances identically
+  regardless of when the receiver's finish became visible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Any, Optional
+
+from .errors import GraphConstructionError
+from .time import Time, TimeCell
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+
+from . import ops as _ops
+
+_channel_ids = itertools.count()
+
+
+class ChannelStats:
+    """Lightweight per-channel counters.
+
+    ``enqueues``/``dequeues`` are always maintained;
+    ``max_real_occupancy`` is tracked only while profiling is enabled
+    (:meth:`Channel.enable_profiling`) to keep the enqueue hot path lean.
+    """
+
+    __slots__ = ("enqueues", "dequeues", "max_real_occupancy")
+
+    def __init__(self) -> None:
+        self.enqueues = 0
+        self.dequeues = 0
+        self.max_real_occupancy = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ChannelStats(enqueues={self.enqueues}, dequeues={self.dequeues}, "
+            f"max_real_occupancy={self.max_real_occupancy})"
+        )
+
+
+class Channel:
+    """The shared state of a sender/receiver pair.
+
+    Users normally create channels through
+    :meth:`repro.core.program.ProgramBuilder.bounded` /
+    :meth:`~repro.core.program.ProgramBuilder.unbounded`, which return the
+    ``(Sender, Receiver)`` handle pair; the :class:`Channel` itself is an
+    implementation detail.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of in-flight elements from the sender's perspective,
+        or ``None`` for an unbounded channel (no backpressure simulation,
+        which is why unbounded channels simulate faster — Fig. 11).
+    latency:
+        Simulated cycles between an enqueue and the element becoming
+        visible to the receiver.
+    resp_latency:
+        Simulated cycles between a dequeue and the sender observing the
+        freed slot.
+    """
+
+    __slots__ = (
+        "id",
+        "name",
+        "capacity",
+        "latency",
+        "resp_latency",
+        "real",
+        "sender_owner",
+        "receiver_owner",
+        "_data",
+        "_resps",
+        "_delta",
+        "_sender_finished",
+        "_receiver_finished",
+        "stats",
+        "cond",
+        "waiting_sender",
+        "waiting_receiver",
+        "profile_log",
+    )
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        latency: Time = 1,
+        resp_latency: Time = 1,
+        name: str | None = None,
+        real: bool = False,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"channel capacity must be >= 1, got {capacity}")
+        if latency < 0 or resp_latency < 0:
+            raise ValueError("channel latencies must be nonnegative")
+        if real and capacity is not None:
+            raise ValueError("real channels are unbounded (no backpressure)")
+        self.real = real
+        self.id = next(_channel_ids)
+        self.name = name or f"channel{self.id}"
+        self.capacity = capacity
+        self.latency = latency
+        self.resp_latency = resp_latency
+        self.sender_owner: "Context | None" = None
+        self.receiver_owner: "Context | None" = None
+        self._data: deque[tuple[Time, Any]] = deque()
+        self._resps: deque[Time] = deque()
+        self._delta = 0  # sender's view of in-flight element count
+        self._sender_finished = False
+        self._receiver_finished = False
+        self.stats = ChannelStats()
+        # Used only by the threaded executor; harmless elsewhere.
+        self.cond = threading.Condition()
+        # Used only by the sequential executor (at most one waiter per side).
+        self.waiting_sender: Any = None
+        self.waiting_receiver: Any = None
+        # Optional (stamp, dequeue_time) log for simulated-occupancy analysis.
+        self.profile_log: list[tuple[Time, Time]] | None = None
+
+    # ------------------------------------------------------------------
+    # Pure semantics.  These methods never block; executors orchestrate
+    # blocking around them.  All mutate only under the caller's exclusion
+    # discipline (channel lock in threaded mode, single thread otherwise).
+    # ------------------------------------------------------------------
+
+    def sender_try_reserve(self, clock: TimeCell) -> bool:
+        """Try to secure a slot for one enqueue from the sender's view.
+
+        Drains available responses first (each advances the sender's clock
+        to the response time), so that slot observations — and therefore
+        the sender's simulated timeline — are schedule-independent.
+        Returns ``True`` if an enqueue may proceed now.
+        """
+        if self.capacity is None:
+            return True
+        while self._delta >= self.capacity and self._resps:
+            release_time = self._resps.popleft()
+            clock.advance(release_time)
+            self._delta -= 1
+        if self._delta < self.capacity:
+            return True
+        # Full with no responses left: only a finished receiver unblocks us.
+        return self._receiver_finished
+
+    def do_enqueue(self, clock: TimeCell, data: Any) -> None:
+        """Append ``data`` stamped at ``sender_now + latency``.
+
+        Caller must have obtained ``True`` from :meth:`sender_try_reserve`.
+        If the receiver has finished the element is discarded (void).
+
+        Elements are stored as plain ``(stamp, data)`` tuples internally
+        (the hot path); :class:`ChannelElement` remains the public shape.
+        """
+        self.stats.enqueues += 1
+        if self._receiver_finished:
+            return
+        stamp = 0 if self.real else clock._time + self.latency
+        self._data.append((stamp, data))
+        if self.capacity is not None:
+            self._delta += 1
+        if self.profile_log is not None:
+            occupancy = len(self._data)
+            if occupancy > self.stats.max_real_occupancy:
+                self.stats.max_real_occupancy = occupancy
+
+    def can_dequeue(self) -> bool:
+        return bool(self._data)
+
+    @property
+    def closed_for_receiver(self) -> bool:
+        """True once the sender finished and all data has been drained."""
+        return self._sender_finished and not self._data
+
+    def do_dequeue(self, clock: TimeCell) -> Any:
+        """Pop the front element, advance the receiver clock, respond.
+
+        Real channels (the Section IX mechanism) carry data without any
+        time coupling: the receiver's clock is untouched.
+        """
+        stamp, data = self._data.popleft()
+        clock.advance(stamp)
+        self.stats.dequeues += 1
+        if self.capacity is not None and not self._sender_finished:
+            self._resps.append(clock._time + self.resp_latency)
+        if self.profile_log is not None:
+            self.profile_log.append((stamp, clock._time))
+        return data
+
+    def do_peek(self, clock: TimeCell) -> Any:
+        """Observe the front element (advancing the clock) without removal."""
+        stamp, data = self._data[0]
+        clock.advance(stamp)
+        return data
+
+    # ------------------------------------------------------------------
+    # Termination transitions.
+    # ------------------------------------------------------------------
+
+    def close_sender(self) -> None:
+        """The sender context finished: no further data will arrive."""
+        self._sender_finished = True
+        self._resps.clear()  # the sender will never drain them
+
+    def close_receiver(self) -> None:
+        """The receiver context finished: the channel becomes void."""
+        self._receiver_finished = True
+        self._data.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def sender_finished(self) -> bool:
+        return self._sender_finished
+
+    @property
+    def receiver_finished(self) -> bool:
+        return self._receiver_finished
+
+    def real_occupancy(self) -> int:
+        """Number of elements physically queued right now (debug metric)."""
+        return len(self._data)
+
+    def enable_profiling(self) -> None:
+        """Record (visibility stamp, dequeue time) pairs for every dequeue.
+
+        Post-process with :func:`peak_simulated_occupancy` to measure how
+        deep the channel got *in simulated time* — the metric behind the
+        attention case study's O(N) vs O(1) local-memory argument.
+        """
+        self.profile_log = []
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"Channel({self.name}, cap={cap}, len={len(self._data)})"
+
+
+def peak_simulated_occupancy(log: list[tuple[Time, Time]]) -> int:
+    """Compute peak occupancy in simulated time from a channel profile log.
+
+    An element occupies the channel from its visibility stamp until it is
+    dequeued.  (Elements enqueued but never dequeued are not in the log;
+    run-to-completion graphs drain everything.)
+    """
+    events: list[tuple[Time, int]] = []
+    for stamp, dequeue_time in log:
+        events.append((stamp, 1))
+        events.append((dequeue_time, -1))
+    # Process departures before arrivals at the same instant: an element
+    # dequeued at exactly time t frees its slot "at" t.
+    events.sort(key=lambda pair: (pair[0], pair[1]))
+    peak = 0
+    occupancy = 0
+    for _, delta in events:
+        occupancy += delta
+        if occupancy > peak:
+            peak = occupancy
+    return peak
+
+
+class Sender:
+    """The send endpoint handle given to the producing context."""
+
+    __slots__ = ("channel", "owner")
+
+    def __init__(self, channel: Channel):
+        self.channel = channel
+        self.owner: "Context | None" = None
+
+    def attach(self, context: "Context") -> None:
+        if self.owner is not None:
+            raise GraphConstructionError(
+                f"sender of {self.channel.name} already owned by "
+                f"{self.owner.name}, cannot attach to {context.name}"
+            )
+        self.owner = context
+        self.channel.sender_owner = context
+
+    def enqueue(self, data: Any) -> "_ops.Enqueue":
+        """Build an enqueue op for ``yield``-ing."""
+        return _ops.Enqueue(self, data)
+
+    def __repr__(self) -> str:
+        return f"Sender({self.channel.name})"
+
+
+class Receiver:
+    """The receive endpoint handle given to the consuming context."""
+
+    __slots__ = ("channel", "owner")
+
+    def __init__(self, channel: Channel):
+        self.channel = channel
+        self.owner: "Context | None" = None
+
+    def attach(self, context: "Context") -> None:
+        if self.owner is not None:
+            raise GraphConstructionError(
+                f"receiver of {self.channel.name} already owned by "
+                f"{self.owner.name}, cannot attach to {context.name}"
+            )
+        self.owner = context
+        self.channel.receiver_owner = context
+
+    def dequeue(self) -> "_ops.Dequeue":
+        """Build a dequeue op for ``yield``-ing."""
+        return _ops.Dequeue(self)
+
+    def peek(self) -> "_ops.Peek":
+        """Build a peek op for ``yield``-ing."""
+        return _ops.Peek(self)
+
+    def __repr__(self) -> str:
+        return f"Receiver({self.channel.name})"
+
+
+def make_channel(
+    capacity: Optional[int] = None,
+    latency: Time = 1,
+    resp_latency: Time = 1,
+    name: str | None = None,
+    real: bool = False,
+) -> tuple[Sender, Receiver]:
+    """Create a channel and return its ``(Sender, Receiver)`` handle pair."""
+    channel = Channel(
+        capacity=capacity,
+        latency=latency,
+        resp_latency=resp_latency,
+        name=name,
+        real=real,
+    )
+    return Sender(channel), Receiver(channel)

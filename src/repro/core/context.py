@@ -1,0 +1,131 @@
+"""Contexts: the CSPT processes of a DAM program (paper Section III).
+
+A context is a sequential process with a local clock.  Its behaviour is a
+Python generator produced by :meth:`Context.run`: the generator yields
+operation objects (:mod:`repro.core.ops`) and is resumed with their results.
+Functionality and timing are described together — the body computes values
+and sprinkles ``IncrCycles`` where the modeled hardware spends time.
+
+Subclassing :class:`Context` is the general form; :class:`FunctionContext`
+wraps a plain generator function for one-off processes.
+
+Example — the paper's two-input merge unit (Listing 1), with a two-cycle
+initiation interval and six-cycle latency::
+
+    class Merge(Context):
+        def __init__(self, a, b, out):
+            super().__init__()
+            self.a, self.b, self.out = a, b, out
+            self.register(a, b, out)
+
+        def run(self):
+            while True:
+                x = yield self.a.peek()
+                y = yield self.b.peek()
+                if x <= y:
+                    yield self.a.dequeue()
+                else:
+                    yield self.b.dequeue()
+                yield IncrCycles(2)                 # initiation interval
+                yield self.out.enqueue(min(x, y))   # + channel latency
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from .channel import Receiver, Sender
+from .errors import GraphConstructionError
+from .ops import Op
+from .time import TimeCell
+
+#: The generator type a context body must produce.
+ContextGenerator = Generator[Op, Any, None]
+
+_context_ids = itertools.count()
+
+
+class Context:
+    """Base class for all simulated processes.
+
+    Subclasses must:
+
+    * call ``super().__init__()`` (optionally passing a ``name``),
+    * call :meth:`register` with every channel handle they own, and
+    * implement :meth:`run` as a generator yielding ops.
+
+    The executor owns the context's lifecycle; user code never advances the
+    clock directly (yield :class:`~repro.core.ops.IncrCycles` instead).
+    """
+
+    def __init__(self, name: str | None = None):
+        self.id = next(_context_ids)
+        self.name = name or f"{type(self).__name__}{self.id}"
+        self.time = TimeCell(0)
+        self.senders: list[Sender] = []
+        self.receivers: list[Receiver] = []
+        #: Final local time, recorded by the executor just before the clock
+        #: is pinned at INFINITY.  None until the context finishes.
+        self.finish_time: Any = None
+
+    def register(self, *handles: Sender | Receiver) -> None:
+        """Declare ownership of channel endpoints.
+
+        Channels are statically connected: each endpoint belongs to exactly
+        one context, checked here and again at program build time.
+        """
+        for handle in handles:
+            if isinstance(handle, Sender):
+                handle.attach(self)
+                self.senders.append(handle)
+            elif isinstance(handle, Receiver):
+                handle.attach(self)
+                self.receivers.append(handle)
+            else:
+                raise GraphConstructionError(
+                    f"{self.name}: register() accepts Sender/Receiver "
+                    f"handles, got {type(handle).__name__}"
+                )
+
+    def run(self) -> ContextGenerator:
+        """Produce the generator that is this context's behaviour."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} @ {self.time.now()}>"
+
+
+class FunctionContext(Context):
+    """A context defined by a standalone generator function.
+
+    ``body`` is called with no arguments (close over channels) or with the
+    context itself when ``pass_context=True``.  Handles must still be
+    registered, via the ``handles`` argument::
+
+        snd, rcv = make_channel(capacity=4)
+
+        def producer():
+            for i in range(10):
+                yield snd.enqueue(i)
+                yield IncrCycles(1)
+
+        ctx = FunctionContext(producer, handles=[snd])
+    """
+
+    def __init__(
+        self,
+        body: Callable[..., ContextGenerator],
+        handles: Iterable[Sender | Receiver] = (),
+        name: str | None = None,
+        pass_context: bool = False,
+    ):
+        super().__init__(name=name or getattr(body, "__name__", None))
+        self._body = body
+        self._pass_context = pass_context
+        self.register(*handles)
+
+    def run(self) -> ContextGenerator:
+        if self._pass_context:
+            return self._body(self)
+        return self._body()

@@ -1,0 +1,36 @@
+"""Timestamped data elements carried by channels.
+
+Every datum traversing a channel is stamped with the earliest simulated time
+at which the receiver may observe it (sender's local time at the enqueue
+plus the channel's latency).  The stamp is what lets channels bridge between
+the sender's and receiver's time zones.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .time import Time
+
+
+class ChannelElement:
+    """A datum plus the simulated time at which it becomes visible."""
+
+    __slots__ = ("time", "data")
+
+    def __init__(self, time: Time, data: Any):
+        self.time = time
+        self.data = data
+
+    def __iter__(self):
+        """Allow ``t, x = element`` unpacking."""
+        yield self.time
+        yield self.data
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChannelElement):
+            return NotImplemented
+        return self.time == other.time and self.data == other.data
+
+    def __repr__(self) -> str:
+        return f"ChannelElement(time={self.time}, data={self.data!r})"

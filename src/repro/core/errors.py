@@ -1,0 +1,65 @@
+"""Exception types raised by the DAM core.
+
+The framework distinguishes three failure families:
+
+* **Protocol errors** (:class:`ChannelClosed`) — part of normal simulation
+  control flow.  A receiver that dequeues from a channel whose sender has
+  finished (and whose data has been drained) receives :class:`ChannelClosed`.
+  Contexts may catch it to wind down gracefully; if it escapes a context's
+  generator the executor treats the context as *cleanly finished*.
+
+* **Simulation errors** (:class:`DeadlockError`, :class:`SimulationError`) —
+  the simulated system misbehaved: a dependency cycle of blocked contexts, or
+  a user context raised an unexpected exception.
+
+* **Construction errors** (:class:`GraphConstructionError`) — the program was
+  mis-wired: a dangling channel endpoint, a handle registered twice, and so
+  on.  These are raised at :meth:`ProgramBuilder.build` time, before any
+  simulation starts.
+"""
+
+from __future__ import annotations
+
+
+class DamError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ChannelClosed(DamError):
+    """Raised on dequeue/peek of a drained channel whose sender finished.
+
+    This mirrors DAM-RS's ``DequeueError``: it is the normal way for
+    termination to propagate through a dataflow graph that does not use
+    explicit done tokens.
+    """
+
+    def __init__(self, channel_name: str = "<channel>"):
+        super().__init__(f"channel {channel_name} is closed and drained")
+        self.channel_name = channel_name
+
+
+class DeadlockError(DamError):
+    """Raised when no context can make progress but some are unfinished.
+
+    The message lists each blocked context and the operation it is blocked
+    on, which is the primary debugging aid for undersized channels (see the
+    stochastic-deadlock discussion in Section VIII of the paper).
+    """
+
+    def __init__(self, blocked: list[str]):
+        detail = "; ".join(blocked) if blocked else "<no detail>"
+        super().__init__(f"simulation deadlocked: {detail}")
+        self.blocked = blocked
+
+
+class SimulationError(DamError):
+    """A user context raised an unexpected exception during simulation."""
+
+    def __init__(self, context_name: str, original: BaseException):
+        super().__init__(f"context {context_name!r} failed: {original!r}")
+        self.context_name = context_name
+        self.original = original
+
+
+class GraphConstructionError(DamError):
+    """The program graph is structurally invalid (dangling channel, etc.)."""

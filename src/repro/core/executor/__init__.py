@@ -1,0 +1,25 @@
+"""Execution runtimes for DAM programs.
+
+Two executors share identical simulated semantics:
+
+* :class:`SequentialExecutor` — deterministic cooperative scheduler,
+  single-threaded, with pluggable scheduling policies (Table I study).
+* :class:`ThreadedExecutor` — one OS thread per context, SVA/SVP-style
+  pairwise synchronization (the paper's runtime).
+"""
+
+from .base import Executor, RunSummary
+from .policies import FairPolicy, FifoPolicy, SchedulingPolicy, make_policy
+from .sequential import SequentialExecutor
+from .threaded import ThreadedExecutor
+
+__all__ = [
+    "Executor",
+    "RunSummary",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "FairPolicy",
+    "make_policy",
+    "SequentialExecutor",
+    "ThreadedExecutor",
+]

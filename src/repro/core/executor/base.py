@@ -1,0 +1,58 @@
+"""Executor interface and run summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..time import Time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..program import Program
+
+
+@dataclass
+class RunSummary:
+    """The result of executing a program.
+
+    ``elapsed_cycles`` is the simulated makespan: the largest finite local
+    time any context reached before finishing.  Both executors must report
+    identical ``elapsed_cycles`` and ``context_times`` for the same program
+    (the paper's exactness/determinism property).
+    """
+
+    elapsed_cycles: Time
+    real_seconds: float
+    context_times: dict[str, Time] = field(default_factory=dict)
+    executor: str = ""
+    policy: str = ""
+    context_switches: int = 0
+    wakeups: int = 0
+    preemptions: int = 0
+    ops_executed: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"RunSummary(cycles={self.elapsed_cycles}, "
+            f"real={self.real_seconds:.4f}s, executor={self.executor}, "
+            f"switches={self.context_switches}, ops={self.ops_executed})"
+        )
+
+
+class Executor:
+    """Common interface: ``execute(program) -> RunSummary``."""
+
+    name = "abstract"
+
+    def execute(self, program: "Program") -> RunSummary:
+        raise NotImplementedError
+
+    @staticmethod
+    def _makespan(program: "Program") -> Time:
+        """Largest finite finish time across contexts (0 if none)."""
+        times = [
+            ctx.finish_time
+            for ctx in program.contexts
+            if ctx.finish_time is not None
+        ]
+        return max(times, default=0)

@@ -1,0 +1,370 @@
+"""Deterministic cooperative executor.
+
+This executor runs a DAM program on a single OS thread by cooperatively
+scheduling context generators.  It is *event-queue-free* in the paper's
+sense: there is no ordered global event structure.  Instead it keeps a
+ready queue of runnable contexts and, per channel, at most one blocked
+sender and one blocked receiver; channel activity wakes the opposite
+endpoint directly (the cooperative analog of the paper's pairwise
+synchronization).
+
+Because channel semantics are pure functions of simulated state
+(:mod:`repro.core.channel`), the simulated results are identical to the
+threaded executor's — only real execution order differs.  The sequential
+executor is also the vehicle for the scheduling-policy study (Table I):
+policies change the real interleaving and the switch counters, never the
+simulated outcome.
+
+Deadlock detection falls out naturally: if the ready queue empties while
+unfinished contexts remain, the blocked set *is* the deadlock cycle and is
+reported verbatim — the debugging story behind the paper's undersized-
+channel observations.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Any, Optional
+
+from ..channel import Channel
+from ..context import Context
+from ..errors import ChannelClosed, DeadlockError, SimulationError
+from ..ops import AdvanceTo, Dequeue, Enqueue, IncrCycles, Op, Peek, ViewTime, WaitUntil
+from ..program import Program
+from .base import Executor, RunSummary
+from .policies import FifoPolicy, SchedulingPolicy, make_policy
+
+_READY = 0
+_BLOCKED = 1
+_DONE = 2
+
+
+class _ContextState:
+    """Executor-side bookkeeping for one context."""
+
+    __slots__ = (
+        "context",
+        "gen",
+        "status",
+        "in_ready",
+        "pending_value",
+        "pending_exc",
+        "retry_op",
+        "blocked_detail",
+    )
+
+    def __init__(self, context: Context):
+        self.context = context
+        self.gen = context.run()
+        self.status = _READY
+        self.in_ready = False
+        self.pending_value: Any = None
+        self.pending_exc: BaseException | None = None
+        # An op that blocked and must be re-attempted before resuming the
+        # generator (its result is then delivered via pending_value).
+        self.retry_op: Op | None = None
+        self.blocked_detail: str = ""
+
+
+class SequentialExecutor(Executor):
+    """Cooperative, single-threaded, deterministic executor.
+
+    Parameters
+    ----------
+    policy:
+        Ready-queue discipline: ``"fifo"`` (run-to-block, default) or
+        ``"fair"`` (timesliced with wakeup boosting), or a
+        :class:`~repro.core.executor.policies.SchedulingPolicy` instance.
+    max_ops:
+        Optional safety valve: abort with :class:`SimulationError` after
+        this many operations (guards against runaway non-terminating
+        programs in tests).
+    """
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        policy: str | SchedulingPolicy = "fifo",
+        max_ops: Optional[int] = None,
+        tracer=None,
+    ):
+        self.policy = make_policy(policy)
+        self.max_ops = max_ops
+        #: Optional repro.core.trace.Tracer recording every completed op.
+        self.tracer = tracer
+        self.context_switches = 0
+        self.wakeups = 0
+        self.preemptions = 0
+        self.ops_executed = 0
+
+    # ------------------------------------------------------------------
+
+    def execute(self, program: Program) -> RunSummary:
+        start = _wallclock.perf_counter()
+        states = {id(ctx): _ContextState(ctx) for ctx in program.contexts}
+        # Waiters on another context's clock: target id -> [(threshold, state)].
+        self._time_waiters: dict[int, list[tuple[Any, _ContextState]]] = {}
+        # Fast-path flag: most programs never use WaitUntil, so the per-op
+        # waiter check is skipped entirely until one registers.
+        self._any_time_waiters = False
+        self._states = states
+
+        policy = self.policy
+        for ctx in program.contexts:
+            policy.push(states[id(ctx)], woken=False)
+
+        previous: _ContextState | None = None
+        while policy:
+            state = policy.pop()
+            if state.status != _READY:
+                continue
+            if previous is not None and state is not previous:
+                self.context_switches += 1
+            previous = state
+            self._run_slice(state, policy.timeslice)
+            if state.status == _READY:
+                # Slice expired without blocking: preempted.
+                self.preemptions += 1
+                policy.push(state, woken=False)
+
+        unfinished = [st for st in states.values() if st.status != _DONE]
+        if unfinished:
+            raise DeadlockError(
+                [f"{st.context.name}: {st.blocked_detail}" for st in unfinished]
+            )
+
+        elapsed = self._makespan(program)
+        return RunSummary(
+            elapsed_cycles=elapsed,
+            real_seconds=_wallclock.perf_counter() - start,
+            context_times={
+                ctx.name: ctx.finish_time for ctx in program.contexts
+            },
+            executor=self.name,
+            policy=self.policy.name,
+            context_switches=self.context_switches,
+            wakeups=self.wakeups,
+            preemptions=self.preemptions,
+            ops_executed=self.ops_executed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_slice(self, state: _ContextState, timeslice: Optional[int]) -> None:
+        """Run one context until it blocks, finishes, or exhausts its slice."""
+        remaining = timeslice if timeslice is not None else -1
+
+        # A context woken from a blocking op must first re-attempt that op.
+        if state.retry_op is not None:
+            op = state.retry_op
+            state.retry_op = None
+            if not self._dispatch(state, op):
+                return  # blocked again
+            if state.status == _DONE:
+                return
+
+        gen_send = state.gen.send
+        gen_throw = state.gen.throw
+        ctx = state.context
+        while remaining != 0:
+            remaining -= 1
+            try:
+                if state.pending_exc is not None:
+                    exc = state.pending_exc
+                    state.pending_exc = None
+                    op = gen_throw(exc)
+                else:
+                    value = state.pending_value
+                    state.pending_value = None
+                    op = gen_send(value)
+            except StopIteration:
+                self._finish(state)
+                return
+            except ChannelClosed:
+                # An uncaught ChannelClosed is graceful wind-down.
+                self._finish(state)
+                return
+            except DeadlockError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - reported faithfully
+                self._finish(state)
+                raise SimulationError(ctx.name, exc) from exc
+
+            self.ops_executed += 1
+            if self.max_ops is not None and self.ops_executed > self.max_ops:
+                raise SimulationError(
+                    ctx.name,
+                    RuntimeError(f"exceeded max_ops={self.max_ops}"),
+                )
+            if not self._dispatch(state, op):
+                return  # blocked
+            if state.status == _DONE:
+                return
+
+    def _dispatch(self, state: _ContextState, op: Op) -> bool:
+        """Attempt ``op``; return False (and park the context) if it blocks."""
+        clock = state.context.time
+        kind = type(op)
+
+        if kind is Enqueue:
+            channel = op.sender.channel
+            if channel.sender_try_reserve(clock):
+                channel.do_enqueue(clock, op.data)
+                state.pending_value = None
+                waiter = channel.waiting_receiver
+                if waiter is not None:
+                    channel.waiting_receiver = None
+                    self._wake(waiter)
+                if self._any_time_waiters:
+                    self._drain_time_waiters(state.context)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        state.context.name, "enqueue", channel.name,
+                        clock.now(), op.data,
+                    )
+                return True
+            self._block(state, op, f"enqueue on full {channel.name}")
+            channel.waiting_sender = state
+            return False
+
+        if kind is Dequeue:
+            channel = op.receiver.channel
+            if channel.can_dequeue():
+                state.pending_value = channel.do_dequeue(clock)
+                waiter = channel.waiting_sender
+                if waiter is not None:
+                    channel.waiting_sender = None
+                    self._wake(waiter)
+                if self._any_time_waiters:
+                    self._drain_time_waiters(state.context)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        state.context.name, "dequeue", channel.name,
+                        clock.now(), state.pending_value,
+                    )
+                return True
+            if channel.closed_for_receiver:
+                state.pending_exc = ChannelClosed(channel.name)
+                return True
+            self._block(state, op, f"dequeue on empty {channel.name}")
+            channel.waiting_receiver = state
+            return False
+
+        if kind is Peek:
+            channel = op.receiver.channel
+            if channel.can_dequeue():
+                state.pending_value = channel.do_peek(clock)
+                if self._any_time_waiters:
+                    self._drain_time_waiters(state.context)
+                if self.tracer is not None:
+                    self.tracer.record(
+                        state.context.name, "peek", channel.name,
+                        clock.now(), state.pending_value,
+                    )
+                return True
+            if channel.closed_for_receiver:
+                state.pending_exc = ChannelClosed(channel.name)
+                return True
+            self._block(state, op, f"peek on empty {channel.name}")
+            channel.waiting_receiver = state
+            return False
+
+        if kind is IncrCycles:
+            clock.incr(op.cycles)
+            state.pending_value = None
+            if self._any_time_waiters:
+                self._drain_time_waiters(state.context)
+            if self.tracer is not None:
+                self.tracer.record(
+                    state.context.name, "advance", None, clock.now()
+                )
+            return True
+
+        if kind is AdvanceTo:
+            clock.advance(op.time)
+            state.pending_value = None
+            if self._any_time_waiters:
+                self._drain_time_waiters(state.context)
+            if self.tracer is not None:
+                self.tracer.record(
+                    state.context.name, "advance", None, clock.now()
+                )
+            return True
+
+        if kind is ViewTime:
+            state.pending_value = op.context.time.now()
+            return True
+
+        if kind is WaitUntil:
+            target = op.context
+            if target.time.now() >= op.time:
+                state.pending_value = target.time.now()
+                return True
+            self._block(state, op, f"wait-until {op.time} on {target.name}")
+            self._time_waiters.setdefault(id(target), []).append((op.time, state))
+            self._any_time_waiters = True
+            return False
+
+        raise SimulationError(
+            state.context.name,
+            TypeError(f"context yielded a non-op value: {op!r}"),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _block(self, state: _ContextState, op: Op, detail: str) -> None:
+        state.status = _BLOCKED
+        state.retry_op = op
+        state.blocked_detail = detail
+
+    def _wake(self, state: _ContextState) -> None:
+        if state.status != _BLOCKED:
+            return
+        state.status = _READY
+        state.blocked_detail = ""
+        self.wakeups += 1
+        self.policy.push(state, woken=True)
+
+    def _drain_time_waiters(self, target: Context) -> None:
+        """Wake WaitUntil waiters whose threshold ``target`` has passed."""
+        waiters = self._time_waiters.get(id(target))
+        if not waiters:
+            return
+        now = target.time.now()
+        still_waiting: list[tuple[Any, _ContextState]] = []
+        for threshold, waiter in waiters:
+            if now >= threshold:
+                waiter.pending_value = now
+                waiter.retry_op = None  # result already delivered
+                self._wake(waiter)
+            else:
+                still_waiting.append((threshold, waiter))
+        if still_waiting:
+            self._time_waiters[id(target)] = still_waiting
+        else:
+            del self._time_waiters[id(target)]
+            if not self._time_waiters:
+                self._any_time_waiters = False
+
+    def _finish(self, state: _ContextState) -> None:
+        """Mark a context finished and propagate closure to its channels."""
+        ctx = state.context
+        state.status = _DONE
+        ctx.finish_time = ctx.time.now()
+        ctx.time.finish()
+        for sender in ctx.senders:
+            channel = sender.channel
+            channel.close_sender()
+            waiter = channel.waiting_receiver
+            if waiter is not None:
+                channel.waiting_receiver = None
+                self._wake(waiter)
+        for receiver in ctx.receivers:
+            channel = receiver.channel
+            channel.close_receiver()
+            waiter = channel.waiting_sender
+            if waiter is not None:
+                channel.waiting_sender = None
+                self._wake(waiter)
+        self._drain_time_waiters(ctx)

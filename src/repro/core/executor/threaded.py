@@ -1,0 +1,315 @@
+"""One-thread-per-context executor with SVA/SVP-style synchronization.
+
+This is the Python analog of the DAM-RS runtime (paper Section IV): every
+context runs on its own OS thread, there is no global clock and no event
+queue, and synchronization is strictly pairwise:
+
+* **SVA (Synchronization via Atomics)** — reading a peer's
+  :class:`~repro.core.time.TimeCell` is a plain attribute load; under
+  CPython the GIL gives it the acquire semantics the paper obtains from
+  x86 total-store-order loads.  ``ViewTime`` compiles to exactly this.
+
+* **SVP (Synchronization via Parking)** — when a context must wait for a
+  peer's clock (or for channel state to change) it parks on a
+  ``threading.Condition``, the portable analog of a futex park/unpark
+  pair, and is woken by the peer's releasing operation.
+
+The GIL means this executor does not deliver the paper's wall-clock
+*speedups* (documented substitution in DESIGN.md), but the synchronization
+algorithm, blocking structure, and — critically — the simulated results are
+those of the paper's runtime.  Cross-executor tests assert cycle-exact
+agreement with :class:`~repro.core.executor.sequential.SequentialExecutor`.
+
+Deadlock detection: a watchdog aborts the run when every unfinished thread
+has been parked with no progress for a grace period, then reports who was
+blocked on what.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _wallclock
+from typing import Any, Optional
+
+from ..context import Context
+from ..errors import ChannelClosed, DamError, DeadlockError, SimulationError
+from ..ops import AdvanceTo, Dequeue, Enqueue, IncrCycles, Peek, ViewTime, WaitUntil
+from ..program import Program
+from .base import Executor, RunSummary
+
+
+class _Aborted(Exception):
+    """Internal: the watchdog aborted the run (deadlock or peer failure)."""
+
+
+class _TimeSync:
+    """Park/unpark support for WaitUntil on one context's clock."""
+
+    __slots__ = ("cond", "waiter_count")
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.waiter_count = 0
+
+
+class ThreadedExecutor(Executor):
+    """Executes each context on a dedicated OS thread.
+
+    Parameters
+    ----------
+    poll_interval:
+        How often parked threads re-check the abort flag (seconds).
+    deadlock_grace:
+        Abort if all unfinished threads stay parked with zero progress for
+        this long (seconds).
+    """
+
+    name = "threaded"
+
+    def __init__(self, poll_interval: float = 0.05, deadlock_grace: float = 2.0):
+        self.poll_interval = poll_interval
+        self.deadlock_grace = deadlock_grace
+        self._abort = threading.Event()
+        self._progress = 0  # monotone op counter (heuristic, GIL-atomic)
+        self._blocked_count = 0
+        self._blocked_lock = threading.Lock()
+        self._errors: list[BaseException] = []
+        self._blocked_details: dict[str, str] = {}
+        self._ops_executed = 0
+
+    # ------------------------------------------------------------------
+
+    def execute(self, program: Program) -> RunSummary:
+        start = _wallclock.perf_counter()
+        self._time_sync = {id(ctx): _TimeSync() for ctx in program.contexts}
+        self._unfinished = len(program.contexts)
+        self._unfinished_lock = threading.Lock()
+
+        for ctx in program.contexts:
+            self._install_advance_hook(ctx)
+
+        threads = [
+            threading.Thread(
+                target=self._drive, args=(ctx,), name=f"dam-{ctx.name}", daemon=True
+            )
+            for ctx in program.contexts
+        ]
+        for thread in threads:
+            thread.start()
+
+        watchdog = threading.Thread(
+            target=self._watch, args=(threads,), name="dam-watchdog", daemon=True
+        )
+        watchdog.start()
+        for thread in threads:
+            thread.join()
+        self._abort.set()  # stop the watchdog
+        watchdog.join()
+
+        for ctx in program.contexts:
+            ctx.time.on_advance = None
+
+        if self._errors:
+            error = self._errors[0]
+            if isinstance(error, DeadlockError):
+                raise error
+            if isinstance(error, DamError):
+                raise error
+            raise SimulationError("<threaded>", error) from error
+        if any(ctx.finish_time is None for ctx in program.contexts):
+            raise DeadlockError(sorted(
+                f"{name}: {detail}"
+                for name, detail in self._blocked_details.items()
+            ))
+
+        return RunSummary(
+            elapsed_cycles=self._makespan(program),
+            real_seconds=_wallclock.perf_counter() - start,
+            context_times={ctx.name: ctx.finish_time for ctx in program.contexts},
+            executor=self.name,
+            policy="os",
+            ops_executed=self._ops_executed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _install_advance_hook(self, ctx: Context) -> None:
+        sync = self._time_sync[id(ctx)]
+
+        def notify(_now: Any, _sync: _TimeSync = sync) -> None:
+            # Fast path: nobody is parked on this clock.
+            if _sync.waiter_count:
+                with _sync.cond:
+                    _sync.cond.notify_all()
+
+        ctx.time.on_advance = notify
+
+    def _drive(self, ctx: Context) -> None:
+        """Thread body: interpret one context's generator to completion."""
+        gen = ctx.run()
+        value: Any = None
+        exc: BaseException | None = None
+        try:
+            while True:
+                try:
+                    if exc is not None:
+                        pending, exc = exc, None
+                        op = gen.throw(pending)
+                    else:
+                        op = gen.send(value)
+                except StopIteration:
+                    break
+                except ChannelClosed:
+                    break
+                value, exc = None, None
+                kind = type(op)
+                if kind is Enqueue:
+                    self._do_enqueue(ctx, op)
+                elif kind is Dequeue:
+                    try:
+                        value = self._do_dequeue(ctx, op, remove=True)
+                    except ChannelClosed as closed:
+                        exc = closed
+                elif kind is Peek:
+                    try:
+                        value = self._do_dequeue(ctx, op, remove=False)
+                    except ChannelClosed as closed:
+                        exc = closed
+                elif kind is IncrCycles:
+                    ctx.time.incr(op.cycles)
+                elif kind is AdvanceTo:
+                    ctx.time.advance(op.time)
+                elif kind is ViewTime:
+                    value = op.context.time.now()  # SVA: plain atomic load
+                elif kind is WaitUntil:
+                    value = self._wait_until(ctx, op)
+                else:
+                    raise SimulationError(
+                        ctx.name, TypeError(f"non-op yielded: {op!r}")
+                    )
+                self._progress += 1
+                self._ops_executed += 1
+        except _Aborted:
+            return
+        except BaseException as failure:  # noqa: BLE001 - reported faithfully
+            self._errors.append(
+                failure
+                if isinstance(failure, DamError)
+                else SimulationError(ctx.name, failure)
+            )
+            self._abort.set()
+        finally:
+            gen.close()
+            self._finish(ctx)
+
+    # ------------------------------------------------------------------
+    # Blocking channel operations (the SVP paths).
+    # ------------------------------------------------------------------
+
+    def _do_enqueue(self, ctx: Context, op: Enqueue) -> None:
+        channel = op.sender.channel
+        clock = ctx.time
+        with channel.cond:
+            while not channel.sender_try_reserve(clock):
+                self._park(ctx, channel.cond, f"enqueue on full {channel.name}")
+            channel.do_enqueue(clock, op.data)
+            channel.cond.notify_all()
+
+    def _do_dequeue(self, ctx: Context, op: Any, remove: bool) -> Any:
+        channel = op.receiver.channel
+        clock = ctx.time
+        with channel.cond:
+            while True:
+                if channel.can_dequeue():
+                    if remove:
+                        value = channel.do_dequeue(clock)
+                        channel.cond.notify_all()
+                    else:
+                        value = channel.do_peek(clock)
+                    return value
+                if channel.closed_for_receiver:
+                    raise ChannelClosed(channel.name)
+                self._park(ctx, channel.cond, f"dequeue on empty {channel.name}")
+
+    def _wait_until(self, ctx: Context, op: WaitUntil) -> Any:
+        target = op.context
+        if target.time.now() >= op.time:  # SVA fast path
+            return target.time.now()
+        sync = self._time_sync[id(target)]
+        with sync.cond:
+            sync.waiter_count += 1
+            try:
+                while target.time.now() < op.time:
+                    self._park(
+                        ctx, sync.cond, f"wait-until {op.time} on {target.name}"
+                    )
+            finally:
+                sync.waiter_count -= 1
+        return target.time.now()
+
+    def _park(self, ctx: Context, cond: threading.Condition, detail: str) -> None:
+        """One bounded wait on ``cond`` (caller re-checks its predicate)."""
+        if self._abort.is_set():
+            raise _Aborted
+        with self._blocked_lock:
+            self._blocked_count += 1
+            self._blocked_details[ctx.name] = detail
+        try:
+            cond.wait(timeout=self.poll_interval)
+        finally:
+            with self._blocked_lock:
+                self._blocked_count -= 1
+                self._blocked_details.pop(ctx.name, None)
+        if self._abort.is_set():
+            # Keep the detail for the deadlock report.
+            self._blocked_details[ctx.name] = detail
+            raise _Aborted
+
+    # ------------------------------------------------------------------
+
+    def _finish(self, ctx: Context) -> None:
+        if ctx.finish_time is None and not self._errors and not self._abort.is_set():
+            ctx.finish_time = ctx.time.now()
+        ctx.time.finish()
+        for sender in ctx.senders:
+            channel = sender.channel
+            with channel.cond:
+                channel.close_sender()
+                channel.cond.notify_all()
+        for receiver in ctx.receivers:
+            channel = receiver.channel
+            with channel.cond:
+                channel.close_receiver()
+                channel.cond.notify_all()
+        with self._unfinished_lock:
+            self._unfinished -= 1
+
+    def _watch(self, threads: list[threading.Thread]) -> None:
+        """Abort the run when all unfinished threads are parked, stalled."""
+        stall_start: Optional[float] = None
+        last_progress = -1
+        while not self._abort.is_set():
+            _wallclock.sleep(self.poll_interval)
+            with self._unfinished_lock:
+                unfinished = self._unfinished
+            if unfinished == 0:
+                return
+            progress = self._progress
+            with self._blocked_lock:
+                all_parked = self._blocked_count >= unfinished
+            if progress == last_progress and all_parked:
+                now = _wallclock.perf_counter()
+                if stall_start is None:
+                    stall_start = now
+                elif now - stall_start >= self.deadlock_grace:
+                    self._errors.append(
+                        DeadlockError(sorted(
+                            f"{name}: {detail}"
+                            for name, detail in self._blocked_details.items()
+                        ))
+                    )
+                    self._abort.set()
+                    return
+            else:
+                stall_start = None
+                last_progress = progress

@@ -1,0 +1,151 @@
+"""Operations a context may yield to its executor.
+
+A DAM context is written as a Python generator.  Each simulated operation —
+enqueue, dequeue, peek, advancing local time, observing or awaiting a peer's
+clock — is expressed by *yielding* a small operation object.  The executor
+performs the operation (blocking the context as needed) and resumes the
+generator with the operation's result.
+
+This is the Python analog of the paper's blocking CSPT calls: in DAM-RS a
+context simply calls ``channel.dequeue()`` and its OS thread blocks; here
+the yield gives the executor the same suspension point, which lets a single
+program run unchanged under both the cooperative sequential executor and
+the one-thread-per-context executor.
+
+Most user code never constructs these directly — the channel handles expose
+builders (``sender.enqueue(x)``, ``receiver.dequeue()``) so context bodies
+read naturally::
+
+    def run(self):
+        while True:
+            value = yield self.input.dequeue()
+            yield IncrCycles(self.initiation_interval)
+            yield self.output.enqueue(value * 2)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .time import Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .channel import Receiver, Sender
+    from .context import Context
+
+
+class Op:
+    """Base class for all yieldable operations."""
+
+    __slots__ = ()
+
+
+class Enqueue(Op):
+    """Send ``data`` on a channel; blocks while the channel is full.
+
+    Returns ``None``.  Blocking on a full channel advances the sender's
+    local time per the response-queue semantics (local time acceleration).
+    """
+
+    __slots__ = ("sender", "data")
+
+    def __init__(self, sender: "Sender", data: Any):
+        self.sender = sender
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"Enqueue({self.sender!r}, {self.data!r})"
+
+
+class Dequeue(Op):
+    """Remove and return the next element; blocks while the channel is empty.
+
+    Advances the receiver's local time to the element's visibility stamp and
+    emits a response so the sender observes the freed slot.  Raises
+    :class:`~repro.core.errors.ChannelClosed` (thrown into the generator)
+    once the channel is drained and its sender has finished.
+    """
+
+    __slots__ = ("receiver",)
+
+    def __init__(self, receiver: "Receiver"):
+        self.receiver = receiver
+
+    def __repr__(self) -> str:
+        return f"Dequeue({self.receiver!r})"
+
+
+class Peek(Op):
+    """Like :class:`Dequeue` but leaves the element in place (no response)."""
+
+    __slots__ = ("receiver",)
+
+    def __init__(self, receiver: "Receiver"):
+        self.receiver = receiver
+
+    def __repr__(self) -> str:
+        return f"Peek({self.receiver!r})"
+
+
+class IncrCycles(Op):
+    """Advance the context's local clock by a nonnegative cycle count.
+
+    This is how timing behaviour (initiation intervals, latencies, pipeline
+    bubbles) is injected into an otherwise functional description — the
+    ``time.incr_cycles(x)`` of the paper, and the knob the calibration case
+    study tunes.
+    """
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: Time):
+        self.cycles = cycles
+
+    def __repr__(self) -> str:
+        return f"IncrCycles({self.cycles})"
+
+
+class AdvanceTo(Op):
+    """Advance the context's local clock to ``max(now, time)``."""
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: Time):
+        self.time = time
+
+    def __repr__(self) -> str:
+        return f"AdvanceTo({self.time})"
+
+
+class ViewTime(Op):
+    """Read a peer context's clock (Synchronization via Atomics).
+
+    Returns a *lower bound* on the peer's simulated progress: the value may
+    be stale but never overestimates.
+    """
+
+    __slots__ = ("context",)
+
+    def __init__(self, context: "Context"):
+        self.context = context
+
+    def __repr__(self) -> str:
+        return f"ViewTime({self.context!r})"
+
+
+class WaitUntil(Op):
+    """Block until a peer context's clock reaches ``time`` (SVP).
+
+    Returns the peer's clock value at wakeup (``INFINITY`` if the peer
+    finished).  This is the parking primitive used to compose complex
+    logical units from several simpler contexts.
+    """
+
+    __slots__ = ("context", "time")
+
+    def __init__(self, context: "Context", time: Time):
+        self.context = context
+        self.time = time
+
+    def __repr__(self) -> str:
+        return f"WaitUntil({self.context!r}, {self.time})"

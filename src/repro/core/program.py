@@ -1,0 +1,181 @@
+"""Program construction: wiring contexts and channels into a simulation.
+
+:class:`ProgramBuilder` is the user-facing entry point::
+
+    builder = ProgramBuilder()
+    snd, rcv = builder.bounded(8, latency=2)
+    builder.add(Producer(snd))
+    builder.add(Consumer(rcv))
+    program = builder.build()        # validates the graph
+    summary = program.run()          # sequential executor by default
+
+Validation enforces the paper's static-connection property: every channel
+has exactly one sending context and one receiving context, and every added
+context's handles point back at channels created by this builder (or
+free-standing channels the caller made with :func:`make_channel`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from .channel import Channel, Receiver, Sender, make_channel
+from .context import Context
+from .errors import GraphConstructionError
+from .time import Time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor.base import RunSummary
+
+
+class Program:
+    """A validated, ready-to-run dataflow program."""
+
+    def __init__(self, contexts: Sequence[Context], channels: Sequence[Channel]):
+        self.contexts = list(contexts)
+        self.channels = list(channels)
+
+    def run(self, executor: str = "sequential", **kwargs) -> "RunSummary":
+        """Execute the program and return a :class:`RunSummary`.
+
+        ``executor`` selects the runtime: ``"sequential"`` (deterministic
+        cooperative scheduler; default) or ``"threaded"`` (one OS thread
+        per context with SVA/SVP-style synchronization).  Extra keyword
+        arguments are forwarded to the executor constructor.
+        """
+        from .executor import SequentialExecutor, ThreadedExecutor
+
+        if executor == "sequential":
+            return SequentialExecutor(**kwargs).execute(self)
+        if executor == "threaded":
+            return ThreadedExecutor(**kwargs).execute(self)
+        raise ValueError(f"unknown executor {executor!r}")
+
+    def context_count(self) -> int:
+        return len(self.contexts)
+
+    def channel_count(self) -> int:
+        return len(self.channels)
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({len(self.contexts)} contexts, {len(self.channels)} channels)"
+        )
+
+
+class ProgramBuilder:
+    """Accumulates contexts and channels, then validates into a Program."""
+
+    def __init__(self) -> None:
+        self._contexts: list[Context] = []
+        self._channels: list[Channel] = []
+
+    # ------------------------------------------------------------------
+    # Channel factories.
+    # ------------------------------------------------------------------
+
+    def bounded(
+        self,
+        capacity: int,
+        latency: Time = 1,
+        resp_latency: Time = 1,
+        name: str | None = None,
+    ) -> tuple[Sender, Receiver]:
+        """Create a bounded channel; returns its (Sender, Receiver) pair."""
+        snd, rcv = make_channel(
+            capacity=capacity, latency=latency, resp_latency=resp_latency, name=name
+        )
+        self._channels.append(snd.channel)
+        return snd, rcv
+
+    def unbounded(
+        self,
+        latency: Time = 1,
+        name: str | None = None,
+    ) -> tuple[Sender, Receiver]:
+        """Create an unbounded channel (no backpressure simulation)."""
+        snd, rcv = make_channel(capacity=None, latency=latency, name=name)
+        self._channels.append(snd.channel)
+        return snd, rcv
+
+    def channel(
+        self,
+        capacity: Optional[int],
+        latency: Time = 1,
+        resp_latency: Time = 1,
+        name: str | None = None,
+    ) -> tuple[Sender, Receiver]:
+        """Create a channel; ``capacity=None`` means unbounded."""
+        snd, rcv = make_channel(
+            capacity=capacity, latency=latency, resp_latency=resp_latency, name=name
+        )
+        self._channels.append(snd.channel)
+        return snd, rcv
+
+    def real(self, name: str | None = None) -> tuple[Sender, Receiver]:
+        """Create a *real* channel: data without simulated-time coupling.
+
+        Real channels are the Section IX mechanism: they let a context
+        that runs far ahead in simulated time (e.g. a batching context)
+        hand records to a lagging context (e.g. an inference context)
+        without dragging the receiver's clock forward.  Timestamps, where
+        needed, travel inside the payload.
+        """
+        snd, rcv = make_channel(capacity=None, name=name, real=True)
+        self._channels.append(snd.channel)
+        return snd, rcv
+
+    # ------------------------------------------------------------------
+    # Context registration.
+    # ------------------------------------------------------------------
+
+    def add(self, context: Context) -> Context:
+        """Register a context; returns it for chaining."""
+        self._contexts.append(context)
+        return context
+
+    def add_all(self, contexts: Iterable[Context]) -> None:
+        for context in contexts:
+            self.add(context)
+
+    # ------------------------------------------------------------------
+    # Validation and build.
+    # ------------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Validate the graph and produce an executable :class:`Program`."""
+        if not self._contexts:
+            raise GraphConstructionError("program has no contexts")
+
+        known_channels: dict[int, Channel] = {ch.id: ch for ch in self._channels}
+        registered = {id(ctx) for ctx in self._contexts}
+        if len(registered) != len(self._contexts):
+            raise GraphConstructionError("a context was added more than once")
+
+        # Channels referenced by contexts but created outside the builder
+        # (via make_channel) are adopted here.
+        for context in self._contexts:
+            for handle in (*context.senders, *context.receivers):
+                known_channels.setdefault(handle.channel.id, handle.channel)
+
+        problems: list[str] = []
+        for channel in known_channels.values():
+            if channel.sender_owner is None:
+                problems.append(f"{channel.name}: no sending context")
+            elif id(channel.sender_owner) not in registered:
+                problems.append(
+                    f"{channel.name}: sender {channel.sender_owner.name} "
+                    "was never added to the builder"
+                )
+            if channel.receiver_owner is None:
+                problems.append(f"{channel.name}: no receiving context")
+            elif id(channel.receiver_owner) not in registered:
+                problems.append(
+                    f"{channel.name}: receiver {channel.receiver_owner.name} "
+                    "was never added to the builder"
+                )
+        if problems:
+            raise GraphConstructionError(
+                "invalid program graph: " + "; ".join(sorted(problems))
+            )
+        return Program(self._contexts, list(known_channels.values()))

@@ -1,0 +1,34 @@
+"""A single-threaded cycle-by-cycle simulation engine.
+
+This is the baseline execution model of Spatial's Scala simulator and of
+the original SAM Python simulator: every component is ticked every cycle,
+and channels are shallow registers committed at cycle boundaries.  Real
+time is therefore proportional to ``simulated cycles x components``, with
+no way to skip idle time — precisely the cost DAM's local time
+acceleration eliminates (Fig. 5/6).
+
+The engine is kept deliberately faithful to that style: two-phase ticks
+(compute, then commit), depth-limited register channels, and a global
+cycle counter.
+"""
+
+from .channel import CycleChannel
+from .component import (
+    CycleBinaryOp,
+    CycleComponent,
+    CycleSink,
+    CycleSource,
+    CycleUnaryOp,
+)
+from .engine import CycleEngine, CycleStats
+
+__all__ = [
+    "CycleChannel",
+    "CycleComponent",
+    "CycleSource",
+    "CycleSink",
+    "CycleUnaryOp",
+    "CycleBinaryOp",
+    "CycleEngine",
+    "CycleStats",
+]

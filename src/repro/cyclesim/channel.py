@@ -1,0 +1,68 @@
+"""Register channels: cycle-granular FIFOs with end-of-cycle commit.
+
+Writes performed during a cycle become visible at the *next* cycle (the
+commit), modeling a registered hardware FIFO with single-cycle forwarding
+latency.  Capacity counts committed plus pending elements, so a producer
+observes backpressure in the same cycle it would in hardware.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any
+
+_ids = itertools.count()
+
+
+class CycleChannel:
+    """A depth-limited FIFO committed at cycle boundaries."""
+
+    __slots__ = ("id", "name", "capacity", "_data", "_pending", "pushes", "pops")
+
+    def __init__(self, capacity: int | None = None, name: str | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.id = next(_ids)
+        self.name = name or f"cyc_channel{self.id}"
+        self.capacity = capacity
+        self._data: deque[Any] = deque()
+        self._pending: list[Any] = []
+        self.pushes = 0
+        self.pops = 0
+
+    def can_push(self) -> bool:
+        if self.capacity is None:
+            return True
+        return len(self._data) + len(self._pending) < self.capacity
+
+    def push(self, value: Any) -> None:
+        if not self.can_push():
+            raise RuntimeError(f"{self.name}: push on full channel")
+        self._pending.append(value)
+        self.pushes += 1
+
+    def can_pop(self) -> bool:
+        return bool(self._data)
+
+    def front(self) -> Any:
+        return self._data[0]
+
+    def pop(self) -> Any:
+        self.pops += 1
+        return self._data.popleft()
+
+    def commit(self) -> None:
+        """Make this cycle's writes visible (called by the engine)."""
+        if self._pending:
+            self._data.extend(self._pending)
+            self._pending.clear()
+
+    def idle(self) -> bool:
+        return not self._data and not self._pending
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"CycleChannel({self.name}, len={len(self._data)})"

@@ -1,0 +1,179 @@
+"""Cycle-driven components.
+
+Each component's :meth:`tick` is invoked every cycle, and must manually
+manage all inter-cycle state — initiation-interval countdowns, partially
+consumed inputs, completion flags.  This is the state-machine style the
+paper's Fig. 7 contrasts against CSPT (where the Python generator's program
+counter *is* the state).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Sequence
+
+from .channel import CycleChannel
+
+_ids = itertools.count()
+
+
+class CycleComponent:
+    """Base class: override :meth:`tick`; set ``self.finished`` when done."""
+
+    def __init__(self, name: str | None = None):
+        self.id = next(_ids)
+        self.name = name or f"{type(self).__name__}{self.id}"
+        self.finished = False
+
+    def tick(self, cycle: int) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class CycleSource(CycleComponent):
+    """Emits an iterable, one element per ``ii`` cycles."""
+
+    def __init__(
+        self,
+        out: CycleChannel,
+        items: Iterable[Any],
+        ii: int = 1,
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.out = out
+        self._iter = iter(items)
+        self._next: Any = self._advance()
+        self.ii = ii
+        self._cooldown = 0
+
+    def _advance(self) -> Any:
+        try:
+            return next(self._iter)
+        except StopIteration:
+            self.finished = True
+            return None
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if self.out.can_push():
+            self.out.push(self._next)
+            self._next = self._advance()
+            self._cooldown = self.ii - 1
+
+
+class CycleUnaryOp(CycleComponent):
+    """Applies ``fn`` elementwise with an II countdown state machine."""
+
+    def __init__(
+        self,
+        inp: CycleChannel,
+        out: CycleChannel,
+        fn: Callable[[Any], Any],
+        ii: int = 1,
+        upstream: Sequence[CycleComponent] = (),
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.inp = inp
+        self.out = out
+        self.fn = fn
+        self.ii = ii
+        self._cooldown = 0
+        self.upstream = list(upstream)
+
+    def _input_exhausted(self) -> bool:
+        return (
+            all(component.finished for component in self.upstream)
+            and self.inp.idle()
+        )
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if self.inp.can_pop() and self.out.can_push():
+            self.out.push(self.fn(self.inp.pop()))
+            self._cooldown = self.ii - 1
+        elif self._input_exhausted():
+            self.finished = True
+
+
+class CycleBinaryOp(CycleComponent):
+    """Applies ``fn`` to aligned pairs; fires only with both inputs ready."""
+
+    def __init__(
+        self,
+        left: CycleChannel,
+        right: CycleChannel,
+        out: CycleChannel,
+        fn: Callable[[Any, Any], Any],
+        ii: int = 1,
+        upstream: Sequence[CycleComponent] = (),
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.left = left
+        self.right = right
+        self.out = out
+        self.fn = fn
+        self.ii = ii
+        self._cooldown = 0
+        self.upstream = list(upstream)
+
+    def _input_exhausted(self) -> bool:
+        return (
+            all(component.finished for component in self.upstream)
+            and self.left.idle()
+            and self.right.idle()
+        )
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if self.left.can_pop() and self.right.can_pop() and self.out.can_push():
+            self.out.push(self.fn(self.left.pop(), self.right.pop()))
+            self._cooldown = self.ii - 1
+        elif self._input_exhausted():
+            self.finished = True
+
+
+class CycleSink(CycleComponent):
+    """Drains a channel into ``self.values``; finishes when upstream does."""
+
+    def __init__(
+        self,
+        inp: CycleChannel,
+        ii: int = 1,
+        upstream: Sequence[CycleComponent] = (),
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.inp = inp
+        self.ii = ii
+        self._cooldown = 0
+        self.upstream = list(upstream)
+        self.values: list[Any] = []
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if self.inp.can_pop():
+            self.values.append(self.inp.pop())
+            self._cooldown = self.ii - 1
+        elif all(component.finished for component in self.upstream) and self.inp.idle():
+            self.finished = True

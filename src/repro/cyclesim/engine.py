@@ -1,0 +1,92 @@
+"""The cycle-by-cycle engine loop."""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass
+
+from .channel import CycleChannel
+from .component import CycleComponent
+
+
+@dataclass
+class CycleStats:
+    """Run cost: simulated cycles, component-ticks executed, real seconds."""
+
+    cycles: int
+    ticks: int
+    real_seconds: float
+
+    def __str__(self) -> str:
+        return (
+            f"CycleStats(cycles={self.cycles}, ticks={self.ticks}, "
+            f"real={self.real_seconds:.4f}s)"
+        )
+
+
+class CycleEngine:
+    """Ticks every component every cycle until all declare completion.
+
+    ``max_cycles`` bounds runaway simulations (a stalled cycle-level model
+    has no deadlock detector — it just spins; we detect *global* quiescence
+    heuristically by watching channel activity when ``deadlock_window`` is
+    set).
+    """
+
+    def __init__(
+        self,
+        max_cycles: int = 50_000_000,
+        deadlock_window: int | None = 100_000,
+    ):
+        self.components: list[CycleComponent] = []
+        self.channels: list[CycleChannel] = []
+        self.max_cycles = max_cycles
+        self.deadlock_window = deadlock_window
+
+    def add(self, component: CycleComponent) -> CycleComponent:
+        self.components.append(component)
+        return component
+
+    def channel(self, capacity: int | None = None, name: str | None = None) -> CycleChannel:
+        channel = CycleChannel(capacity=capacity, name=name)
+        self.channels.append(channel)
+        return channel
+
+    def run(self) -> CycleStats:
+        start = _wallclock.perf_counter()
+        components = self.components
+        channels = self.channels
+        cycle = 0
+        ticks = 0
+        last_activity_cycle = 0
+        last_activity_marker = -1
+        while cycle < self.max_cycles:
+            alive = False
+            for component in components:
+                if not component.finished:
+                    component.tick(cycle)
+                    ticks += 1
+                    alive = True
+            for channel in channels:
+                channel.commit()
+            cycle += 1
+            if not alive:
+                break
+            if self.deadlock_window is not None and cycle % 1024 == 0:
+                marker = sum(ch.pushes + ch.pops for ch in channels)
+                if marker != last_activity_marker:
+                    last_activity_marker = marker
+                    last_activity_cycle = cycle
+                elif cycle - last_activity_cycle >= self.deadlock_window:
+                    blocked = [c.name for c in components if not c.finished]
+                    raise RuntimeError(
+                        "cycle simulation quiesced without completing "
+                        f"(stalled components: {', '.join(blocked)})"
+                    )
+        else:
+            raise RuntimeError(f"exceeded max_cycles={self.max_cycles}")
+        return CycleStats(
+            cycles=cycle - 1,
+            ticks=ticks,
+            real_seconds=_wallclock.perf_counter() - start,
+        )

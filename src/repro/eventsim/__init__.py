@@ -1,0 +1,35 @@
+"""An SST-style event-driven simulation engine (baseline for Fig. 3).
+
+This package reproduces the *architecture* DAM is compared against
+(Section II and VI-B): components register event handlers, communicate over
+latency-annotated links, and a central ordered event queue drives
+execution.  A barrier-synchronized parallel engine mirrors SST's
+conservative multi-worker execution, where the barrier period is bounded by
+the minimum cross-worker link latency.
+
+The qualitative drawbacks the paper highlights are faithfully present:
+
+* handlers may not reject events, so components buffer inputs locally and
+  cannot model backpressure (all links are effectively unbounded);
+* alignment of multi-input units needs explicit buffering code
+  (compare :class:`~repro.eventsim.component.MergeComponent` with the CSPT
+  merge in :mod:`repro.contexts.merge`);
+* every event pays for global time ordering through the queue.
+"""
+
+from .component import Component, MergeComponent, PortBuffer
+from .engine import Engine, Link, SimulationStats
+from .event import Event, EventQueue
+from .parallel import ParallelEngine
+
+__all__ = [
+    "Component",
+    "MergeComponent",
+    "PortBuffer",
+    "Engine",
+    "Link",
+    "SimulationStats",
+    "Event",
+    "EventQueue",
+    "ParallelEngine",
+]

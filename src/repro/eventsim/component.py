@@ -1,0 +1,135 @@
+"""Event-driven components (the SST-style user interface).
+
+A component registers a handler per input port; the engine invokes it for
+every delivered event.  Handlers cannot reject or defer events, so any
+component with multi-input alignment must buffer events itself — this is
+exactly the verbosity the paper's Listing 2 illustrates, kept here on
+purpose as the faithful baseline programming model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine, Link
+
+_component_ids = itertools.count()
+
+
+class PortBuffer:
+    """A local event buffer: the event-driven workaround for alignment.
+
+    Handlers must accept every event immediately, so components queue
+    payloads here until a full input set is available.  Buffers are
+    unbounded — the structural reason event-driven models cannot simulate
+    backpressure (Section III).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: deque[Any] = deque()
+
+    def push(self, item: Any) -> None:
+        self._items.append(item)
+
+    def pop(self) -> Any:
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+class Component:
+    """Base class for event-driven models.
+
+    Subclasses register handlers with :meth:`on` (usually in ``__init__``)
+    and send data over links with :meth:`send`.  ``self.engine`` is set
+    when the component is added to an engine.
+    """
+
+    def __init__(self, name: str | None = None):
+        self.id = next(_component_ids)
+        self.name = name or f"{type(self).__name__}{self.id}"
+        self.engine: "Engine | None" = None
+        self._handlers: dict[str, Callable[[int, Any], None]] = {}
+
+    def on(self, port: str, handler: Callable[[int, Any], None]) -> None:
+        """Register ``handler(time, payload)`` for events on ``port``."""
+        self._handlers[port] = handler
+
+    def deliver(self, time: int, port: str, payload: Any) -> None:
+        """Invoked by the engine; dispatches to the registered handler."""
+        handler = self._handlers.get(port)
+        if handler is None:
+            raise KeyError(f"{self.name}: no handler for port {port!r}")
+        handler(time, payload)
+
+    def send(self, link: "Link", time: int, payload: Any, extra_delay: int = 0) -> None:
+        """Send ``payload`` down ``link``; arrives after the link latency."""
+        assert self.engine is not None, f"{self.name} not attached to an engine"
+        self.engine.schedule_link(link, time + extra_delay, payload)
+
+    def schedule_self(self, port: str, time: int, payload: Any = None) -> None:
+        """Schedule a self-event (timers, initiation intervals)."""
+        assert self.engine is not None
+        self.engine.schedule_event(self, port, time, payload)
+
+    def start(self) -> None:
+        """Hook: called once before simulation begins (schedule kick-offs)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class MergeComponent(Component):
+    """The paper's Listing 2: a merge unit in the event-driven style.
+
+    Contrast with :class:`repro.contexts.merge.Merge` (Listing 1): this
+    version needs explicit buffers for alignment, an availability check on
+    both buffers in both handlers, and a busy/initiation-interval self-
+    event — and it still cannot exert backpressure on its producers.
+    """
+
+    def __init__(self, out_link: "Link", ii: int = 2, name: str | None = None):
+        super().__init__(name=name)
+        self.out_link = out_link
+        self.ii = ii
+        self.buffer_a = PortBuffer()
+        self.buffer_b = PortBuffer()
+        self.busy_until = 0
+        self.fires_pending = 0  # scheduled but not yet executed
+        self.on("a", self._on_a)
+        self.on("b", self._on_b)
+        self.on("fire", self._on_fire)
+
+    def _on_a(self, time: int, payload: Any) -> None:
+        self.buffer_a.push(payload)
+        self._try_fire(time)
+
+    def _on_b(self, time: int, payload: Any) -> None:
+        self.buffer_b.push(payload)
+        self._try_fire(time)
+
+    def _try_fire(self, time: int) -> None:
+        pairs_ready = min(len(self.buffer_a), len(self.buffer_b))
+        if pairs_ready <= self.fires_pending:
+            return  # every available pair already has a fire scheduled
+        fire_at = max(time, self.busy_until)
+        self.busy_until = fire_at + self.ii
+        self.fires_pending += 1
+        self.schedule_self("fire", fire_at)
+
+    def _on_fire(self, time: int, _payload: Any) -> None:
+        self.fires_pending -= 1
+        a = self.buffer_a._items[0]
+        b = self.buffer_b._items[0]
+        winner = self.buffer_a.pop() if a <= b else self.buffer_b.pop()
+        self.send(self.out_link, time, winner)
+        self._try_fire(time)  # more pairs may already be waiting

@@ -1,0 +1,65 @@
+"""Events and the ordered event queue.
+
+The ordered event queue is the heart of every event-driven simulator — and
+the scalability bottleneck the paper's event-queue-free design removes.
+Events are totally ordered by (time, sequence number) so simulation is
+deterministic regardless of insertion order ties.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any
+
+_event_seq = itertools.count()
+
+
+class Event:
+    """A scheduled delivery: ``payload`` arrives at ``component`` at ``time``."""
+
+    __slots__ = ("time", "seq", "component", "port", "payload")
+
+    def __init__(self, time: int, component: Any, port: str, payload: Any):
+        self.time = time
+        self.seq = next(_event_seq)
+        self.component = component
+        self.port = port
+        self.payload = payload
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(t={self.time}, {getattr(self.component, 'name', '?')}."
+            f"{self.port}, {self.payload!r})"
+        )
+
+
+class EventQueue:
+    """A binary-heap ordered event queue (the classic implementation)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self.pushes = 0
+        self.pops = 0
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+        self.pushes += 1
+
+    def pop(self) -> Event:
+        self.pops += 1
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> int | None:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,32 @@
+"""Case study: time-multiplexed simulation of real resources (Sec. IX).
+
+CSPT plus asynchronous distributed time allows *real* resources to be
+time-multiplexed among simulated ("virtual") copies: a virtual device
+locks a physical device, stashes/loads the task if the device last ran a
+different one, executes the real work while peers run elsewhere, and
+advances its own simulated clock from a performance estimate.
+
+The paper multiplexes physical NVIDIA T4 GPUs under PyTorch; here the
+physical device is a lock-guarded numpy compute resource (matmuls release
+the GIL, so contention between device threads is real — the documented
+substitution in DESIGN.md).  The latency-sensitive batching model of
+Section IX-A is included: a batching context that runs arbitrarily far
+ahead in simulated time, passing precise (launch time, batch size) records
+to an inference context that lags behind.
+"""
+
+from .batching import BatchingContext, InferenceContext, poisson_arrivals
+from .device import DevicePool, PhysicalDevice
+from .experiment import MultiplexResult, run_multiplex_experiment
+from .virtual import VirtualDevice
+
+__all__ = [
+    "PhysicalDevice",
+    "DevicePool",
+    "VirtualDevice",
+    "BatchingContext",
+    "InferenceContext",
+    "poisson_arrivals",
+    "run_multiplex_experiment",
+    "MultiplexResult",
+]

@@ -1,0 +1,157 @@
+"""Latency-sensitive inference batching (Section IX-A).
+
+Inference launches when either (1) the batch reaches ``max_batch`` inputs
+or (2) ``timeout`` simulated cycles have elapsed since the first input of
+the batch arrived.  Event-driven models struggle here because an input's
+result time depends on *possible future* inputs; with CSPT the batching
+context simply runs ahead in simulated time, observing exact arrivals,
+and passes (launch_time, size) records to an inference context that lags
+behind and re-enacts them on its own clock.
+
+Downstream consumers see only the inference context (correct completion
+timestamps); upstream producers see only the batching context (correct
+backpressure) — the time manipulation is invisible from both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.channel import Receiver, Sender
+from ..core.context import Context
+from ..core.errors import ChannelClosed
+from ..core.ops import AdvanceTo, IncrCycles
+from ..core.time import Time
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """What the batching context learned: when to launch, how many."""
+
+    launch_time: Time
+    size: int
+
+
+class BatchingContext(Context):
+    """Gathers requests into (launch_time, size) records.
+
+    Requests are any payloads; their *arrival times* are the channel
+    timestamps, observed through the context's own clock after each
+    dequeue.  The context may run arbitrarily far ahead of the inference
+    context thanks to asynchronous distributed time.
+    """
+
+    def __init__(
+        self,
+        inp: Receiver,
+        out: Sender,
+        max_batch: int,
+        timeout: Time,
+        name: str | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        super().__init__(name=name or "batcher")
+        self.inp = inp
+        self.out = out
+        self.max_batch = max_batch
+        self.timeout = timeout
+        self.register(inp, out)
+
+    def run(self):
+        pending = 0
+        deadline: Time | None = None
+        while True:
+            try:
+                # Peek first: observing the next arrival advances our
+                # clock to it WITHOUT consuming, so we can decide whether
+                # it belongs to this batch or the next.
+                yield self.inp.peek()
+            except ChannelClosed:
+                if pending:
+                    yield self.out.enqueue(BatchRecord(deadline, pending))
+                return
+            arrival = self.time.now()
+            if pending and arrival > deadline:
+                # The batch timed out before this arrival: launch it at
+                # the deadline (carried as data; our clock is already
+                # past it, which is fine — the inference context lags).
+                yield self.out.enqueue(BatchRecord(deadline, pending))
+                pending = 0
+                deadline = None
+            yield self.inp.dequeue()
+            pending += 1
+            if pending == 1:
+                deadline = arrival + self.timeout
+            if pending == self.max_batch:
+                yield self.out.enqueue(BatchRecord(arrival, pending))
+                pending = 0
+                deadline = None
+
+
+class InferenceContext(Context):
+    """Re-enacts batch launches on its own (lagging) clock.
+
+    For each record it advances to the launch time, charges the inference
+    duration, and emits a completion carrying (completion_time, size) —
+    the timestamps downstream consumers would see from real hardware.
+    """
+
+    def __init__(
+        self,
+        inp: Receiver,
+        out: Sender,
+        cycles_per_batch: Time,
+        cycles_per_item: Time = 0,
+        name: str | None = None,
+    ):
+        super().__init__(name=name or "inference")
+        self.inp = inp
+        self.out = out
+        self.cycles_per_batch = cycles_per_batch
+        self.cycles_per_item = cycles_per_item
+        self.completions: list[tuple[Time, int]] = []
+        self.register(inp, out)
+
+    def run(self):
+        try:
+            while True:
+                record = yield self.inp.dequeue()
+                yield AdvanceTo(record.launch_time)
+                yield IncrCycles(
+                    self.cycles_per_batch + self.cycles_per_item * record.size
+                )
+                completion = (self.time.now(), record.size)
+                self.completions.append(completion)
+                yield self.out.enqueue(completion)
+        except ChannelClosed:
+            return
+
+
+def poisson_arrivals(count: int, mean_gap: float, seed: int = 0) -> list[int]:
+    """Integer inter-arrival gaps with an exponential distribution.
+
+    Feed through :class:`repro.contexts.source.IterableSource` by
+    converting gaps into per-item initiation intervals, or use
+    :class:`RequestSource` below.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_gap, size=count)
+    return [max(1, int(round(gap))) for gap in gaps]
+
+
+class RequestSource(Context):
+    """Emits ``count`` requests with the given inter-arrival gaps."""
+
+    def __init__(self, out: Sender, gaps: list[int], name: str | None = None):
+        super().__init__(name=name or "requests")
+        self.out = out
+        self.gaps = gaps
+        self.register(out)
+
+    def run(self):
+        for index, gap in enumerate(self.gaps):
+            yield IncrCycles(gap)
+            yield self.out.enqueue(index)

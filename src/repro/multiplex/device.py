@@ -1,0 +1,94 @@
+"""Physical devices: real, lock-guarded compute resources.
+
+A :class:`PhysicalDevice` stands in for one GPU: it holds real task state
+(weight matrices), charges a real cost for task stash/load (a memory
+copy), and executes batches as real numpy matmuls — which release the GIL,
+so multiple devices genuinely compute in parallel under the threaded
+executor.
+
+The :class:`DevicePool` implements the *unfair* acquisition the paper
+recommends: a virtual device first retries the physical device it last
+used (if it reacquires immediately, the loaded task is still resident and
+the stash/load is skipped), and only then scans for any free device,
+finally blocking on its preferred one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _wallclock
+
+import numpy as np
+
+
+class PhysicalDevice:
+    """One real compute resource with resident-task state."""
+
+    def __init__(self, index: int, work_dim: int = 128, seed: int = 0):
+        self.index = index
+        self.work_dim = work_dim
+        self.lock = threading.Lock()
+        self.loaded_task: int | None = None
+        self.loads = 0
+        self.batches_run = 0
+        rng = np.random.default_rng(seed + index)
+        # The "HBM": resident weights for the currently loaded task.
+        self._weights = rng.standard_normal((work_dim, work_dim))
+        self._task_store: dict[int, np.ndarray] = {}
+
+    def ensure_task(self, task_id: int) -> None:
+        """Stash the resident task and load ``task_id`` (real copy cost).
+
+        Caller must hold :attr:`lock`.
+        """
+        if self.loaded_task == task_id:
+            return
+        if self.loaded_task is not None:
+            self._task_store[self.loaded_task] = self._weights.copy()
+        if task_id in self._task_store:
+            self._weights = self._task_store[task_id].copy()
+        else:
+            rng = np.random.default_rng(task_id)
+            self._weights = rng.standard_normal((self.work_dim, self.work_dim))
+        self.loaded_task = task_id
+        self.loads += 1
+
+    def run_batch(self, batch: np.ndarray, layers: int = 4) -> tuple[np.ndarray, float]:
+        """Run the synthetic model on ``batch``; returns (output, seconds).
+
+        Caller must hold :attr:`lock`.  The work is a small stack of
+        matmuls + nonlinearity — real FLOPs whose duration is measured.
+        """
+        start = _wallclock.perf_counter()
+        activations = batch
+        for _ in range(layers):
+            activations = np.tanh(activations @ self._weights)
+        self.batches_run += 1
+        return activations, _wallclock.perf_counter() - start
+
+
+class DevicePool:
+    """Unfair-preference allocation over a set of physical devices."""
+
+    def __init__(self, devices: list[PhysicalDevice]):
+        if not devices:
+            raise ValueError("pool needs at least one device")
+        self.devices = devices
+
+    def acquire(self, preferred: int | None) -> PhysicalDevice:
+        """Acquire some device's lock; prefer ``preferred``, never starve.
+
+        Returns with the device's lock HELD; caller must release
+        ``device.lock``.
+        """
+        if preferred is not None:
+            device = self.devices[preferred % len(self.devices)]
+            if device.lock.acquire(blocking=False):
+                return device
+        for device in self.devices:
+            if device.lock.acquire(blocking=False):
+                return device
+        # Everything busy: block on the preferred (or first) device.
+        device = self.devices[(preferred or 0) % len(self.devices)]
+        device.lock.acquire()
+        return device

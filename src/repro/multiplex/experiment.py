@@ -1,0 +1,89 @@
+"""The Fig. 12 harness: real time-per-batch across vGPU/pGPU configs.
+
+For each configuration, ``virtual`` virtual devices (each its own DAM
+context) share ``physical`` lock-guarded compute devices.  Each virtual
+device processes ``batches`` full batches of the synthetic model; the
+recorded per-batch wall-clock times give the mean and standard deviation
+the paper reports.  The threaded executor is required — the physical
+compute (numpy matmuls) releases the GIL, so multiplexing contention is
+real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..contexts import Collector
+from ..core.program import ProgramBuilder
+from .device import DevicePool, PhysicalDevice
+from .virtual import VirtualDevice
+
+
+@dataclass
+class MultiplexResult:
+    """One Fig. 12 bar: a (virtual, physical) configuration's timing."""
+
+    virtual: int
+    physical: int
+    mean_seconds: float
+    std_seconds: float
+    samples: int
+    device_loads: int
+
+    def label(self) -> str:
+        return f"{self.virtual}v/{self.physical}p"
+
+
+def run_multiplex_experiment(
+    virtual: int,
+    physical: int,
+    batches: int = 8,
+    batch_size: int = 64,
+    work_dim: int = 128,
+    shared_task: bool = False,
+    seed: int = 0,
+) -> MultiplexResult:
+    """Run one (virtual, physical) configuration and aggregate timings.
+
+    ``shared_task=True`` gives every virtual device the same task id, so
+    reacquiring the same physical device skips the stash/load — the case
+    the unfair lock optimizes.
+    """
+    from ..contexts import IterableSource
+
+    rng = np.random.default_rng(seed)
+    devices = [PhysicalDevice(i, work_dim=work_dim, seed=seed) for i in range(physical)]
+    pool = DevicePool(devices)
+
+    builder = ProgramBuilder()
+    vdevs: list[VirtualDevice] = []
+    for index in range(virtual):
+        payload = [
+            rng.standard_normal((batch_size, work_dim)) for _ in range(batches)
+        ]
+        s_in, r_in = builder.bounded(2, name=f"batches{index}")
+        s_out, r_out = builder.bounded(2, name=f"results{index}")
+        builder.add(IterableSource(s_in, payload, ii=1, name=f"feed{index}"))
+        vdev = VirtualDevice(
+            r_in,
+            s_out,
+            pool,
+            task_id=0 if shared_task else index,
+            name=f"vdev{index}",
+        )
+        builder.add(vdev)
+        vdevs.append(vdev)
+        builder.add(Collector(r_out, name=f"collect{index}"))
+
+    builder.build().run(executor="threaded")
+    samples = np.array([t for vdev in vdevs for t in vdev.batch_seconds])
+    return MultiplexResult(
+        virtual=virtual,
+        physical=physical,
+        mean_seconds=float(samples.mean()),
+        std_seconds=float(samples.std()),
+        samples=len(samples),
+        device_loads=sum(device.loads for device in devices),
+    )

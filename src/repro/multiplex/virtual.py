@@ -1,0 +1,67 @@
+"""Virtual devices: simulated hardware backed by multiplexed real compute.
+
+This is the paper's Listing 4 as a DAM context: lock a physical device
+(unfair preference for the last one used), load the task if needed, run
+the real batch, record the real time, and advance *simulated* time by the
+performance estimate.  While one virtual device holds the lock, the OS
+schedules other (unblocked) contexts — including other virtual devices on
+other physical devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.channel import Receiver, Sender
+from ..core.context import Context
+from ..core.errors import ChannelClosed
+from ..core.ops import IncrCycles
+from .device import DevicePool
+
+
+class VirtualDevice(Context):
+    """A simulated accelerator executing real batches on a shared pool.
+
+    Consumes batches (numpy arrays) from ``inp``, produces result
+    summaries on ``out``; ``task_id`` identifies this virtual device's
+    model weights (equal task ids share resident state on a physical
+    device, skipping stash/load).  ``cycles_per_batch`` is the simulated
+    performance estimate.  Real time per batch (the Fig. 12 metric) is
+    appended to :attr:`batch_seconds`.
+    """
+
+    def __init__(
+        self,
+        inp: Receiver,
+        out: Sender,
+        pool: DevicePool,
+        task_id: int,
+        cycles_per_batch: int = 100,
+        name: str | None = None,
+    ):
+        super().__init__(name=name)
+        self.inp = inp
+        self.out = out
+        self.pool = pool
+        self.task_id = task_id
+        self.cycles_per_batch = cycles_per_batch
+        self.batch_seconds: list[float] = []
+        self._preferred: int | None = None
+        self.register(inp, out)
+
+    def run(self):
+        try:
+            while True:
+                batch = yield self.inp.dequeue()
+                device = self.pool.acquire(self._preferred)
+                try:
+                    device.ensure_task(self.task_id)
+                    output, seconds = device.run_batch(batch)
+                finally:
+                    device.lock.release()
+                self._preferred = device.index
+                self.batch_seconds.append(seconds)
+                yield IncrCycles(self.cycles_per_batch)
+                yield self.out.enqueue(float(np.sum(output)))
+        except ChannelClosed:
+            return

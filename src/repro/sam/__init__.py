@@ -1,0 +1,37 @@
+"""The Sparse Abstract Machine (SAM) on DAM (paper Section VIII).
+
+SAM [29] represents sparse tensor algebra as dataflow graphs of primitive
+blocks connected by streams of data interleaved with control tokens.  The
+paper's second case study reimplements the original hand-written Python
+simulator for SAM's CGRA on top of DAM; this package is that
+reimplementation: every primitive is a DAM context, every stream a DAM
+channel.
+
+Structure:
+
+* :mod:`repro.sam.token` — stream tokens (stop/done) and stream helpers
+* :mod:`repro.sam.tensor` — compressed-sparse-fiber tensors + generators
+* :mod:`repro.sam.primitives` — fiber lookup, repeat, intersect, union,
+  value arrays, ALUs, reduce, sparse accumulator, crd-drop/hold, writers
+* :mod:`repro.sam.graphs` — TACO-style kernel graphs: MMAdd, SpMSpM,
+  SDDMM, and sparse multi-head attention
+* :mod:`repro.sam.reference` — dense numpy reference kernels used by tests
+
+The sibling package :mod:`repro.samlegacy` re-implements the same
+primitives in the original simulator's cycle-by-cycle style; it is the
+baseline of the Fig. 7 code-size and Fig. 8 performance comparisons.
+"""
+
+from .tensor import CsfTensor, random_sparse_matrix, random_sparse_tensor
+from .token import DONE, Done, Stop, clean_stream, stream_values
+
+__all__ = [
+    "CsfTensor",
+    "random_sparse_matrix",
+    "random_sparse_tensor",
+    "DONE",
+    "Done",
+    "Stop",
+    "clean_stream",
+    "stream_values",
+]

@@ -1,0 +1,24 @@
+"""SAM kernel graphs: TACO-style dataflow programs built from primitives.
+
+Each builder returns a :class:`~repro.sam.graphs.common.KernelGraph`
+bundling the DAM program with the writer contexts needed to materialize
+and verify the output tensor.  All graphs are validated against the dense
+numpy references in :mod:`repro.sam.reference`.
+"""
+
+from .common import KernelGraph, SamGraphBuilder
+from .mmadd import build_mmadd
+from .mha import build_sparse_mha
+from .sddmm import build_sddmm
+from .spmspm import build_spmspm
+from .spmspm_gustavson import build_spmspm_gustavson
+
+__all__ = [
+    "KernelGraph",
+    "SamGraphBuilder",
+    "build_mmadd",
+    "build_spmspm",
+    "build_spmspm_gustavson",
+    "build_sddmm",
+    "build_sparse_mha",
+]

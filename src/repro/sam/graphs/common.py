@@ -1,0 +1,131 @@
+"""Shared graph-construction helpers for SAM kernels."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ...contexts import Broadcast
+from ...core.channel import Receiver, Sender
+from ...core.program import Program, ProgramBuilder
+from ..primitives import TimingParams
+from ..primitives.write import FiberWrite, ValsWrite
+
+
+class SamGraphBuilder:
+    """A thin wrapper over :class:`ProgramBuilder` with SAM conventions.
+
+    ``depth`` is the default channel capacity (``None`` = unbounded, the
+    fast configuration of Fig. 11); ``latency`` the default channel
+    latency.  ``timing`` is handed to every primitive, which is how the
+    calibration study sweeps timing parameters across a whole graph.
+    """
+
+    def __init__(
+        self,
+        depth: int | None = None,
+        latency: int = 1,
+        timing: TimingParams | None = None,
+    ):
+        self.builder = ProgramBuilder()
+        self.depth = depth
+        self.latency = latency
+        self.timing = timing
+
+    def ch(
+        self, name: str | None = None, depth: int | None | str = "default"
+    ) -> tuple[Sender, Receiver]:
+        """A channel with the graph's default geometry.
+
+        Pass an explicit ``depth`` (int or None) to override — used for
+        the deep buffering channels (e.g. the softmax row buffer) whose
+        sizing the deadlock analysis is about.
+        """
+        capacity = self.depth if depth == "default" else depth
+        return self.builder.channel(capacity, latency=self.latency, name=name)
+
+    def add(self, context: Any) -> Any:
+        return self.builder.add(context)
+
+    def fanout(
+        self,
+        inp: Receiver,
+        n: int,
+        name: str,
+        depths: Sequence[int | None | str] | None = None,
+    ) -> list[Receiver]:
+        """Broadcast a stream to ``n`` consumers (explicit fanout unit).
+
+        ``depths`` optionally overrides the channel depth per branch —
+        used where one branch must buffer far ahead of the others (the
+        deadlock-prone row buffers of the attention graphs).
+        """
+        outs = []
+        receivers = []
+        for index in range(n):
+            depth = depths[index] if depths is not None else "default"
+            snd, rcv = self.ch(name=f"{name}_br{index}", depth=depth)
+            outs.append(snd)
+            receivers.append(rcv)
+        self.add(Broadcast(inp, outs, name=f"{name}_bcast"))
+        return receivers
+
+    def build(self) -> Program:
+        return self.builder.build()
+
+
+class KernelGraph:
+    """A built kernel: the program plus its output writers.
+
+    ``fiber_writers`` are ordered outermost-first; ``assemble`` converts
+    the written levels + values into a dense numpy array for verification.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        fiber_writers: Sequence[FiberWrite],
+        vals_writer: ValsWrite,
+        shape: tuple[int, ...],
+        assemble: Callable[["KernelGraph"], np.ndarray] | None = None,
+    ):
+        self.program = program
+        self.fiber_writers = list(fiber_writers)
+        self.vals_writer = vals_writer
+        self.shape = shape
+        self._assemble = assemble
+        self.summary = None
+
+    def run(self, executor: str = "sequential", **kwargs):
+        self.summary = self.program.run(executor=executor, **kwargs)
+        return self.summary
+
+    def result_dense(self) -> np.ndarray:
+        """Materialize the output tensor (after :meth:`run`)."""
+        if self._assemble is not None:
+            return self._assemble(self)
+        return assemble_from_levels(
+            [fw.to_level() for fw in self.fiber_writers],
+            self.vals_writer.to_array(),
+            self.shape,
+        )
+
+    @property
+    def context_count(self) -> int:
+        return self.program.context_count()
+
+    @property
+    def channel_count(self) -> int:
+        return self.program.channel_count()
+
+
+def assemble_from_levels(levels, vals: np.ndarray, shape) -> np.ndarray:
+    """Rebuild a dense array from written compressed levels + values.
+
+    The chain is walked exactly like :meth:`CsfTensor.to_dense`, starting
+    from root fiber 0 of the outermost written level.
+    """
+    from ..tensor import CsfTensor
+
+    return CsfTensor(list(levels), vals, tuple(shape)).to_dense()

@@ -1,0 +1,318 @@
+"""Sparse multi-head attention on SAM (Section VIII-A1).
+
+The paper's sparse MHA composes three stages, all expressed with SAM
+primitives plus the new memory-movement and non-linear blocks:
+
+1. **Masked scores (SDDMM)**: S = M .* (Q @ K^T) / sqrt(d) — iterate the
+   mask's nonzeros (h, i, j), gather Q row (h, i) and K row (h, j) through
+   dense fiber lookups, dot over the feature dimension.
+2. **Streaming softmax**: exp on surviving scores, a per-row running sum,
+   and a divide fed by the row sum *repeated per element*.  The exp stream
+   must be buffered while its row sum accumulates — the channel whose
+   depth requirement (max row nnz + slack) causes the paper's stochastic
+   deadlocks when undersized.  ``softmax_depth`` exposes that knob.
+3. **PV accumulation (SpMM)**: each P element scales V row (h, j); a
+   sparse accumulator merges the scaled rows over j into O's dense rows.
+
+Heads are an outermost dense level, so one pipeline processes any number
+of heads; :func:`build_parallel_mha` instantiates ``parallelism``
+independent pipelines over disjoint head slices (the Fig. 9/10 sweep).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..primitives import (
+    ArrayVals,
+    BinaryAlu,
+    CrdHold,
+    FiberLookup,
+    FiberWrite,
+    Reduce,
+    Repeat,
+    RepeatSigGen,
+    RootSource,
+    SpaccV1,
+    UnaryAlu,
+    ValsWrite,
+)
+from ..primitives.alu import mul
+from ..primitives.write import StreamSink
+from ..tensor import CsfTensor, DenseLevel
+from .common import KernelGraph, SamGraphBuilder, assemble_from_levels
+
+
+def _safe_div(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else 0.0
+
+
+def build_sparse_mha(
+    mask: CsfTensor,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    depth: int | None = None,
+    softmax_depth: int | None = None,
+    latency: int = 1,
+    timing=None,
+    max_row_nonzeros: int | None = None,
+) -> KernelGraph:
+    """One sparse-MHA pipeline over all heads of ``mask`` (format 'dcc').
+
+    ``q``, ``k``, ``v`` are dense (H, N, d); ``mask`` is (H, N, N).
+    ``softmax_depth`` sizes the exp-stream buffer channel; ``None`` means
+    unbounded (always safe), small values reproduce the stochastic
+    deadlock of Section VIII-A1.
+
+    ``max_row_nonzeros`` enables the *runtime sparsity guarantee* the
+    paper leaves as future work: a :class:`NonzeroLimiter` caps every
+    mask row at that many nonzeros (tail policy), which makes a
+    ``softmax_depth`` of ``max_row_nonzeros + slack`` provably
+    deadlock-free regardless of mask randomness, at the cost of dropping
+    attention edges on over-populated rows.
+    """
+    heads, seq_len, _ = mask.shape
+    d_model = q.shape[-1]
+    scale = 1.0 / math.sqrt(d_model)
+    g = SamGraphBuilder(depth=depth, latency=latency, timing=timing)
+    t = g.timing
+
+    # ------------------------------------------------------------------
+    # Stage 0: scan the mask structure (h, i, j).
+    # ------------------------------------------------------------------
+    root_s, root_r = g.ch("rootM")
+    g.add(RootSource(root_s, timing=t, name="rootM"))
+    cmh_s, cmh_r = g.ch("cMh")
+    rmh_s, rmh_r = g.ch("rMh")
+    g.add(FiberLookup(mask.level(0), root_r, cmh_s, rmh_s, timing=t, name="scanMh"))
+    cmi_s, cmi_r = g.ch("cMi")
+    rmi_s, rmi_r = g.ch("rMi")
+    g.add(FiberLookup(mask.level(1), rmh_r, cmi_s, rmi_s, timing=t, name="scanMi"))
+    cmj_s, cmj_raw = g.ch("cMj_raw")
+    rmj_s, rmj_raw = g.ch("rMj_raw")
+    g.add(FiberLookup(mask.level(2), rmi_r, cmj_s, rmj_s, timing=t, name="scanMj"))
+    if max_row_nonzeros is not None:
+        from ..primitives import NonzeroLimiter
+
+        cmj_lim_s, cmj_r = g.ch("cMj")
+        rmj_lim_s, rmj_r = g.ch("rMj")
+        g.add(
+            NonzeroLimiter(
+                cmj_raw,
+                rmj_raw,
+                cmj_lim_s,
+                rmj_lim_s,
+                max_nonzeros=max_row_nonzeros,
+                timing=t,
+                name="rowLimiter",
+            )
+        )
+    else:
+        cmj_r, rmj_r = cmj_raw, rmj_raw
+    g.add(StreamSink(rmj_r, timing=t, name="sink_rMj"))
+
+    cmi_hold, cmi_elem, cmi_write = g.fanout(cmi_r, 3, "cMi")
+    cmj_elem, cmj_krow, cmj_sig, cmj_hold2 = g.fanout(cmj_r, 4, "cMj")
+
+    # Row/head indices carried down to per-element streams.
+    hi_s, hi_r = g.ch("h_per_i")
+    g.add(CrdHold(cmh_r, cmi_hold, hi_s, timing=t, name="holdH"))
+    he_s, he_r = g.ch("h_per_elem")
+    g.add(CrdHold(hi_r, cmj_hold2, he_s, timing=t, name="holdH2"))
+    he_q, he_k = g.fanout(he_r, 2, "h_elem")
+    ie_s, ie_r = g.ch("i_per_elem")
+    g.add(CrdHold(cmi_elem, cmj_elem, ie_s, timing=t, name="holdI"))
+
+    # Dense row references: Q row = h * N + i, K/V row = h * N + j.
+    rq_s, rq_r = g.ch("rQrow")
+    g.add(
+        BinaryAlu(
+            he_q, ie_r, rq_s, lambda h, i: h * seq_len + i, timing=t, name="qRowRef"
+        )
+    )
+    rk_s, rk_r = g.ch("rKrow")
+    g.add(
+        BinaryAlu(
+            he_k, cmj_krow, rk_s, lambda h, j: h * seq_len + j, timing=t, name="kRowRef"
+        )
+    )
+    # The V-gather branch buffers row references while P is computed (it
+    # cannot drain until the softmax completes), so it shares the row
+    # buffering requirement with the exp stream.
+    rk_kd, rk_vc = g.fanout(rk_r, 2, "rKrow", depths=["default", softmax_depth])
+
+    # ------------------------------------------------------------------
+    # Stage 1: masked scores (the SDDMM core).
+    # ------------------------------------------------------------------
+    cqd_s, cqd_r = g.ch("cQd")
+    rqd_s, rqd_r = g.ch("rQd")
+    g.add(FiberLookup(DenseLevel(d_model), rq_r, cqd_s, rqd_s, timing=t, name="scanQd"))
+    ckd_s, ckd_r = g.ch("cKd")
+    rkd_s, rkd_r = g.ch("rKd")
+    g.add(
+        FiberLookup(DenseLevel(d_model), rk_kd, ckd_s, rkd_s, timing=t, name="scanKd")
+    )
+    g.add(StreamSink(cqd_r, timing=t, name="sink_cQd"))
+    g.add(StreamSink(ckd_r, timing=t, name="sink_cKd"))
+
+    vq_s, vq_r = g.ch("vQ")
+    vk_s, vk_r = g.ch("vK")
+    g.add(ArrayVals(q.reshape(-1), rqd_r, vq_s, timing=t, name="arrayQ"))
+    g.add(ArrayVals(k.reshape(-1), rkd_r, vk_s, timing=t, name="arrayK"))
+    vqk_s, vqk_r = g.ch("vQK")
+    g.add(BinaryAlu(vq_r, vk_r, vqk_s, mul, timing=t, name="mulQK"))
+    vdot_s, vdot_r = g.ch("vScore")
+    g.add(
+        Reduce(vqk_r, vdot_s, suppress_uninhabited=True, timing=t, name="reduceD")
+    )
+
+    # ------------------------------------------------------------------
+    # Stage 2: streaming softmax.
+    # ------------------------------------------------------------------
+    vsc_s, vsc_r = g.ch("vScaled")
+    g.add(
+        UnaryAlu(vdot_r, vsc_s, lambda x: x * scale, timing=t, name="scaleALU")
+    )
+    vexp_s, vexp_r = g.ch("vExp")
+    g.add(UnaryAlu(vsc_r, vexp_s, math.exp, timing=t, name="expALU"))
+
+    # The exp stream splits: one copy feeds the row-sum reduction, the
+    # other waits in the row buffer for the sum to come back around.
+    esum_s, esum_r = g.ch("e_sum")
+    ediv_s, ediv_r = g.ch("e_div", depth=softmax_depth)
+    from ...contexts import Broadcast
+
+    g.add(Broadcast(vexp_r, [esum_s, ediv_s], name="e_bcast"))
+
+    vsum_s, vsum_r = g.ch("vRowSum")
+    g.add(
+        Reduce(esum_r, vsum_s, suppress_uninhabited=True, timing=t, name="rowSum")
+    )
+    # The repeat signals also pile up while the row sum accumulates, so
+    # this channel shares the row-buffer depth requirement with e_div.
+    sigdiv_s, sigdiv_r = g.ch("sigDiv", depth=softmax_depth)
+    g.add(RepeatSigGen(cmj_sig, sigdiv_s, timing=t, name="repsigDiv"))
+    vsrep_s, vsrep_r = g.ch("vSumRep")
+    g.add(Repeat(vsum_r, sigdiv_r, vsrep_s, timing=t, name="repeatSum"))
+    vp_s, vp_r = g.ch("vP")
+    g.add(BinaryAlu(ediv_r, vsrep_r, vp_s, _safe_div, timing=t, name="divALU"))
+
+    # ------------------------------------------------------------------
+    # Stage 3: O = P @ V via scaled-row accumulation.
+    # ------------------------------------------------------------------
+    cvc_s, cvc_r = g.ch("cVc")
+    rvc_s, rvc_r = g.ch("rVc")
+    g.add(
+        FiberLookup(DenseLevel(d_model), rk_vc, cvc_s, rvc_s, timing=t, name="scanVc")
+    )
+    cvc_acc, cvc_sig = g.fanout(cvc_r, 2, "cVc")
+    vv_s, vv_r = g.ch("vV")
+    g.add(ArrayVals(v.reshape(-1), rvc_r, vv_s, timing=t, name="arrayV"))
+
+    sigp_s, sigp_r = g.ch("sigP")
+    g.add(RepeatSigGen(cvc_sig, sigp_s, timing=t, name="repsigP"))
+    vprep_s, vprep_r = g.ch("vPRep")
+    g.add(Repeat(vp_r, sigp_r, vprep_s, timing=t, name="repeatP"))
+    vpv_s, vpv_r = g.ch("vPV")
+    g.add(BinaryAlu(vv_r, vprep_r, vpv_s, mul, timing=t, name="mulPV"))
+
+    co_s, co_r = g.ch("cO")
+    vo_s, vo_r = g.ch("vO")
+    g.add(SpaccV1(cvc_acc, vpv_r, co_s, vo_s, timing=t, name="spaccJ"))
+
+    # ------------------------------------------------------------------
+    # Output writers: O is (H dense, i compressed-from-mask, c written).
+    # ------------------------------------------------------------------
+    fw_i = g.add(FiberWrite(cmi_write, timing=t, name="write_i"))
+    fw_c = g.add(FiberWrite(co_r, timing=t, name="write_c"))
+    vw = g.add(ValsWrite(vo_r, timing=t, name="write_vals"))
+
+    def assemble(kernel: KernelGraph) -> np.ndarray:
+        return assemble_from_levels(
+            [DenseLevel(heads), fw_i.to_level(), fw_c.to_level()],
+            kernel.vals_writer.to_array(),
+            (heads, seq_len, d_model),
+        )
+
+    return KernelGraph(
+        g.build(), [fw_i, fw_c], vw, (heads, seq_len, d_model), assemble=assemble
+    )
+
+
+class ParallelMha:
+    """``parallelism`` independent MHA pipelines over disjoint head slices.
+
+    All pipelines live in one DAM program, so simulated parallelism (and
+    its real cost on each executor) is measured end to end — the Fig. 9
+    experiment.  ``elapsed_cycles`` of the combined run is the makespan
+    across pipelines.
+    """
+
+    def __init__(self, kernels: list[KernelGraph], heads_per_pipe: list[int]):
+        from ...core.program import Program
+
+        self.kernels = kernels
+        self.heads_per_pipe = heads_per_pipe
+        contexts = [ctx for kg in kernels for ctx in kg.program.contexts]
+        channels = [ch for kg in kernels for ch in kg.program.channels]
+        self.program = Program(contexts, channels)
+        self.summary = None
+
+    def run(self, executor: str = "sequential", **kwargs):
+        self.summary = self.program.run(executor=executor, **kwargs)
+        return self.summary
+
+    def result_dense(self) -> np.ndarray:
+        return np.concatenate([kg.result_dense() for kg in self.kernels], axis=0)
+
+    @property
+    def context_count(self) -> int:
+        return self.program.context_count()
+
+    @property
+    def channel_count(self) -> int:
+        return self.program.channel_count()
+
+
+def build_parallel_mha(
+    mask_dense: np.ndarray,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    parallelism: int = 1,
+    depth: int | None = None,
+    softmax_depth: int | None = None,
+    latency: int = 1,
+    timing=None,
+) -> ParallelMha:
+    """Split heads across ``parallelism`` pipelines (Fig. 9's sweep knob)."""
+    heads = mask_dense.shape[0]
+    if parallelism < 1 or parallelism > heads:
+        raise ValueError(
+            f"parallelism must be in [1, heads={heads}], got {parallelism}"
+        )
+    bounds = np.linspace(0, heads, parallelism + 1, dtype=int)
+    kernels = []
+    heads_per_pipe = []
+    for pipe in range(parallelism):
+        lo, hi = int(bounds[pipe]), int(bounds[pipe + 1])
+        if lo == hi:
+            continue
+        mask_slice = CsfTensor.from_dense(mask_dense[lo:hi], "dcc")
+        kernels.append(
+            build_sparse_mha(
+                mask_slice,
+                q[lo:hi],
+                k[lo:hi],
+                v[lo:hi],
+                depth=depth,
+                softmax_depth=softmax_depth,
+                latency=latency,
+                timing=timing,
+            )
+        )
+        heads_per_pipe.append(hi - lo)
+    return ParallelMha(kernels, heads_per_pipe)

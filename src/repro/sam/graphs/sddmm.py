@@ -1,0 +1,115 @@
+"""SDDMM: sampled dense-dense matrix multiplication X = S .* (A @ B^T).
+
+``S`` is sparse ('cc'); ``A`` (I x K) and ``B`` (J x K) are dense.  The
+graph iterates S's nonzeros (i, j), gathers row i of A and row j of B
+through dense fiber lookups, computes the dot product over k with a
+multiply + reduce, and scales by S's value:
+
+* the sampling structure never changes, so the output reuses S's
+  coordinate streams directly;
+* :class:`~repro.sam.primitives.crd.CrdHold` carries the row index i
+  alongside the per-element streams so A's dense row lookup has a
+  reference per (i, j) element.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..primitives import (
+    ArrayVals,
+    BinaryAlu,
+    CrdHold,
+    FiberLookup,
+    FiberWrite,
+    Reduce,
+    RootSource,
+    ValsWrite,
+)
+from ..primitives.alu import mul
+from ..tensor import CsfTensor, DenseLevel
+from .common import KernelGraph, SamGraphBuilder
+
+
+def build_sddmm(
+    s: CsfTensor,
+    a_dense: np.ndarray,
+    b_dense: np.ndarray,
+    depth: int | None = None,
+    latency: int = 1,
+    timing=None,
+) -> KernelGraph:
+    """Build X = S .* (A @ B^T); see module docstring for conventions."""
+    if a_dense.shape[0] != s.shape[0] or b_dense.shape[0] != s.shape[1]:
+        raise ValueError(
+            f"shape mismatch: S {s.shape}, A {a_dense.shape}, B {b_dense.shape}"
+        )
+    if a_dense.shape[1] != b_dense.shape[1]:
+        raise ValueError("A and B must share the k dimension")
+    k_size = a_dense.shape[1]
+    g = SamGraphBuilder(depth=depth, latency=latency, timing=timing)
+    t = g.timing
+
+    # --- scan S's structure ---------------------------------------------
+    root_s, root_r = g.ch("rootS")
+    g.add(RootSource(root_s, timing=t, name="rootS"))
+    csi_s, csi_r = g.ch("cSi")
+    rsi_s, rsi_r = g.ch("rSi")
+    g.add(FiberLookup(s.level(0), root_r, csi_s, rsi_s, timing=t, name="scanSi"))
+    csj_s, csj_r = g.ch("cSj")
+    rsj_s, rsj_r = g.ch("rSj")
+    g.add(FiberLookup(s.level(1), rsi_r, csj_s, rsj_s, timing=t, name="scanSj"))
+
+    csi_out, csi_hold = g.fanout(csi_r, 2, "cSi")
+    csj_out, csj_hold, csj_bref = g.fanout(csj_r, 3, "cSj")
+
+    # S's values (the sampling scale).
+    vs_s, vs_r = g.ch("vS")
+    g.add(ArrayVals(s.vals, rsj_r, vs_s, timing=t, name="arrayS"))
+
+    # --- dense gathers ----------------------------------------------------
+    # Row index i per (i, j) element -> reference into A's dense row level.
+    hi_s, hi_r = g.ch("held_i")
+    g.add(CrdHold(csi_hold, csj_hold, hi_s, timing=t, name="holdI"))
+
+    cak_s, cak_r = g.ch("cAk")
+    rak_s, rak_r = g.ch("rAk")
+    g.add(
+        FiberLookup(DenseLevel(k_size), hi_r, cak_s, rak_s, timing=t, name="scanAk")
+    )
+    cbk_s, cbk_r = g.ch("cBk")
+    rbk_s, rbk_r = g.ch("rBk")
+    g.add(
+        FiberLookup(DenseLevel(k_size), csj_bref, cbk_s, rbk_s, timing=t, name="scanBk")
+    )
+
+    from ..primitives.write import StreamSink
+
+    g.add(StreamSink(cak_r, timing=t, name="sink_cAk"))
+    g.add(StreamSink(cbk_r, timing=t, name="sink_cBk"))
+
+    va_s, va_r = g.ch("vA")
+    vb_s, vb_r = g.ch("vB")
+    g.add(
+        ArrayVals(np.asarray(a_dense).reshape(-1), rak_r, va_s, timing=t, name="arrayA")
+    )
+    g.add(
+        ArrayVals(np.asarray(b_dense).reshape(-1), rbk_r, vb_s, timing=t, name="arrayB")
+    )
+
+    # --- dot product and sampling scale ----------------------------------
+    vm_s, vm_r = g.ch("vMulK")
+    g.add(BinaryAlu(va_r, vb_r, vm_s, mul, timing=t, name="mulK"))
+    vd_s, vd_r = g.ch("vDot")
+    g.add(
+        Reduce(vm_r, vd_s, suppress_uninhabited=True, timing=t, name="reduceK")
+    )
+    vx_s, vx_r = g.ch("vX")
+    g.add(BinaryAlu(vd_r, vs_r, vx_s, mul, timing=t, name="sampleMul"))
+
+    # --- output -----------------------------------------------------------
+    fw_i = g.add(FiberWrite(csi_out, timing=t, name="write_i"))
+    fw_j = g.add(FiberWrite(csj_out, timing=t, name="write_j"))
+    vw = g.add(ValsWrite(vx_r, timing=t, name="write_vals"))
+
+    return KernelGraph(g.build(), [fw_i, fw_j], vw, s.shape)

@@ -1,0 +1,162 @@
+"""SpMSpM: sparse matrix-sparse matrix multiplication X = B @ C.
+
+Inner-product formulation over X(i, j) = sum_k B(i, k) * C(k, j) with the
+second operand stored transposed ("Ct": rows are j, columns are k — i.e.
+CSC of C), which is the canonical TACO/SAM lowering: iterate B's rows
+(i), re-scan all of Ct's rows (j) per i, intersect the two k-fibers,
+multiply matched values, and reduce over k.
+
+Graph sketch::
+
+    rootB -> scanBi --(crd_i)--> repsigI --\\
+    rootC ----------------------> repeatC --> scanCj --(crd_j)--> repsigJ
+                 scanBi.ref ----------------------------> repeatB
+    repeatB -> scanBk  \\ intersectK -> arrayB, arrayC -> mul -> reduce
+    scanCj.ref -> scanCk /
+
+The plain build emits a *dense-in-j* value stream (zero dot products for
+empty intersections); ``compress_output=True`` adds the CrdDrop /
+zero-filter stages so the written output is properly compressed — at the
+cost of three more contexts, mirroring the paper's output-compression
+discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..primitives import (
+    ArrayVals,
+    BinaryAlu,
+    CrdDrop,
+    FiberLookup,
+    FiberWrite,
+    Intersect,
+    Reduce,
+    Repeat,
+    RepeatSigGen,
+    RootSource,
+    ValsWrite,
+)
+from ..primitives.alu import mul
+from ..primitives.filter import ValDrop
+from ..tensor import CsfTensor
+from .common import KernelGraph, SamGraphBuilder
+
+
+def build_spmspm(
+    b: CsfTensor,
+    c_transposed: CsfTensor,
+    depth: int | None = None,
+    latency: int = 1,
+    timing=None,
+    compress_output: bool = False,
+) -> KernelGraph:
+    """Build X = B @ C with ``c_transposed`` holding C^T in 'cc' format.
+
+    ``b`` is (I, K); ``c_transposed`` is (J, K); the result is (I, J).
+    """
+    if b.shape[1] != c_transposed.shape[1]:
+        raise ValueError(
+            f"inner dimensions differ: B is {b.shape}, C^T is "
+            f"{c_transposed.shape} (k axes must match)"
+        )
+    rows, cols = b.shape[0], c_transposed.shape[0]
+    g = SamGraphBuilder(depth=depth, latency=latency, timing=timing)
+    t = g.timing
+
+    # --- outer loop: B's i level ---------------------------------------
+    rootb_s, rootb_r = g.ch("rootB")
+    g.add(RootSource(rootb_s, timing=t, name="rootB"))
+    cbi_s, cbi_r = g.ch("cBi")
+    rbi_s, rbi_r = g.ch("rBi")
+    g.add(FiberLookup(b.level(0), rootb_r, cbi_s, rbi_s, timing=t, name="scanBi"))
+    cbi_out, cbi_sig = g.fanout(cbi_r, 2, "cBi")
+
+    # Re-scan all of Ct per i: repeat the root reference once per i.
+    sigi_s, sigi_r = g.ch("sigI")
+    g.add(RepeatSigGen(cbi_sig, sigi_s, timing=t, name="repsigI"))
+    rootc_s, rootc_r = g.ch("rootC")
+    g.add(RootSource(rootc_s, timing=t, name="rootC"))
+    rcrep_s, rcrep_r = g.ch("rC_rep")
+    g.add(Repeat(rootc_r, sigi_r, rcrep_s, timing=t, name="repeatC"))
+
+    # --- middle loop: Ct's j level (once per i) ------------------------
+    ccj_s, ccj_r = g.ch("cCj")
+    rcj_s, rcj_r = g.ch("rCj")
+    g.add(
+        FiberLookup(c_transposed.level(0), rcrep_r, ccj_s, rcj_s, timing=t, name="scanCj")
+    )
+    fanout_n = 3 if compress_output else 2
+    ccj_parts = g.fanout(ccj_r, fanout_n, "cCj")
+    ccj_out, ccj_sig = ccj_parts[0], ccj_parts[1]
+
+    # Repeat B's row refs once per j.
+    sigj_s, sigj_r = g.ch("sigJ")
+    g.add(RepeatSigGen(ccj_sig, sigj_s, timing=t, name="repsigJ"))
+    rbrep_s, rbrep_r = g.ch("rB_rep")
+    g.add(Repeat(rbi_r, sigj_r, rbrep_s, timing=t, name="repeatB"))
+
+    # --- inner loop: the k intersection --------------------------------
+    cbk_s, cbk_r = g.ch("cBk")
+    rbk_s, rbk_r = g.ch("rBk")
+    g.add(FiberLookup(b.level(1), rbrep_r, cbk_s, rbk_s, timing=t, name="scanBk"))
+    cck_s, cck_r = g.ch("cCk")
+    rck_s, rck_r = g.ch("rCk")
+    g.add(
+        FiberLookup(c_transposed.level(1), rcj_r, cck_s, rck_s, timing=t, name="scanCk")
+    )
+
+    ck_s, ck_r = g.ch("crd_k")
+    rbx_s, rbx_r = g.ch("rBk_x")
+    rcx_s, rcx_r = g.ch("rCk_x")
+    g.add(
+        Intersect(
+            cbk_r, rbk_r, cck_r, rck_r, ck_s, rbx_s, rcx_s, timing=t, name="intersectK"
+        )
+    )
+
+    vb_s, vb_r = g.ch("vB")
+    vc_s, vc_r = g.ch("vC")
+    g.add(ArrayVals(b.vals, rbx_r, vb_s, timing=t, name="arrayB"))
+    g.add(ArrayVals(c_transposed.vals, rcx_r, vc_s, timing=t, name="arrayC"))
+    vm_s, vm_r = g.ch("vMul")
+    g.add(BinaryAlu(vb_r, vc_r, vm_s, mul, timing=t, name="mulALU"))
+    vx_s, vx_r = g.ch("vX")
+    g.add(Reduce(vm_r, vx_s, timing=t, name="reduceK"))
+
+    # --- output ---------------------------------------------------------
+    fw_i = g.add(FiberWrite(cbi_out, timing=t, name="write_i"))
+    if compress_output:
+        # Drop j coordinates whose k-intersection was empty, and the
+        # corresponding zero dot products.
+        cjd_s, cjd_r = g.ch("crd_j_drop")
+        g.add(CrdDrop(ccj_parts[2], ck_r, cjd_s, timing=t, name="dropJ"))
+        vxd_s, vxd_r = g.ch("vX_drop")
+        g.add(ValDrop(vx_r, vxd_s, timing=t, name="dropZeroVals"))
+        fw_j = g.add(FiberWrite(cjd_r, timing=t, name="write_j"))
+        vw = g.add(ValsWrite(vxd_r, timing=t, name="write_vals"))
+        # ccj_out is unused in this variant; terminate it.
+        from ..primitives.write import StreamSink
+
+        g.add(StreamSink(ccj_out, timing=t, name="sink_cCj"))
+    else:
+        ck_sink = g.add(
+            _crd_sink(g, ck_r, t)
+        )
+        fw_j = g.add(FiberWrite(ccj_out, timing=t, name="write_j"))
+        vw = g.add(ValsWrite(vx_r, timing=t, name="write_vals"))
+
+    return KernelGraph(g.build(), [fw_i, fw_j], vw, (rows, cols))
+
+
+def _crd_sink(g: SamGraphBuilder, receiver, timing):
+    """Terminate an unused coordinate stream."""
+    from ..primitives.write import StreamSink
+
+    return StreamSink(receiver, timing=timing, name="sink_crd_k")
+
+
+def reference(b_dense: np.ndarray, ct_dense: np.ndarray) -> np.ndarray:
+    """Dense reference for this formulation: B @ (C^T)^T."""
+    return b_dense @ ct_dense.T

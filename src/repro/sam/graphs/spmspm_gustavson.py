@@ -1,0 +1,114 @@
+"""SpMSpM, Gustavson dataflow: X(i, :) = sum_k B(i, k) * C(k, :).
+
+The inner-product formulation (:mod:`repro.sam.graphs.spmspm`) intersects
+k-fibers per output element; Gustavson instead walks B's nonzeros and
+accumulates scaled rows of C with the sparse accumulator — no intersection
+and no wasted work on empty crossings, at the cost of the spacc's merge
+state.  Which dataflow wins depends on the operands' sparsity structure:
+exactly the kind of trade-off the paper positions DAM to explore
+("explore various tradeoffs in the system"), and the subject of the
+inner-vs-Gustavson ablation bench.
+
+Storage convention: ``b`` is (I, K) in 'cc'; ``c`` is (K, J) in **'dc'**
+(dense k level), so B's k coordinates directly reference C's rows without
+a Locate unit.
+
+Graph sketch::
+
+    rootB -> scanBi -> scanBk  (B's nonzeros, row-major)
+    crd_kB --------------------------> scanCj (dense k ref -> C row fiber)
+    vB -> repeat per j -> mul with vC -> spacc over k -> X rows
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..primitives import (
+    ArrayVals,
+    BinaryAlu,
+    FiberLookup,
+    FiberWrite,
+    Repeat,
+    RepeatSigGen,
+    RootSource,
+    SpaccV1,
+    ValsWrite,
+)
+from ..primitives.alu import mul
+from ..tensor import CsfTensor
+from .common import KernelGraph, SamGraphBuilder
+
+
+def build_spmspm_gustavson(
+    b: CsfTensor,
+    c: CsfTensor,
+    depth: int | None = None,
+    latency: int = 1,
+    timing=None,
+) -> KernelGraph:
+    """Build X = B @ C with Gustavson accumulation (see module docstring).
+
+    ``c`` may be 'dc' (dense k level: B's k coordinates reference rows
+    directly) or 'cc' (compressed k level: a :class:`Locate` stage maps
+    each k coordinate to its row reference, with missing rows becoming
+    ABSENT/empty fibers).
+    """
+    if b.shape[1] != c.shape[0]:
+        raise ValueError(f"inner dimensions differ: B {b.shape}, C {c.shape}")
+    rows, cols = b.shape[0], c.shape[1]
+    g = SamGraphBuilder(depth=depth, latency=latency, timing=timing)
+    t = g.timing
+
+    # --- walk B's nonzeros, row-major -----------------------------------
+    rootb_s, rootb_r = g.ch("rootB")
+    g.add(RootSource(rootb_s, timing=t, name="rootB"))
+    cbi_s, cbi_r = g.ch("cBi")
+    rbi_s, rbi_r = g.ch("rBi")
+    g.add(FiberLookup(b.level(0), rootb_r, cbi_s, rbi_s, timing=t, name="scanBi"))
+    cbk_s, cbk_r = g.ch("cBk")
+    rbk_s, rbk_r = g.ch("rBk")
+    g.add(FiberLookup(b.level(1), rbi_r, cbk_s, rbk_s, timing=t, name="scanBk"))
+
+    vb_s, vb_r = g.ch("vB")
+    g.add(ArrayVals(b.vals, rbk_r, vb_s, timing=t, name="arrayB"))
+
+    # --- gather C's row for each B nonzero -------------------------------
+    if c.level(0).kind == "dense":
+        # cBk coordinates double as dense references into C's k level.
+        row_ref_r = cbk_r
+    else:
+        # Compressed k level: random-access the row position by coordinate.
+        from ..primitives import Locate
+
+        loc_s, row_ref_r = g.ch("rCrow")
+        g.add(Locate(c.level(0), cbk_r, loc_s, timing=t, name="locateK"))
+    ccj_s, ccj_r = g.ch("cCj")
+    rcj_s, rcj_r = g.ch("rCj")
+    g.add(FiberLookup(c.level(1), row_ref_r, ccj_s, rcj_s, timing=t, name="scanCj"))
+    ccj_acc, ccj_sig = g.fanout(ccj_r, 2, "cCj")
+    vc_s, vc_r = g.ch("vC")
+    g.add(ArrayVals(c.vals, rcj_r, vc_s, timing=t, name="arrayC"))
+
+    # Scale each C row by its B value: repeat vB once per j in the row.
+    sig_s, sig_r = g.ch("sigJ")
+    g.add(RepeatSigGen(ccj_sig, sig_s, timing=t, name="repsigJ"))
+    vbrep_s, vbrep_r = g.ch("vB_rep")
+    g.add(Repeat(vb_r, sig_r, vbrep_s, timing=t, name="repeatVB"))
+    vm_s, vm_r = g.ch("vScaled")
+    g.add(BinaryAlu(vc_r, vbrep_r, vm_s, mul, timing=t, name="scaleMul"))
+
+    # --- merge the scaled rows over k with the sparse accumulator --------
+    cx_s, cx_r = g.ch("crd_jX")
+    vx_s, vx_r = g.ch("vX")
+    g.add(SpaccV1(ccj_acc, vm_r, cx_s, vx_s, timing=t, name="spaccK"))
+
+    fw_i = g.add(FiberWrite(cbi_r, timing=t, name="write_i"))
+    fw_j = g.add(FiberWrite(cx_r, timing=t, name="write_j"))
+    vw = g.add(ValsWrite(vx_r, timing=t, name="write_vals"))
+
+    return KernelGraph(g.build(), [fw_i, fw_j], vw, (rows, cols))
+
+
+def gustavson_reference(b_dense: np.ndarray, c_dense: np.ndarray) -> np.ndarray:
+    return b_dense @ c_dense

@@ -1,0 +1,46 @@
+"""SAM primitive blocks as DAM contexts.
+
+Each primitive consumes/produces SAM token streams (payloads interleaved
+with :class:`~repro.sam.token.Stop`/``DONE``).  Timing is injected in the
+CSPT style: every primitive charges ``ii`` cycles per processed token, and
+``stop_bubble`` extra cycles when handling a control token — the exact
+knob the automated-calibration case study (Fig. 10) tunes.
+"""
+
+from .alu import BinaryAlu, UnaryAlu
+from .array import ArrayVals
+from .base import SamContext, TimingParams
+from .crd import CrdDrop, CrdHold
+from .fiber_lookup import FiberLookup
+from .joiner import Intersect, Union
+from .limiter import NonzeroLimiter
+from .locate import Locate
+from .reduce import Reduce
+from .repeat import Repeat, RepeatSigGen
+from .source import RootSource, StreamSource
+from .spacc import SpaccV1
+from .write import FiberWrite, StreamSink, ValsWrite
+
+__all__ = [
+    "SamContext",
+    "TimingParams",
+    "FiberLookup",
+    "ArrayVals",
+    "Repeat",
+    "RepeatSigGen",
+    "Intersect",
+    "Union",
+    "NonzeroLimiter",
+    "Locate",
+    "BinaryAlu",
+    "UnaryAlu",
+    "Reduce",
+    "SpaccV1",
+    "CrdDrop",
+    "CrdHold",
+    "FiberWrite",
+    "ValsWrite",
+    "StreamSink",
+    "RootSource",
+    "StreamSource",
+]

@@ -1,0 +1,103 @@
+"""ALU primitives: elementwise compute on value streams."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ...core.channel import Receiver, Sender
+from ..token import DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class BinaryAlu(SamContext):
+    """Combine two aligned value streams elementwise.
+
+    The streams must share control structure (the joiner guarantees this
+    for its two ref outputs); stops are checked for alignment and passed
+    through.
+    """
+
+    def __init__(
+        self,
+        in_val1: Receiver,
+        in_val2: Receiver,
+        out_val: Sender,
+        fn: Callable[[float, float], float],
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_val1 = in_val1
+        self.in_val2 = in_val2
+        self.out_val = out_val
+        self.fn = fn
+        self.register(in_val1, in_val2, out_val)
+
+    def run(self):
+        fn = self.fn
+        while True:
+            a = yield self.in_val1.dequeue()
+            b = yield self.in_val2.dequeue()
+            if a is DONE or b is DONE:
+                assert a is DONE and b is DONE, (
+                    f"{self.name}: value streams ended at different points"
+                )
+                yield self.out_val.enqueue(DONE)
+                return
+            if isinstance(a, Stop) or isinstance(b, Stop):
+                assert a == b, f"{self.name}: misaligned tokens {a!r} vs {b!r}"
+                yield self.out_val.enqueue(a)
+                yield self.tick_control()
+            else:
+                yield self.out_val.enqueue(fn(a, b))
+                yield self.tick()
+
+
+def mul(a: float, b: float) -> float:
+    return a * b
+
+
+def add(a: float, b: float) -> float:
+    return a + b
+
+
+class UnaryAlu(SamContext):
+    """Apply ``fn`` to each payload; control tokens pass through.
+
+    Used for the nonlinear units of the sparse-attention graphs (exp,
+    scaling) — the "new blocks for ... non-linear operations" of
+    Section VIII-A1.
+    """
+
+    def __init__(
+        self,
+        in_val: Receiver,
+        out_val: Sender,
+        fn: Callable[[float], float],
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_val = in_val
+        self.out_val = out_val
+        self.fn = fn
+        self.register(in_val, out_val)
+
+    def run(self):
+        fn = self.fn
+        while True:
+            token = yield self.in_val.dequeue()
+            if token is DONE:
+                yield self.out_val.enqueue(DONE)
+                return
+            if isinstance(token, Stop):
+                yield self.out_val.enqueue(token)
+                yield self.tick_control()
+            else:
+                yield self.out_val.enqueue(fn(token))
+                yield self.tick()
+
+
+def exp(value: float) -> float:
+    return math.exp(value)

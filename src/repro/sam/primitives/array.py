@@ -1,0 +1,50 @@
+"""Value array lookup: SAM's Array (vals) primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.channel import Receiver, Sender
+from ..token import ABSENT, DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class ArrayVals(SamContext):
+    """Map leaf references to stored values.
+
+    References index the tensor's values array; ``ABSENT`` references (a
+    union's missing side) read as 0.0, which is what makes union-based
+    addition work without special cases downstream.  Control tokens pass
+    through unchanged.
+    """
+
+    def __init__(
+        self,
+        vals: np.ndarray,
+        in_ref: Receiver,
+        out_val: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        self.in_ref = in_ref
+        self.out_val = out_val
+        self.register(in_ref, out_val)
+
+    def run(self):
+        vals = self.vals
+        while True:
+            token = yield self.in_ref.dequeue()
+            if token is DONE:
+                yield self.out_val.enqueue(DONE)
+                return
+            if isinstance(token, Stop):
+                yield self.out_val.enqueue(token)
+                yield self.tick_control()
+            elif token is ABSENT:
+                yield self.out_val.enqueue(0.0)
+                yield self.tick()
+            else:
+                yield self.out_val.enqueue(float(vals[token]))
+                yield self.tick()

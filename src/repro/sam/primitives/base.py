@@ -1,0 +1,48 @@
+"""Shared machinery for SAM primitive contexts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.context import Context
+from ...core.ops import IncrCycles
+from ...core.time import Time
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Timing behaviour of a SAM primitive.
+
+    ``ii``
+        Initiation interval: cycles charged per processed token.
+    ``stop_bubble``
+        Extra pipeline-bubble cycles charged when a control token (stop or
+        done) is handled.  This is the parameter family exposed to the
+        autotuner in the calibration study (Section VIII-A4).
+    """
+
+    ii: Time = 1
+    stop_bubble: Time = 0
+
+    def scaled_for_control(self) -> Time:
+        return self.ii + self.stop_bubble
+
+
+#: Default timing: fully pipelined, no control bubbles.
+DEFAULT_TIMING = TimingParams()
+
+
+class SamContext(Context):
+    """Base class for SAM primitives: holds timing and tick helpers."""
+
+    def __init__(self, timing: TimingParams | None = None, name: str | None = None):
+        super().__init__(name=name)
+        self.timing = timing or DEFAULT_TIMING
+
+    def tick(self) -> IncrCycles:
+        """One payload-token initiation interval (yield the result)."""
+        return IncrCycles(self.timing.ii)
+
+    def tick_control(self) -> IncrCycles:
+        """One control-token interval including the stop bubble."""
+        return IncrCycles(self.timing.ii + self.timing.stop_bubble)

@@ -1,0 +1,143 @@
+"""Coordinate bookkeeping primitives: CrdDrop and CrdHold.
+
+* **CrdDrop** removes outer coordinates whose inner fiber turned out empty
+  (after an intersect, a row may contribute no output).  It consumes the
+  outer crd stream plus the inner crd stream that resulted from it, and
+  re-emits only the surviving outer coordinates.
+
+* **CrdHold** replicates the current outer coordinate once per inner
+  payload, producing a stream aligned with the inner one (used to carry
+  row indices alongside per-element streams, e.g. SDDMM's dense gathers).
+"""
+
+from __future__ import annotations
+
+from ...core.channel import Receiver, Sender
+from ..token import DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class CrdDrop(SamContext):
+    """Keep outer coordinates with nonempty inner fibers."""
+
+    def __init__(
+        self,
+        in_outer_crd: Receiver,
+        in_inner_crd: Receiver,
+        out_crd: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_outer_crd = in_outer_crd
+        self.in_inner_crd = in_inner_crd
+        self.out_crd = out_crd
+        self.register(in_outer_crd, in_inner_crd, out_crd)
+
+    def run(self):
+        while True:
+            outer = yield self.in_outer_crd.dequeue()
+            if outer is DONE:
+                inner = yield self.in_inner_crd.dequeue()
+                assert inner is DONE, (
+                    f"{self.name}: outer done but inner sent {inner!r}"
+                )
+                yield self.out_crd.enqueue(DONE)
+                return
+            if isinstance(outer, Stop):
+                # An empty outer fiber: the inner stream presents the
+                # matching one-deeper stop; mirror the outer stop through.
+                inner = yield self.in_inner_crd.dequeue()
+                assert isinstance(inner, Stop) and inner.level == outer.level + 1, (
+                    f"{self.name}: outer stop {outer!r} paired with inner "
+                    f"{inner!r} (expected Stop({outer.level + 1}))"
+                )
+                yield self.out_crd.enqueue(outer)
+                yield self.tick_control()
+                continue
+            # Scan this outer coordinate's inner fiber.
+            nonempty = False
+            while True:
+                inner = yield self.in_inner_crd.dequeue()
+                if isinstance(inner, Stop):
+                    break
+                assert inner is not DONE, (
+                    f"{self.name}: inner stream done mid-fiber"
+                )
+                nonempty = True
+                yield self.tick()
+            if nonempty:
+                yield self.out_crd.enqueue(outer)
+            yield self.tick_control()
+            if inner.level >= 1:
+                # Inner boundary also closes outer levels: mirror it on the
+                # outer stream (consume) and the output (emit, one level
+                # shallower).
+                matching = yield self.in_outer_crd.dequeue()
+                expected = inner.level - 1
+                assert isinstance(matching, Stop) and matching.level == expected, (
+                    f"{self.name}: expected outer Stop({expected}), got "
+                    f"{matching!r}"
+                )
+                yield self.out_crd.enqueue(matching)
+
+
+class CrdHold(SamContext):
+    """Emit the held outer coordinate once per inner payload."""
+
+    def __init__(
+        self,
+        in_outer_crd: Receiver,
+        in_inner_crd: Receiver,
+        out_crd: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_outer_crd = in_outer_crd
+        self.in_inner_crd = in_inner_crd
+        self.out_crd = out_crd
+        self.register(in_outer_crd, in_inner_crd, out_crd)
+
+    def run(self):
+        while True:
+            outer = yield self.in_outer_crd.dequeue()
+            if outer is DONE:
+                inner = yield self.in_inner_crd.dequeue()
+                assert inner is DONE, (
+                    f"{self.name}: outer done but inner sent {inner!r}"
+                )
+                yield self.out_crd.enqueue(DONE)
+                return
+            if isinstance(outer, Stop):
+                # Empty outer fiber: pass the inner stream's matching
+                # one-deeper stop through (output aligns with the inner).
+                inner = yield self.in_inner_crd.dequeue()
+                assert isinstance(inner, Stop) and inner.level == outer.level + 1, (
+                    f"{self.name}: outer stop {outer!r} paired with inner "
+                    f"{inner!r} (expected Stop({outer.level + 1}))"
+                )
+                yield self.out_crd.enqueue(inner)
+                yield self.tick_control()
+                continue
+            while True:
+                inner = yield self.in_inner_crd.dequeue()
+                if isinstance(inner, Stop):
+                    yield self.out_crd.enqueue(inner)
+                    yield self.tick_control()
+                    if inner.level >= 1:
+                        matching = yield self.in_outer_crd.dequeue()
+                        expected = inner.level - 1
+                        assert (
+                            isinstance(matching, Stop)
+                            and matching.level == expected
+                        ), (
+                            f"{self.name}: expected outer Stop({expected}), "
+                            f"got {matching!r}"
+                        )
+                    break
+                assert inner is not DONE, (
+                    f"{self.name}: inner stream done mid-fiber"
+                )
+                yield self.out_crd.enqueue(outer)
+                yield self.tick()

@@ -1,0 +1,78 @@
+"""The level scanner: SAM's FiberLookup primitive.
+
+For every input reference it streams the referenced fiber's coordinates
+and child references; input stop tokens pass through with their level
+raised by one, and sibling fibers are separated by ``S0``:
+
+* input ``ref r`` → the fiber's (crd, ref) pairs, with an ``S0`` emitted
+  first if a previous fiber in the same group is still open;
+* input ``Stop(k)`` → ``Stop(k + 1)``;
+* input ``DONE`` → close the open fiber with ``S0`` if needed, then ``D``.
+
+``ABSENT`` references (from a union's missing side) produce empty fibers,
+keeping the stop structure aligned across both union branches.
+
+Works over both level kinds (:class:`~repro.sam.tensor.DenseLevel` and
+:class:`~repro.sam.tensor.CompressedLevel`): dense levels make this the
+dense counterpart ("repeated range generator") used by SDDMM/MHA.
+"""
+
+from __future__ import annotations
+
+from ...core.channel import Receiver, Sender
+from ..tensor import Level
+from ..token import ABSENT, DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class FiberLookup(SamContext):
+    """Scan ``level``: refs in, (crd, ref) fibers out."""
+
+    def __init__(
+        self,
+        level: Level,
+        in_ref: Receiver,
+        out_crd: Sender,
+        out_ref: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.level = level
+        self.in_ref = in_ref
+        self.out_crd = out_crd
+        self.out_ref = out_ref
+        self.register(in_ref, out_crd, out_ref)
+
+    def run(self):
+        level = self.level
+        open_fiber = False  # a fiber was emitted and awaits its boundary
+        while True:
+            token = yield self.in_ref.dequeue()
+            if token is DONE:
+                if open_fiber:
+                    yield self.out_crd.enqueue(Stop(0))
+                    yield self.out_ref.enqueue(Stop(0))
+                    yield self.tick_control()
+                yield self.out_crd.enqueue(DONE)
+                yield self.out_ref.enqueue(DONE)
+                return
+            if isinstance(token, Stop):
+                bumped = token.bumped()
+                yield self.out_crd.enqueue(bumped)
+                yield self.out_ref.enqueue(bumped)
+                yield self.tick_control()
+                open_fiber = False
+                continue
+            # A reference (or ABSENT: an empty fiber placeholder).
+            if open_fiber:
+                yield self.out_crd.enqueue(Stop(0))
+                yield self.out_ref.enqueue(Stop(0))
+                yield self.tick_control()
+            if token is not ABSENT:
+                coords, refs = level.fiber(token)
+                for coord, ref in zip(coords, refs):
+                    yield self.out_crd.enqueue(coord)
+                    yield self.out_ref.enqueue(ref)
+                    yield self.tick()
+            open_fiber = True

@@ -1,0 +1,45 @@
+"""Value filtering: the compression companion of CrdDrop.
+
+``ValDrop`` removes exact-zero payloads from a value stream, passing
+control tokens through.  Paired with
+:class:`~repro.sam.primitives.crd.CrdDrop` on the matching coordinate
+stream, it compresses away the zero results that reductions over empty
+intersections produce.
+"""
+
+from __future__ import annotations
+
+from ...core.channel import Receiver, Sender
+from ..token import DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class ValDrop(SamContext):
+    """Forward non-zero payloads and all control tokens."""
+
+    def __init__(
+        self,
+        in_val: Receiver,
+        out_val: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_val = in_val
+        self.out_val = out_val
+        self.register(in_val, out_val)
+
+    def run(self):
+        while True:
+            token = yield self.in_val.dequeue()
+            if token is DONE:
+                yield self.out_val.enqueue(DONE)
+                return
+            if isinstance(token, Stop):
+                yield self.out_val.enqueue(token)
+                yield self.tick_control()
+            elif token != 0.0:
+                yield self.out_val.enqueue(token)
+                yield self.tick()
+            else:
+                yield self.tick()

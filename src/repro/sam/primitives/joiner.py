@@ -1,0 +1,159 @@
+"""Coordinate joiners: Intersect (multiplication) and Union (addition).
+
+Both consume two aligned (crd, ref) stream pairs whose control structure
+matches (they scan the same logical iteration space), and produce one crd
+stream plus a ref stream per input operand.
+
+* **Intersect** keeps only coordinates present on both sides — the sparse
+  iteration space of a multiply.
+* **Union** keeps coordinates present on either side, emitting ``ABSENT``
+  for the missing operand's reference — the iteration space of an add.
+  Downstream, :class:`~repro.sam.primitives.fiber_lookup.FiberLookup`
+  treats ``ABSENT`` as an empty fiber and
+  :class:`~repro.sam.primitives.array.ArrayVals` reads it as 0.0.
+"""
+
+from __future__ import annotations
+
+from ...core.channel import Receiver, Sender
+from ..token import ABSENT, DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class _TwoStreamJoiner(SamContext):
+    """Shared plumbing: paired (crd, ref) heads with lookahead."""
+
+    def __init__(
+        self,
+        in_crd1: Receiver,
+        in_ref1: Receiver,
+        in_crd2: Receiver,
+        in_ref2: Receiver,
+        out_crd: Sender,
+        out_ref1: Sender,
+        out_ref2: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_crd1 = in_crd1
+        self.in_ref1 = in_ref1
+        self.in_crd2 = in_crd2
+        self.in_ref2 = in_ref2
+        self.out_crd = out_crd
+        self.out_ref1 = out_ref1
+        self.out_ref2 = out_ref2
+        self.register(
+            in_crd1, in_ref1, in_crd2, in_ref2, out_crd, out_ref1, out_ref2
+        )
+
+    def _pull1(self):
+        crd = yield self.in_crd1.dequeue()
+        ref = yield self.in_ref1.dequeue()
+        return crd, ref
+
+    def _pull2(self):
+        crd = yield self.in_crd2.dequeue()
+        ref = yield self.in_ref2.dequeue()
+        return crd, ref
+
+    def _emit(self, crd, ref1, ref2):
+        yield self.out_crd.enqueue(crd)
+        yield self.out_ref1.enqueue(ref1)
+        yield self.out_ref2.enqueue(ref2)
+
+    def _emit_control(self, token):
+        yield self.out_crd.enqueue(token)
+        yield self.out_ref1.enqueue(token)
+        yield self.out_ref2.enqueue(token)
+
+
+class Intersect(_TwoStreamJoiner):
+    """Two-pointer fiber intersection (sparse multiply iteration space)."""
+
+    def run(self):
+        c1, r1 = yield from self._pull1()
+        c2, r2 = yield from self._pull2()
+        while True:
+            s1 = isinstance(c1, Stop)
+            s2 = isinstance(c2, Stop)
+            if c1 is DONE or c2 is DONE:
+                assert c1 is DONE and c2 is DONE, (
+                    f"{self.name}: streams ended at different points "
+                    f"({c1!r} vs {c2!r})"
+                )
+                yield from self._emit_control(DONE)
+                return
+            if s1 and s2:
+                assert c1.level == c2.level, (
+                    f"{self.name}: misaligned stops {c1!r} vs {c2!r}"
+                )
+                yield from self._emit_control(c1)
+                yield self.tick_control()
+                c1, r1 = yield from self._pull1()
+                c2, r2 = yield from self._pull2()
+            elif s1:
+                # Side 2 still has coordinates this fiber: no match possible.
+                yield self.tick()
+                c2, r2 = yield from self._pull2()
+            elif s2:
+                yield self.tick()
+                c1, r1 = yield from self._pull1()
+            elif c1 == c2:
+                yield from self._emit(c1, r1, r2)
+                yield self.tick()
+                c1, r1 = yield from self._pull1()
+                c2, r2 = yield from self._pull2()
+            elif c1 < c2:
+                yield self.tick()
+                c1, r1 = yield from self._pull1()
+            else:
+                yield self.tick()
+                c2, r2 = yield from self._pull2()
+
+
+class Union(_TwoStreamJoiner):
+    """Fiber union with ABSENT placeholders (sparse add iteration space)."""
+
+    def run(self):
+        c1, r1 = yield from self._pull1()
+        c2, r2 = yield from self._pull2()
+        while True:
+            s1 = isinstance(c1, Stop)
+            s2 = isinstance(c2, Stop)
+            if c1 is DONE or c2 is DONE:
+                assert c1 is DONE and c2 is DONE, (
+                    f"{self.name}: streams ended at different points "
+                    f"({c1!r} vs {c2!r})"
+                )
+                yield from self._emit_control(DONE)
+                return
+            if s1 and s2:
+                assert c1.level == c2.level, (
+                    f"{self.name}: misaligned stops {c1!r} vs {c2!r}"
+                )
+                yield from self._emit_control(c1)
+                yield self.tick_control()
+                c1, r1 = yield from self._pull1()
+                c2, r2 = yield from self._pull2()
+            elif s1:
+                yield from self._emit(c2, ABSENT, r2)
+                yield self.tick()
+                c2, r2 = yield from self._pull2()
+            elif s2:
+                yield from self._emit(c1, r1, ABSENT)
+                yield self.tick()
+                c1, r1 = yield from self._pull1()
+            elif c1 == c2:
+                yield from self._emit(c1, r1, r2)
+                yield self.tick()
+                c1, r1 = yield from self._pull1()
+                c2, r2 = yield from self._pull2()
+            elif c1 < c2:
+                yield from self._emit(c1, r1, ABSENT)
+                yield self.tick()
+                c1, r1 = yield from self._pull1()
+            else:
+                yield from self._emit(c2, ABSENT, r2)
+                yield self.tick()
+                c2, r2 = yield from self._pull2()

@@ -1,0 +1,132 @@
+"""Runtime sparsity guarantees: the excess-nonzero limiter.
+
+Section VIII-A1 observes that random sparsity makes channel provisioning
+*stochastic*: a length-64 fiber at 10% density expects <7 nonzeros, but
+has a 0.5% chance of exceeding 16 — so a depth-16 buffer deadlocks the
+system "after only a few thousand iterations".  The paper proposes
+"runtime sparsity guarantees, such as a unit which drops excess
+nonzeros", and leaves it as future work.  This module implements it.
+
+:class:`NonzeroLimiter` caps every innermost fiber of an aligned
+(crd, val) stream pair at ``max_nonzeros`` elements, dropping the rest.
+Two policies:
+
+* ``"tail"`` — keep the first ``max_nonzeros`` (cheapest hardware: a
+  counter and a gate);
+* ``"smallest"`` — keep the ``max_nonzeros`` largest-magnitude values
+  (requires a fiber-sized sort window, but loses the least signal — for
+  attention masks this is "drop the weakest scores").
+
+Dropping payloads never disturbs the stop structure, so downstream
+blocks are unaffected except for seeing shorter fibers — which is exactly
+what makes a depth-``max_nonzeros + slack`` row buffer *sufficient* and
+turns the stochastic deadlock into a bounded-loss approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...core.channel import Receiver, Sender
+from ..token import DONE, Stop
+from .base import SamContext, TimingParams
+
+_POLICIES = ("tail", "smallest")
+
+
+class NonzeroLimiter(SamContext):
+    """Cap innermost fibers of an aligned (crd, val) pair (see module docs)."""
+
+    def __init__(
+        self,
+        in_crd: Receiver,
+        in_val: Receiver,
+        out_crd: Sender,
+        out_val: Sender,
+        max_nonzeros: int,
+        policy: str = "tail",
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        if max_nonzeros < 1:
+            raise ValueError("max_nonzeros must be >= 1")
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        super().__init__(timing=timing, name=name)
+        self.in_crd = in_crd
+        self.in_val = in_val
+        self.out_crd = out_crd
+        self.out_val = out_val
+        self.max_nonzeros = max_nonzeros
+        self.policy = policy
+        self.dropped = 0  # total payloads discarded (observability)
+        self.register(in_crd, in_val, out_crd, out_val)
+
+    def run(self):
+        if self.policy == "tail":
+            yield from self._run_tail()
+        else:
+            yield from self._run_smallest()
+
+    def _run_tail(self):
+        """Streaming policy: pass the first K of each fiber, drop the rest."""
+        kept = 0
+        while True:
+            crd = yield self.in_crd.dequeue()
+            val = yield self.in_val.dequeue()
+            if crd is DONE:
+                assert val is DONE, f"{self.name}: misaligned DONE"
+                yield self.out_crd.enqueue(DONE)
+                yield self.out_val.enqueue(DONE)
+                return
+            if isinstance(crd, Stop):
+                assert crd == val, f"{self.name}: misaligned stops {crd!r}/{val!r}"
+                yield self.out_crd.enqueue(crd)
+                yield self.out_val.enqueue(crd)
+                yield self.tick_control()
+                kept = 0
+                continue
+            if kept < self.max_nonzeros:
+                kept += 1
+                yield self.out_crd.enqueue(crd)
+                yield self.out_val.enqueue(val)
+            else:
+                self.dropped += 1
+            yield self.tick()
+
+    def _run_smallest(self):
+        """Windowed policy: keep the K largest-magnitude values per fiber."""
+        fiber: list[tuple[Any, Any]] = []
+        while True:
+            crd = yield self.in_crd.dequeue()
+            val = yield self.in_val.dequeue()
+            if crd is DONE:
+                assert val is DONE, f"{self.name}: misaligned DONE"
+                yield self.out_crd.enqueue(DONE)
+                yield self.out_val.enqueue(DONE)
+                return
+            if isinstance(crd, Stop):
+                assert crd == val, f"{self.name}: misaligned stops {crd!r}/{val!r}"
+                yield from self._flush(fiber)
+                fiber = []
+                yield self.out_crd.enqueue(crd)
+                yield self.out_val.enqueue(crd)
+                yield self.tick_control()
+                continue
+            fiber.append((crd, val))
+            yield self.tick()
+
+    def _flush(self, fiber):
+        if len(fiber) > self.max_nonzeros:
+            self.dropped += len(fiber) - self.max_nonzeros
+            # Keep the K largest magnitudes, re-emitted in coordinate order.
+            keep = sorted(
+                sorted(fiber, key=lambda cv: -abs(cv[1]))[: self.max_nonzeros],
+                key=lambda cv: cv[0],
+            )
+        else:
+            keep = fiber
+        for crd, val in keep:
+            yield self.out_crd.enqueue(crd)
+            yield self.out_val.enqueue(val)
+            yield self.tick()

@@ -1,0 +1,75 @@
+"""Locate: random access into a level by coordinate.
+
+Streaming scanners only walk fibers in order; some dataflows (Gustavson's
+row gathering, scatter/gather stages) need the *reverse* map — given a
+coordinate, find its position in a fiber.  ``Locate`` searches a fixed
+fiber of a level (binary search on the coordinate segment for compressed
+levels, arithmetic for dense ones) and emits the child reference, or
+``ABSENT`` when the coordinate has no entry — which downstream scanners
+treat as an empty fiber, giving missing rows the natural all-zero
+semantics.
+
+Timing: each lookup charges ``ii``; hardware would serve this from an
+indexed memory, so the default cost model is one access per payload.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from ...core.channel import Receiver, Sender
+from ..tensor import CompressedLevel, DenseLevel, Level
+from ..token import ABSENT, DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class Locate(SamContext):
+    """Coordinates in, child references (or ABSENT) out; fixed fiber."""
+
+    def __init__(
+        self,
+        level: Level,
+        in_crd: Receiver,
+        out_ref: Sender,
+        fiber_ref: int = 0,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.level = level
+        self.fiber_ref = fiber_ref
+        self.in_crd = in_crd
+        self.out_ref = out_ref
+        self.register(in_crd, out_ref)
+
+    def _lookup(self, coordinate: int):
+        level = self.level
+        if isinstance(level, DenseLevel):
+            if 0 <= coordinate < level.size:
+                return self.fiber_ref * level.size + coordinate
+            return ABSENT
+        if isinstance(level, CompressedLevel):
+            start, end = level.seg[self.fiber_ref], level.seg[self.fiber_ref + 1]
+            position = bisect_left(level.crd, coordinate, start, end)
+            if position < end and level.crd[position] == coordinate:
+                return position
+            return ABSENT
+        # Generic fallback: linear scan through the fiber.
+        coords, refs = level.fiber(self.fiber_ref)
+        for crd, ref in zip(coords, refs):
+            if crd == coordinate:
+                return ref
+        return ABSENT
+
+    def run(self):
+        while True:
+            token = yield self.in_crd.dequeue()
+            if token is DONE:
+                yield self.out_ref.enqueue(DONE)
+                return
+            if isinstance(token, Stop):
+                yield self.out_ref.enqueue(token)
+                yield self.tick_control()
+            else:
+                yield self.out_ref.enqueue(self._lookup(token))
+                yield self.tick()

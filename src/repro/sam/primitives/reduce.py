@@ -1,0 +1,71 @@
+"""Reduce: collapse the innermost fiber of a value stream.
+
+``[v0, v1, S0, v2, S1, D]`` reduces to ``[v0 + v1, v2, S0, D]`` — one
+payload per innermost fiber, all stop levels decremented by one.  Empty
+fibers reduce to the identity (0.0 for add), which downstream crd-drop
+stages may eliminate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...core.channel import Receiver, Sender
+from ..token import DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class Reduce(SamContext):
+    """Streaming innermost-fiber reduction (default: sum)."""
+
+    def __init__(
+        self,
+        in_val: Receiver,
+        out_val: Sender,
+        fn: Callable[[float, float], float] = lambda a, b: a + b,
+        identity: float = 0.0,
+        suppress_uninhabited: bool = False,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_val = in_val
+        self.out_val = out_val
+        self.fn = fn
+        self.identity = identity
+        self.suppress_uninhabited = suppress_uninhabited
+        self.register(in_val, out_val)
+
+    def run(self):
+        fn = self.fn
+        accumulator = self.identity
+        # With ``suppress_uninhabited``: a higher-level stop arriving
+        # before any payload or innermost (S0) boundary closes
+        # *uninhabited* space (an empty operand) and emits no value.
+        # Whether that reading is correct is graph knowledge: it holds
+        # when the innermost level is dense (>= 1 payload per element, so
+        # stream emptiness means no elements exist), and fails when empty
+        # innermost fibers are legitimate per-element outcomes (e.g.
+        # empty intersections in SpMSpM, which must still produce their
+        # zero).  Hence the flag.  See tests/sam/test_primitives.py.
+        virgin = True
+        while True:
+            token = yield self.in_val.dequeue()
+            if token is DONE:
+                yield self.out_val.enqueue(DONE)
+                return
+            if isinstance(token, Stop):
+                if token.level == 0:
+                    virgin = False
+                if not (
+                    self.suppress_uninhabited and virgin and token.level >= 1
+                ):
+                    yield self.out_val.enqueue(accumulator)
+                accumulator = self.identity
+                if token.level >= 1:
+                    yield self.out_val.enqueue(Stop(token.level - 1))
+                yield self.tick_control()
+            else:
+                virgin = False
+                accumulator = fn(accumulator, token)
+                yield self.tick()

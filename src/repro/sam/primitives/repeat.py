@@ -1,0 +1,117 @@
+"""Repeat and RepeatSigGen: SAM's outer-loop replication primitives.
+
+``RepeatSigGen`` turns a coordinate stream into a repeat-signal stream:
+one ``R`` token per coordinate, control tokens passed through.
+
+``Repeat`` replicates each input reference according to one repeat-signal
+group: every ``R`` re-emits the current reference; a ``Stop(k)`` ends the
+group (emitted through) and advances to the next reference — additionally
+consuming the input reference stream's own ``Stop(k - 1)`` when ``k >= 1``
+(the signal stream is one level deeper than the reference stream).
+
+This is the primitive whose two implementations the paper's Fig. 7
+compares; the cycle-based counterpart lives in
+:mod:`repro.samlegacy.primitives.repeat`.
+"""
+
+from __future__ import annotations
+
+from ...core.channel import Receiver, Sender
+from ..token import DONE, REPEAT, Stop
+from .base import SamContext, TimingParams
+
+
+class RepeatSigGen(SamContext):
+    """Coordinates in, repeat signals out (one ``R`` per coordinate)."""
+
+    def __init__(
+        self,
+        in_crd: Receiver,
+        out_sig: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_crd = in_crd
+        self.out_sig = out_sig
+        self.register(in_crd, out_sig)
+
+    def run(self):
+        while True:
+            token = yield self.in_crd.dequeue()
+            if token is DONE:
+                yield self.out_sig.enqueue(DONE)
+                return
+            if isinstance(token, Stop):
+                yield self.out_sig.enqueue(token)
+                yield self.tick_control()
+            else:
+                yield self.out_sig.enqueue(REPEAT)
+                yield self.tick()
+
+
+class Repeat(SamContext):
+    """Replicate references per repeat-signal group (see module docs)."""
+
+    def __init__(
+        self,
+        in_ref: Receiver,
+        in_sig: Receiver,
+        out_ref: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_ref = in_ref
+        self.in_sig = in_sig
+        self.out_ref = out_ref
+        self.register(in_ref, in_sig, out_ref)
+
+    def run(self):
+        while True:
+            ref = yield self.in_ref.dequeue()
+            if ref is DONE:
+                signal = yield self.in_sig.dequeue()
+                assert signal is DONE, (
+                    f"{self.name}: ref stream done but signal stream sent "
+                    f"{signal!r}"
+                )
+                yield self.out_ref.enqueue(DONE)
+                return
+            if isinstance(ref, Stop):
+                # An empty reference fiber: the signal stream presents the
+                # matching one-deeper stop; consume the pair and pass the
+                # deeper stop through.
+                signal = yield self.in_sig.dequeue()
+                assert isinstance(signal, Stop) and signal.level == ref.level + 1, (
+                    f"{self.name}: ref stop {ref!r} paired with signal "
+                    f"{signal!r} (expected Stop({ref.level + 1}))"
+                )
+                yield self.out_ref.enqueue(signal)
+                yield self.tick_control()
+                continue
+            # Replicate this ref for one signal group.
+            while True:
+                signal = yield self.in_sig.dequeue()
+                if signal is REPEAT:
+                    yield self.out_ref.enqueue(ref)
+                    yield self.tick()
+                    continue
+                assert isinstance(signal, Stop), (
+                    f"{self.name}: signal stream ended mid-group with "
+                    f"{signal!r}"
+                )
+                yield self.out_ref.enqueue(signal)
+                yield self.tick_control()
+                if signal.level >= 1:
+                    # The group closed outer levels too: consume the ref
+                    # stream's matching (one-shallower) stop.
+                    matching = yield self.in_ref.dequeue()
+                    assert (
+                        isinstance(matching, Stop)
+                        and matching.level == signal.level - 1
+                    ), (
+                        f"{self.name}: expected ref-stream Stop("
+                        f"{signal.level - 1}), got {matching!r}"
+                    )
+                break

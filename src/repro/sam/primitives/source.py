@@ -1,0 +1,58 @@
+"""Stream sources: the entry points of a SAM graph."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ...core.channel import Sender
+from ..token import DONE
+from .base import SamContext, TimingParams
+
+
+class RootSource(SamContext):
+    """Emits the canonical root reference stream ``[0, D]``.
+
+    Every SAM kernel starts by scanning the outermost level of each input
+    tensor from the root fiber reference 0.
+    """
+
+    def __init__(
+        self,
+        out: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.out = out
+        self.register(out)
+
+    def run(self):
+        yield self.out.enqueue(0)
+        yield self.tick()
+        yield self.out.enqueue(DONE)
+
+
+class StreamSource(SamContext):
+    """Emits an explicit token list (tests, handcrafted workloads).
+
+    The caller is responsible for the list being a well-formed SAM stream
+    (ending with ``DONE``); :func:`repro.sam.token.is_control` helpers and
+    the stream well-formedness tests cover this.
+    """
+
+    def __init__(
+        self,
+        out: Sender,
+        tokens: Iterable[Any],
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.out = out
+        self.tokens = list(tokens)
+        self.register(out)
+
+    def run(self):
+        for token in self.tokens:
+            yield self.out.enqueue(token)
+            yield self.tick()

@@ -1,0 +1,75 @@
+"""SpaccV1: the level-1 sparse accumulator.
+
+Accumulates (coordinate, value) pairs across the ``S0``-separated
+subfibers of an outer group, merging duplicate coordinates by addition; at
+each outer boundary (``Stop(k >= 1)``) it emits the merged fiber in
+coordinate-sorted order followed by ``Stop(k - 1)``.
+
+This is the accumulator behind Gustavson-style products: for
+``O(i, :) = sum_j P(i, j) * V(j, :)``, the scaled rows of ``V`` arrive as
+consecutive subfibers and the spacc merges them into one output row per
+``i``.
+"""
+
+from __future__ import annotations
+
+from ...core.channel import Receiver, Sender
+from ..token import DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class SpaccV1(SamContext):
+    """Merge subfibers: (crd, val) streams in, one merged fiber out."""
+
+    def __init__(
+        self,
+        in_crd: Receiver,
+        in_val: Receiver,
+        out_crd: Sender,
+        out_val: Sender,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_crd = in_crd
+        self.in_val = in_val
+        self.out_crd = out_crd
+        self.out_val = out_val
+        self.register(in_crd, in_val, out_crd, out_val)
+
+    def run(self):
+        accumulator: dict[int, float] = {}
+        while True:
+            crd = yield self.in_crd.dequeue()
+            if crd is DONE:
+                val = yield self.in_val.dequeue()
+                assert val is DONE, f"{self.name}: crd done before val done"
+                yield self.out_crd.enqueue(DONE)
+                yield self.out_val.enqueue(DONE)
+                return
+            if isinstance(crd, Stop):
+                val = yield self.in_val.dequeue()
+                assert crd == val, (
+                    f"{self.name}: misaligned stops {crd!r} vs {val!r}"
+                )
+                if crd.level == 0:
+                    # Subfiber boundary: keep accumulating across it.
+                    yield self.tick_control()
+                    continue
+                # Outer boundary: flush the merged fiber.
+                for coord in sorted(accumulator):
+                    yield self.out_crd.enqueue(coord)
+                    yield self.out_val.enqueue(accumulator[coord])
+                    yield self.tick()
+                accumulator.clear()
+                boundary = Stop(crd.level - 1)
+                yield self.out_crd.enqueue(boundary)
+                yield self.out_val.enqueue(boundary)
+                yield self.tick_control()
+            else:
+                val = yield self.in_val.dequeue()
+                assert not isinstance(val, (Stop, type(DONE))), (
+                    f"{self.name}: crd payload paired with control {val!r}"
+                )
+                accumulator[crd] = accumulator.get(crd, 0.0) + val
+                yield self.tick()

@@ -1,0 +1,106 @@
+"""Stream terminators: fiber/value writers and the raw stream sink.
+
+Writers materialize output streams back into tensor storage: FiberWrite
+builds a :class:`~repro.sam.tensor.CompressedLevel` from a coordinate
+stream, ValsWrite collects the values array.  StreamSink records raw
+tokens (used heavily by the primitive-level tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...core.channel import Receiver
+from ..tensor import CompressedLevel
+from ..token import DONE, Stop
+from .base import SamContext, TimingParams
+
+
+class FiberWrite(SamContext):
+    """Build seg/crd arrays from a coordinate stream.
+
+    Every stop closes one fiber at this level (higher stop levels close
+    ancestors, which their own writers observe through their own streams).
+    After the run, :meth:`to_level` returns the compressed level.
+    """
+
+    def __init__(
+        self,
+        in_crd: Receiver,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_crd = in_crd
+        self.seg: list[int] = [0]
+        self.crd: list[int] = []
+        self.register(in_crd)
+
+    def run(self):
+        while True:
+            token = yield self.in_crd.dequeue()
+            if token is DONE:
+                return
+            if isinstance(token, Stop):
+                self.seg.append(len(self.crd))
+                yield self.tick_control()
+            else:
+                self.crd.append(token)
+                yield self.tick()
+
+    def to_level(self) -> CompressedLevel:
+        return CompressedLevel(self.seg, self.crd)
+
+
+class ValsWrite(SamContext):
+    """Collect a value stream's payloads into a numpy array."""
+
+    def __init__(
+        self,
+        in_val: Receiver,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.in_val = in_val
+        self.vals: list[float] = []
+        self.register(in_val)
+
+    def run(self):
+        while True:
+            token = yield self.in_val.dequeue()
+            if token is DONE:
+                return
+            if isinstance(token, Stop):
+                yield self.tick_control()
+            else:
+                self.vals.append(token)
+                yield self.tick()
+
+    def to_array(self) -> np.ndarray:
+        return np.array(self.vals, dtype=np.float64)
+
+
+class StreamSink(SamContext):
+    """Record every token of a stream verbatim (including controls)."""
+
+    def __init__(
+        self,
+        inp: Receiver,
+        timing: TimingParams | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(timing=timing, name=name)
+        self.inp = inp
+        self.tokens: list[Any] = []
+        self.register(inp)
+
+    def run(self):
+        while True:
+            token = yield self.inp.dequeue()
+            self.tokens.append(token)
+            if token is DONE:
+                return
+            yield self.tick()

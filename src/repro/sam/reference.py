@@ -1,0 +1,65 @@
+"""Dense numpy reference kernels: the ground truth for SAM graph tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mmadd(b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Elementwise matrix addition."""
+    return b + c
+
+
+def spmspm(b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Matrix multiplication X(i, j) = sum_k B(i, k) * C(k, j)."""
+    return b @ c
+
+
+def sddmm(s: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sampled dense-dense matmul: X = S .* (A @ B^T).
+
+    ``S`` is the sparse sampling matrix (shape i x j); ``A`` is i x k and
+    ``B`` is j x k, so the sampled dot is over the shared k dimension.
+    """
+    return s * (a @ b.T)
+
+
+def masked_softmax(scores: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Row softmax over the *unmasked* entries only (masked entries -> 0).
+
+    This matches the streaming sparse-attention graph, which never
+    materializes masked positions: exp() runs only on surviving scores and
+    each row normalizes over the surviving sum.  Fully masked rows yield
+    all-zero rows.
+    """
+    exp = np.exp(scores) * (mask != 0)
+    sums = exp.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(sums > 0, exp / np.where(sums > 0, sums, 1.0), 0.0)
+    return out
+
+
+def sparse_mha_head(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """One attention head with a sparsity mask on the score matrix.
+
+    ``q, k, v`` are (N, d); ``mask`` is (N, N) with nonzero = keep.
+    Scores are scaled by 1/sqrt(d) as in standard attention.
+    """
+    d = q.shape[-1]
+    scores = (q @ k.T) / np.sqrt(d) * (mask != 0)
+    p = masked_softmax(scores, mask)
+    return p @ v
+
+
+def sparse_mha(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Batched sparse MHA: inputs (H, N, d), mask (H, N, N)."""
+    return np.stack(
+        [
+            sparse_mha_head(q[h], k[h], v[h], mask[h])
+            for h in range(q.shape[0])
+        ]
+    )

@@ -1,0 +1,207 @@
+"""Compressed-sparse-fiber (CSF) tensors: SAM's storage substrate.
+
+A tensor is stored as a chain of *levels*, one per dimension, each either
+``dense`` or ``compressed``:
+
+* A **dense** level of size ``n`` implicitly contains every coordinate
+  ``0..n-1`` of every fiber; a fiber reference ``r`` maps coordinate ``k``
+  to child reference ``r * n + k``.
+* A **compressed** level stores explicit fibers: segment array ``seg`` and
+  coordinate array ``crd``; fiber ``r`` spans ``crd[seg[r]:seg[r+1]]`` and
+  the child reference of position ``p`` is ``p`` itself.
+
+The leaf positions index a values array.  This is the standard TACO/SAM
+format hierarchy (CSR = (dense, compressed), CSC = CSR of the transpose,
+CSF for higher-order tensors).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class Level:
+    """One storage level; see module docstring for the two kinds."""
+
+    kind = "abstract"
+
+    def fiber(self, ref: int) -> tuple[list[int], list[int]]:
+        """Return (coordinates, child references) of fiber ``ref``."""
+        raise NotImplementedError
+
+    def fiber_count(self) -> int:
+        raise NotImplementedError
+
+
+class DenseLevel(Level):
+    """An implicit level: every fiber contains coordinates ``0..size-1``."""
+
+    kind = "dense"
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError("dense level size must be nonnegative")
+        self.size = size
+
+    def fiber(self, ref: int) -> tuple[list[int], list[int]]:
+        base = ref * self.size
+        coords = list(range(self.size))
+        return coords, [base + k for k in coords]
+
+    def __repr__(self) -> str:
+        return f"DenseLevel(size={self.size})"
+
+
+class CompressedLevel(Level):
+    """An explicit level: ``seg``/``crd`` arrays in CSR style."""
+
+    kind = "compressed"
+
+    def __init__(self, seg: Sequence[int], crd: Sequence[int]):
+        self.seg = list(seg)
+        self.crd = list(crd)
+        if not self.seg or self.seg[0] != 0:
+            raise ValueError("seg must start with 0")
+        if self.seg[-1] != len(self.crd):
+            raise ValueError("seg must end at len(crd)")
+        if any(b < a for a, b in zip(self.seg, self.seg[1:])):
+            raise ValueError("seg must be nondecreasing")
+
+    def fiber(self, ref: int) -> tuple[list[int], list[int]]:
+        start, end = self.seg[ref], self.seg[ref + 1]
+        return self.crd[start:end], list(range(start, end))
+
+    def fiber_count(self) -> int:
+        return len(self.seg) - 1
+
+    def __repr__(self) -> str:
+        return f"CompressedLevel(fibers={len(self.seg) - 1}, nnz={len(self.crd)})"
+
+
+class CsfTensor:
+    """A level chain plus a values array.
+
+    ``formats`` is a string per dimension: ``"d"`` (dense) or ``"c"``
+    (compressed), outermost first.  Construct via :meth:`from_dense`.
+    """
+
+    def __init__(self, levels: list[Level], vals: np.ndarray, shape: tuple[int, ...]):
+        if len(levels) != len(shape):
+            raise ValueError("one level per dimension required")
+        self.levels = levels
+        self.vals = np.asarray(vals, dtype=np.float64)
+        self.shape = shape
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray, formats: str) -> "CsfTensor":
+        """Compress a dense numpy array into the given per-level formats."""
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim != len(formats):
+            raise ValueError(
+                f"formats {formats!r} has {len(formats)} levels for a "
+                f"{array.ndim}-d array"
+            )
+        if any(f not in "dc" for f in formats):
+            raise ValueError(f"formats must be 'd'/'c' characters, got {formats!r}")
+
+        levels: list[Level] = []
+        # Fibers at the current level, identified by their coordinate
+        # prefixes; start with the single root fiber (empty prefix).
+        prefixes: list[tuple[int, ...]] = [()]
+        for axis, fmt in enumerate(formats):
+            size = array.shape[axis]
+            if fmt == "d":
+                levels.append(DenseLevel(size))
+                prefixes = [p + (k,) for p in prefixes for k in range(size)]
+            else:
+                seg = [0]
+                crd: list[int] = []
+                next_prefixes: list[tuple[int, ...]] = []
+                for prefix in prefixes:
+                    sub = array[prefix] if prefix else array
+                    # A coordinate survives if its subtree has any nonzero.
+                    for k in range(size):
+                        slab = sub[k]
+                        nonzero = (
+                            slab != 0 if np.isscalar(slab) or slab.ndim == 0
+                            else np.any(slab)
+                        )
+                        if nonzero:
+                            crd.append(k)
+                            next_prefixes.append(prefix + (k,))
+                    seg.append(len(crd))
+                levels.append(CompressedLevel(seg, crd))
+                prefixes = next_prefixes
+        vals = np.array([array[p] for p in prefixes], dtype=np.float64)
+        return cls(levels, vals, array.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Decompress back to a dense numpy array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        self._fill(out, 0, 0, ())
+        return out
+
+    def _fill(self, out: np.ndarray, level: int, ref: int, prefix: tuple) -> None:
+        if level == len(self.levels):
+            out[prefix] = self.vals[ref]
+            return
+        coords, refs = self.levels[level].fiber(ref)
+        for coord, child in zip(coords, refs):
+            self._fill(out, level + 1, child, prefix + (coord,))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.vals))
+
+    def level(self, axis: int) -> Level:
+        return self.levels[axis]
+
+    def __repr__(self) -> str:
+        fmt = "".join("d" if lv.kind == "dense" else "c" for lv in self.levels)
+        return f"CsfTensor(shape={self.shape}, formats={fmt!r}, stored={len(self.vals)})"
+
+
+def random_sparse_matrix(
+    rows: int,
+    cols: int,
+    density: float,
+    seed: int = 0,
+    formats: str = "dc",
+) -> CsfTensor:
+    """A random matrix with uniformly random sparsity (the paper's datasets).
+
+    Values are uniform in (0.1, 1.0] so no stored value is accidentally
+    zero (which would make compressed nnz differ from logical nnz).
+    """
+    dense = random_dense(rows, cols, density=density, seed=seed)
+    return CsfTensor.from_dense(dense, formats)
+
+
+def random_sparse_tensor(
+    shape: Iterable[int],
+    density: float,
+    seed: int = 0,
+    formats: str | None = None,
+) -> CsfTensor:
+    """A random higher-order tensor with uniformly random sparsity."""
+    shape = tuple(shape)
+    dense = random_dense(*shape, density=density, seed=seed)
+    if formats is None:
+        formats = "d" + "c" * (len(shape) - 1)
+    return CsfTensor.from_dense(dense, formats)
+
+
+def random_dense(*shape: int, density: float = 1.0, seed: int = 0) -> np.ndarray:
+    """The dense ground truth behind the random sparse generators."""
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("density must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0.1, 1.0, size=shape)
+    mask = rng.random(shape) < density
+    return values * mask

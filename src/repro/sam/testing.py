@@ -1,0 +1,49 @@
+"""Test harnesses for SAM primitives: run one block on explicit streams.
+
+These helpers wire :class:`~repro.sam.primitives.source.StreamSource`
+inputs and :class:`~repro.sam.primitives.write.StreamSink` outputs around
+a primitive under test and return the raw output token lists.  They are
+part of the public API because downstream users writing new primitives
+need the same scaffolding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..core.program import ProgramBuilder
+from .primitives.source import StreamSource
+from .primitives.write import StreamSink
+
+
+def run_block(
+    make_block: Callable[..., Any],
+    inputs: Sequence[Sequence[Any]],
+    n_outputs: int,
+    depth: int | None = None,
+    executor: str = "sequential",
+) -> list[list[Any]]:
+    """Run one primitive on explicit input token streams.
+
+    ``make_block(receivers, senders) -> context`` builds the block under
+    test from the harness-provided channel endpoints.  Returns one token
+    list per output stream (including control tokens).
+    """
+    builder = ProgramBuilder()
+    receivers = []
+    for index, tokens in enumerate(inputs):
+        snd, rcv = builder.channel(depth, name=f"in{index}")
+        builder.add(StreamSource(snd, tokens, name=f"src{index}"))
+        receivers.append(rcv)
+    senders = []
+    sinks = []
+    for index in range(n_outputs):
+        snd, rcv = builder.channel(depth, name=f"out{index}")
+        senders.append(snd)
+        sinks.append(StreamSink(rcv, name=f"sink{index}"))
+    block = make_block(receivers, senders)
+    builder.add(block)
+    for sink in sinks:
+        builder.add(sink)
+    builder.build().run(executor=executor)
+    return [sink.tokens for sink in sinks]

@@ -1,0 +1,122 @@
+"""SAM stream tokens.
+
+A SAM stream interleaves payload tokens (coordinates, references, or
+values) with control tokens:
+
+* ``Stop(k)`` — the end of a fiber, ``k`` counting how many nesting levels
+  closed at once (``S0`` separates sibling fibers; ``S1`` additionally
+  closes the parent; ...).
+* ``DONE`` — the end of the stream.
+
+Payloads are plain Python ints/floats (fast paths avoid wrapping);
+``ABSENT`` marks a missing reference on one side of a union (the consumer
+treats it as a zero-valued / empty fiber).
+
+Example — the coordinate stream of a 2-level CSR matrix with rows
+``{0: [1, 3], 2: [0]}``::
+
+    crd_i  : 0 2 S0 D
+    crd_j  : 1 3 S0 0 S1 D
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+
+class Stop:
+    """End-of-fiber control token; ``level`` counts closed nesting levels."""
+
+    __slots__ = ("level",)
+
+    def __init__(self, level: int):
+        if level < 0:
+            raise ValueError("stop level must be nonnegative")
+        self.level = level
+
+    def bumped(self, amount: int = 1) -> "Stop":
+        """A copy with the level raised — the level-scanner pass-through rule."""
+        return Stop(self.level + amount)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Stop) and other.level == self.level
+
+    def __hash__(self) -> int:
+        return hash(("Stop", self.level))
+
+    def __repr__(self) -> str:
+        return f"S{self.level}"
+
+
+class Done:
+    """End-of-stream control token (singleton ``DONE``)."""
+
+    __slots__ = ()
+    _instance: "Done | None" = None
+
+    def __new__(cls) -> "Done":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "D"
+
+
+#: The singleton end-of-stream token.
+DONE = Done()
+
+
+class _Absent:
+    """Missing-side marker emitted by union primitives."""
+
+    __slots__ = ()
+    _instance: "_Absent | None" = None
+
+    def __new__(cls) -> "_Absent":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "N"
+
+
+#: Reference placeholder for the empty side of a union.
+ABSENT = _Absent()
+
+
+class _RepeatSignal:
+    """The ``R`` token produced by RepeatSigGen, consumed by Repeat."""
+
+    __slots__ = ()
+    _instance: "_RepeatSignal | None" = None
+
+    def __new__(cls) -> "_RepeatSignal":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "R"
+
+
+#: The repeat-signal payload token.
+REPEAT = _RepeatSignal()
+
+
+def is_control(token: Any) -> bool:
+    """True for Stop/Done tokens (False for payloads and ABSENT)."""
+    return isinstance(token, (Stop, Done))
+
+
+def stream_values(stream: Iterable[Any]) -> Iterator[Any]:
+    """Yield only the payload tokens of a stream (drops control tokens)."""
+    for token in stream:
+        if not is_control(token):
+            yield token
+
+
+def clean_stream(stream: Iterable[Any]) -> list[Any]:
+    """Render a stream as a compact list (repr-friendly, for tests/docs)."""
+    return [repr(t) if is_control(t) else t for t in stream]

@@ -1,0 +1,28 @@
+"""The original-SAM-style cycle-based simulator (the Fig. 7/8 baseline).
+
+The paper's second case study replaces a hand-written, single-threaded,
+cycle-by-cycle Python simulator for the SAM CGRA.  This package recreates
+that baseline faithfully: every primitive is a
+:class:`~repro.cyclesim.component.CycleComponent` whose ``tick`` runs once
+per simulated cycle and whose inter-cycle state is managed by hand —
+explicit state constants, cooldown counters, partially-emitted fibers, and
+completion flags.  (Compare any module here with its CSPT counterpart in
+:mod:`repro.sam.primitives`; the Fig. 7 benchmark counts the difference.)
+
+Stream semantics are identical to :mod:`repro.sam` — the integration tests
+run the same kernels on both simulators and require matching outputs.
+"""
+
+from .graphs import (
+    build_legacy_mmadd,
+    build_legacy_sddmm,
+    build_legacy_sparse_mha,
+    build_legacy_spmspm,
+)
+
+__all__ = [
+    "build_legacy_mmadd",
+    "build_legacy_spmspm",
+    "build_legacy_sddmm",
+    "build_legacy_sparse_mha",
+]

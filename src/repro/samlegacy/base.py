@@ -1,0 +1,39 @@
+"""Shared plumbing for legacy cycle-based SAM primitives."""
+
+from __future__ import annotations
+
+from ..cyclesim.component import CycleComponent
+
+
+class LegacySamPrimitive(CycleComponent):
+    """Base class: a SAM block ticked every cycle.
+
+    A primitive is *done* once it has pushed DONE on all its outputs; the
+    subclass sets ``self.finished`` itself.  There is no blocking: every
+    tick must re-check channel readiness and stash partial progress in
+    instance state — the style the CSPT interface exists to remove.
+
+    Multi-cycle blocks (initiation interval ``ii`` > 1) are modeled with
+    yet another piece of hand-managed state: a cooldown counter burned
+    down one tick at a time (``stalled``), re-armed after each processed
+    token (``charge``).  Contrast with the DAM primitives, where the same
+    behaviour is a single ``yield IncrCycles(ii)``.
+    """
+
+    def __init__(self, name: str | None = None, ii: int = 1):
+        super().__init__(name=name)
+        if ii < 1:
+            raise ValueError("ii must be >= 1")
+        self.ii = ii
+        self._cooldown = 0
+
+    def stalled(self) -> bool:
+        """Burn one cooldown tick; True while the block is busy."""
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return True
+        return False
+
+    def charge(self) -> None:
+        """Arm the initiation-interval cooldown after processing a token."""
+        self._cooldown = self.ii - 1

@@ -1,0 +1,15 @@
+"""Legacy (cycle-based) SAM kernel graphs."""
+
+from .common import LegacyKernelGraph
+from .mha import build_legacy_sparse_mha
+from .mmadd import build_legacy_mmadd
+from .sddmm import build_legacy_sddmm
+from .spmspm import build_legacy_spmspm
+
+__all__ = [
+    "LegacyKernelGraph",
+    "build_legacy_mmadd",
+    "build_legacy_spmspm",
+    "build_legacy_sddmm",
+    "build_legacy_sparse_mha",
+]

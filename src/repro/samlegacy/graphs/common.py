@@ -1,0 +1,85 @@
+"""Shared construction helpers for legacy kernel graphs."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...cyclesim import CycleChannel, CycleEngine, CycleStats
+from ..primitives import LegacyBroadcast, LegacyFiberWrite, LegacyValsWrite
+
+#: The default register-channel depth of the legacy simulator.  Shallow
+#: channels are the norm in the original cycle-based style; 2 avoids
+#: single-entry ping-pong stalls while keeping the model register-like.
+DEFAULT_LEGACY_DEPTH = 2
+
+
+class LegacyGraphBuilder:
+    """CycleEngine wrapper with SAM channel conventions."""
+
+    def __init__(self, depth: int | None = DEFAULT_LEGACY_DEPTH):
+        self.engine = CycleEngine()
+        self.depth = depth
+
+    def ch(self, name: str | None = None, depth: int | None | str = "default") -> CycleChannel:
+        capacity = self.depth if depth == "default" else depth
+        return self.engine.channel(capacity=capacity, name=name)
+
+    def add(self, component):
+        return self.engine.add(component)
+
+    def fanout(
+        self,
+        inp: CycleChannel,
+        n: int,
+        name: str,
+        depths=None,
+    ) -> list[CycleChannel]:
+        outs = [
+            self.ch(
+                f"{name}_br{i}",
+                depth=depths[i] if depths is not None else "default",
+            )
+            for i in range(n)
+        ]
+        self.add(LegacyBroadcast(inp, outs, name=f"{name}_bcast"))
+        return outs
+
+
+class LegacyKernelGraph:
+    """A built legacy kernel: engine + writers + assembly."""
+
+    def __init__(
+        self,
+        engine: CycleEngine,
+        fiber_writers: Sequence[LegacyFiberWrite],
+        vals_writer: LegacyValsWrite,
+        shape: tuple[int, ...],
+        assemble: Callable[["LegacyKernelGraph"], np.ndarray] | None = None,
+    ):
+        self.engine = engine
+        self.fiber_writers = list(fiber_writers)
+        self.vals_writer = vals_writer
+        self.shape = shape
+        self._assemble = assemble
+        self.stats: CycleStats | None = None
+
+    def run(self) -> CycleStats:
+        self.stats = self.engine.run()
+        return self.stats
+
+    def result_dense(self) -> np.ndarray:
+        if self._assemble is not None:
+            return self._assemble(self)
+        from ...sam.tensor import CsfTensor
+
+        return CsfTensor(
+            [fw.to_level() for fw in self.fiber_writers],
+            self.vals_writer.to_array(),
+            self.shape,
+        ).to_dense()
+
+    @property
+    def component_count(self) -> int:
+        return len(self.engine.components)

@@ -1,0 +1,156 @@
+"""Legacy sparse MHA on the cycle simulator (mirror of sam.graphs.mha).
+
+The exp-stream buffer channel has the same depth requirement as in the
+DAM version; by default it is unbounded here (``softmax_depth=None``)
+because the legacy engine has no deadlock detector — an undersized buffer
+just stalls the cycle loop until its quiescence guard fires.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...sam.tensor import CsfTensor, DenseLevel
+from ..primitives import (
+    LegacyArrayVals,
+    LegacyBinaryAlu,
+    LegacyBroadcast,
+    LegacyCrdHold,
+    LegacyFiberLookup,
+    LegacyFiberWrite,
+    LegacyReduce,
+    LegacyRepeat,
+    LegacyRepeatSigGen,
+    LegacyRootSource,
+    LegacySpaccV1,
+    LegacyStreamSink,
+    LegacyUnaryAlu,
+    LegacyValsWrite,
+)
+from .common import DEFAULT_LEGACY_DEPTH, LegacyGraphBuilder, LegacyKernelGraph
+
+
+def build_legacy_sparse_mha(
+    mask: CsfTensor,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    depth: int | None = DEFAULT_LEGACY_DEPTH,
+    softmax_depth: int | None = None,
+    ii: int = 1,
+) -> LegacyKernelGraph:
+    """The cycle-based mirror of :func:`repro.sam.graphs.build_sparse_mha`."""
+    heads, seq_len, _ = mask.shape
+    d_model = q.shape[-1]
+    scale = 1.0 / math.sqrt(d_model)
+    g = LegacyGraphBuilder(depth=depth)
+
+    root = g.ch("rootM")
+    g.add(LegacyRootSource(root, name="rootM", ii=ii))
+    cmh, rmh = g.ch("cMh"), g.ch("rMh")
+    g.add(LegacyFiberLookup(mask.level(0), root, cmh, rmh, name="scanMh", ii=ii))
+    cmi, rmi = g.ch("cMi"), g.ch("rMi")
+    g.add(LegacyFiberLookup(mask.level(1), rmh, cmi, rmi, name="scanMi", ii=ii))
+    cmj, rmj = g.ch("cMj"), g.ch("rMj")
+    g.add(LegacyFiberLookup(mask.level(2), rmi, cmj, rmj, name="scanMj", ii=ii))
+    g.add(LegacyStreamSink(rmj, name="sink_rMj", ii=ii))
+
+    cmi_hold, cmi_elem, cmi_write = g.fanout(cmi, 3, "cMi")
+    cmj_elem, cmj_krow, cmj_sig, cmj_hold2 = g.fanout(cmj, 4, "cMj")
+
+    hi = g.ch("h_per_i")
+    g.add(LegacyCrdHold(cmh, cmi_hold, hi, name="holdH", ii=ii))
+    he = g.ch("h_per_elem")
+    g.add(LegacyCrdHold(hi, cmj_hold2, he, name="holdH2", ii=ii))
+    he_q, he_k = g.fanout(he, 2, "h_elem")
+    ie = g.ch("i_per_elem")
+    g.add(LegacyCrdHold(cmi_elem, cmj_elem, ie, name="holdI", ii=ii))
+
+    rq = g.ch("rQrow")
+    g.add(
+        LegacyBinaryAlu(he_q, ie, rq, lambda h, i: h * seq_len + i, name="qRowRef", ii=ii)
+    )
+    rk = g.ch("rKrow")
+    g.add(
+        LegacyBinaryAlu(
+            he_k, cmj_krow, rk, lambda h, j: h * seq_len + j, name="kRowRef",
+            ii=ii,
+        )
+    )
+    # The V-gather branch shares the row-buffer depth requirement (see
+    # sam.graphs.mha for the structural argument).
+    rk_kd, rk_vc = g.fanout(rk, 2, "rKrow", depths=["default", softmax_depth])
+
+    cqd, rqd = g.ch("cQd"), g.ch("rQd")
+    g.add(LegacyFiberLookup(DenseLevel(d_model), rq, cqd, rqd, name="scanQd", ii=ii))
+    ckd, rkd = g.ch("cKd"), g.ch("rKd")
+    g.add(LegacyFiberLookup(DenseLevel(d_model), rk_kd, ckd, rkd, name="scanKd", ii=ii))
+    g.add(LegacyStreamSink(cqd, name="sink_cQd", ii=ii))
+    g.add(LegacyStreamSink(ckd, name="sink_cKd", ii=ii))
+
+    vq, vk = g.ch("vQ"), g.ch("vK")
+    g.add(LegacyArrayVals(q.reshape(-1), rqd, vq, name="arrayQ", ii=ii))
+    g.add(LegacyArrayVals(k.reshape(-1), rkd, vk, name="arrayK", ii=ii))
+    vqk = g.ch("vQK")
+    g.add(LegacyBinaryAlu(vq, vk, vqk, lambda x, y: x * y, name="mulQK", ii=ii))
+    vdot = g.ch("vScore")
+    g.add(LegacyReduce(vqk, vdot, suppress_uninhabited=True, name="reduceD", ii=ii))
+
+    vsc = g.ch("vScaled")
+    g.add(LegacyUnaryAlu(vdot, vsc, lambda x: x * scale, name="scaleALU", ii=ii))
+    vexp = g.ch("vExp")
+    g.add(LegacyUnaryAlu(vsc, vexp, math.exp, name="expALU", ii=ii))
+
+    esum = g.ch("e_sum")
+    ediv = g.ch("e_div", depth=softmax_depth)
+    g.add(LegacyBroadcast(vexp, [esum, ediv], name="e_bcast", ii=ii))
+
+    vsum = g.ch("vRowSum")
+    g.add(LegacyReduce(esum, vsum, suppress_uninhabited=True, name="rowSum", ii=ii))
+    # Shares the row-buffer depth requirement with e_div (see sam.graphs.mha).
+    sigdiv = g.ch("sigDiv", depth=softmax_depth)
+    g.add(LegacyRepeatSigGen(cmj_sig, sigdiv, name="repsigDiv", ii=ii))
+    vsrep = g.ch("vSumRep")
+    g.add(LegacyRepeat(vsum, sigdiv, vsrep, name="repeatSum", ii=ii))
+    vp = g.ch("vP")
+    g.add(
+        LegacyBinaryAlu(
+            ediv, vsrep, vp, lambda e, s: e / s if s else 0.0, name="divALU",
+            ii=ii,
+        )
+    )
+
+    cvc, rvc = g.ch("cVc"), g.ch("rVc")
+    g.add(LegacyFiberLookup(DenseLevel(d_model), rk_vc, cvc, rvc, name="scanVc", ii=ii))
+    cvc_acc, cvc_sig = g.fanout(cvc, 2, "cVc")
+    vv = g.ch("vV")
+    g.add(LegacyArrayVals(v.reshape(-1), rvc, vv, name="arrayV", ii=ii))
+
+    sigp = g.ch("sigP")
+    g.add(LegacyRepeatSigGen(cvc_sig, sigp, name="repsigP", ii=ii))
+    vprep = g.ch("vPRep")
+    g.add(LegacyRepeat(vp, sigp, vprep, name="repeatP", ii=ii))
+    vpv = g.ch("vPV")
+    g.add(LegacyBinaryAlu(vv, vprep, vpv, lambda x, y: x * y, name="mulPV", ii=ii))
+
+    co, vo = g.ch("cO"), g.ch("vO")
+    g.add(LegacySpaccV1(cvc_acc, vpv, co, vo, name="spaccJ", ii=ii))
+
+    fw_i = g.add(LegacyFiberWrite(cmi_write, name="write_i", ii=ii))
+    fw_c = g.add(LegacyFiberWrite(co, name="write_c", ii=ii))
+    vw = g.add(LegacyValsWrite(vo, name="write_vals", ii=ii))
+
+    def assemble(kernel: LegacyKernelGraph) -> np.ndarray:
+        from ...sam.tensor import CsfTensor as _Csf
+
+        return _Csf(
+            [DenseLevel(heads), fw_i.to_level(), fw_c.to_level()],
+            kernel.vals_writer.to_array(),
+            (heads, seq_len, d_model),
+        ).to_dense()
+
+    return LegacyKernelGraph(
+        g.engine, [fw_i, fw_c], vw, (heads, seq_len, d_model), assemble=assemble
+    )

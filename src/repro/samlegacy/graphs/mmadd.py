@@ -1,0 +1,59 @@
+"""Legacy MMAdd: X = B + C on the cycle-based simulator."""
+
+from __future__ import annotations
+
+from ...sam.tensor import CsfTensor
+from ..primitives import (
+    LegacyArrayVals,
+    LegacyBinaryAlu,
+    LegacyFiberLookup,
+    LegacyFiberWrite,
+    LegacyRootSource,
+    LegacyUnion,
+    LegacyValsWrite,
+)
+from .common import DEFAULT_LEGACY_DEPTH, LegacyGraphBuilder, LegacyKernelGraph
+
+
+def build_legacy_mmadd(
+    b: CsfTensor,
+    c: CsfTensor,
+    depth: int | None = DEFAULT_LEGACY_DEPTH,
+    ii: int = 1,
+) -> LegacyKernelGraph:
+    """The cycle-based mirror of :func:`repro.sam.graphs.build_mmadd`."""
+    if b.shape != c.shape:
+        raise ValueError(f"shape mismatch: {b.shape} vs {c.shape}")
+    g = LegacyGraphBuilder(depth=depth)
+
+    rootb = g.ch("rootB")
+    rootc = g.ch("rootC")
+    g.add(LegacyRootSource(rootb, name="rootB", ii=ii))
+    g.add(LegacyRootSource(rootc, name="rootC", ii=ii))
+
+    cbi, rbi = g.ch("cBi"), g.ch("rBi")
+    cci, rci = g.ch("cCi"), g.ch("rCi")
+    g.add(LegacyFiberLookup(b.level(0), rootb, cbi, rbi, name="scanBi", ii=ii))
+    g.add(LegacyFiberLookup(c.level(0), rootc, cci, rci, name="scanCi", ii=ii))
+
+    ci, rbu, rcu = g.ch("crd_i"), g.ch("rBi_u"), g.ch("rCi_u")
+    g.add(LegacyUnion(cbi, rbi, cci, rci, ci, rbu, rcu, name="unionI", ii=ii))
+
+    cbj, rbj = g.ch("cBj"), g.ch("rBj")
+    ccj, rcj = g.ch("cCj"), g.ch("rCj")
+    g.add(LegacyFiberLookup(b.level(1), rbu, cbj, rbj, name="scanBj", ii=ii))
+    g.add(LegacyFiberLookup(c.level(1), rcu, ccj, rcj, name="scanCj", ii=ii))
+
+    cj, rbv, rcv = g.ch("crd_j"), g.ch("rBj_u"), g.ch("rCj_u")
+    g.add(LegacyUnion(cbj, rbj, ccj, rcj, cj, rbv, rcv, name="unionJ", ii=ii))
+
+    vb, vc, vx = g.ch("vB"), g.ch("vC"), g.ch("vX")
+    g.add(LegacyArrayVals(b.vals, rbv, vb, name="arrayB", ii=ii))
+    g.add(LegacyArrayVals(c.vals, rcv, vc, name="arrayC", ii=ii))
+    g.add(LegacyBinaryAlu(vb, vc, vx, lambda x, y: x + y, name="addALU", ii=ii))
+
+    fw_i = g.add(LegacyFiberWrite(ci, name="write_i", ii=ii))
+    fw_j = g.add(LegacyFiberWrite(cj, name="write_j", ii=ii))
+    vw = g.add(LegacyValsWrite(vx, name="write_vals", ii=ii))
+
+    return LegacyKernelGraph(g.engine, [fw_i, fw_j], vw, b.shape)

@@ -1,0 +1,77 @@
+"""Legacy SDDMM: X = S .* (A @ B^T) on the cycle simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...sam.tensor import CsfTensor, DenseLevel
+from ..primitives import (
+    LegacyArrayVals,
+    LegacyBinaryAlu,
+    LegacyCrdHold,
+    LegacyFiberLookup,
+    LegacyFiberWrite,
+    LegacyReduce,
+    LegacyRootSource,
+    LegacyStreamSink,
+    LegacyValsWrite,
+)
+from .common import DEFAULT_LEGACY_DEPTH, LegacyGraphBuilder, LegacyKernelGraph
+
+
+def build_legacy_sddmm(
+    s: CsfTensor,
+    a_dense: np.ndarray,
+    b_dense: np.ndarray,
+    depth: int | None = DEFAULT_LEGACY_DEPTH,
+    ii: int = 1,
+) -> LegacyKernelGraph:
+    """The cycle-based mirror of :func:`repro.sam.graphs.build_sddmm`."""
+    if a_dense.shape[0] != s.shape[0] or b_dense.shape[0] != s.shape[1]:
+        raise ValueError(
+            f"shape mismatch: S {s.shape}, A {a_dense.shape}, B {b_dense.shape}"
+        )
+    if a_dense.shape[1] != b_dense.shape[1]:
+        raise ValueError("A and B must share the k dimension")
+    k_size = a_dense.shape[1]
+    g = LegacyGraphBuilder(depth=depth)
+
+    root = g.ch("rootS")
+    g.add(LegacyRootSource(root, name="rootS", ii=ii))
+    csi, rsi = g.ch("cSi"), g.ch("rSi")
+    g.add(LegacyFiberLookup(s.level(0), root, csi, rsi, name="scanSi", ii=ii))
+    csj, rsj = g.ch("cSj"), g.ch("rSj")
+    g.add(LegacyFiberLookup(s.level(1), rsi, csj, rsj, name="scanSj", ii=ii))
+
+    csi_out, csi_hold = g.fanout(csi, 2, "cSi")
+    csj_out, csj_hold, csj_bref = g.fanout(csj, 3, "cSj")
+
+    vs = g.ch("vS")
+    g.add(LegacyArrayVals(s.vals, rsj, vs, name="arrayS", ii=ii))
+
+    hi = g.ch("held_i")
+    g.add(LegacyCrdHold(csi_hold, csj_hold, hi, name="holdI", ii=ii))
+
+    cak, rak = g.ch("cAk"), g.ch("rAk")
+    g.add(LegacyFiberLookup(DenseLevel(k_size), hi, cak, rak, name="scanAk", ii=ii))
+    cbk, rbk = g.ch("cBk"), g.ch("rBk")
+    g.add(LegacyFiberLookup(DenseLevel(k_size), csj_bref, cbk, rbk, name="scanBk", ii=ii))
+    g.add(LegacyStreamSink(cak, name="sink_cAk", ii=ii))
+    g.add(LegacyStreamSink(cbk, name="sink_cBk", ii=ii))
+
+    va, vb = g.ch("vA"), g.ch("vB")
+    g.add(LegacyArrayVals(np.asarray(a_dense).reshape(-1), rak, va, name="arrayA", ii=ii))
+    g.add(LegacyArrayVals(np.asarray(b_dense).reshape(-1), rbk, vb, name="arrayB", ii=ii))
+
+    vm = g.ch("vMulK")
+    g.add(LegacyBinaryAlu(va, vb, vm, lambda x, y: x * y, name="mulK", ii=ii))
+    vd = g.ch("vDot")
+    g.add(LegacyReduce(vm, vd, suppress_uninhabited=True, name="reduceK", ii=ii))
+    vx = g.ch("vX")
+    g.add(LegacyBinaryAlu(vd, vs, vx, lambda x, y: x * y, name="sampleMul", ii=ii))
+
+    fw_i = g.add(LegacyFiberWrite(csi_out, name="write_i", ii=ii))
+    fw_j = g.add(LegacyFiberWrite(csj_out, name="write_j", ii=ii))
+    vw = g.add(LegacyValsWrite(vx, name="write_vals", ii=ii))
+
+    return LegacyKernelGraph(g.engine, [fw_i, fw_j], vw, s.shape)

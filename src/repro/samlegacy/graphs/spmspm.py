@@ -1,0 +1,79 @@
+"""Legacy SpMSpM: X = B @ C (inner-product form) on the cycle simulator."""
+
+from __future__ import annotations
+
+from ...sam.tensor import CsfTensor
+from ..primitives import (
+    LegacyArrayVals,
+    LegacyBinaryAlu,
+    LegacyFiberLookup,
+    LegacyFiberWrite,
+    LegacyIntersect,
+    LegacyReduce,
+    LegacyRepeat,
+    LegacyRepeatSigGen,
+    LegacyRootSource,
+    LegacyStreamSink,
+    LegacyValsWrite,
+)
+from .common import DEFAULT_LEGACY_DEPTH, LegacyGraphBuilder, LegacyKernelGraph
+
+
+def build_legacy_spmspm(
+    b: CsfTensor,
+    c_transposed: CsfTensor,
+    depth: int | None = DEFAULT_LEGACY_DEPTH,
+    ii: int = 1,
+) -> LegacyKernelGraph:
+    """The cycle-based mirror of :func:`repro.sam.graphs.build_spmspm`."""
+    if b.shape[1] != c_transposed.shape[1]:
+        raise ValueError(
+            f"inner dimensions differ: B is {b.shape}, C^T is {c_transposed.shape}"
+        )
+    rows, cols = b.shape[0], c_transposed.shape[0]
+    g = LegacyGraphBuilder(depth=depth)
+
+    rootb = g.ch("rootB")
+    g.add(LegacyRootSource(rootb, name="rootB", ii=ii))
+    cbi, rbi = g.ch("cBi"), g.ch("rBi")
+    g.add(LegacyFiberLookup(b.level(0), rootb, cbi, rbi, name="scanBi", ii=ii))
+    cbi_out, cbi_sig = g.fanout(cbi, 2, "cBi")
+
+    sigi = g.ch("sigI")
+    g.add(LegacyRepeatSigGen(cbi_sig, sigi, name="repsigI", ii=ii))
+    rootc = g.ch("rootC")
+    g.add(LegacyRootSource(rootc, name="rootC", ii=ii))
+    rcrep = g.ch("rC_rep")
+    g.add(LegacyRepeat(rootc, sigi, rcrep, name="repeatC", ii=ii))
+
+    ccj, rcj = g.ch("cCj"), g.ch("rCj")
+    g.add(LegacyFiberLookup(c_transposed.level(0), rcrep, ccj, rcj, name="scanCj", ii=ii))
+    ccj_out, ccj_sig = g.fanout(ccj, 2, "cCj")
+
+    sigj = g.ch("sigJ")
+    g.add(LegacyRepeatSigGen(ccj_sig, sigj, name="repsigJ", ii=ii))
+    rbrep = g.ch("rB_rep")
+    g.add(LegacyRepeat(rbi, sigj, rbrep, name="repeatB", ii=ii))
+
+    cbk, rbk = g.ch("cBk"), g.ch("rBk")
+    g.add(LegacyFiberLookup(b.level(1), rbrep, cbk, rbk, name="scanBk", ii=ii))
+    cck, rck = g.ch("cCk"), g.ch("rCk")
+    g.add(LegacyFiberLookup(c_transposed.level(1), rcj, cck, rck, name="scanCk", ii=ii))
+
+    ck, rbx, rcx = g.ch("crd_k"), g.ch("rBk_x"), g.ch("rCk_x")
+    g.add(LegacyIntersect(cbk, rbk, cck, rck, ck, rbx, rcx, name="intersectK", ii=ii))
+    g.add(LegacyStreamSink(ck, name="sink_crd_k", ii=ii))
+
+    vb, vc = g.ch("vB"), g.ch("vC")
+    g.add(LegacyArrayVals(b.vals, rbx, vb, name="arrayB", ii=ii))
+    g.add(LegacyArrayVals(c_transposed.vals, rcx, vc, name="arrayC", ii=ii))
+    vm = g.ch("vMul")
+    g.add(LegacyBinaryAlu(vb, vc, vm, lambda x, y: x * y, name="mulALU", ii=ii))
+    vx = g.ch("vX")
+    g.add(LegacyReduce(vm, vx, name="reduceK", ii=ii))
+
+    fw_i = g.add(LegacyFiberWrite(cbi_out, name="write_i", ii=ii))
+    fw_j = g.add(LegacyFiberWrite(ccj_out, name="write_j", ii=ii))
+    vw = g.add(LegacyValsWrite(vx, name="write_vals", ii=ii))
+
+    return LegacyKernelGraph(g.engine, [fw_i, fw_j], vw, (rows, cols))

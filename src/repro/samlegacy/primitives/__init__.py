@@ -1,0 +1,35 @@
+"""Legacy cycle-based SAM primitives (original simulator style)."""
+
+from .alu import LegacyBinaryAlu, LegacyUnaryAlu
+from .array import LegacyArrayVals
+from .broadcast import LegacyBroadcast
+from .crd import LegacyCrdHold
+from .filter import LegacyValDrop
+from .joiner import LegacyIntersect, LegacyUnion
+from .reduce import LegacyReduce
+from .repeat import LegacyRepeat, LegacyRepeatSigGen
+from .scanner import LegacyFiberLookup
+from .source import LegacyRootSource, LegacyStreamSource
+from .spacc import LegacySpaccV1
+from .write import LegacyFiberWrite, LegacyStreamSink, LegacyValsWrite
+
+__all__ = [
+    "LegacyFiberLookup",
+    "LegacyArrayVals",
+    "LegacyRepeat",
+    "LegacyRepeatSigGen",
+    "LegacyIntersect",
+    "LegacyUnion",
+    "LegacyBinaryAlu",
+    "LegacyUnaryAlu",
+    "LegacyReduce",
+    "LegacySpaccV1",
+    "LegacyCrdHold",
+    "LegacyValDrop",
+    "LegacyBroadcast",
+    "LegacyFiberWrite",
+    "LegacyValsWrite",
+    "LegacyStreamSink",
+    "LegacyRootSource",
+    "LegacyStreamSource",
+]

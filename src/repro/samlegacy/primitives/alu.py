@@ -1,0 +1,97 @@
+"""Legacy ALUs: cycle-based elementwise compute with head registers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import DONE, Stop
+from ..base import LegacySamPrimitive
+
+_EMPTY = object()
+
+
+class LegacyBinaryAlu(LegacySamPrimitive):
+    """Combine two aligned value streams elementwise, one pair per cycle."""
+
+    def __init__(
+        self,
+        in_val1: CycleChannel,
+        in_val2: CycleChannel,
+        out_val: CycleChannel,
+        fn: Callable[[Any, Any], Any],
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.in_val1 = in_val1
+        self.in_val2 = in_val2
+        self.out_val = out_val
+        self.fn = fn
+        self.head1: Any = _EMPTY
+        self.head2: Any = _EMPTY
+
+    def tick(self, cycle: int) -> None:
+        if self.finished or self.stalled():
+            return
+        if self.head1 is _EMPTY and self.in_val1.can_pop():
+            self.head1 = self.in_val1.pop()
+        if self.head2 is _EMPTY and self.in_val2.can_pop():
+            self.head2 = self.in_val2.pop()
+        if self.head1 is _EMPTY or self.head2 is _EMPTY:
+            return
+        if not self.out_val.can_push():
+            return
+        a, b = self.head1, self.head2
+        if a is DONE or b is DONE:
+            if not (a is DONE and b is DONE):
+                raise AssertionError(
+                    f"{self.name}: value streams ended at different points"
+                )
+            self.out_val.push(DONE)
+            self.finished = True
+        elif isinstance(a, Stop) or isinstance(b, Stop):
+            if a != b:
+                raise AssertionError(
+                    f"{self.name}: misaligned tokens {a!r} vs {b!r}"
+                )
+            self.out_val.push(a)
+        else:
+            self.out_val.push(self.fn(a, b))
+        self.charge()
+        self.head1 = _EMPTY
+        self.head2 = _EMPTY
+
+
+class LegacyUnaryAlu(LegacySamPrimitive):
+    """Apply ``fn`` per payload; control tokens pass through."""
+
+    def __init__(
+        self,
+        in_val: CycleChannel,
+        out_val: CycleChannel,
+        fn: Callable[[Any], Any],
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.in_val = in_val
+        self.out_val = out_val
+        self.fn = fn
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self.stalled():
+            return
+        if not (self.in_val.can_pop() and self.out_val.can_push()):
+            return
+        token = self.in_val.pop()
+        self.charge()
+        if token is DONE:
+            self.out_val.push(DONE)
+            self.finished = True
+        elif isinstance(token, Stop):
+            self.out_val.push(token)
+        else:
+            self.out_val.push(self.fn(token))

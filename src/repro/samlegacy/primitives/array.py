@@ -1,0 +1,45 @@
+"""Legacy value-array lookup."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import ABSENT, DONE, Stop
+from ..base import LegacySamPrimitive
+
+
+class LegacyArrayVals(LegacySamPrimitive):
+    """Reference stream in, value stream out; one token per cycle."""
+
+    def __init__(
+        self,
+        vals: np.ndarray,
+        in_ref: CycleChannel,
+        out_val: CycleChannel,
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        self.in_ref = in_ref
+        self.out_val = out_val
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self.stalled():
+            return
+        if not (self.in_ref.can_pop() and self.out_val.can_push()):
+            return
+        token = self.in_ref.pop()
+        self.charge()
+        if token is DONE:
+            self.out_val.push(DONE)
+            self.finished = True
+        elif isinstance(token, Stop):
+            self.out_val.push(token)
+        elif token is ABSENT:
+            self.out_val.push(0.0)
+        else:
+            self.out_val.push(float(self.vals[token]))

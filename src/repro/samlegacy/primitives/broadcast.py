@@ -1,0 +1,43 @@
+"""Legacy broadcast: cycle-based stream fanout.
+
+All branches must have space before the copy fires, so one slow branch
+stalls the fanout — the same hardware-faithful behaviour as the DAM
+version, expressed as a per-cycle readiness check.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import DONE
+from ..base import LegacySamPrimitive
+
+
+class LegacyBroadcast(LegacySamPrimitive):
+    def __init__(
+        self,
+        inp: CycleChannel,
+        outs: Sequence[CycleChannel],
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        if not outs:
+            raise ValueError("LegacyBroadcast needs at least one output")
+        super().__init__(name=name, ii=ii)
+        self.inp = inp
+        self.outs = list(outs)
+
+    def tick(self, cycle: int) -> None:
+        if self.finished or self.stalled():
+            return
+        if not self.inp.can_pop():
+            return
+        if not all(out.can_push() for out in self.outs):
+            return
+        token = self.inp.pop()
+        self.charge()
+        for out in self.outs:
+            out.push(token)
+        if token is DONE:
+            self.finished = True

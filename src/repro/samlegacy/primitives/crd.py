@@ -1,0 +1,133 @@
+"""Legacy CrdHold: cycle-based coordinate replication."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import DONE, Stop
+from ..base import LegacySamPrimitive
+
+_NEED_OUTER = 0
+_SERVING = 1
+_CONSUME_OUTER_STOP = 2
+_CONSUME_INNER_DONE = 3
+_EMIT_DONE = 4
+_PAIR_STOP = 5  # empty outer fiber: owe an inner-stop consume + emit
+_HALT = 6
+
+
+class LegacyCrdHold(LegacySamPrimitive):
+    """Emit the held outer coordinate once per inner payload."""
+
+    def __init__(
+        self,
+        in_outer_crd: CycleChannel,
+        in_inner_crd: CycleChannel,
+        out_crd: CycleChannel,
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.in_outer_crd = in_outer_crd
+        self.in_inner_crd = in_inner_crd
+        self.out_crd = out_crd
+        self.state = _NEED_OUTER
+        self.held: Any = None
+        self.pending_level = -1
+
+    def tick(self, cycle: int) -> None:
+        if self.stalled():
+            return
+        if self.state == _HALT:
+            self.finished = True
+            return
+
+        if self.state == _NEED_OUTER:
+            if not self.in_outer_crd.can_pop():
+                return
+            token = self.in_outer_crd.pop()
+            if token is DONE:
+                self.state = _CONSUME_INNER_DONE
+                return
+            if isinstance(token, Stop):
+                # Empty outer fiber: pair with the inner stream's
+                # one-deeper stop next cycle.
+                self.pending_level = token.level
+                self.state = _PAIR_STOP
+                return
+            self.held = token
+            self.state = _SERVING
+            return
+
+        if self.state == _PAIR_STOP:
+            if not (self.in_inner_crd.can_pop() and self.out_crd.can_push()):
+                return
+            inner = self.in_inner_crd.pop()
+            if not (
+                isinstance(inner, Stop)
+                and inner.level == self.pending_level + 1
+            ):
+                raise AssertionError(
+                    f"{self.name}: outer stop S{self.pending_level} paired "
+                    f"with inner {inner!r}"
+                )
+            self.out_crd.push(inner)
+            self.charge()
+            self.pending_level = -1
+            self.state = _NEED_OUTER
+            return
+
+        if self.state == _SERVING:
+            if not (self.in_inner_crd.can_pop() and self.out_crd.can_push()):
+                return
+            inner = self.in_inner_crd.pop()
+            if inner is DONE:
+                raise AssertionError(f"{self.name}: inner stream done mid-fiber")
+            if isinstance(inner, Stop):
+                self.out_crd.push(inner)
+                self.charge()
+                if inner.level >= 1:
+                    self.pending_level = inner.level - 1
+                    self.state = _CONSUME_OUTER_STOP
+                else:
+                    self.state = _NEED_OUTER
+                return
+            self.out_crd.push(self.held)
+            self.charge()
+            return
+
+        if self.state == _CONSUME_OUTER_STOP:
+            if not self.in_outer_crd.can_pop():
+                return
+            matching = self.in_outer_crd.pop()
+            if not (
+                isinstance(matching, Stop)
+                and matching.level == self.pending_level
+            ):
+                raise AssertionError(
+                    f"{self.name}: expected outer Stop({self.pending_level}), "
+                    f"got {matching!r}"
+                )
+            self.pending_level = -1
+            self.state = _NEED_OUTER
+            return
+
+        if self.state == _CONSUME_INNER_DONE:
+            if not self.in_inner_crd.can_pop():
+                return
+            inner = self.in_inner_crd.pop()
+            if inner is not DONE:
+                raise AssertionError(
+                    f"{self.name}: outer done but inner sent {inner!r}"
+                )
+            self.state = _EMIT_DONE
+            return
+
+        if self.state == _EMIT_DONE:
+            if not self.out_crd.can_push():
+                return
+            self.out_crd.push(DONE)
+            self.state = _HALT
+            self.finished = True
+            return

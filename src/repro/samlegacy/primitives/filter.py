@@ -1,0 +1,46 @@
+"""Legacy ValDrop: cycle-based zero filtering."""
+
+from __future__ import annotations
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import DONE, Stop
+from ..base import LegacySamPrimitive
+
+
+class LegacyValDrop(LegacySamPrimitive):
+    def __init__(
+        self,
+        in_val: CycleChannel,
+        out_val: CycleChannel,
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.in_val = in_val
+        self.out_val = out_val
+
+    def tick(self, cycle: int) -> None:
+        if self.finished or self.stalled():
+            return
+        if not self.in_val.can_pop():
+            return
+        token = self.in_val.front()
+        if token is DONE:
+            if self.out_val.can_push():
+                self.in_val.pop()
+                self.out_val.push(DONE)
+                self.finished = True
+            return
+        if isinstance(token, Stop):
+            if self.out_val.can_push():
+                self.in_val.pop()
+                self.out_val.push(token)
+            return
+        if token == 0.0:
+            self.in_val.pop()  # dropped values need no output space
+            self.charge()
+            return
+        if self.out_val.can_push():
+            self.in_val.pop()
+            self.out_val.push(token)
+            self.charge()

@@ -1,0 +1,177 @@
+"""Legacy Intersect and Union: cycle-based two-pointer joiners.
+
+Each joiner must keep both stream heads in registers across cycles (a pop
+may land in a cycle where the peer side has nothing yet), plus per-output
+readiness checks — the alignment bookkeeping CSPT's blocking peek/dequeue
+makes implicit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import ABSENT, DONE, Stop
+from ..base import LegacySamPrimitive
+
+_EMPTY = object()  # head register is empty, needs a pop
+
+
+class _LegacyJoinerBase(LegacySamPrimitive):
+    def __init__(
+        self,
+        in_crd1: CycleChannel,
+        in_ref1: CycleChannel,
+        in_crd2: CycleChannel,
+        in_ref2: CycleChannel,
+        out_crd: CycleChannel,
+        out_ref1: CycleChannel,
+        out_ref2: CycleChannel,
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.in_crd1 = in_crd1
+        self.in_ref1 = in_ref1
+        self.in_crd2 = in_crd2
+        self.in_ref2 = in_ref2
+        self.out_crd = out_crd
+        self.out_ref1 = out_ref1
+        self.out_ref2 = out_ref2
+        # Head registers (crd, ref) for each side.
+        self.head1: Any = _EMPTY
+        self.href1: Any = _EMPTY
+        self.head2: Any = _EMPTY
+        self.href2: Any = _EMPTY
+
+    def _fill_heads(self) -> bool:
+        """Pop into empty head registers; True when both sides are loaded."""
+        if self.head1 is _EMPTY:
+            if self.in_crd1.can_pop() and self.in_ref1.can_pop():
+                self.head1 = self.in_crd1.pop()
+                self.href1 = self.in_ref1.pop()
+        if self.head2 is _EMPTY:
+            if self.in_crd2.can_pop() and self.in_ref2.can_pop():
+                self.head2 = self.in_crd2.pop()
+                self.href2 = self.in_ref2.pop()
+        return self.head1 is not _EMPTY and self.head2 is not _EMPTY
+
+    def _outputs_ready(self) -> bool:
+        return (
+            self.out_crd.can_push()
+            and self.out_ref1.can_push()
+            and self.out_ref2.can_push()
+        )
+
+    def _emit(self, crd: Any, ref1: Any, ref2: Any) -> None:
+        self.out_crd.push(crd)
+        self.out_ref1.push(ref1)
+        self.out_ref2.push(ref2)
+
+    def _advance1(self) -> None:
+        self.head1 = _EMPTY
+        self.href1 = _EMPTY
+
+    def _advance2(self) -> None:
+        self.head2 = _EMPTY
+        self.href2 = _EMPTY
+
+
+class LegacyIntersect(_LegacyJoinerBase):
+    """Keep coordinates present on both sides."""
+
+    def tick(self, cycle: int) -> None:
+        if self.finished or self.stalled():
+            return
+        if not self._fill_heads():
+            return
+        c1, c2 = self.head1, self.head2
+        s1, s2 = isinstance(c1, Stop), isinstance(c2, Stop)
+        if c1 is DONE or c2 is DONE:
+            if not (c1 is DONE and c2 is DONE):
+                raise AssertionError(
+                    f"{self.name}: streams ended at different points"
+                )
+            if self._outputs_ready():
+                self._emit(DONE, DONE, DONE)
+                self.finished = True
+            return
+        if s1 and s2:
+            if c1.level != c2.level:
+                raise AssertionError(
+                    f"{self.name}: misaligned stops {c1!r} vs {c2!r}"
+                )
+            if self._outputs_ready():
+                self._emit(c1, c1, c1)
+                self.charge()
+                self._advance1()
+                self._advance2()
+            return
+        if s1:
+            self.charge()
+            self._advance2()
+            return
+        if s2:
+            self.charge()
+            self._advance1()
+            return
+        if c1 == c2:
+            if self._outputs_ready():
+                self._emit(c1, self.href1, self.href2)
+                self.charge()
+                self._advance1()
+                self._advance2()
+        elif c1 < c2:
+            self.charge()
+            self._advance1()
+        else:
+            self.charge()
+            self._advance2()
+
+
+class LegacyUnion(_LegacyJoinerBase):
+    """Keep coordinates present on either side (ABSENT fills the gap)."""
+
+    def tick(self, cycle: int) -> None:
+        if self.finished or self.stalled():
+            return
+        if not self._fill_heads():
+            return
+        c1, c2 = self.head1, self.head2
+        s1, s2 = isinstance(c1, Stop), isinstance(c2, Stop)
+        if c1 is DONE or c2 is DONE:
+            if not (c1 is DONE and c2 is DONE):
+                raise AssertionError(
+                    f"{self.name}: streams ended at different points"
+                )
+            if self._outputs_ready():
+                self._emit(DONE, DONE, DONE)
+                self.finished = True
+            return
+        if not self._outputs_ready():
+            return
+        self.charge()
+        if s1 and s2:
+            if c1.level != c2.level:
+                raise AssertionError(
+                    f"{self.name}: misaligned stops {c1!r} vs {c2!r}"
+                )
+            self._emit(c1, c1, c1)
+            self._advance1()
+            self._advance2()
+        elif s1:
+            self._emit(c2, ABSENT, self.href2)
+            self._advance2()
+        elif s2:
+            self._emit(c1, self.href1, ABSENT)
+            self._advance1()
+        elif c1 == c2:
+            self._emit(c1, self.href1, self.href2)
+            self._advance1()
+            self._advance2()
+        elif c1 < c2:
+            self._emit(c1, self.href1, ABSENT)
+            self._advance1()
+        else:
+            self._emit(c2, ABSENT, self.href2)
+            self._advance2()

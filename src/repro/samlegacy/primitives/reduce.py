@@ -1,0 +1,101 @@
+"""Legacy Reduce: cycle-based innermost-fiber reduction.
+
+The accumulator and the "owe a decremented stop" flag persist across
+cycles; emitting the sum and the stop takes two cycles when both are due.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import DONE, Stop
+from ..base import LegacySamPrimitive
+
+_CONSUME = 0
+_EMIT_STOP = 1
+_EMIT_DONE = 2
+_HALT = 3
+
+
+class LegacyReduce(LegacySamPrimitive):
+    def __init__(
+        self,
+        in_val: CycleChannel,
+        out_val: CycleChannel,
+        fn: Callable[[float, float], float] = lambda a, b: a + b,
+        identity: float = 0.0,
+        suppress_uninhabited: bool = False,
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.suppress_uninhabited = suppress_uninhabited
+        self.in_val = in_val
+        self.out_val = out_val
+        self.fn = fn
+        self.identity = identity
+        self.accumulator = identity
+        self.state = _CONSUME
+        self.pending_stop: Stop | None = None
+        # See repro.sam.primitives.reduce: higher-level stops arriving
+        # before any payload/S0 close uninhabited space (no value emitted).
+        self.virgin = True
+
+    def tick(self, cycle: int) -> None:
+        if self.stalled():
+            return
+        if self.state == _HALT:
+            self.finished = True
+            return
+
+        if self.state == _CONSUME:
+            if not self.in_val.can_pop():
+                return
+            token = self.in_val.front()
+            if token is DONE:
+                self.in_val.pop()
+                self.state = _EMIT_DONE
+                return
+            if isinstance(token, Stop):
+                suppress = (
+                    self.suppress_uninhabited
+                    and self.virgin
+                    and token.level >= 1
+                )
+                if token.level == 0:
+                    self.virgin = False
+                # Emitting the sum needs output space; only then consume.
+                if not self.out_val.can_push():
+                    return
+                self.in_val.pop()
+                self.charge()
+                if not suppress:
+                    self.out_val.push(self.accumulator)
+                self.accumulator = self.identity
+                if token.level >= 1:
+                    self.pending_stop = Stop(token.level - 1)
+                    self.state = _EMIT_STOP
+                return
+            self.in_val.pop()
+            self.charge()
+            self.virgin = False
+            self.accumulator = self.fn(self.accumulator, token)
+            return
+
+        if self.state == _EMIT_STOP:
+            if not self.out_val.can_push():
+                return
+            self.out_val.push(self.pending_stop)
+            self.charge()
+            self.pending_stop = None
+            self.state = _CONSUME
+            return
+
+        if self.state == _EMIT_DONE:
+            if not self.out_val.can_push():
+                return
+            self.out_val.push(DONE)
+            self.state = _HALT
+            self.finished = True
+            return

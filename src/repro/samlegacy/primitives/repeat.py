@@ -1,0 +1,170 @@
+"""Legacy Repeat and RepeatSigGen: the Fig. 7 comparison subject.
+
+The original SAM simulator's Repeat block is the paper's showcase of how a
+cycle-based abstraction bloats primitive code: the current reference, the
+group progress, the owed stop, and the end-of-stream handshake all become
+instance state threaded through every tick.  This module is written in
+exactly that style on purpose — the DAM counterpart is the ~40-line
+generator in :mod:`repro.sam.primitives.repeat`.
+"""
+
+from __future__ import annotations
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import DONE, REPEAT, Stop
+from ..base import LegacySamPrimitive
+
+# RepeatSigGen has no internal states; Repeat needs several.
+_NEED_REF = 0     # must pop the next reference before serving signals
+_SERVING = 1      # replicating the held reference for the current group
+_CONSUME_REF_STOP = 2  # owe a pop of the ref stream's matching stop
+_CONSUME_SIG_DONE = 3  # ref stream done; await the signal stream's DONE
+_PUSH_DONE = 4    # owe the output DONE
+_PAIR_STOP = 5    # empty ref fiber: owe a signal-stop consume + emit
+_HALT = 6
+
+
+class LegacyRepeatSigGen(LegacySamPrimitive):
+    """Coordinates in, one R per coordinate out; controls pass through."""
+
+    def __init__(self, in_crd: CycleChannel, out_sig: CycleChannel, name=None, ii: int = 1):
+        super().__init__(name=name, ii=ii)
+        self.in_crd = in_crd
+        self.out_sig = out_sig
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self.stalled():
+            return
+        if not (self.in_crd.can_pop() and self.out_sig.can_push()):
+            return
+        token = self.in_crd.pop()
+        self.charge()
+        if token is DONE:
+            self.out_sig.push(DONE)
+            self.finished = True
+        elif isinstance(token, Stop):
+            self.out_sig.push(token)
+        else:
+            self.out_sig.push(REPEAT)
+
+
+class LegacyRepeat(LegacySamPrimitive):
+    """Replicate references per signal group (cycle-based state machine)."""
+
+    def __init__(
+        self,
+        in_ref: CycleChannel,
+        in_sig: CycleChannel,
+        out_ref: CycleChannel,
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.in_ref = in_ref
+        self.in_sig = in_sig
+        self.out_ref = out_ref
+        # Hand-managed state.
+        self.state = _NEED_REF
+        self.held_ref = None
+        self.pending_stop_level = -1
+
+    def tick(self, cycle: int) -> None:
+        if self.stalled():
+            return
+        if self.state == _HALT:
+            self.finished = True
+            return
+
+        if self.state == _NEED_REF:
+            if not self.in_ref.can_pop():
+                return
+            token = self.in_ref.pop()
+            if token is DONE:
+                self.state = _CONSUME_SIG_DONE
+                return
+            if isinstance(token, Stop):
+                # Empty reference fiber: pair with the signal stream's
+                # one-deeper stop next cycle.
+                self.pending_stop_level = token.level
+                self.state = _PAIR_STOP
+                return
+            self.held_ref = token
+            self.state = _SERVING
+            return
+
+        if self.state == _PAIR_STOP:
+            if not (self.in_sig.can_pop() and self.out_ref.can_push()):
+                return
+            signal = self.in_sig.pop()
+            if not (
+                isinstance(signal, Stop)
+                and signal.level == self.pending_stop_level + 1
+            ):
+                raise AssertionError(
+                    f"{self.name}: ref stop S{self.pending_stop_level} paired "
+                    f"with signal {signal!r}"
+                )
+            self.out_ref.push(signal)
+            self.charge()
+            self.pending_stop_level = -1
+            self.state = _NEED_REF
+            return
+
+        if self.state == _SERVING:
+            if not (self.in_sig.can_pop() and self.out_ref.can_push()):
+                return
+            signal = self.in_sig.pop()
+            if signal is REPEAT:
+                self.out_ref.push(self.held_ref)
+                self.charge()
+                return
+            if not isinstance(signal, Stop):
+                raise AssertionError(
+                    f"{self.name}: signal stream ended mid-group with "
+                    f"{signal!r}"
+                )
+            self.out_ref.push(signal)
+            self.charge()
+            if signal.level >= 1:
+                self.pending_stop_level = signal.level - 1
+                self.state = _CONSUME_REF_STOP
+            else:
+                self.state = _NEED_REF
+            return
+
+        if self.state == _CONSUME_REF_STOP:
+            if not self.in_ref.can_pop():
+                return
+            matching = self.in_ref.pop()
+            if not (
+                isinstance(matching, Stop)
+                and matching.level == self.pending_stop_level
+            ):
+                raise AssertionError(
+                    f"{self.name}: expected ref-stream "
+                    f"Stop({self.pending_stop_level}), got {matching!r}"
+                )
+            self.pending_stop_level = -1
+            self.state = _NEED_REF
+            return
+
+        if self.state == _CONSUME_SIG_DONE:
+            if not self.in_sig.can_pop():
+                return
+            signal = self.in_sig.pop()
+            if signal is not DONE:
+                raise AssertionError(
+                    f"{self.name}: ref stream done but signal sent {signal!r}"
+                )
+            self.state = _PUSH_DONE
+            return
+
+        if self.state == _PUSH_DONE:
+            if not self.out_ref.can_push():
+                return
+            self.out_ref.push(DONE)
+            self.state = _HALT
+            self.finished = True
+            return

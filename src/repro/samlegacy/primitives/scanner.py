@@ -1,0 +1,134 @@
+"""Legacy FiberLookup: the cycle-based level scanner.
+
+This is the style of code the paper's Fig. 7 shows for the original SAM
+simulator: because ``tick`` is re-entered every cycle, every scrap of
+progress — which input we are serving, how far through the fiber we are,
+whether a separator is owed — must live in named state fields, and the
+control flow is a hand-rolled state machine interleaving readiness checks
+with emission.
+"""
+
+from __future__ import annotations
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.tensor import Level
+from ...sam.token import ABSENT, DONE, Stop
+from ..base import LegacySamPrimitive
+
+# Scanner states.
+_FETCH = 0        # waiting to pop the next input reference/control token
+_EMIT_SEP = 1     # owe an S0 sibling separator before the next fiber
+_EMIT_FIBER = 2   # mid-fiber: emitting element self._pos of the fiber
+_EMIT_STOP = 3    # owe a bumped stop token from an input stop
+_EMIT_DONE = 4    # owe the final DONE pair
+_HALT = 5
+
+
+class LegacyFiberLookup(LegacySamPrimitive):
+    """Cycle-based level scanner; one output token pair per cycle."""
+
+    def __init__(
+        self,
+        level: Level,
+        in_ref: CycleChannel,
+        out_crd: CycleChannel,
+        out_ref: CycleChannel,
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.level = level
+        self.in_ref = in_ref
+        self.out_crd = out_crd
+        self.out_ref = out_ref
+        # Hand-managed state.
+        self.state = _FETCH
+        self.open_fiber = False
+        self.cur_coords: list[int] = []
+        self.cur_refs: list[int] = []
+        self.pos = 0
+        self.pending_stop: Stop | None = None
+
+    def _outputs_ready(self) -> bool:
+        return self.out_crd.can_push() and self.out_ref.can_push()
+
+    def tick(self, cycle: int) -> None:
+        if self.stalled():
+            return
+        if self.state == _HALT:
+            self.finished = True
+            return
+
+        if self.state == _FETCH:
+            if not self.in_ref.can_pop():
+                return
+            token = self.in_ref.pop()
+            if token is DONE:
+                if self.open_fiber:
+                    self.pending_stop = Stop(0)
+                    self.open_fiber = False
+                    self.state = _EMIT_STOP
+                    self._after_stop = _EMIT_DONE
+                else:
+                    self.state = _EMIT_DONE
+                return
+            if isinstance(token, Stop):
+                self.pending_stop = token.bumped()
+                self.open_fiber = False
+                self.state = _EMIT_STOP
+                self._after_stop = _FETCH
+                return
+            # A reference: load its fiber (ABSENT scans as empty).
+            if token is ABSENT:
+                self.cur_coords, self.cur_refs = [], []
+            else:
+                self.cur_coords, self.cur_refs = self.level.fiber(token)
+            self.pos = 0
+            if self.open_fiber:
+                self.state = _EMIT_SEP
+            else:
+                self.state = _EMIT_FIBER
+            self.open_fiber = True
+            return
+
+        if self.state == _EMIT_SEP:
+            if not self._outputs_ready():
+                return
+            self.out_crd.push(Stop(0))
+            self.out_ref.push(Stop(0))
+            self.charge()
+            self.state = _EMIT_FIBER
+            return
+
+        if self.state == _EMIT_FIBER:
+            if self.pos >= len(self.cur_coords):
+                self.state = _FETCH
+                # Fall through next cycle; a fetch this cycle would be a
+                # second action, which the cycle model forbids.
+                return
+            if not self._outputs_ready():
+                return
+            self.out_crd.push(self.cur_coords[self.pos])
+            self.out_ref.push(self.cur_refs[self.pos])
+            self.charge()
+            self.pos += 1
+            return
+
+        if self.state == _EMIT_STOP:
+            if not self._outputs_ready():
+                return
+            self.out_crd.push(self.pending_stop)
+            self.out_ref.push(self.pending_stop)
+            self.pending_stop = None
+            self.charge()
+            self.state = self._after_stop
+            return
+
+        if self.state == _EMIT_DONE:
+            if not self._outputs_ready():
+                return
+            self.out_crd.push(DONE)
+            self.out_ref.push(DONE)
+            self.state = _HALT
+            self.finished = True
+            return

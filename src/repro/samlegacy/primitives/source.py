@@ -1,0 +1,55 @@
+"""Legacy stream sources."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import DONE
+from ..base import LegacySamPrimitive
+
+
+class LegacyRootSource(LegacySamPrimitive):
+    """Emits [0, D], one token per cycle."""
+
+    def __init__(self, out: CycleChannel, name: str | None = None, ii: int = 1):
+        super().__init__(name=name, ii=ii)
+        self.out = out
+        self.emitted = 0
+
+    def tick(self, cycle: int) -> None:
+        if self.finished or self.stalled() or not self.out.can_push():
+            return
+        if self.emitted == 0:
+            self.out.push(0)
+            self.charge()
+            self.emitted = 1
+        elif self.emitted == 1:
+            self.out.push(DONE)
+            self.emitted = 2
+            self.finished = True
+
+
+class LegacyStreamSource(LegacySamPrimitive):
+    """Emits an explicit token list, one token per cycle."""
+
+    def __init__(self, out: CycleChannel, tokens: Iterable[Any], name: str | None = None, ii: int = 1):
+        super().__init__(name=name, ii=ii)
+        self.out = out
+        self.tokens = list(tokens)
+        self.pos = 0
+
+    def tick(self, cycle: int) -> None:
+        if self.finished:
+            return
+        if self.pos >= len(self.tokens):
+            self.finished = True
+            return
+        if self.stalled():
+            return
+        if self.out.can_push():
+            self.out.push(self.tokens[self.pos])
+            self.charge()
+            self.pos += 1
+            if self.pos >= len(self.tokens):
+                self.finished = True

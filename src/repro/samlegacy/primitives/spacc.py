@@ -1,0 +1,110 @@
+"""Legacy SpaccV1: cycle-based sparse accumulator.
+
+Flushing the merged fiber takes one cycle per (crd, val) pair, with the
+flush cursor held in state across cycles.
+"""
+
+from __future__ import annotations
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.token import DONE, Stop
+from ..base import LegacySamPrimitive
+
+_CONSUME = 0
+_FLUSH = 1
+_EMIT_STOP = 2
+_EMIT_DONE = 3
+_HALT = 4
+
+
+class LegacySpaccV1(LegacySamPrimitive):
+    def __init__(
+        self,
+        in_crd: CycleChannel,
+        in_val: CycleChannel,
+        out_crd: CycleChannel,
+        out_val: CycleChannel,
+        name: str | None = None,
+        ii: int = 1,
+    ):
+        super().__init__(name=name, ii=ii)
+        self.in_crd = in_crd
+        self.in_val = in_val
+        self.out_crd = out_crd
+        self.out_val = out_val
+        self.accumulator: dict[int, float] = {}
+        self.state = _CONSUME
+        self.flush_keys: list[int] = []
+        self.flush_pos = 0
+        self.pending_stop: Stop | None = None
+
+    def _outputs_ready(self) -> bool:
+        return self.out_crd.can_push() and self.out_val.can_push()
+
+    def tick(self, cycle: int) -> None:
+        if self.stalled():
+            return
+        if self.state == _HALT:
+            self.finished = True
+            return
+
+        if self.state == _CONSUME:
+            if not (self.in_crd.can_pop() and self.in_val.can_pop()):
+                return
+            crd = self.in_crd.pop()
+            val = self.in_val.pop()
+            if crd is DONE:
+                if val is not DONE:
+                    raise AssertionError(
+                        f"{self.name}: crd done before val done"
+                    )
+                self.state = _EMIT_DONE
+                return
+            if isinstance(crd, Stop):
+                if crd != val:
+                    raise AssertionError(
+                        f"{self.name}: misaligned stops {crd!r} vs {val!r}"
+                    )
+                if crd.level == 0:
+                    return  # subfiber boundary: keep accumulating
+                self.flush_keys = sorted(self.accumulator)
+                self.flush_pos = 0
+                self.pending_stop = Stop(crd.level - 1)
+                self.state = _FLUSH
+                return
+            self.accumulator[crd] = self.accumulator.get(crd, 0.0) + val
+            self.charge()
+            return
+
+        if self.state == _FLUSH:
+            if self.flush_pos >= len(self.flush_keys):
+                self.accumulator.clear()
+                self.state = _EMIT_STOP
+                return
+            if not self._outputs_ready():
+                return
+            key = self.flush_keys[self.flush_pos]
+            self.out_crd.push(key)
+            self.out_val.push(self.accumulator[key])
+            self.charge()
+            self.flush_pos += 1
+            return
+
+        if self.state == _EMIT_STOP:
+            if not self._outputs_ready():
+                return
+            self.out_crd.push(self.pending_stop)
+            self.out_val.push(self.pending_stop)
+            self.charge()
+            self.pending_stop = None
+            self.state = _CONSUME
+            return
+
+        if self.state == _EMIT_DONE:
+            if not self._outputs_ready():
+                return
+            self.out_crd.push(DONE)
+            self.out_val.push(DONE)
+            self.state = _HALT
+            self.finished = True
+            return

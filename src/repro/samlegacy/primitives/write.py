@@ -1,0 +1,77 @@
+"""Legacy writers and sinks."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ...cyclesim.channel import CycleChannel
+from ...sam.tensor import CompressedLevel
+from ...sam.token import DONE, Stop
+from ..base import LegacySamPrimitive
+
+
+class LegacyFiberWrite(LegacySamPrimitive):
+    """Build seg/crd arrays from a coordinate stream, one token per cycle."""
+
+    def __init__(self, in_crd: CycleChannel, name: str | None = None, ii: int = 1):
+        super().__init__(name=name, ii=ii)
+        self.in_crd = in_crd
+        self.seg: list[int] = [0]
+        self.crd: list[int] = []
+
+    def tick(self, cycle: int) -> None:
+        if self.finished or self.stalled() or not self.in_crd.can_pop():
+            return
+        token = self.in_crd.pop()
+        self.charge()
+        if token is DONE:
+            self.finished = True
+        elif isinstance(token, Stop):
+            self.seg.append(len(self.crd))
+        else:
+            self.crd.append(token)
+
+    def to_level(self) -> CompressedLevel:
+        return CompressedLevel(self.seg, self.crd)
+
+
+class LegacyValsWrite(LegacySamPrimitive):
+    """Collect a value stream's payloads, one token per cycle."""
+
+    def __init__(self, in_val: CycleChannel, name: str | None = None, ii: int = 1):
+        super().__init__(name=name, ii=ii)
+        self.in_val = in_val
+        self.vals: list[float] = []
+
+    def tick(self, cycle: int) -> None:
+        if self.finished or self.stalled() or not self.in_val.can_pop():
+            return
+        token = self.in_val.pop()
+        self.charge()
+        if token is DONE:
+            self.finished = True
+        elif not isinstance(token, Stop):
+            self.vals.append(token)
+
+    def to_array(self) -> np.ndarray:
+        return np.array(self.vals, dtype=np.float64)
+
+
+class LegacyStreamSink(LegacySamPrimitive):
+    """Record every token verbatim, one per cycle."""
+
+    def __init__(self, inp: CycleChannel, name: str | None = None, ii: int = 1):
+        super().__init__(name=name, ii=ii)
+        self.inp = inp
+        self.tokens: list[Any] = []
+
+    def tick(self, cycle: int) -> None:
+        if self.finished or self.stalled() or not self.inp.can_pop():
+            return
+        token = self.inp.pop()
+        self.charge()
+        self.tokens.append(token)
+        if token is DONE:
+            self.finished = True

@@ -1,0 +1,5 @@
+"""Developer tooling: code-size analysis for the Fig. 7 comparison."""
+
+from .loc import count_loc, loc_comparison
+
+__all__ = ["count_loc", "loc_comparison"]

@@ -1,0 +1,103 @@
+"""Lines-of-code accounting for the Fig. 7 primitive comparison.
+
+The paper reports that re-implementing the SAM simulator on DAM used 57%
+fewer lines than the original cycle-based Python simulator, illustrated
+with the Repeat block.  Both implementations live in this repository
+(:mod:`repro.sam.primitives` vs :mod:`repro.samlegacy.primitives`), so the
+comparison is directly measurable: we count non-blank, non-comment,
+non-docstring source lines.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from pathlib import Path
+
+
+def count_loc(source: str) -> int:
+    """Count effective source lines: no blanks, comments, or docstrings."""
+    docstring_lines: set[int] = set()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        tree = None
+    if tree is not None:
+        for node in ast.walk(tree):
+            if isinstance(
+                node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                body = getattr(node, "body", [])
+                if (
+                    body
+                    and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)
+                ):
+                    expr = body[0]
+                    docstring_lines.update(range(expr.lineno, expr.end_lineno + 1))
+    count = 0
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#") or lineno in docstring_lines:
+            continue
+        count += 1
+    return count
+
+
+def count_object_loc(obj: object) -> int:
+    """Effective LoC of a class/function, via its source."""
+    return count_loc(inspect.getsource(obj))
+
+
+def count_file_loc(path: str | Path) -> int:
+    return count_loc(Path(path).read_text())
+
+
+def loc_comparison() -> list[dict[str, object]]:
+    """Per-primitive LoC: DAM implementation vs legacy implementation.
+
+    Returns rows with the primitive name, both LoC counts, and the
+    reduction percentage; the aggregate row reproduces Fig. 7's headline.
+    """
+    from ..sam import primitives as dam
+    from ..samlegacy import primitives as legacy
+
+    pairs = [
+        ("FiberLookup", dam.FiberLookup, legacy.LegacyFiberLookup),
+        ("ArrayVals", dam.ArrayVals, legacy.LegacyArrayVals),
+        ("Repeat", dam.Repeat, legacy.LegacyRepeat),
+        ("RepeatSigGen", dam.RepeatSigGen, legacy.LegacyRepeatSigGen),
+        ("Intersect", dam.Intersect, legacy.LegacyIntersect),
+        ("Union", dam.Union, legacy.LegacyUnion),
+        ("BinaryAlu", dam.BinaryAlu, legacy.LegacyBinaryAlu),
+        ("UnaryAlu", dam.UnaryAlu, legacy.LegacyUnaryAlu),
+        ("Reduce", dam.Reduce, legacy.LegacyReduce),
+        ("SpaccV1", dam.SpaccV1, legacy.LegacySpaccV1),
+        ("CrdHold", dam.CrdHold, legacy.LegacyCrdHold),
+    ]
+    rows: list[dict[str, object]] = []
+    total_dam = 0
+    total_legacy = 0
+    for name, dam_cls, legacy_cls in pairs:
+        dam_loc = count_object_loc(dam_cls)
+        legacy_loc = count_object_loc(legacy_cls)
+        total_dam += dam_loc
+        total_legacy += legacy_loc
+        rows.append(
+            {
+                "primitive": name,
+                "dam_loc": dam_loc,
+                "legacy_loc": legacy_loc,
+                "reduction_pct": 100.0 * (1.0 - dam_loc / legacy_loc),
+            }
+        )
+    rows.append(
+        {
+            "primitive": "TOTAL",
+            "dam_loc": total_dam,
+            "legacy_loc": total_legacy,
+            "reduction_pct": 100.0 * (1.0 - total_dam / total_legacy),
+        }
+    )
+    return rows

@@ -1,0 +1,86 @@
+"""Tests for benchmark harness utilities and the Fig. 3 workload."""
+
+import pytest
+
+from repro.bench import (
+    TextTable,
+    TreeConfig,
+    fib,
+    run_dam_forest,
+    run_eventsim_forest,
+)
+
+
+class TestFib:
+    def test_values(self):
+        assert [fib(n) for n in range(8)] == [0, 1, 1, 2, 3, 5, 8, 13]
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["name", "value"], title="T")
+        table.add_row("a", 1)
+        table.add_row("long-name", 2.5)
+        rendered = table.render()
+        assert "T" in rendered
+        assert "long-name" in rendered
+        lines = rendered.splitlines()
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_row_arity_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        assert TextTable._format(0.000123) == "0.000123"
+        assert TextTable._format(1234.5) == "1.23e+03"
+        assert TextTable._format(0) == "0"
+
+
+class TestTreeConfig:
+    def test_geometry(self):
+        config = TreeConfig(trees=2, depth=3, reductions=5, fib_index=4)
+        assert config.leaves_per_tree == 8
+        assert config.nodes_per_tree == 7
+
+    def test_imbalance_applies_to_first_tree_only(self):
+        config = TreeConfig(
+            trees=3, depth=2, reductions=1, fib_index=10, imbalance=4
+        )
+        assert config.fib_for_tree(0) == 14
+        assert config.fib_for_tree(1) == 10
+
+    def test_expected_root_sums(self):
+        config = TreeConfig(trees=1, depth=2, reductions=3, fib_index=1)
+        assert config.expected_root_sums() == [0, 4, 8]
+
+
+class TestForests:
+    def test_dam_forest_correct(self):
+        config = TreeConfig(trees=2, depth=3, reductions=6, fib_index=3)
+        result = run_dam_forest(config)
+        expected = config.expected_root_sums()
+        assert all(sums == expected for sums in result["root_sums"])
+
+    def test_eventsim_matches_dam(self):
+        config = TreeConfig(
+            trees=1, depth=3, reductions=8, fib_index=2, imbalance=2
+        )
+        dam = run_dam_forest(config)
+        event = run_eventsim_forest(config, workers=1)
+        assert dam["root_sums"] == event["root_sums"]
+
+    def test_dam_policies_agree_on_forest(self):
+        config = TreeConfig(trees=1, depth=3, reductions=6, fib_index=2)
+        fifo = run_dam_forest(config, policy="fifo")
+        fair = run_dam_forest(config, policy="fair")
+        assert fifo["root_sums"] == fair["root_sums"]
+        assert fifo["cycles"] == fair["cycles"]
+
+    def test_threaded_matches_sequential_on_forest(self):
+        config = TreeConfig(trees=1, depth=2, reductions=5, fib_index=2)
+        seq = run_dam_forest(config, executor="sequential")
+        thr = run_dam_forest(config, executor="threaded")
+        assert seq["root_sums"] == thr["root_sums"]
+        assert seq["cycles"] == thr["cycles"]

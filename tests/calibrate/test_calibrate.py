@@ -1,0 +1,99 @@
+"""Tests for the automated calibration loop (Fig. 10)."""
+
+import pytest
+
+from repro.calibrate import (
+    Autotuner,
+    IntParameter,
+    SamTimingProblem,
+    make_reference_traces,
+)
+from repro.calibrate.problem import DEFAULT_WORKLOADS, PARAMETER_SPACE
+
+
+class TestIntParameter:
+    def test_sample_in_range(self):
+        import random
+
+        p = IntParameter("x", 2, 5)
+        rng = random.Random(0)
+        assert all(2 <= p.sample(rng) <= 5 for _ in range(50))
+
+    def test_neighbor_clamped(self):
+        import random
+
+        p = IntParameter("x", 0, 3)
+        rng = random.Random(0)
+        assert all(0 <= p.neighbor(0, rng) <= 3 for _ in range(50))
+        assert all(0 <= p.neighbor(3, rng) <= 3 for _ in range(50))
+
+
+class TestAutotuner:
+    def test_finds_simple_quadratic_minimum(self):
+        params = [IntParameter("a", 0, 20), IntParameter("b", 0, 20)]
+        tuner = Autotuner(
+            params, lambda p: (p["a"] - 7) ** 2 + (p["b"] - 3) ** 2, seed=0
+        )
+        result = tuner.tune(iterations=200, target_error=0.0)
+        assert result.best_params == {"a": 7, "b": 3}
+        assert result.best_error == 0.0
+
+    def test_history_is_monotone_nonincreasing(self):
+        params = [IntParameter("a", 0, 50)]
+        tuner = Autotuner(params, lambda p: abs(p["a"] - 31), seed=1)
+        result = tuner.tune(iterations=100)
+        assert all(
+            later <= earlier
+            for earlier, later in zip(result.history, result.history[1:])
+        )
+
+    def test_target_error_stops_early(self):
+        params = [IntParameter("a", 0, 5)]
+        tuner = Autotuner(params, lambda p: float(p["a"]), seed=2)
+        result = tuner.tune(iterations=10_000, target_error=0.0)
+        assert result.evaluations < 10_000
+
+    def test_converged_at(self):
+        params = [IntParameter("a", 0, 5)]
+        tuner = Autotuner(params, lambda p: float(p["a"]), seed=3)
+        result = tuner.tune(iterations=50, target_error=0.0)
+        assert result.converged_at(0.5) is not None
+        assert result.converged_at(-1.0) is None
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Autotuner([], lambda p: 0.0)
+
+    def test_cache_avoids_reevaluation(self):
+        calls = []
+        params = [IntParameter("a", 0, 1)]
+        tuner = Autotuner(params, lambda p: calls.append(1) or 0.0, seed=4)
+        tuner.tune(iterations=100, target_error=-1.0)
+        assert len(calls) <= 2  # only two distinct points exist
+
+
+class TestSamTimingProblem:
+    def test_recovers_hidden_parameters(self):
+        """The Fig. 10 loop in miniature: sub-cycle error is reachable and
+        the tuner reaches it (the paper: ~0.8 cycles after ~2700 iters)."""
+        hidden = {"ii": 2, "stop_bubble": 3, "latency": 2}
+        traces = make_reference_traces(hidden)
+        problem = SamTimingProblem(traces)
+        tuner = Autotuner(PARAMETER_SPACE, problem, seed=1)
+        result = tuner.tune(iterations=150, target_error=0.0)
+        assert result.best_error == 0.0
+        assert result.best_params == hidden
+
+    def test_zero_error_at_ground_truth(self):
+        hidden = {"ii": 1, "stop_bubble": 1, "latency": 3}
+        problem = SamTimingProblem(make_reference_traces(hidden))
+        assert problem(hidden) == 0.0
+
+    def test_nonzero_error_away_from_truth(self):
+        hidden = {"ii": 1, "stop_bubble": 0, "latency": 1}
+        problem = SamTimingProblem(make_reference_traces(hidden))
+        assert problem({"ii": 4, "stop_bubble": 6, "latency": 4}) > 0
+
+    def test_trace_workload_length_checked(self):
+        with pytest.raises(ValueError):
+            SamTimingProblem([1, 2], workloads=DEFAULT_WORKLOADS)

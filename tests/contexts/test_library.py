@@ -1,0 +1,133 @@
+"""Direct tests for the reusable context library."""
+
+import pytest
+
+from repro import ProgramBuilder, SimulationError
+from repro.contexts import (
+    Broadcast,
+    Checker,
+    Collector,
+    IterableSource,
+    RampSource,
+    StreamReducer,
+)
+
+
+class TestBroadcast:
+    def test_requires_outputs(self):
+        builder = ProgramBuilder()
+        _, rcv = builder.bounded(1)
+        with pytest.raises(ValueError):
+            Broadcast(rcv, [])
+
+    def test_three_way_copy(self):
+        builder = ProgramBuilder()
+        s_in, r_in = builder.bounded(2)
+        outs = []
+        collectors = []
+        for index in range(3):
+            snd, rcv = builder.bounded(2)
+            outs.append(snd)
+            collectors.append(Collector(rcv, name=f"c{index}"))
+        builder.add(RampSource(s_in, 7))
+        builder.add(Broadcast(r_in, outs))
+        for collector in collectors:
+            builder.add(collector)
+        builder.build().run()
+        for collector in collectors:
+            assert collector.values == list(range(7))
+
+    def test_slow_branch_backpressures_all(self):
+        """One slow consumer throttles every branch (physical fanout)."""
+        builder = ProgramBuilder()
+        s_in, r_in = builder.bounded(2)
+        s_a, r_a = builder.bounded(2)
+        s_b, r_b = builder.bounded(2)
+        source = builder.add(RampSource(s_in, 30, ii=1))
+        builder.add(Broadcast(r_in, [s_a, s_b]))
+        fast = builder.add(Collector(r_a, ii=1, name="fast"))
+        builder.add(Collector(r_b, ii=20, name="slow"))
+        builder.build().run()
+        # The source finishes long after its unthrottled 30 cycles.
+        assert source.finish_time > 300
+        assert fast.values == list(range(30))
+
+
+class TestStreamReducer:
+    def test_group_size_validated(self):
+        builder = ProgramBuilder()
+        _, r1 = builder.bounded(1)
+        s2, _ = builder.bounded(1)
+        with pytest.raises(ValueError):
+            StreamReducer(r1, s2, lambda a, b: a + b, group=0)
+
+    def test_partial_group_is_an_error(self):
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(2)
+        s2, r2 = builder.bounded(2)
+        builder.add(RampSource(s1, 5))  # 5 elements, group of 3
+        builder.add(StreamReducer(r1, s2, lambda a, b: a + b, group=3))
+        builder.add(Collector(r2))
+        with pytest.raises(SimulationError, match="mid-group"):
+            builder.build().run()
+
+    def test_initial_value(self):
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(2)
+        s2, r2 = builder.bounded(2)
+        builder.add(RampSource(s1, 4))
+        builder.add(
+            StreamReducer(r1, s2, lambda a, b: a + b, group=2, initial=100)
+        )
+        collector = builder.add(Collector(r2))
+        builder.build().run()
+        assert collector.values == [101, 105]
+
+    def test_empty_whole_stream_with_initial(self):
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(2)
+        s2, r2 = builder.bounded(2)
+        builder.add(IterableSource(s1, []))
+        builder.add(StreamReducer(r1, s2, lambda a, b: a + b, initial=0))
+        collector = builder.add(Collector(r2))
+        builder.build().run()
+        assert collector.values == [0]
+
+    def test_empty_whole_stream_without_initial(self):
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(2)
+        s2, r2 = builder.bounded(2)
+        builder.add(IterableSource(s1, []))
+        builder.add(StreamReducer(r1, s2, lambda a, b: a + b))
+        collector = builder.add(Collector(r2))
+        builder.build().run()
+        assert collector.values == []
+
+
+class TestChecker:
+    def test_extra_element_detected(self):
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(2)
+        builder.add(RampSource(s1, 5))
+        builder.add(Checker(r1, [0, 1, 2]))
+        with pytest.raises(SimulationError, match="extra element"):
+            builder.build().run()
+
+    def test_early_close_detected(self):
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(2)
+        builder.add(RampSource(s1, 2))
+        builder.add(Checker(r1, [0, 1, 2, 3]))
+        with pytest.raises(SimulationError, match="closed after 2"):
+            builder.build().run()
+
+
+class TestSources:
+    def test_initial_delay_shifts_timeline(self):
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(2)
+        builder.add(IterableSource(s1, ["x"], initial_delay=50))
+        collector = builder.add(Collector(r1, timestamps=True))
+        builder.build().run()
+        (stamped,) = collector.values
+        assert stamped[0] >= 50

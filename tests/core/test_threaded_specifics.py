@@ -1,0 +1,125 @@
+"""Threaded-executor-specific behaviour: watchdog, error propagation."""
+
+import pytest
+
+from repro import (
+    Context,
+    DeadlockError,
+    IncrCycles,
+    ProgramBuilder,
+    SimulationError,
+    ThreadedExecutor,
+)
+from repro.contexts import Collector, RampSource
+
+
+class Exploder(Context):
+    def __init__(self, inp):
+        super().__init__(name="exploder")
+        self.inp = inp
+        self.register(inp)
+
+    def run(self):
+        yield self.inp.dequeue()
+        raise RuntimeError("boom")
+
+
+class TestThreadedErrors:
+    def test_context_exception_propagates(self):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(2)
+        builder.add(RampSource(snd, 5))
+        builder.add(Exploder(rcv))
+        with pytest.raises(SimulationError, match="boom"):
+            ThreadedExecutor().execute(builder.build())
+
+    def test_peer_contexts_unwound_after_failure(self):
+        """A failing context must not hang its peers: the abort flag
+        reaches parked threads through their bounded waits."""
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(1)
+        source = builder.add(RampSource(snd, 10_000))
+        builder.add(Exploder(rcv))
+        with pytest.raises(SimulationError):
+            ThreadedExecutor(poll_interval=0.01).execute(builder.build())
+        # The source did not complete its stream (it was aborted).
+        assert source.finish_time is None or source.finish_time < 10_000
+
+    def test_watchdog_reports_blocked_details(self):
+        class Starved(Context):
+            def __init__(self, inp):
+                super().__init__(name="starved")
+                self.inp = inp
+                self.register(inp)
+
+            def run(self):
+                yield self.inp.dequeue()
+
+        class NeverSends(Context):
+            def __init__(self, out, inp):
+                super().__init__(name="never")
+                self.out = out
+                self.inp = inp
+                self.register(out, inp)
+
+            def run(self):
+                yield self.inp.dequeue()  # waits forever
+                yield self.out.enqueue(1)
+
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(1)
+        s2, r2 = builder.bounded(1)
+        builder.add(Starved(r1))
+        builder.add(NeverSends(s1, r2))
+        # r2 has no sender... wire it circularly instead:
+        with pytest.raises(Exception):
+            builder.build()
+
+    def test_watchdog_detects_cycle(self):
+        class Hold(Context):
+            def __init__(self, inp, out, name):
+                super().__init__(name=name)
+                self.inp, self.out = inp, out
+                self.register(inp, out)
+
+            def run(self):
+                value = yield self.inp.dequeue()
+                yield self.out.enqueue(value)
+
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(1)
+        s2, r2 = builder.bounded(1)
+        builder.add(Hold(r1, s2, "h1"))
+        builder.add(Hold(r2, s1, "h2"))
+        with pytest.raises(DeadlockError) as excinfo:
+            ThreadedExecutor(
+                poll_interval=0.01, deadlock_grace=0.3
+            ).execute(builder.build())
+        assert "h1" in str(excinfo.value)
+        assert "h2" in str(excinfo.value)
+
+    def test_compute_heavy_context_not_misdiagnosed(self):
+        """A context that computes without yielding for a while must not
+        trip the watchdog (not all threads are parked)."""
+
+        class Cruncher(Context):
+            def __init__(self, out):
+                super().__init__(name="cruncher")
+                self.out = out
+                self.register(out)
+
+            def run(self):
+                total = 0
+                for i in range(600_000):  # ~long pure-Python stretch
+                    total += i
+                yield self.out.enqueue(total)
+                yield IncrCycles(1)
+
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(1)
+        builder.add(Cruncher(snd))
+        sink = builder.add(Collector(rcv))
+        ThreadedExecutor(
+            poll_interval=0.01, deadlock_grace=0.05
+        ).execute(builder.build())
+        assert sink.values == [sum(range(600_000))]

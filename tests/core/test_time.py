@@ -1,0 +1,103 @@
+"""Unit tests for simulated time cells."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.time import INFINITY, TimeCell
+
+
+class TestTimeCell:
+    def test_starts_at_zero(self):
+        assert TimeCell().now() == 0
+
+    def test_starts_at_given_time(self):
+        assert TimeCell(7).now() == 7
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            TimeCell(-1)
+
+    def test_advance_moves_forward(self):
+        cell = TimeCell()
+        assert cell.advance(10) == 10
+        assert cell.now() == 10
+
+    def test_advance_to_past_is_noop(self):
+        cell = TimeCell(10)
+        assert cell.advance(3) == 10
+        assert cell.now() == 10
+
+    def test_advance_to_now_is_noop(self):
+        cell = TimeCell(5)
+        assert cell.advance(5) == 5
+
+    def test_incr(self):
+        cell = TimeCell(2)
+        assert cell.incr(3) == 5
+
+    def test_incr_zero_is_noop(self):
+        cell = TimeCell(2)
+        assert cell.incr(0) == 2
+
+    def test_incr_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimeCell().incr(-1)
+
+    def test_finish_pins_at_infinity(self):
+        cell = TimeCell(100)
+        cell.finish()
+        assert cell.now() == INFINITY
+        assert cell.finished
+
+    def test_not_finished_initially(self):
+        assert not TimeCell().finished
+
+    def test_infinity_compares_above_any_int(self):
+        assert INFINITY > 10**30
+        assert math.isinf(INFINITY)
+
+    def test_on_advance_hook_fires_on_forward_motion(self):
+        seen = []
+        cell = TimeCell()
+        cell.on_advance = seen.append
+        cell.advance(4)
+        cell.incr(2)
+        cell.advance(1)  # no-op: already past
+        assert seen == [4, 6]
+
+    def test_on_advance_hook_fires_on_finish(self):
+        seen = []
+        cell = TimeCell()
+        cell.on_advance = seen.append
+        cell.finish()
+        assert seen == [INFINITY]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), max_size=50))
+def test_time_is_monotonic_under_any_advance_sequence(targets):
+    """Property: the clock never moves backwards."""
+    cell = TimeCell()
+    previous = 0
+    for target in targets:
+        now = cell.advance(target)
+        assert now >= previous
+        assert now == max(previous, target)
+        previous = now
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=1000)),
+        max_size=50,
+    )
+)
+def test_mixed_advance_incr_monotonic(steps):
+    cell = TimeCell()
+    previous = 0
+    for is_incr, amount in steps:
+        now = cell.incr(amount) if is_incr else cell.advance(amount)
+        assert now >= previous
+        previous = now

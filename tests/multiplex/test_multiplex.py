@@ -1,0 +1,161 @@
+"""Tests for the time-multiplexed simulation case study (Section IX)."""
+
+import numpy as np
+import pytest
+
+from repro.contexts import Collector
+from repro.core import ProgramBuilder
+from repro.multiplex import (
+    BatchingContext,
+    DevicePool,
+    InferenceContext,
+    PhysicalDevice,
+    VirtualDevice,
+    poisson_arrivals,
+    run_multiplex_experiment,
+)
+from repro.multiplex.batching import BatchRecord, RequestSource
+
+
+class TestPhysicalDevice:
+    def test_task_load_counted(self):
+        device = PhysicalDevice(0, work_dim=16)
+        device.ensure_task(1)
+        device.ensure_task(1)  # resident: no reload
+        device.ensure_task(2)
+        assert device.loads == 2
+
+    def test_task_state_round_trips(self):
+        device = PhysicalDevice(0, work_dim=16)
+        device.ensure_task(1)
+        weights_1 = device._weights.copy()
+        device.ensure_task(2)
+        device.ensure_task(1)
+        assert np.array_equal(device._weights, weights_1)
+
+    def test_run_batch_returns_output_and_seconds(self):
+        device = PhysicalDevice(0, work_dim=16)
+        device.ensure_task(0)
+        out, seconds = device.run_batch(np.ones((4, 16)))
+        assert out.shape == (4, 16)
+        assert seconds > 0
+
+
+class TestDevicePool:
+    def test_prefers_requested_device(self):
+        pool = DevicePool([PhysicalDevice(0, 8), PhysicalDevice(1, 8)])
+        device = pool.acquire(preferred=1)
+        assert device.index == 1
+        device.lock.release()
+
+    def test_falls_back_to_free_device(self):
+        devices = [PhysicalDevice(0, 8), PhysicalDevice(1, 8)]
+        pool = DevicePool(devices)
+        devices[1].lock.acquire()  # preferred is busy
+        device = pool.acquire(preferred=1)
+        assert device.index == 0
+        device.lock.release()
+        devices[1].lock.release()
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            DevicePool([])
+
+
+class TestBatching:
+    def run_batching(self, gaps, max_batch, timeout, cycles_per_batch=20):
+        builder = ProgramBuilder()
+        s_req, r_req = builder.bounded(4)
+        s_rec, r_rec = builder.real("records")
+        s_done, r_done = builder.unbounded()
+        builder.add(RequestSource(s_req, gaps))
+        builder.add(BatchingContext(r_req, s_rec, max_batch, timeout))
+        inference = builder.add(
+            InferenceContext(r_rec, s_done, cycles_per_batch=cycles_per_batch)
+        )
+        builder.add(Collector(r_done))
+        builder.build().run()
+        return inference.completions
+
+    def test_size_triggered_batches(self):
+        completions = self.run_batching([1] * 6, max_batch=3, timeout=1000)
+        assert [size for _, size in completions] == [3, 3]
+
+    def test_timeout_triggered_batch(self):
+        # One request, then a huge gap: the first batch must launch at
+        # its deadline, not wait for more arrivals.
+        completions = self.run_batching([1, 500], max_batch=4, timeout=10)
+        assert [size for _, size in completions] == [1, 1]
+        first_completion_time = completions[0][0]
+        assert first_completion_time < 100  # launched at deadline ~12
+
+    def test_mixed_triggers(self):
+        completions = self.run_batching(
+            [1, 1, 1, 50, 1], max_batch=3, timeout=8
+        )
+        sizes = [size for _, size in completions]
+        assert sizes[0] == 3  # filled
+        assert sum(sizes) == 5
+
+    def test_batch_completion_times_increase(self):
+        completions = self.run_batching([2] * 10, max_batch=2, timeout=30)
+        times = [t for t, _ in completions]
+        assert times == sorted(times)
+
+    def test_max_batch_validated(self):
+        builder = ProgramBuilder()
+        s, r = builder.bounded(1)
+        with pytest.raises(ValueError):
+            BatchingContext(r, s, max_batch=0, timeout=5)
+
+    def test_record_dataclass(self):
+        record = BatchRecord(launch_time=5, size=3)
+        assert record.launch_time == 5 and record.size == 3
+
+
+class TestPoissonArrivals:
+    def test_count_and_positivity(self):
+        gaps = poisson_arrivals(50, mean_gap=4.0, seed=1)
+        assert len(gaps) == 50
+        assert all(gap >= 1 for gap in gaps)
+
+    def test_seeded(self):
+        assert poisson_arrivals(10, 3.0, seed=2) == poisson_arrivals(10, 3.0, seed=2)
+
+
+class TestVirtualDevices:
+    def test_experiment_runs_all_batches(self):
+        result = run_multiplex_experiment(
+            virtual=2, physical=1, batches=3, batch_size=8, work_dim=16
+        )
+        assert result.samples == 6
+        assert result.mean_seconds > 0
+        assert result.std_seconds >= 0
+
+    def test_shared_task_reduces_loads(self):
+        distinct = run_multiplex_experiment(
+            virtual=4, physical=1, batches=4, batch_size=8, work_dim=16
+        )
+        shared = run_multiplex_experiment(
+            virtual=4,
+            physical=1,
+            batches=4,
+            batch_size=8,
+            work_dim=16,
+            shared_task=True,
+        )
+        # Same resident task: the unfair-lock fast path skips stash/load.
+        assert shared.device_loads < distinct.device_loads
+
+    def test_virtual_device_records_batches(self):
+        from repro.contexts import IterableSource
+
+        pool = DevicePool([PhysicalDevice(0, 8)])
+        builder = ProgramBuilder()
+        s_in, r_in = builder.bounded(2)
+        s_out, r_out = builder.bounded(2)
+        builder.add(IterableSource(s_in, [np.ones((2, 8))] * 3))
+        vdev = builder.add(VirtualDevice(r_in, s_out, pool, task_id=0))
+        builder.add(Collector(r_out))
+        builder.build().run()
+        assert len(vdev.batch_seconds) == 3

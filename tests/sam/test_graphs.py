@@ -1,0 +1,255 @@
+"""Integration tests: SAM kernel graphs against dense numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeadlockError
+from repro.sam import CsfTensor
+from repro.sam.graphs import (
+    build_mmadd,
+    build_sddmm,
+    build_sparse_mha,
+    build_spmspm,
+)
+from repro.sam.graphs.mha import build_parallel_mha
+from repro.sam.primitives import TimingParams
+from repro.sam.reference import sddmm as ref_sddmm
+from repro.sam.reference import sparse_mha as ref_mha
+from repro.sam.tensor import random_dense
+
+
+def mha_inputs(heads=2, seq_len=8, d=4, density=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    mask = (rng.random((heads, seq_len, seq_len)) < density).astype(float)
+    for h in range(heads):
+        np.fill_diagonal(mask[h], 1.0)  # every row attends to itself
+    q = rng.standard_normal((heads, seq_len, d))
+    k = rng.standard_normal((heads, seq_len, d))
+    v = rng.standard_normal((heads, seq_len, d))
+    return mask, q, k, v
+
+
+class TestMmadd:
+    def test_basic(self):
+        a = random_dense(6, 8, density=0.5, seed=1)
+        b = random_dense(6, 8, density=0.5, seed=2)
+        kernel = build_mmadd(
+            CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc")
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), a + b)
+
+    def test_disjoint_patterns(self):
+        a = np.diag([1.0, 2.0, 3.0])
+        b = np.fliplr(np.diag([4.0, 5.0, 6.0]))
+        kernel = build_mmadd(
+            CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc")
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), a + b)
+
+    def test_one_operand_empty(self):
+        a = random_dense(4, 4, density=0.5, seed=3)
+        b = np.zeros((4, 4))
+        kernel = build_mmadd(
+            CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc")
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), a)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_mmadd(
+                CsfTensor.from_dense(np.zeros((2, 2)), "cc"),
+                CsfTensor.from_dense(np.zeros((3, 3)), "cc"),
+            )
+
+    def test_bounded_channels_same_result(self):
+        a = random_dense(5, 5, density=0.6, seed=4)
+        b = random_dense(5, 5, density=0.6, seed=5)
+        unbounded = build_mmadd(
+            CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc")
+        )
+        su = unbounded.run()
+        bounded = build_mmadd(
+            CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc"), depth=2
+        )
+        sb = bounded.run()
+        assert np.allclose(unbounded.result_dense(), bounded.result_dense())
+        # Bounded channels simulate backpressure but results are identical.
+        assert su.elapsed_cycles <= sb.elapsed_cycles
+
+    def test_timing_params_change_cycles_not_values(self):
+        a = random_dense(5, 5, density=0.6, seed=6)
+        b = random_dense(5, 5, density=0.6, seed=7)
+        fast = build_mmadd(
+            CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc")
+        )
+        sf = fast.run()
+        slow = build_mmadd(
+            CsfTensor.from_dense(a, "cc"),
+            CsfTensor.from_dense(b, "cc"),
+            timing=TimingParams(ii=3, stop_bubble=2),
+        )
+        ss = slow.run()
+        assert np.allclose(fast.result_dense(), slow.result_dense())
+        assert ss.elapsed_cycles > sf.elapsed_cycles
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rows=st.integers(1, 7),
+        cols=st.integers(1, 7),
+        da=st.floats(0.0, 1.0),
+        db=st.floats(0.0, 1.0),
+        seed=st.integers(0, 50),
+    )
+    def test_property_matches_numpy(self, rows, cols, da, db, seed):
+        a = random_dense(rows, cols, density=da, seed=seed)
+        b = random_dense(rows, cols, density=db, seed=seed + 1000)
+        kernel = build_mmadd(
+            CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc")
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), a + b)
+
+
+class TestSpmspm:
+    def test_basic(self):
+        b = random_dense(5, 6, density=0.4, seed=1)
+        ct = random_dense(7, 6, density=0.4, seed=2)
+        kernel = build_spmspm(
+            CsfTensor.from_dense(b, "cc"), CsfTensor.from_dense(ct, "cc")
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), b @ ct.T)
+
+    def test_compressed_output_variant(self):
+        b = random_dense(5, 6, density=0.4, seed=3)
+        ct = random_dense(7, 6, density=0.4, seed=4)
+        kernel = build_spmspm(
+            CsfTensor.from_dense(b, "cc"),
+            CsfTensor.from_dense(ct, "cc"),
+            compress_output=True,
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), b @ ct.T)
+        # Compression must have dropped the zero results.
+        assert np.all(kernel.vals_writer.to_array() != 0)
+
+    def test_inner_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_spmspm(
+                CsfTensor.from_dense(np.zeros((2, 3)), "cc"),
+                CsfTensor.from_dense(np.zeros((2, 4)), "cc"),
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        i=st.integers(1, 5),
+        k=st.integers(1, 5),
+        j=st.integers(1, 5),
+        da=st.floats(0.1, 1.0),
+        db=st.floats(0.1, 1.0),
+        seed=st.integers(0, 50),
+    )
+    def test_property_matches_numpy(self, i, k, j, da, db, seed):
+        b = random_dense(i, k, density=da, seed=seed)
+        ct = random_dense(j, k, density=db, seed=seed + 1000)
+        kernel = build_spmspm(
+            CsfTensor.from_dense(b, "cc"), CsfTensor.from_dense(ct, "cc")
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), b @ ct.T)
+
+
+class TestSddmm:
+    def test_basic(self):
+        s = random_dense(5, 7, density=0.3, seed=5)
+        a = random_dense(5, 4, density=1.0, seed=6)
+        b = random_dense(7, 4, density=1.0, seed=7)
+        kernel = build_sddmm(CsfTensor.from_dense(s, "cc"), a, b)
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), ref_sddmm(s, a, b))
+
+    def test_shape_checks(self):
+        s = CsfTensor.from_dense(np.ones((3, 3)), "cc")
+        with pytest.raises(ValueError):
+            build_sddmm(s, np.ones((4, 2)), np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            build_sddmm(s, np.ones((3, 2)), np.ones((3, 5)))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        i=st.integers(1, 5),
+        j=st.integers(1, 5),
+        k=st.integers(1, 4),
+        density=st.floats(0.1, 1.0),
+        seed=st.integers(0, 50),
+    )
+    def test_property_matches_numpy(self, i, j, k, density, seed):
+        s = random_dense(i, j, density=density, seed=seed)
+        a = random_dense(i, k, density=1.0, seed=seed + 1)
+        b = random_dense(j, k, density=1.0, seed=seed + 2)
+        kernel = build_sddmm(CsfTensor.from_dense(s, "cc"), a, b)
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), ref_sddmm(s, a, b))
+
+
+class TestSparseMha:
+    def test_basic(self):
+        mask, q, k, v = mha_inputs()
+        kernel = build_sparse_mha(CsfTensor.from_dense(mask, "dcc"), q, k, v)
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), ref_mha(q, k, v, mask))
+
+    def test_bounded_with_adequate_softmax_depth(self):
+        mask, q, k, v = mha_inputs(seed=1)
+        kernel = build_sparse_mha(
+            CsfTensor.from_dense(mask, "dcc"), q, k, v, depth=8, softmax_depth=64
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), ref_mha(q, k, v, mask))
+
+    def test_undersized_softmax_buffer_deadlocks(self):
+        """Section VIII-A1: data AND metadata streams deadlock when the
+        row buffers are provisioned below the row population."""
+        mask, q, k, v = mha_inputs(seed=2)
+        kernel = build_sparse_mha(
+            CsfTensor.from_dense(mask, "dcc"), q, k, v, depth=8, softmax_depth=2
+        )
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+    def test_parallel_pipelines_match_and_speed_up(self):
+        mask, q, k, v = mha_inputs(heads=4, seed=3)
+        serial = build_parallel_mha(mask, q, k, v, parallelism=1)
+        s1 = serial.run()
+        parallel = build_parallel_mha(mask, q, k, v, parallelism=4)
+        s4 = parallel.run()
+        assert np.allclose(serial.result_dense(), parallel.result_dense())
+        assert np.allclose(serial.result_dense(), ref_mha(q, k, v, mask))
+        # Simulated parallelism reduces the simulated makespan.
+        assert s4.elapsed_cycles < s1.elapsed_cycles
+        # And multiplies the context count (the Table III effect).
+        assert parallel.context_count > 3 * serial.context_count
+
+    def test_parallelism_bounds_checked(self):
+        mask, q, k, v = mha_inputs(heads=2)
+        with pytest.raises(ValueError):
+            build_parallel_mha(mask, q, k, v, parallelism=3)
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        heads=st.integers(1, 3),
+        seq=st.integers(2, 8),
+        d=st.integers(1, 4),
+        density=st.floats(0.2, 0.9),
+        seed=st.integers(0, 30),
+    )
+    def test_property_matches_numpy(self, heads, seq, d, density, seed):
+        mask, q, k, v = mha_inputs(heads, seq, d, density, seed)
+        kernel = build_sparse_mha(CsfTensor.from_dense(mask, "dcc"), q, k, v)
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), ref_mha(q, k, v, mask))

@@ -1,0 +1,92 @@
+"""Tests for the Gustavson SpMSpM dataflow."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sam import CsfTensor
+from repro.sam.graphs import build_spmspm, build_spmspm_gustavson
+from repro.sam.tensor import random_dense
+
+
+class TestGustavson:
+    def test_basic(self):
+        b = random_dense(6, 5, density=0.4, seed=1)
+        c = random_dense(5, 7, density=0.4, seed=2)
+        kernel = build_spmspm_gustavson(
+            CsfTensor.from_dense(b, "cc"), CsfTensor.from_dense(c, "dc")
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), b @ c)
+
+    def test_compressed_k_level_uses_locate(self):
+        """With C in 'cc', a Locate stage maps k coordinates to row refs;
+        rows of C missing entirely become ABSENT (all-zero) fibers."""
+        b = random_dense(6, 5, density=0.5, seed=8)
+        c = random_dense(5, 7, density=0.3, seed=9)
+        c[2, :] = 0.0  # a row B may reference but C doesn't store
+        kernel = build_spmspm_gustavson(
+            CsfTensor.from_dense(b, "cc"), CsfTensor.from_dense(c, "cc")
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), b @ c)
+        assert any(
+            ctx.name == "locateK" for ctx in kernel.program.contexts
+        )
+
+    def test_inner_dim_checked(self):
+        b = CsfTensor.from_dense(np.ones((2, 3)), "cc")
+        c = CsfTensor.from_dense(np.ones((4, 2)), "dc")
+        with pytest.raises(ValueError, match="inner dimensions"):
+            build_spmspm_gustavson(b, c)
+
+    def test_empty_operand(self):
+        b = CsfTensor.from_dense(np.zeros((3, 3)), "cc")
+        c = CsfTensor.from_dense(random_dense(3, 3, density=0.5, seed=3), "dc")
+        kernel = build_spmspm_gustavson(b, c)
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), np.zeros((3, 3)))
+
+    def test_output_is_compressed(self):
+        """Unlike the inner-product build, Gustavson's spacc output keeps
+        only coordinates that actually received contributions."""
+        b = random_dense(6, 6, density=0.2, seed=4)
+        c = random_dense(6, 6, density=0.2, seed=5)
+        kernel = build_spmspm_gustavson(
+            CsfTensor.from_dense(b, "cc"), CsfTensor.from_dense(c, "dc")
+        )
+        kernel.run()
+        stored = len(kernel.vals_writer.vals)
+        assert stored == np.count_nonzero(b @ c)
+
+    def test_agrees_with_inner_product_dataflow(self):
+        b = random_dense(8, 8, density=0.3, seed=6)
+        c = random_dense(8, 8, density=0.3, seed=7)
+        gustavson = build_spmspm_gustavson(
+            CsfTensor.from_dense(b, "cc"), CsfTensor.from_dense(c, "dc")
+        )
+        gustavson.run()
+        inner = build_spmspm(
+            CsfTensor.from_dense(b, "cc"), CsfTensor.from_dense(c.T, "cc")
+        )
+        inner.run()
+        assert np.allclose(gustavson.result_dense(), inner.result_dense())
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        i=st.integers(1, 6),
+        k=st.integers(1, 6),
+        j=st.integers(1, 6),
+        da=st.floats(0.0, 1.0),
+        db=st.floats(0.0, 1.0),
+        seed=st.integers(0, 50),
+    )
+    def test_property_matches_numpy(self, i, k, j, da, db, seed):
+        b = random_dense(i, k, density=da, seed=seed)
+        c = random_dense(k, j, density=db, seed=seed + 2000)
+        kernel = build_spmspm_gustavson(
+            CsfTensor.from_dense(b, "cc"), CsfTensor.from_dense(c, "dc")
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), b @ c)

@@ -1,0 +1,162 @@
+"""Tests for the runtime sparsity guarantee (the paper's future work).
+
+Section VIII-A1: random sparsity makes buffer provisioning stochastic —
+a rare over-populated fiber deadlocks a channel sized for the expected
+population.  The NonzeroLimiter caps fibers at a hard bound, converting
+the stochastic deadlock into a bounded-loss approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DeadlockError
+from repro.sam import CsfTensor
+from repro.sam.graphs import build_sparse_mha
+from repro.sam.primitives import NonzeroLimiter
+from repro.sam.reference import sparse_mha as ref_mha
+from repro.sam.testing import run_block
+from repro.sam.token import DONE, Stop
+
+S0, S1 = Stop(0), Stop(1)
+
+
+class TestNonzeroLimiterUnit:
+    def run_limiter(self, crd, val, k, policy="tail"):
+        holder = {}
+
+        def make(rcv, snd):
+            block = NonzeroLimiter(
+                rcv[0], rcv[1], snd[0], snd[1], max_nonzeros=k, policy=policy
+            )
+            holder["block"] = block
+            return block
+
+        out = run_block(make, [crd, val], 2)
+        return out, holder["block"]
+
+    def test_under_limit_passes_through(self):
+        (crd, val), block = self.run_limiter(
+            [1, 3, S0, DONE], [0.5, 0.25, S0, DONE], k=4
+        )
+        assert crd == [1, 3, S0, DONE]
+        assert val == [0.5, 0.25, S0, DONE]
+        assert block.dropped == 0
+
+    def test_tail_policy_keeps_first_k(self):
+        (crd, val), block = self.run_limiter(
+            [0, 1, 2, 3, S0, DONE], [1.0, 2.0, 3.0, 4.0, S0, DONE], k=2
+        )
+        assert crd == [0, 1, S0, DONE]
+        assert val == [1.0, 2.0, S0, DONE]
+        assert block.dropped == 2
+
+    def test_smallest_policy_keeps_largest_magnitudes(self):
+        (crd, val), block = self.run_limiter(
+            [0, 1, 2, 3, S0, DONE],
+            [1.0, -9.0, 0.5, 4.0, S0, DONE],
+            k=2,
+            policy="smallest",
+        )
+        assert crd == [1, 3, S0, DONE]  # coordinate order preserved
+        assert val == [-9.0, 4.0, S0, DONE]
+        assert block.dropped == 2
+
+    def test_counter_resets_per_fiber(self):
+        (crd, _), block = self.run_limiter(
+            [0, 1, 2, S0, 0, 1, 2, S1, DONE],
+            [1.0, 1.0, 1.0, S0, 1.0, 1.0, 1.0, S1, DONE],
+            k=2,
+        )
+        assert crd == [0, 1, S0, 0, 1, S1, DONE]
+        assert block.dropped == 2
+
+    def test_parameter_validation(self):
+        from repro.core import make_channel
+
+        s1, r1 = make_channel()
+        s2, r2 = make_channel()
+        s3, _ = make_channel()
+        s4, _ = make_channel()
+        with pytest.raises(ValueError):
+            NonzeroLimiter(r1, r2, s3, s4, max_nonzeros=0)
+        with pytest.raises(ValueError):
+            NonzeroLimiter(r1, r2, s3, s4, max_nonzeros=2, policy="bogus")
+
+
+def capped_mask(mask: np.ndarray, k: int) -> np.ndarray:
+    """Reference for the tail policy: keep the first k nonzeros per row."""
+    capped = np.zeros_like(mask)
+    for h in range(mask.shape[0]):
+        for i in range(mask.shape[1]):
+            cols = np.flatnonzero(mask[h, i])[:k]
+            capped[h, i, cols] = mask[h, i, cols]
+    return capped
+
+
+class TestLimiterInMha:
+    def inputs(self, seed=0, heads=2, n=12, d=4, density=0.5):
+        rng = np.random.default_rng(seed)
+        mask = (rng.random((heads, n, n)) < density).astype(float)
+        for h in range(heads):
+            np.fill_diagonal(mask[h], 1.0)
+        q = rng.standard_normal((heads, n, d))
+        k = rng.standard_normal((heads, n, d))
+        v = rng.standard_normal((heads, n, d))
+        return mask, q, k, v
+
+    def test_limiter_prevents_overpopulated_row_deadlock(self):
+        """The headline: a softmax buffer sized for the cap is safe even
+        when raw rows exceed it, where the uncapped graph deadlocks."""
+        mask, q, k, v = self.inputs(n=24, density=0.7)
+        cap = 6
+        # Rows genuinely exceed the buffer the cap makes sufficient.
+        assert (mask.sum(axis=-1) > cap + 4).any()
+
+        unguarded = build_sparse_mha(
+            CsfTensor.from_dense(mask, "dcc"), q, k, v,
+            depth=8, softmax_depth=cap + 4,
+        )
+        with pytest.raises(DeadlockError):
+            unguarded.run()
+
+        guarded = build_sparse_mha(
+            CsfTensor.from_dense(mask, "dcc"), q, k, v,
+            depth=8, softmax_depth=cap + 4, max_row_nonzeros=cap,
+        )
+        guarded.run()
+        expected = ref_mha(q, k, v, capped_mask(mask, cap))
+        assert np.allclose(guarded.result_dense(), expected)
+
+    def test_generous_cap_changes_nothing(self):
+        mask, q, k, v = self.inputs(density=0.3)
+        kernel = build_sparse_mha(
+            CsfTensor.from_dense(mask, "dcc"), q, k, v, max_row_nonzeros=100
+        )
+        kernel.run()
+        assert np.allclose(kernel.result_dense(), ref_mha(q, k, v, mask))
+
+    def test_stochastic_deadlock_seed_sweep(self):
+        """The paper's stochasticity argument, measured: across seeds, an
+        expected-population buffer deadlocks on *some* masks; the capped
+        graph completes on every one of them."""
+        n, density = 16, 0.4
+        buffer_depth = int(n * density) + 2  # sized for the expectation
+        deadlocks = 0
+        for seed in range(8):
+            mask, q, k, v = self.inputs(seed=seed, n=n, density=density)
+            raw = build_sparse_mha(
+                CsfTensor.from_dense(mask, "dcc"), q, k, v,
+                depth=8, softmax_depth=buffer_depth,
+            )
+            try:
+                raw.run()
+            except DeadlockError:
+                deadlocks += 1
+            guarded = build_sparse_mha(
+                CsfTensor.from_dense(mask, "dcc"), q, k, v,
+                depth=8,
+                softmax_depth=buffer_depth,
+                max_row_nonzeros=buffer_depth - 2,
+            )
+            guarded.run()  # must never deadlock
+        assert deadlocks > 0  # the stochastic hazard is real

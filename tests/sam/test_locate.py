@@ -1,0 +1,55 @@
+"""Unit tests for the Locate (random access) primitive."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sam.primitives import Locate
+from repro.sam.tensor import CompressedLevel, DenseLevel
+from repro.sam.testing import run_block
+from repro.sam.token import ABSENT, DONE, Stop
+
+S0, S1 = Stop(0), Stop(1)
+
+
+def locate(level, stream, fiber_ref=0):
+    (out,) = run_block(
+        lambda rcv, snd: Locate(level, rcv[0], snd[0], fiber_ref=fiber_ref),
+        [stream],
+        1,
+    )
+    return out
+
+
+class TestLocate:
+    def test_compressed_hits_and_misses(self):
+        level = CompressedLevel(seg=[0, 3], crd=[2, 5, 9])
+        out = locate(level, [5, 3, 9, S0, DONE])
+        assert out == [1, ABSENT, 2, S0, DONE]
+
+    def test_compressed_other_fiber(self):
+        level = CompressedLevel(seg=[0, 2, 4], crd=[1, 3, 0, 7])
+        out = locate(level, [7, 1, S0, DONE], fiber_ref=1)
+        assert out == [3, ABSENT, S0, DONE]
+
+    def test_dense_level(self):
+        out = locate(DenseLevel(4), [0, 3, 4, S1, DONE], fiber_ref=2)
+        assert out == [8, 11, ABSENT, S1, DONE]
+
+    def test_controls_pass_through(self):
+        level = CompressedLevel(seg=[0, 1], crd=[0])
+        out = locate(level, [S0, S1, DONE])
+        assert out == [S0, S1, DONE]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        coords=st.sets(st.integers(0, 30), min_size=0, max_size=10),
+        queries=st.lists(st.integers(0, 30), max_size=10),
+    )
+    def test_property_matches_dict_lookup(self, coords, queries):
+        ordered = sorted(coords)
+        level = CompressedLevel(seg=[0, len(ordered)], crd=ordered)
+        expected_map = {crd: pos for pos, crd in enumerate(ordered)}
+        out = locate(level, list(queries) + [S0, DONE])
+        results = out[: len(queries)]
+        for query, result in zip(queries, results):
+            assert result == expected_map.get(query, ABSENT)

@@ -1,0 +1,339 @@
+"""Stream-level unit tests for every SAM primitive.
+
+Each test feeds explicit token streams through one block (via
+``repro.sam.testing.run_block``) and checks the exact output streams,
+including control tokens — these encode the SAM stream grammar rules the
+kernel graphs rely on.
+"""
+
+import pytest
+
+from repro.sam.primitives import (
+    ArrayVals,
+    BinaryAlu,
+    CrdDrop,
+    CrdHold,
+    FiberLookup,
+    Intersect,
+    Reduce,
+    Repeat,
+    RepeatSigGen,
+    SpaccV1,
+    UnaryAlu,
+    Union,
+)
+from repro.sam.primitives.filter import ValDrop
+from repro.sam.tensor import CompressedLevel, DenseLevel
+from repro.sam.testing import run_block
+from repro.sam.token import ABSENT, DONE, REPEAT, Stop
+
+S0, S1, S2 = Stop(0), Stop(1), Stop(2)
+
+
+class TestFiberLookup:
+    def level(self):
+        # Fibers: 0 -> [1, 4], 1 -> [], 2 -> [0, 2, 3]
+        return CompressedLevel(seg=[0, 2, 2, 5], crd=[1, 4, 0, 2, 3])
+
+    def run_scan(self, level, in_ref):
+        return run_block(
+            lambda rcv, snd: FiberLookup(level, rcv[0], snd[0], snd[1]),
+            [in_ref],
+            2,
+        )
+
+    def test_root_scan(self):
+        crd, ref = self.run_scan(self.level(), [0, DONE])
+        assert crd == [1, 4, S0, DONE]
+        assert ref == [0, 1, S0, DONE]
+
+    def test_sibling_fibers_get_s0_separator(self):
+        crd, ref = self.run_scan(self.level(), [0, 2, S0, DONE])
+        assert crd == [1, 4, S0, 0, 2, 3, S1, DONE]
+        assert ref == [0, 1, S0, 2, 3, 4, S1, DONE]
+
+    def test_input_stop_levels_are_bumped(self):
+        crd, _ = self.run_scan(self.level(), [0, S0, 2, S1, DONE])
+        assert crd == [1, 4, S1, 0, 2, 3, S2, DONE]
+
+    def test_empty_fiber_keeps_boundaries(self):
+        crd, _ = self.run_scan(self.level(), [1, 0, S0, DONE])
+        assert crd == [S0, 1, 4, S1, DONE]
+
+    def test_absent_ref_scans_empty(self):
+        crd, _ = self.run_scan(self.level(), [ABSENT, 0, S0, DONE])
+        assert crd == [S0, 1, 4, S1, DONE]
+
+    def test_dense_level(self):
+        crd, ref = self.run_scan(DenseLevel(3), [2, S0, DONE])
+        assert crd == [0, 1, 2, S1, DONE]
+        assert ref == [6, 7, 8, S1, DONE]
+
+
+class TestArrayVals:
+    def test_lookup_and_controls(self):
+        (out,) = run_block(
+            lambda rcv, snd: ArrayVals([1.0, 2.0, 3.0], rcv[0], snd[0]),
+            [[2, 0, S0, 1, S1, DONE]],
+            1,
+        )
+        assert out == [3.0, 1.0, S0, 2.0, S1, DONE]
+
+    def test_absent_reads_zero(self):
+        (out,) = run_block(
+            lambda rcv, snd: ArrayVals([5.0], rcv[0], snd[0]),
+            [[ABSENT, 0, S0, DONE]],
+            1,
+        )
+        assert out == [0.0, 5.0, S0, DONE]
+
+
+class TestRepeat:
+    def test_repsiggen(self):
+        (out,) = run_block(
+            lambda rcv, snd: RepeatSigGen(rcv[0], snd[0]),
+            [[7, 9, S0, 3, S1, DONE]],
+            1,
+        )
+        assert out == [REPEAT, REPEAT, S0, REPEAT, S1, DONE]
+
+    def test_repeat_root_per_group(self):
+        (out,) = run_block(
+            lambda rcv, snd: Repeat(rcv[0], rcv[1], snd[0]),
+            [[0, DONE], [REPEAT, REPEAT, REPEAT, S0, DONE]],
+            1,
+        )
+        assert out == [0, 0, 0, S0, DONE]
+
+    def test_repeat_advances_refs_and_consumes_ref_stops(self):
+        (out,) = run_block(
+            lambda rcv, snd: Repeat(rcv[0], rcv[1], snd[0]),
+            [
+                [10, 20, S0, DONE],
+                [REPEAT, REPEAT, S0, REPEAT, S1, DONE],
+            ],
+            1,
+        )
+        assert out == [10, 10, S0, 20, S1, DONE]
+
+    def test_repeat_empty_group(self):
+        (out,) = run_block(
+            lambda rcv, snd: Repeat(rcv[0], rcv[1], snd[0]),
+            [[5, 6, S0, DONE], [S0, REPEAT, S1, DONE]],
+            1,
+        )
+        assert out == [S0, 6, S1, DONE]
+
+
+class TestJoiners:
+    def intersect(self, a_crd, a_ref, b_crd, b_ref):
+        return run_block(
+            lambda rcv, snd: Intersect(
+                rcv[0], rcv[1], rcv[2], rcv[3], snd[0], snd[1], snd[2]
+            ),
+            [a_crd, a_ref, b_crd, b_ref],
+            3,
+        )
+
+    def union(self, a_crd, a_ref, b_crd, b_ref):
+        return run_block(
+            lambda rcv, snd: Union(
+                rcv[0], rcv[1], rcv[2], rcv[3], snd[0], snd[1], snd[2]
+            ),
+            [a_crd, a_ref, b_crd, b_ref],
+            3,
+        )
+
+    def test_intersect_matches_only(self):
+        crd, ref1, ref2 = self.intersect(
+            [0, 2, 5, S0, DONE],
+            [10, 11, 12, S0, DONE],
+            [2, 3, 5, S0, DONE],
+            [20, 21, 22, S0, DONE],
+        )
+        assert crd == [2, 5, S0, DONE]
+        assert ref1 == [11, 12, S0, DONE]
+        assert ref2 == [20, 22, S0, DONE]
+
+    def test_intersect_empty_result(self):
+        crd, _, _ = self.intersect(
+            [0, S0, DONE], [1, S0, DONE], [3, S0, DONE], [2, S0, DONE]
+        )
+        assert crd == [S0, DONE]
+
+    def test_intersect_multi_fiber(self):
+        crd, _, _ = self.intersect(
+            [1, S0, 2, S1, DONE],
+            [0, S0, 1, S1, DONE],
+            [1, S0, 3, S1, DONE],
+            [0, S0, 1, S1, DONE],
+        )
+        assert crd == [1, S0, S1, DONE]
+
+    def test_union_merges_with_absent(self):
+        crd, ref1, ref2 = self.union(
+            [0, 2, S0, DONE],
+            [10, 11, S0, DONE],
+            [1, 2, S0, DONE],
+            [20, 21, S0, DONE],
+        )
+        assert crd == [0, 1, 2, S0, DONE]
+        assert ref1 == [10, ABSENT, 11, S0, DONE]
+        assert ref2 == [ABSENT, 20, 21, S0, DONE]
+
+    def test_union_one_side_empty(self):
+        crd, ref1, ref2 = self.union(
+            [S0, DONE], [S0, DONE], [4, S0, DONE], [9, S0, DONE]
+        )
+        assert crd == [4, S0, DONE]
+        assert ref1 == [ABSENT, S0, DONE]
+        assert ref2 == [9, S0, DONE]
+
+    def test_misaligned_stops_detected(self):
+        from repro.core import SimulationError
+
+        with pytest.raises(SimulationError):
+            self.intersect([S0, DONE], [S0, DONE], [S1, DONE], [S1, DONE])
+
+
+class TestAlus:
+    def test_binary_alu_alignment(self):
+        (out,) = run_block(
+            lambda rcv, snd: BinaryAlu(rcv[0], rcv[1], snd[0], lambda a, b: a + b),
+            [[1.0, S0, 2.0, S1, DONE], [10.0, S0, 20.0, S1, DONE]],
+            1,
+        )
+        assert out == [11.0, S0, 22.0, S1, DONE]
+
+    def test_unary_alu(self):
+        (out,) = run_block(
+            lambda rcv, snd: UnaryAlu(rcv[0], snd[0], lambda x: -x),
+            [[1.0, 2.0, S0, DONE]],
+            1,
+        )
+        assert out == [-1.0, -2.0, S0, DONE]
+
+
+class TestReduce:
+    def test_innermost_fiber_sum(self):
+        (out,) = run_block(
+            lambda rcv, snd: Reduce(rcv[0], snd[0]),
+            [[1.0, 2.0, S0, 3.0, S1, DONE]],
+            1,
+        )
+        assert out == [3.0, 3.0, S0, DONE]
+
+    def test_empty_fiber_reduces_to_identity(self):
+        (out,) = run_block(
+            lambda rcv, snd: Reduce(rcv[0], snd[0]),
+            [[S0, 4.0, S1, DONE]],
+            1,
+        )
+        assert out == [0.0, 4.0, S0, DONE]
+
+    def test_custom_fn(self):
+        (out,) = run_block(
+            lambda rcv, snd: Reduce(rcv[0], snd[0], fn=max, identity=float("-inf")),
+            [[3.0, 7.0, 1.0, S1, DONE]],
+            1,
+        )
+        assert out == [7.0, S0, DONE]
+
+    def test_uninhabited_space_emits_no_value_when_suppressing(self):
+        """With suppress_uninhabited (dense-innermost graphs), a
+        higher-level stop before any payload/S0 closes an empty operand's
+        space: the stop is decremented but no zero is emitted (keeps
+        downstream ALU alignment for empty tensors)."""
+        (out,) = run_block(
+            lambda rcv, snd: Reduce(rcv[0], snd[0], suppress_uninhabited=True),
+            [[S2, DONE]],
+            1,
+        )
+        assert out == [S1, DONE]
+
+    def test_default_emits_identity_for_leading_empty_fiber(self):
+        """Without suppression (sparse-innermost graphs like SpMSpM), a
+        leading empty fiber is a real element and must produce its zero."""
+        (out,) = run_block(
+            lambda rcv, snd: Reduce(rcv[0], snd[0]),
+            [[S1, 2.0, S2, DONE]],
+            1,
+        )
+        assert out == [0.0, S0, 2.0, S1, DONE]
+
+    def test_leading_s0_still_counts_as_empty_fiber(self):
+        (out,) = run_block(
+            lambda rcv, snd: Reduce(rcv[0], snd[0]),
+            [[S0, S1, DONE]],
+            1,
+        )
+        # Two sibling innermost fibers, both empty: two zeros.
+        assert out == [0.0, 0.0, S0, DONE]
+
+    def test_consecutive_virgin_stops_all_suppressed(self):
+        (out,) = run_block(
+            lambda rcv, snd: Reduce(rcv[0], snd[0], suppress_uninhabited=True),
+            [[S1, S1, 2.0, S2, DONE]],
+            1,
+        )
+        assert out == [S0, S0, 2.0, S1, DONE]
+
+
+class TestSpacc:
+    def test_merges_subfibers(self):
+        crd, val = run_block(
+            lambda rcv, snd: SpaccV1(rcv[0], rcv[1], snd[0], snd[1]),
+            [
+                [1, 3, S0, 0, 3, S1, DONE],
+                [1.0, 2.0, S0, 4.0, 8.0, S1, DONE],
+            ],
+            2,
+        )
+        assert crd == [0, 1, 3, S0, DONE]
+        assert val == [4.0, 1.0, 10.0, S0, DONE]
+
+    def test_multiple_outer_groups(self):
+        crd, val = run_block(
+            lambda rcv, snd: SpaccV1(rcv[0], rcv[1], snd[0], snd[1]),
+            [
+                [0, S1, 1, S2, DONE],
+                [5.0, S1, 6.0, S2, DONE],
+            ],
+            2,
+        )
+        assert crd == [0, S0, 1, S1, DONE]
+        assert val == [5.0, S0, 6.0, S1, DONE]
+
+
+class TestCrd:
+    def test_crd_hold_replicates_outer(self):
+        (out,) = run_block(
+            lambda rcv, snd: CrdHold(rcv[0], rcv[1], snd[0]),
+            [
+                [7, 9, S0, DONE],
+                [0, 1, S0, 2, S1, DONE],
+            ],
+            1,
+        )
+        assert out == [7, 7, S0, 9, S1, DONE]
+
+    def test_crd_drop_removes_empty_fibers(self):
+        (out,) = run_block(
+            lambda rcv, snd: CrdDrop(rcv[0], rcv[1], snd[0]),
+            [
+                [3, 5, 8, S0, DONE],
+                [1, S0, S0, 2, S1, DONE],  # fiber for 5 is empty
+            ],
+            1,
+        )
+        assert out == [3, 8, S0, DONE]
+
+
+class TestValDrop:
+    def test_drops_exact_zeros(self):
+        (out,) = run_block(
+            lambda rcv, snd: ValDrop(rcv[0], snd[0]),
+            [[1.0, 0.0, 2.0, S0, 0.0, S1, DONE]],
+            1,
+        )
+        assert out == [1.0, 2.0, S0, S1, DONE]

@@ -1,0 +1,284 @@
+"""Property-based tests of the SAM stream grammar.
+
+These pin down the algebraic structure the kernel graphs rely on:
+
+* FiberWrite inverts FiberLookup (scan-then-write reproduces the level);
+* joiners implement set algebra on fiber coordinates (intersection /
+  union per fiber, order preserved, structure aligned);
+* unary blocks preserve control structure exactly;
+* the legacy (cycle-based) primitives are stream-for-stream equivalent to
+  the DAM primitives on random inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProgramBuilder
+from repro.cyclesim import CycleEngine
+from repro.sam.primitives import (
+    FiberLookup,
+    FiberWrite,
+    Intersect,
+    Reduce,
+    RootSource,
+    UnaryAlu,
+    Union,
+)
+from repro.sam.tensor import CompressedLevel, CsfTensor, random_dense
+from repro.sam.testing import run_block
+from repro.sam.token import DONE, Stop, is_control
+from repro.samlegacy.primitives import (
+    LegacyFiberLookup,
+    LegacyStreamSink,
+    LegacyStreamSource,
+    LegacyUnaryAlu,
+)
+
+# ----------------------------------------------------------------------
+# Stream generators.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def fiber_stream(draw, max_fibers=4, max_len=5, max_coord=20):
+    """A well-formed single-level (crd, ref) stream pair: sorted unique
+    coordinates per fiber, one trailing S0 boundary, DONE."""
+    n_fibers = draw(st.integers(1, max_fibers))
+    crd, ref = [], []
+    next_ref = 0
+    for index in range(n_fibers):
+        coords = sorted(
+            draw(
+                st.sets(st.integers(0, max_coord), min_size=0, max_size=max_len)
+            )
+        )
+        crd.extend(coords)
+        ref.extend(range(next_ref, next_ref + len(coords)))
+        next_ref += len(coords)
+        boundary = Stop(0) if index < n_fibers - 1 else Stop(0)
+        crd.append(boundary)
+        ref.append(boundary)
+    crd.append(DONE)
+    ref.append(DONE)
+    return crd, ref
+
+
+@st.composite
+def aligned_pair_streams(draw, max_fibers=3, max_len=5):
+    """Two (crd, ref) pairs with identical control structure."""
+    n_fibers = draw(st.integers(1, max_fibers))
+    streams = [[], [], [], []]  # crd1, ref1, crd2, ref2
+    refs = [0, 0]
+    for index in range(n_fibers):
+        for side in (0, 1):
+            coords = sorted(
+                draw(st.sets(st.integers(0, 15), min_size=0, max_size=max_len))
+            )
+            streams[2 * side].extend(coords)
+            streams[2 * side + 1].extend(
+                range(refs[side], refs[side] + len(coords))
+            )
+            refs[side] += len(coords)
+        boundary = Stop(0)
+        for stream in streams:
+            stream.append(boundary)
+    for stream in streams:
+        stream.append(DONE)
+    return streams
+
+
+def split_fibers(stream):
+    """Split a single-level stream into per-fiber payload lists."""
+    fibers = [[]]
+    for token in stream:
+        if token is DONE:
+            break
+        if isinstance(token, Stop):
+            fibers.append([])
+        else:
+            fibers[-1].append(token)
+    return fibers[:-1] if fibers and fibers[-1] == [] else fibers
+
+
+# ----------------------------------------------------------------------
+# Scanner <-> writer inversion.
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 6),
+    cols=st.integers(1, 6),
+    density=st.floats(0.15, 1.0),
+    seed=st.integers(0, 99),
+)
+def test_scan_write_roundtrip_reproduces_level(rows, cols, density, seed):
+    from hypothesis import assume
+
+    dense = random_dense(rows, cols, density=density, seed=seed)
+    tensor = CsfTensor.from_dense(dense, "cc")
+    # An all-zero tensor scans to a bare boundary stop, which the writer
+    # records as one empty fiber — a grammar artifact covered by the
+    # kernel-level empty-operand tests; the inversion property is about
+    # populated levels.
+    assume(tensor.nnz > 0)
+
+    builder = ProgramBuilder()
+    root_s, root_r = builder.unbounded()
+    ci_s, ci_r = builder.unbounded()
+    ri_s, ri_r = builder.unbounded()
+    cj_s, cj_r = builder.unbounded()
+    rj_s, rj_r = builder.unbounded()
+    builder.add(RootSource(root_s))
+    builder.add(FiberLookup(tensor.level(0), root_r, ci_s, ri_s))
+    builder.add(FiberLookup(tensor.level(1), ri_r, cj_s, rj_s))
+    fw_i = builder.add(FiberWrite(ci_r))
+    fw_j = builder.add(FiberWrite(cj_r))
+    from repro.sam.primitives.write import StreamSink
+
+    builder.add(StreamSink(rj_r))
+    builder.build().run()
+
+    outer: CompressedLevel = tensor.level(0)
+    assert fw_i.to_level().seg == outer.seg
+    assert fw_i.to_level().crd == outer.crd
+    inner: CompressedLevel = tensor.level(1)
+    assert fw_j.to_level().seg == inner.seg
+    assert fw_j.to_level().crd == inner.crd
+
+
+# ----------------------------------------------------------------------
+# Joiner set algebra.
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(aligned_pair_streams())
+def test_intersect_is_per_fiber_set_intersection(streams):
+    crd1, ref1, crd2, ref2 = streams
+    crd, _, _ = run_block(
+        lambda rcv, snd: Intersect(
+            rcv[0], rcv[1], rcv[2], rcv[3], snd[0], snd[1], snd[2]
+        ),
+        [crd1, ref1, crd2, ref2],
+        3,
+    )
+    for out, a, b in zip(
+        split_fibers(crd), split_fibers(crd1), split_fibers(crd2)
+    ):
+        assert out == sorted(set(a) & set(b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(aligned_pair_streams())
+def test_union_is_per_fiber_set_union(streams):
+    crd1, ref1, crd2, ref2 = streams
+    crd, _, _ = run_block(
+        lambda rcv, snd: Union(
+            rcv[0], rcv[1], rcv[2], rcv[3], snd[0], snd[1], snd[2]
+        ),
+        [crd1, ref1, crd2, ref2],
+        3,
+    )
+    for out, a, b in zip(
+        split_fibers(crd), split_fibers(crd1), split_fibers(crd2)
+    ):
+        assert out == sorted(set(a) | set(b))
+
+
+# ----------------------------------------------------------------------
+# Control-structure preservation.
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(fiber_stream())
+def test_unary_alu_preserves_control_structure(stream_pair):
+    crd, _ = stream_pair
+    (out,) = run_block(
+        lambda rcv, snd: UnaryAlu(rcv[0], snd[0], lambda x: x + 1),
+        [crd],
+        1,
+    )
+    assert [t for t in out if is_control(t)] == [t for t in crd if is_control(t)]
+    assert [t for t in out if not is_control(t)] == [
+        t + 1 for t in crd if not is_control(t)
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(fiber_stream())
+def test_reduce_emits_one_value_per_fiber(stream_pair):
+    crd, _ = stream_pair
+    values = [float(t) if not is_control(t) else t for t in crd]
+    (out,) = run_block(
+        lambda rcv, snd: Reduce(rcv[0], snd[0]),
+        [values],
+        1,
+    )
+    fibers = split_fibers(values)
+    payloads = [t for t in out if not is_control(t)]
+    assert payloads == [float(sum(fiber)) for fiber in fibers]
+
+
+# ----------------------------------------------------------------------
+# Legacy parity on random inputs.
+# ----------------------------------------------------------------------
+
+
+def run_legacy_scan(level, in_ref):
+    engine = CycleEngine()
+    channel = engine.channel(2)
+    engine.add(LegacyStreamSource(channel, in_ref))
+    out_crd = engine.channel(2)
+    out_ref = engine.channel(2)
+    engine.add(LegacyFiberLookup(level, channel, out_crd, out_ref))
+    sink_crd = engine.add(LegacyStreamSink(out_crd))
+    sink_ref = engine.add(LegacyStreamSink(out_ref))
+    engine.run()
+    return sink_crd.tokens, sink_ref.tokens
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 99),
+)
+def test_legacy_scanner_parity(rows, cols, density, seed):
+    dense = random_dense(rows, cols, density=density, seed=seed)
+    tensor = CsfTensor.from_dense(dense, "cc")
+    level = tensor.level(1)
+    fibers = level.fiber_count()
+    in_ref = list(range(fibers)) + [Stop(0), DONE]
+
+    dam_crd, dam_ref = run_block(
+        lambda rcv, snd: FiberLookup(level, rcv[0], snd[0], snd[1]),
+        [in_ref],
+        2,
+    )
+    legacy_crd, legacy_ref = run_legacy_scan(level, in_ref)
+    assert dam_crd == legacy_crd
+    assert dam_ref == legacy_ref
+
+
+@settings(max_examples=25, deadline=None)
+@given(fiber_stream())
+def test_legacy_unary_parity(stream_pair):
+    crd, _ = stream_pair
+    values = [float(t) if not is_control(t) else t for t in crd]
+    (dam_out,) = run_block(
+        lambda rcv, snd: UnaryAlu(rcv[0], snd[0], lambda x: 3 * x),
+        [values],
+        1,
+    )
+    engine = CycleEngine()
+    inp = engine.channel(2)
+    out = engine.channel(2)
+    engine.add(LegacyStreamSource(inp, values))
+    engine.add(LegacyUnaryAlu(inp, out, lambda x: 3 * x))
+    sink = engine.add(LegacyStreamSink(out))
+    engine.run()
+    assert dam_out == sink.tokens

@@ -1,0 +1,120 @@
+"""CSF tensor tests, including hypothesis round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sam.tensor import (
+    CompressedLevel,
+    CsfTensor,
+    DenseLevel,
+    random_dense,
+    random_sparse_matrix,
+)
+
+
+class TestLevels:
+    def test_dense_fiber(self):
+        level = DenseLevel(3)
+        coords, refs = level.fiber(2)
+        assert coords == [0, 1, 2]
+        assert refs == [6, 7, 8]
+
+    def test_dense_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DenseLevel(-1)
+
+    def test_compressed_fiber(self):
+        level = CompressedLevel(seg=[0, 2, 2, 3], crd=[1, 4, 0])
+        assert level.fiber(0) == ([1, 4], [0, 1])
+        assert level.fiber(1) == ([], [])
+        assert level.fiber(2) == ([0], [2])
+        assert level.fiber_count() == 3
+
+    def test_compressed_validation(self):
+        with pytest.raises(ValueError):
+            CompressedLevel(seg=[1, 2], crd=[0])  # must start at 0
+        with pytest.raises(ValueError):
+            CompressedLevel(seg=[0, 5], crd=[0])  # must end at len(crd)
+        with pytest.raises(ValueError):
+            CompressedLevel(seg=[0, 2, 1], crd=[0, 1])  # nondecreasing
+
+
+class TestFromDense:
+    def test_csr_structure(self):
+        dense = np.array([[0.0, 1.5, 0.0], [0.0, 0.0, 0.0], [2.5, 0.0, 3.5]])
+        t = CsfTensor.from_dense(dense, "dc")
+        # Outer dense level keeps all rows; inner level compresses.
+        inner = t.level(1)
+        assert inner.fiber(0) == ([1], [0])
+        assert inner.fiber(1) == ([], [])
+        assert inner.fiber(2) == ([0, 2], [1, 2])
+        assert list(t.vals) == [1.5, 2.5, 3.5]
+
+    def test_dcsr_drops_empty_rows(self):
+        dense = np.array([[0.0, 1.0], [0.0, 0.0], [2.0, 0.0]])
+        t = CsfTensor.from_dense(dense, "cc")
+        outer = t.level(0)
+        assert outer.fiber(0) == ([0, 2], [0, 1])
+
+    def test_format_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CsfTensor.from_dense(np.zeros((2, 2)), "ccc")
+
+    def test_bad_format_char_rejected(self):
+        with pytest.raises(ValueError):
+            CsfTensor.from_dense(np.zeros((2, 2)), "cx")
+
+    def test_nnz(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+        assert CsfTensor.from_dense(dense, "cc").nnz == 2
+
+
+class TestGenerators:
+    def test_density_bounds_checked(self):
+        with pytest.raises(ValueError):
+            random_dense(3, 3, density=1.5)
+
+    def test_density_zero_gives_empty(self):
+        assert random_dense(4, 4, density=0.0).sum() == 0
+
+    def test_seeded_reproducibility(self):
+        a = random_dense(5, 5, density=0.5, seed=3)
+        b = random_dense(5, 5, density=0.5, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_random_sparse_matrix_roundtrip(self):
+        t = random_sparse_matrix(6, 4, density=0.4, seed=2)
+        assert t.shape == (6, 4)
+        assert t.to_dense().shape == (6, 4)
+
+    def test_no_stored_zeros(self):
+        t = random_sparse_matrix(10, 10, density=0.5, seed=5)
+        assert np.all(t.vals != 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 6),
+    cols=st.integers(1, 6),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 100),
+    formats=st.sampled_from(["dd", "dc", "cd", "cc"]),
+)
+def test_property_matrix_roundtrip(rows, cols, density, seed, formats):
+    """Property: from_dense -> to_dense is the identity for any format."""
+    dense = random_dense(rows, cols, density=density, seed=seed)
+    assert np.allclose(CsfTensor.from_dense(dense, formats).to_dense(), dense)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4)),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 100),
+    formats=st.sampled_from(["dcc", "ccc", "ddc", "dcd"]),
+)
+def test_property_tensor3_roundtrip(shape, density, seed, formats):
+    dense = random_dense(*shape, density=density, seed=seed)
+    assert np.allclose(CsfTensor.from_dense(dense, formats).to_dense(), dense)

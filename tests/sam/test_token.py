@@ -1,0 +1,64 @@
+"""Unit tests for SAM stream tokens."""
+
+import pytest
+
+from repro.sam.token import (
+    ABSENT,
+    DONE,
+    REPEAT,
+    Done,
+    Stop,
+    clean_stream,
+    is_control,
+    stream_values,
+)
+
+
+class TestStop:
+    def test_equality_by_level(self):
+        assert Stop(1) == Stop(1)
+        assert Stop(1) != Stop(2)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            Stop(-1)
+
+    def test_bumped(self):
+        assert Stop(0).bumped() == Stop(1)
+        assert Stop(2).bumped(3) == Stop(5)
+
+    def test_repr(self):
+        assert repr(Stop(0)) == "S0"
+        assert repr(Stop(3)) == "S3"
+
+    def test_hashable(self):
+        assert len({Stop(0), Stop(0), Stop(1)}) == 2
+
+
+class TestSingletons:
+    def test_done_is_singleton(self):
+        assert Done() is DONE
+
+    def test_absent_repr(self):
+        assert repr(ABSENT) == "N"
+
+    def test_repeat_repr(self):
+        assert repr(REPEAT) == "R"
+
+    def test_done_is_not_a_stop(self):
+        assert not isinstance(DONE, Stop)
+
+
+class TestHelpers:
+    def test_is_control(self):
+        assert is_control(DONE)
+        assert is_control(Stop(0))
+        assert not is_control(5)
+        assert not is_control(ABSENT)  # payload-position marker
+
+    def test_stream_values(self):
+        stream = [1, 2, Stop(0), 3, Stop(1), DONE]
+        assert list(stream_values(stream)) == [1, 2, 3]
+
+    def test_clean_stream(self):
+        assert clean_stream([1, Stop(0), DONE]) == [1, "S0", "D"]
