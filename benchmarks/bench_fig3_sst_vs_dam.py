@@ -15,8 +15,9 @@ barrier per minimum-link-latency window, which DAM structurally avoids.
 Measurements are interleaved min-of-3 to tame single-core timer noise.
 """
 
-from conftest import report
+from conftest import report, report_json
 
+from repro import Observability
 from repro.bench import (
     TextTable,
     TreeConfig,
@@ -60,6 +61,7 @@ def run_sweep():
         ),
     )
     speedups = []
+    rows = []
     for config in CONFIGS:
         sst_s, dam_s, sst, dam = measure(config)
         speedup = sst_s / dam_s
@@ -72,12 +74,36 @@ def run_sweep():
             sst["stats"].events_processed,
             dam["summary"].ops_executed,
         )
+        rows.append(
+            {
+                "config": config.label(),
+                "sst_seconds": sst_s,
+                "dam_seconds": dam_s,
+                "speedup": speedup,
+                "sst_events": sst["stats"].events_processed,
+                "dam_ops": dam["summary"].ops_executed,
+            }
+        )
     geomean = 1.0
     for _, s in speedups:
         geomean *= s
     geomean **= 1.0 / len(speedups)
     table.add_row("GEOMEAN", "", "", geomean, "", "")
     report("fig3_sst_vs_dam", table.render())
+    # Machine-readable companion: the sweep rows plus the full metrics
+    # registry snapshot (channel traffic, occupancy, per-context ops) of
+    # one representative instrumented run.
+    obs = Observability(trace=False)
+    instrumented = run_dam_forest(CONFIGS[0], policy="fifo", obs=obs)
+    report_json(
+        "fig3_sst_vs_dam",
+        {
+            "rows": rows,
+            "geomean_speedup": geomean,
+            "instrumented_config": CONFIGS[0].label(),
+            "metrics": instrumented["metrics"],
+        },
+    )
     return speedups, geomean
 
 

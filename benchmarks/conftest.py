@@ -5,11 +5,18 @@ sweep, prints the paper-shaped rows, and persists them under
 ``benchmarks/results/`` so the output survives pytest's capture.  The
 ``benchmark`` fixture additionally times one representative configuration
 so ``pytest benchmarks/ --benchmark-only`` produces comparable timings.
+
+Besides the human-readable tables, benchmarks emit machine-readable
+metrics via :func:`report_json` (typically an
+:class:`repro.obs.MetricsRegistry` snapshot plus the sweep rows), giving
+``BENCH_*.json``-style trajectories a stable surface to diff across PRs.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -20,3 +27,16 @@ def report(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def report_json(name: str, payload: Any) -> Path:
+    """Persist a machine-readable result under benchmarks/results/.
+
+    ``payload`` must be JSON-serializable (non-serializable leaves fall
+    back to ``str``, so simulated-time ``inf`` values survive).  Returns
+    the written path.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    return path

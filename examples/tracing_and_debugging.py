@@ -1,29 +1,36 @@
-"""Debugging dataflow programs: deadlock reports and simulation traces.
+"""Observability for dataflow programs: traces, metrics, stall reports.
 
-Two facilities that make DAM programs debuggable:
+The :mod:`repro.obs` package makes a DAM run inspectable on *both*
+executors:
 
-1. **Deadlock reports** — when no context can make progress, the executor
-   raises a DeadlockError naming every blocked context and the channel
-   operation it is stuck on; the blocked set *is* the dependency cycle.
-2. **Simulation traces** — a Tracer attached to the sequential executor
-   records every completed operation (context, kind, channel, simulated
-   time), answering "what happened before things went wrong?" and
-   providing per-stream timelines for calibration.
+1. **Executor-agnostic tracing** — every context appends events to its
+   own lock-free buffer; buffers merge deterministically by
+   ``(time, context, seq)``, so a threaded run yields the exact same
+   merged timeline as a sequential one.
+2. **Perfetto export** — the trace renders to Chrome trace-event JSON
+   (one track per context, channel ops as slices, transfers as flow
+   arrows).  Load the written file at https://ui.perfetto.dev.
+3. **Metrics registry** — channel traffic and peak occupancy, per-context
+   ops, parks, and wall-clock, folded into ``RunSummary.metrics``.
+4. **Stall reports** — on deadlock, the error names every blocked
+   context, the channel it is parked on, and the simulated clocks of
+   both endpoints: the blocked set *is* the dependency cycle.
 
 Run:  python examples/tracing_and_debugging.py
 """
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro.core import DeadlockError, SequentialExecutor, Tracer
+from repro import DeadlockError, Observability
 from repro.attention import build_standard_attention
-from repro.sam import CsfTensor
-from repro.sam.graphs import build_mmadd
-from repro.sam.tensor import random_dense
+from repro.bench import TreeConfig, run_dam_forest
 
 
-def deadlock_demo():
-    print("== deadlock reporting ==")
+def stall_report_demo():
+    print("== deadlock stall reports ==")
     rng = np.random.default_rng(0)
     n, d = 16, 4
     q = rng.standard_normal((n, d)) * 0.4
@@ -31,36 +38,74 @@ def deadlock_demo():
     v = rng.standard_normal((n, d))
     # Undersize the softmax row buffer: the reduction needs the whole row.
     pipeline = build_standard_attention(q, k, v, buffer_depth=4)
+    obs = Observability(trace=False)
     try:
-        pipeline.run()
-    except DeadlockError as error:
-        print("  the executor names the cycle of blocked contexts:")
-        for line in str(error).split(": ", 1)[1].split("; "):
+        pipeline.program.run(obs=obs)
+    except DeadlockError:
+        print("  the stall report names each blocked context, its channel,")
+        print("  and both endpoint clocks:")
+        for line in obs.stall_report.lines():
             print(f"    {line}")
 
 
 def tracing_demo():
     print()
-    print("== simulation tracing ==")
-    a = random_dense(4, 4, density=0.6, seed=1)
-    b = random_dense(4, 4, density=0.6, seed=2)
-    kernel = build_mmadd(
-        CsfTensor.from_dense(a, "cc"), CsfTensor.from_dense(b, "cc")
-    )
-    tracer = Tracer(capture_payloads=True)
-    SequentialExecutor(tracer=tracer).execute(kernel.program)
+    print("== executor-agnostic tracing ==")
+    config = TreeConfig(trees=2, depth=2, reductions=5, fib_index=3)
 
-    print(f"  {len(tracer)} operations recorded")
-    print("  the output value stream's timeline (channel 'vX'):")
-    for event in tracer.for_channel("vX"):
-        if event.kind == "dequeue" and isinstance(event.payload, float):
-            print(f"    t={event.time:>3}  {event.payload:.3f}")
-    print("  ops per context:")
-    names = sorted({event.context for event in tracer})
-    for name in names:
-        print(f"    {name:<12} {len(tracer.for_context(name))}")
+    # Trace the SAME workload under both executors.
+    obs_seq = Observability(capture_payloads=True)
+    run_dam_forest(config, executor="sequential", obs=obs_seq)
+    obs_thr = Observability(capture_payloads=True)
+    run_dam_forest(config, executor="threaded", obs=obs_thr)
+
+    key = lambda e: (e.time, e.context, e.seq, e.kind, e.channel, e.payload)
+    seq_events = [key(e) for e in obs_seq.trace.events]
+    thr_events = [key(e) for e in obs_thr.trace.events]
+    print(f"  sequential run recorded {len(seq_events)} events")
+    print(f"  threaded run recorded   {len(thr_events)} events")
+    print(f"  merged timelines identical: {seq_events == thr_events}")
+
+    # Export the threaded trace for Perfetto.
+    path = Path(tempfile.gettempdir()) / "dam_reduction_tree_trace.json"
+    obs_thr.write_chrome_trace(path)
+    print(f"  Perfetto trace written to {path}")
+    print("  (open https://ui.perfetto.dev and drop the file in)")
+
+    print("  first events of the merged timeline:")
+    for event in obs_thr.trace.events[:5]:
+        channel = event.channel or "-"
+        print(f"    t={event.time:<3} {event.context:<12} {event.kind:<8} {channel}")
+
+
+def metrics_demo():
+    print()
+    print("== run metrics ==")
+    config = TreeConfig(trees=1, depth=3, reductions=10, fib_index=3)
+    obs = Observability(trace=False)
+    result = run_dam_forest(config, executor="threaded", obs=obs)
+    metrics = result["metrics"]
+    counters = metrics["counters"]
+    gauges = metrics["gauges"]
+    busiest = max(
+        (key for key in gauges if key.startswith("channel_max_occupancy")),
+        key=lambda key: gauges[key],
+    )
+    print(f"  simulated makespan: {result['cycles']} cycles")
+    print(f"  total ops: {counters['executor_ops']}")
+    print(f"  deepest channel: {busiest} = {gauges[busiest]}")
+    parks = sum(
+        value for key, value in counters.items() if key.startswith("context_parks")
+    )
+    print(f"  total parks (SVP waits): {parks}")
+    print(
+        "  wall-clock per context (histogram): "
+        f"{metrics['histograms']['context_wall_seconds_dist']['count']} contexts, "
+        f"mean {metrics['histograms']['context_wall_seconds_dist']['mean']:.2e}s"
+    )
 
 
 if __name__ == "__main__":
-    deadlock_demo()
+    stall_report_demo()
     tracing_demo()
+    metrics_demo()

@@ -58,6 +58,13 @@ from .core import (
     make_channel,
     peak_simulated_occupancy,
 )
+from .obs import (
+    MetricsRegistry,
+    Observability,
+    StallReport,
+    TraceCollector,
+    TraceEvent,
+)
 
 __version__ = "1.0.0"
 
@@ -77,6 +84,8 @@ __all__ = [
     "FunctionContext",
     "GraphConstructionError",
     "IncrCycles",
+    "MetricsRegistry",
+    "Observability",
     "Peek",
     "Program",
     "ProgramBuilder",
@@ -85,9 +94,12 @@ __all__ = [
     "Sender",
     "SequentialExecutor",
     "SimulationError",
+    "StallReport",
     "ThreadedExecutor",
     "Time",
     "TimeCell",
+    "TraceCollector",
+    "TraceEvent",
     "ViewTime",
     "WaitUntil",
     "make_channel",

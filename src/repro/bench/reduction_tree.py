@@ -80,7 +80,12 @@ def build_dam_forest(
         # Build level by level, bottom-up: level 0 are the leaf sources.
         receivers = []
         for leaf in range(config.leaves_per_tree):
-            snd, rcv = builder.bounded(capacity, latency=1)
+            # Explicit channel names keep traces and exports comparable
+            # across separately built programs (the global channel-id
+            # fallback names would differ between builds).
+            snd, rcv = builder.bounded(
+                capacity, latency=1, name=f"t{tree}_leaf{leaf}_out"
+            )
             builder.add(
                 RampSource(
                     snd,
@@ -94,7 +99,10 @@ def build_dam_forest(
         while len(receivers) > 1:
             next_receivers = []
             for pair in range(0, len(receivers), 2):
-                snd, rcv = builder.bounded(capacity, latency=1)
+                snd, rcv = builder.bounded(
+                    capacity, latency=1,
+                    name=f"t{tree}_n{level}_{pair // 2}_out",
+                )
                 builder.add(
                     ReduceNode(
                         receivers[pair],
@@ -120,15 +128,21 @@ def run_dam_forest(
     executor: str = "sequential",
     policy: str = "fifo",
     capacity: int = 8,
+    obs: Any = None,
 ) -> dict[str, Any]:
+    """Run the forest; pass an :class:`repro.obs.Observability` as ``obs``
+    to trace the run and receive the metrics snapshot in the result."""
     program, roots = build_dam_forest(config, capacity=capacity)
-    kwargs = {"policy": policy} if executor == "sequential" else {}
+    kwargs: dict[str, Any] = {"policy": policy} if executor == "sequential" else {}
+    if obs is not None:
+        kwargs["obs"] = obs
     summary = program.run(executor=executor, **kwargs)
     return {
         "summary": summary,
         "root_sums": [list(root.values) for root in roots],
         "real_seconds": summary.real_seconds,
         "cycles": summary.elapsed_cycles,
+        "metrics": summary.metrics,
     }
 
 

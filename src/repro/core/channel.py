@@ -59,9 +59,12 @@ _channel_ids = itertools.count()
 class ChannelStats:
     """Lightweight per-channel counters.
 
-    ``enqueues``/``dequeues`` are always maintained;
-    ``max_real_occupancy`` is tracked only while profiling is enabled
-    (:meth:`Channel.enable_profiling`) to keep the enqueue hot path lean.
+    ``enqueues``/``dequeues``/``max_real_occupancy`` are always
+    maintained (a length check per enqueue is cheap enough for the hot
+    path) and surfaced through the observability metrics registry as
+    ``channel_enqueues``/``channel_dequeues``/``channel_max_occupancy``.
+    The heavier simulated-occupancy log still requires an explicit
+    :meth:`Channel.enable_profiling`.
     """
 
     __slots__ = ("enqueues", "dequeues", "max_real_occupancy")
@@ -194,15 +197,18 @@ class Channel:
         """
         self.stats.enqueues += 1
         if self._receiver_finished:
+            # Void enqueue: nothing is queued, but occupancy is still
+            # observed so the stat stays consistent on every path.
+            if len(self._data) > self.stats.max_real_occupancy:
+                self.stats.max_real_occupancy = len(self._data)
             return
         stamp = 0 if self.real else clock._time + self.latency
         self._data.append((stamp, data))
         if self.capacity is not None:
             self._delta += 1
-        if self.profile_log is not None:
-            occupancy = len(self._data)
-            if occupancy > self.stats.max_real_occupancy:
-                self.stats.max_real_occupancy = occupancy
+        occupancy = len(self._data)
+        if occupancy > self.stats.max_real_occupancy:
+            self.stats.max_real_occupancy = occupancy
 
     def can_dequeue(self) -> bool:
         return bool(self._data)
@@ -269,6 +275,10 @@ class Channel:
         Post-process with :func:`peak_simulated_occupancy` to measure how
         deep the channel got *in simulated time* — the metric behind the
         attention case study's O(N) vs O(1) local-memory argument.
+
+        Note: peak *real* occupancy no longer needs this toggle; it is
+        always tracked in ``stats.max_real_occupancy`` and exported via
+        the observability metrics registry.
         """
         self.profile_log = []
 

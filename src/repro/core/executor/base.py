@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Optional
 
 from ..time import Time
 
@@ -19,6 +19,13 @@ class RunSummary:
     time any context reached before finishing.  Both executors must report
     identical ``elapsed_cycles`` and ``context_times`` for the same program
     (the paper's exactness/determinism property).
+
+    ``metrics`` is the :meth:`repro.obs.MetricsRegistry.snapshot` of the
+    run when an :class:`~repro.obs.Observability` with metrics enabled
+    was attached, else ``None``.  Simulated-state metrics in it (channel
+    traffic, peak occupancy, finish times, per-context ops) are
+    executor-independent; scheduling metrics (parks, spin reads, wall
+    clock) describe the real run and naturally vary.
     """
 
     elapsed_cycles: Time
@@ -30,6 +37,7 @@ class RunSummary:
     wakeups: int = 0
     preemptions: int = 0
     ops_executed: int = 0
+    metrics: Optional[dict[str, Any]] = None
 
     def __str__(self) -> str:
         return (

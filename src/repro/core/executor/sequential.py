@@ -17,8 +17,13 @@ simulated outcome.
 
 Deadlock detection falls out naturally: if the ready queue empties while
 unfinished contexts remain, the blocked set *is* the deadlock cycle and is
-reported verbatim — the debugging story behind the paper's undersized-
-channel observations.
+reported as a stall report naming each blocked context, the channel it is
+parked on, and both endpoint clocks — the debugging story behind the
+paper's undersized-channel observations.
+
+Observability: attach a :class:`repro.obs.Observability` (``obs=``) to
+record per-context trace buffers and fold run metrics; the legacy
+``tracer=`` keyword still accepts a :class:`repro.core.trace.Tracer`.
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ from __future__ import annotations
 import time as _wallclock
 from typing import Any, Optional
 
+from ...obs import Observability, fold_channel_metrics, fold_context_metrics
+from ...obs.stall import StallReport, stall_for
 from ..channel import Channel
 from ..context import Context
 from ..errors import ChannelClosed, DeadlockError, SimulationError
@@ -51,6 +58,9 @@ class _ContextState:
         "pending_exc",
         "retry_op",
         "blocked_detail",
+        "buffer",
+        "ops",
+        "wall_seconds",
     )
 
     def __init__(self, context: Context):
@@ -64,6 +74,10 @@ class _ContextState:
         # generator (its result is then delivered via pending_value).
         self.retry_op: Op | None = None
         self.blocked_detail: str = ""
+        # Observability: per-context trace buffer and metric tallies.
+        self.buffer: Any = None
+        self.ops = 0
+        self.wall_seconds = 0.0
 
 
 class SequentialExecutor(Executor):
@@ -79,6 +93,12 @@ class SequentialExecutor(Executor):
         Optional safety valve: abort with :class:`SimulationError` after
         this many operations (guards against runaway non-terminating
         programs in tests).
+    tracer:
+        Legacy: a :class:`repro.core.trace.Tracer` (now an alias of
+        :class:`repro.obs.TraceCollector`); wrapped into ``obs``.
+    obs:
+        A :class:`repro.obs.Observability` collecting the run's trace
+        and/or metrics.
     """
 
     name = "sequential"
@@ -88,11 +108,15 @@ class SequentialExecutor(Executor):
         policy: str | SchedulingPolicy = "fifo",
         max_ops: Optional[int] = None,
         tracer=None,
+        obs: Optional[Observability] = None,
     ):
         self.policy = make_policy(policy)
         self.max_ops = max_ops
-        #: Optional repro.core.trace.Tracer recording every completed op.
-        self.tracer = tracer
+        if obs is None and tracer is not None:
+            obs = Observability.from_trace(tracer)
+        self.obs = obs
+        #: The active trace collector (None when tracing is off).
+        self.tracer = obs.trace if obs is not None else None
         self.context_switches = 0
         self.wakeups = 0
         self.preemptions = 0
@@ -110,6 +134,13 @@ class SequentialExecutor(Executor):
         self._any_time_waiters = False
         self._states = states
 
+        obs = self.obs
+        trace = obs.trace if obs is not None else None
+        collect_wall = obs is not None and obs.metrics is not None
+        if trace is not None:
+            for state in states.values():
+                state.buffer = trace.buffer(state.context.name)
+
         policy = self.policy
         for ctx in program.contexts:
             policy.push(states[id(ctx)], woken=False)
@@ -122,7 +153,12 @@ class SequentialExecutor(Executor):
             if previous is not None and state is not previous:
                 self.context_switches += 1
             previous = state
-            self._run_slice(state, policy.timeslice)
+            if collect_wall:
+                slice_start = _wallclock.perf_counter()
+                self._run_slice(state, policy.timeslice)
+                state.wall_seconds += _wallclock.perf_counter() - slice_start
+            else:
+                self._run_slice(state, policy.timeslice)
             if state.status == _READY:
                 # Slice expired without blocking: preempted.
                 self.preemptions += 1
@@ -130,9 +166,10 @@ class SequentialExecutor(Executor):
 
         unfinished = [st for st in states.values() if st.status != _DONE]
         if unfinished:
-            raise DeadlockError(
-                [f"{st.context.name}: {st.blocked_detail}" for st in unfinished]
-            )
+            report = self._stall_report(unfinished)
+            if obs is not None:
+                obs.stall_report = report
+            raise DeadlockError(report.lines())
 
         elapsed = self._makespan(program)
         return RunSummary(
@@ -147,7 +184,55 @@ class SequentialExecutor(Executor):
             wakeups=self.wakeups,
             preemptions=self.preemptions,
             ops_executed=self.ops_executed,
+            metrics=self._fold_metrics(program, states),
         )
+
+    # ------------------------------------------------------------------
+
+    def _stall_report(self, unfinished: list[_ContextState]) -> StallReport:
+        """Diagnose the blocked set: who is parked, on which channel, and
+        at what simulated time each endpoint sits."""
+        stalls = []
+        for state in unfinished:
+            op = state.retry_op
+            channel = peer = None
+            if isinstance(op, Enqueue):
+                channel = op.sender.channel
+            elif isinstance(op, (Dequeue, Peek)):
+                channel = op.receiver.channel
+            elif isinstance(op, WaitUntil):
+                peer = op.context
+            stalls.append(
+                stall_for(
+                    state.context,
+                    state.blocked_detail or "not started",
+                    channel=channel,
+                    peer=peer,
+                )
+            )
+        return StallReport(stalls)
+
+    def _fold_metrics(
+        self, program: Program, states: dict[int, _ContextState]
+    ) -> Optional[dict]:
+        if self.obs is None or self.obs.metrics is None:
+            return None
+        registry = self.obs.metrics
+        fold_channel_metrics(registry, program.channels)
+        for state in states.values():
+            ctx = state.context
+            fold_context_metrics(
+                registry,
+                ctx.name,
+                ops=state.ops,
+                finish_time=ctx.finish_time,
+                wall_seconds=state.wall_seconds,
+            )
+        registry.counter("executor_context_switches").inc(self.context_switches)
+        registry.counter("executor_wakeups").inc(self.wakeups)
+        registry.counter("executor_preemptions").inc(self.preemptions)
+        registry.counter("executor_ops").inc(self.ops_executed)
+        return registry.snapshot()
 
     # ------------------------------------------------------------------
 
@@ -192,6 +277,7 @@ class SequentialExecutor(Executor):
                 raise SimulationError(ctx.name, exc) from exc
 
             self.ops_executed += 1
+            state.ops += 1
             if self.max_ops is not None and self.ops_executed > self.max_ops:
                 raise SimulationError(
                     ctx.name,
@@ -218,10 +304,9 @@ class SequentialExecutor(Executor):
                     self._wake(waiter)
                 if self._any_time_waiters:
                     self._drain_time_waiters(state.context)
-                if self.tracer is not None:
-                    self.tracer.record(
-                        state.context.name, "enqueue", channel.name,
-                        clock.now(), op.data,
+                if state.buffer is not None:
+                    state.buffer.append(
+                        "enqueue", channel.name, clock.now(), op.data
                     )
                 return True
             self._block(state, op, f"enqueue on full {channel.name}")
@@ -238,10 +323,10 @@ class SequentialExecutor(Executor):
                     self._wake(waiter)
                 if self._any_time_waiters:
                     self._drain_time_waiters(state.context)
-                if self.tracer is not None:
-                    self.tracer.record(
-                        state.context.name, "dequeue", channel.name,
-                        clock.now(), state.pending_value,
+                if state.buffer is not None:
+                    state.buffer.append(
+                        "dequeue", channel.name, clock.now(),
+                        state.pending_value,
                     )
                 return True
             if channel.closed_for_receiver:
@@ -257,10 +342,10 @@ class SequentialExecutor(Executor):
                 state.pending_value = channel.do_peek(clock)
                 if self._any_time_waiters:
                     self._drain_time_waiters(state.context)
-                if self.tracer is not None:
-                    self.tracer.record(
-                        state.context.name, "peek", channel.name,
-                        clock.now(), state.pending_value,
+                if state.buffer is not None:
+                    state.buffer.append(
+                        "peek", channel.name, clock.now(),
+                        state.pending_value,
                     )
                 return True
             if channel.closed_for_receiver:
@@ -275,10 +360,8 @@ class SequentialExecutor(Executor):
             state.pending_value = None
             if self._any_time_waiters:
                 self._drain_time_waiters(state.context)
-            if self.tracer is not None:
-                self.tracer.record(
-                    state.context.name, "advance", None, clock.now()
-                )
+            if state.buffer is not None:
+                state.buffer.append("advance", None, clock.now())
             return True
 
         if kind is AdvanceTo:
@@ -286,10 +369,8 @@ class SequentialExecutor(Executor):
             state.pending_value = None
             if self._any_time_waiters:
                 self._drain_time_waiters(state.context)
-            if self.tracer is not None:
-                self.tracer.record(
-                    state.context.name, "advance", None, clock.now()
-                )
+            if state.buffer is not None:
+                state.buffer.append("advance", None, clock.now())
             return True
 
         if kind is ViewTime:
@@ -352,6 +433,8 @@ class SequentialExecutor(Executor):
         ctx = state.context
         state.status = _DONE
         ctx.finish_time = ctx.time.now()
+        if state.buffer is not None:
+            state.buffer.append("finish", None, ctx.finish_time)
         ctx.time.finish()
         for sender in ctx.senders:
             channel = sender.channel

@@ -21,8 +21,15 @@ those of the paper's runtime.  Cross-executor tests assert cycle-exact
 agreement with :class:`~repro.core.executor.sequential.SequentialExecutor`.
 
 Deadlock detection: a watchdog aborts the run when every unfinished thread
-has been parked with no progress for a grace period, then reports who was
-blocked on what.
+has been parked with no progress for a grace period, then dumps a stall
+report — each blocked context, the channel it is parked on, and the
+simulated clocks of both of that channel's endpoints.
+
+Observability: attach a :class:`repro.obs.Observability` (``obs=``) to
+trace the run.  Each context appends to its own lock-free buffer from its
+own thread, so tracing does not perturb the synchronization schedule;
+buffers are merged deterministically at query time, yielding the same
+event order the sequential executor produces.
 """
 
 from __future__ import annotations
@@ -31,6 +38,9 @@ import threading
 import time as _wallclock
 from typing import Any, Optional
 
+from ...obs import Observability, fold_channel_metrics, fold_context_metrics
+from ...obs.stall import StallReport, stall_for
+from ..channel import Channel
 from ..context import Context
 from ..errors import ChannelClosed, DamError, DeadlockError, SimulationError
 from ..ops import AdvanceTo, Dequeue, Enqueue, IncrCycles, Peek, ViewTime, WaitUntil
@@ -62,28 +72,58 @@ class ThreadedExecutor(Executor):
     deadlock_grace:
         Abort if all unfinished threads stay parked with zero progress for
         this long (seconds).
+    obs:
+        A :class:`repro.obs.Observability` collecting the run's trace
+        and/or metrics.
     """
 
     name = "threaded"
 
-    def __init__(self, poll_interval: float = 0.05, deadlock_grace: float = 2.0):
+    def __init__(
+        self,
+        poll_interval: float = 0.05,
+        deadlock_grace: float = 2.0,
+        obs: Optional[Observability] = None,
+    ):
         self.poll_interval = poll_interval
         self.deadlock_grace = deadlock_grace
+        self.obs = obs
         self._abort = threading.Event()
         self._progress = 0  # monotone op counter (heuristic, GIL-atomic)
         self._blocked_count = 0
         self._blocked_lock = threading.Lock()
         self._errors: list[BaseException] = []
         self._blocked_details: dict[str, str] = {}
+        # Structured park sites for stall reports: name -> (detail,
+        # channel, peer context).  Written under _blocked_lock.
+        self._blocked_sites: dict[str, tuple[str, Optional[Channel], Optional[Context]]] = {}
         self._ops_executed = 0
 
     # ------------------------------------------------------------------
 
     def execute(self, program: Program) -> RunSummary:
         start = _wallclock.perf_counter()
+        self._program = program
         self._time_sync = {id(ctx): _TimeSync() for ctx in program.contexts}
         self._unfinished = len(program.contexts)
         self._unfinished_lock = threading.Lock()
+
+        obs = self.obs
+        trace = obs.trace if obs is not None else None
+        # Per-context trace buffers and metric tallies are created here,
+        # on the main thread, so worker threads only ever touch their own
+        # entry (the lock-free discipline).
+        self._buffers = (
+            {ctx.name: trace.buffer(ctx.name) for ctx in program.contexts}
+            if trace is not None
+            else {}
+        )
+        collect_metrics = obs is not None and obs.metrics is not None
+        self._collect_metrics = collect_metrics
+        self._ctx_ops = {ctx.name: 0 for ctx in program.contexts}
+        self._ctx_parks = {ctx.name: 0 for ctx in program.contexts}
+        self._ctx_spins = {ctx.name: 0 for ctx in program.contexts}
+        self._ctx_wall = {ctx.name: 0.0 for ctx in program.contexts}
 
         for ctx in program.contexts:
             self._install_advance_hook(ctx)
@@ -117,10 +157,10 @@ class ThreadedExecutor(Executor):
                 raise error
             raise SimulationError("<threaded>", error) from error
         if any(ctx.finish_time is None for ctx in program.contexts):
-            raise DeadlockError(sorted(
-                f"{name}: {detail}"
-                for name, detail in self._blocked_details.items()
-            ))
+            report = self._stall_report()
+            if obs is not None:
+                obs.stall_report = report
+            raise DeadlockError(report.lines())
 
         return RunSummary(
             elapsed_cycles=self._makespan(program),
@@ -129,7 +169,41 @@ class ThreadedExecutor(Executor):
             executor=self.name,
             policy="os",
             ops_executed=self._ops_executed,
+            metrics=self._fold_metrics(program),
         )
+
+    # ------------------------------------------------------------------
+
+    def _stall_report(self) -> StallReport:
+        """Build the deadlock diagnosis from the recorded park sites."""
+        with self._blocked_lock:
+            sites = dict(self._blocked_sites)
+        stalls = []
+        contexts = {ctx.name: ctx for ctx in self._program.contexts}
+        for name, ctx in contexts.items():
+            if ctx.finish_time is not None:
+                continue
+            detail, channel, peer = sites.get(name, ("not started", None, None))
+            stalls.append(stall_for(ctx, detail, channel=channel, peer=peer))
+        return StallReport(stalls)
+
+    def _fold_metrics(self, program: Program) -> Optional[dict]:
+        if not self._collect_metrics:
+            return None
+        registry = self.obs.metrics
+        fold_channel_metrics(registry, program.channels)
+        for ctx in program.contexts:
+            fold_context_metrics(
+                registry,
+                ctx.name,
+                ops=self._ctx_ops[ctx.name],
+                finish_time=ctx.finish_time,
+                wall_seconds=self._ctx_wall[ctx.name],
+                parks=self._ctx_parks[ctx.name],
+                spin_reads=self._ctx_spins[ctx.name],
+            )
+        registry.counter("executor_ops").inc(self._ops_executed)
+        return registry.snapshot()
 
     # ------------------------------------------------------------------
 
@@ -149,6 +223,12 @@ class ThreadedExecutor(Executor):
         gen = ctx.run()
         value: Any = None
         exc: BaseException | None = None
+        # The buffer is this thread's own: appends need no locking and,
+        # unlike a shared event log, cannot perturb peer scheduling.
+        buf = self._buffers.get(ctx.name)
+        ops = 0
+        spins = 0
+        wall_start = _wallclock.perf_counter() if self._collect_metrics else 0.0
         try:
             while True:
                 try:
@@ -165,22 +245,42 @@ class ThreadedExecutor(Executor):
                 kind = type(op)
                 if kind is Enqueue:
                     self._do_enqueue(ctx, op)
+                    if buf is not None:
+                        buf.append(
+                            "enqueue", op.sender.channel.name,
+                            ctx.time.now(), op.data,
+                        )
                 elif kind is Dequeue:
                     try:
                         value = self._do_dequeue(ctx, op, remove=True)
+                        if buf is not None:
+                            buf.append(
+                                "dequeue", op.receiver.channel.name,
+                                ctx.time.now(), value,
+                            )
                     except ChannelClosed as closed:
                         exc = closed
                 elif kind is Peek:
                     try:
                         value = self._do_dequeue(ctx, op, remove=False)
+                        if buf is not None:
+                            buf.append(
+                                "peek", op.receiver.channel.name,
+                                ctx.time.now(), value,
+                            )
                     except ChannelClosed as closed:
                         exc = closed
                 elif kind is IncrCycles:
                     ctx.time.incr(op.cycles)
+                    if buf is not None:
+                        buf.append("advance", None, ctx.time.now())
                 elif kind is AdvanceTo:
                     ctx.time.advance(op.time)
+                    if buf is not None:
+                        buf.append("advance", None, ctx.time.now())
                 elif kind is ViewTime:
                     value = op.context.time.now()  # SVA: plain atomic load
+                    spins += 1
                 elif kind is WaitUntil:
                     value = self._wait_until(ctx, op)
                 else:
@@ -189,6 +289,7 @@ class ThreadedExecutor(Executor):
                     )
                 self._progress += 1
                 self._ops_executed += 1
+                ops += 1
         except _Aborted:
             return
         except BaseException as failure:  # noqa: BLE001 - reported faithfully
@@ -201,6 +302,14 @@ class ThreadedExecutor(Executor):
         finally:
             gen.close()
             self._finish(ctx)
+            if buf is not None and ctx.finish_time is not None:
+                buf.append("finish", None, ctx.finish_time)
+            self._ctx_ops[ctx.name] = ops
+            self._ctx_spins[ctx.name] += spins
+            if self._collect_metrics:
+                self._ctx_wall[ctx.name] = (
+                    _wallclock.perf_counter() - wall_start
+                )
 
     # ------------------------------------------------------------------
     # Blocking channel operations (the SVP paths).
@@ -211,7 +320,10 @@ class ThreadedExecutor(Executor):
         clock = ctx.time
         with channel.cond:
             while not channel.sender_try_reserve(clock):
-                self._park(ctx, channel.cond, f"enqueue on full {channel.name}")
+                self._park(
+                    ctx, channel.cond, f"enqueue on full {channel.name}",
+                    channel=channel,
+                )
             channel.do_enqueue(clock, op.data)
             channel.cond.notify_all()
 
@@ -229,40 +341,64 @@ class ThreadedExecutor(Executor):
                     return value
                 if channel.closed_for_receiver:
                     raise ChannelClosed(channel.name)
-                self._park(ctx, channel.cond, f"dequeue on empty {channel.name}")
+                self._park(
+                    ctx, channel.cond, f"dequeue on empty {channel.name}",
+                    channel=channel,
+                )
 
     def _wait_until(self, ctx: Context, op: WaitUntil) -> Any:
         target = op.context
         if target.time.now() >= op.time:  # SVA fast path
+            self._ctx_spins[ctx.name] += 1
             return target.time.now()
         sync = self._time_sync[id(target)]
         with sync.cond:
             sync.waiter_count += 1
             try:
                 while target.time.now() < op.time:
+                    self._ctx_spins[ctx.name] += 1
                     self._park(
-                        ctx, sync.cond, f"wait-until {op.time} on {target.name}"
+                        ctx, sync.cond,
+                        f"wait-until {op.time} on {target.name}",
+                        peer=target,
                     )
             finally:
                 sync.waiter_count -= 1
         return target.time.now()
 
-    def _park(self, ctx: Context, cond: threading.Condition, detail: str) -> None:
-        """One bounded wait on ``cond`` (caller re-checks its predicate)."""
+    def _park(
+        self,
+        ctx: Context,
+        cond: threading.Condition,
+        detail: str,
+        channel: Optional[Channel] = None,
+        peer: Optional[Context] = None,
+    ) -> None:
+        """One bounded wait on ``cond`` (caller re-checks its predicate).
+
+        ``channel``/``peer`` identify what the context is parked on; they
+        feed the watchdog's stall report.
+        """
         if self._abort.is_set():
             raise _Aborted
+        self._ctx_parks[ctx.name] += 1
+        site = (detail, channel, peer)
         with self._blocked_lock:
             self._blocked_count += 1
             self._blocked_details[ctx.name] = detail
+            self._blocked_sites[ctx.name] = site
         try:
             cond.wait(timeout=self.poll_interval)
         finally:
             with self._blocked_lock:
                 self._blocked_count -= 1
                 self._blocked_details.pop(ctx.name, None)
+                self._blocked_sites.pop(ctx.name, None)
         if self._abort.is_set():
-            # Keep the detail for the deadlock report.
-            self._blocked_details[ctx.name] = detail
+            # Keep the park site for the deadlock report.
+            with self._blocked_lock:
+                self._blocked_details[ctx.name] = detail
+                self._blocked_sites[ctx.name] = site
             raise _Aborted
 
     # ------------------------------------------------------------------
@@ -302,12 +438,14 @@ class ThreadedExecutor(Executor):
                 if stall_start is None:
                     stall_start = now
                 elif now - stall_start >= self.deadlock_grace:
-                    self._errors.append(
-                        DeadlockError(sorted(
-                            f"{name}: {detail}"
-                            for name, detail in self._blocked_details.items()
-                        ))
-                    )
+                    # Dump the full stall report while every thread is
+                    # still parked on its recorded site: per-context
+                    # state, the parked-on channel, and both endpoint
+                    # simulated clocks.
+                    report = self._stall_report()
+                    if self.obs is not None:
+                        self.obs.stall_report = report
+                    self._errors.append(DeadlockError(report.lines()))
                     self._abort.set()
                     return
             else:

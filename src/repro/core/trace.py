@@ -1,91 +1,34 @@
-"""Simulation tracing: a per-operation event log for debugging and analysis.
+"""Deprecated compatibility shim — the tracer now lives in :mod:`repro.obs`.
 
-A :class:`Tracer` attached to the sequential executor records one
-:class:`TraceEvent` per completed operation — which context, what kind of
-operation, on which channel, at what simulated time.  Traces answer the
-questions that come up when a dataflow graph misbehaves ("who stalled
-first?", "what did this unit see before the deadlock?") and provide the
-per-stream timelines that calibration workflows compare against reference
-traces.
+The original ``Tracer`` only supported the sequential executor (the
+threaded executor's interleaving would have needed per-event locking that
+distorts the run being observed).  Its replacement,
+:class:`repro.obs.TraceCollector`, gives every context its own lock-free
+event buffer and merges them deterministically, so tracing works on both
+executors — plus exporters (Perfetto/Chrome JSON, CSV), a metrics
+registry, and deadlock stall reports via :class:`repro.obs.Observability`.
 
-Tracing costs one branch per operation when disabled and is therefore
-off by default; it is supported on the sequential executor (the threaded
-executor's interleaving would need per-event locking that would distort
-the run being observed).
+This module keeps the old import path and query API working unchanged
+(``Tracer``, ``TraceEvent``, ``completion_times()`` and friends, and the
+``SequentialExecutor(tracer=...)`` keyword), so calibration workflows
+built on it keep passing.  New code should use :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterator
-
-from .time import Time
+from ..obs.events import TraceEvent
+from ..obs.trace import TraceCollector
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One completed operation."""
+class Tracer(TraceCollector):
+    """Deprecated alias of :class:`repro.obs.TraceCollector`.
 
-    context: str
-    kind: str            # "enqueue" | "dequeue" | "peek" | "advance" | ...
-    channel: str | None  # channel name for channel ops, else None
-    time: Time           # the context's simulated time after the op
-    payload: Any = None  # data moved, when applicable
-
-
-class Tracer:
-    """Collects trace events; filterable by context and channel.
-
-    ``capture_payloads=False`` (default) keeps traces light; enable it to
-    record the data values moved by channel operations.
+    Kept so existing ``SequentialExecutor(tracer=Tracer())`` call sites
+    and trace queries (``for_context``, ``for_channel``, ``kinds``,
+    ``completion_times``) continue to work; events are now returned in
+    the deterministic merged ``(time, context, seq)`` order rather than
+    raw append order.
     """
 
-    def __init__(self, capture_payloads: bool = False):
-        self.events: list[TraceEvent] = []
-        self.capture_payloads = capture_payloads
 
-    def record(
-        self,
-        context: str,
-        kind: str,
-        channel: str | None,
-        time: Time,
-        payload: Any = None,
-    ) -> None:
-        self.events.append(
-            TraceEvent(
-                context,
-                kind,
-                channel,
-                time,
-                payload if self.capture_payloads else None,
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # Queries.
-    # ------------------------------------------------------------------
-
-    def for_context(self, name: str) -> list[TraceEvent]:
-        return [event for event in self.events if event.context == name]
-
-    def for_channel(self, name: str) -> list[TraceEvent]:
-        return [event for event in self.events if event.channel == name]
-
-    def kinds(self, kind: str) -> Iterator[TraceEvent]:
-        return (event for event in self.events if event.kind == kind)
-
-    def completion_times(self, channel: str) -> list[Time]:
-        """Dequeue times on a channel: the per-stream timeline that the
-        calibration study matches against reference traces."""
-        return [
-            event.time
-            for event in self.events
-            if event.channel == channel and event.kind == "dequeue"
-        ]
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-    def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self.events)
+__all__ = ["TraceEvent", "Tracer"]

@@ -1,0 +1,119 @@
+"""Executor-agnostic observability: tracing, metrics, and exporters.
+
+DAM's pitch is that functionality and timing live together in each
+context; this package makes the *timing* half inspectable on every
+executor.  The pieces:
+
+* :mod:`~repro.obs.events` — per-context lock-free event buffers, merged
+  deterministically by ``(time, context, seq)``;
+* :mod:`~repro.obs.trace` — :class:`TraceCollector`, the executor-agnostic
+  replacement for the old sequential-only ``Tracer``;
+* :mod:`~repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges, and histograms folded into ``RunSummary.metrics``;
+* :mod:`~repro.obs.export` — Chrome trace-event / Perfetto JSON and CSV;
+* :mod:`~repro.obs.stall` — deadlock stall reports naming the blocking
+  channel and both endpoint clocks.
+
+:class:`Observability` bundles them for the common case::
+
+    obs = Observability(capture_payloads=True)
+    summary = program.run(executor="threaded", obs=obs)
+    obs.write_chrome_trace("run.json")     # load in ui.perfetto.dev
+    print(summary.metrics["counters"]["context_ops{context=worker}"])
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from .events import ContextTraceBuffer, TraceEvent
+from .export import to_chrome_trace, to_csv, write_chrome_trace, write_csv
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    fold_channel_metrics,
+    fold_context_metrics,
+)
+from .stall import ContextStall, StallReport, stall_for
+from .trace import TraceCollector
+
+__all__ = [
+    "ContextStall",
+    "ContextTraceBuffer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "StallReport",
+    "TraceCollector",
+    "TraceEvent",
+    "fold_channel_metrics",
+    "fold_context_metrics",
+    "stall_for",
+    "to_chrome_trace",
+    "to_csv",
+    "write_chrome_trace",
+    "write_csv",
+]
+
+
+class Observability:
+    """One handle bundling a trace collector and a metrics registry.
+
+    Pass it to either executor (or ``program.run(obs=...)``); after the
+    run, query ``obs.trace`` / ``obs.metrics``, export with the ``write_*``
+    methods, and — if the run deadlocked — read ``obs.stall_report``.
+
+    ``trace=False`` or ``metrics=False`` disables that half entirely
+    (disabled tracing costs one pointer check per operation).
+    """
+
+    def __init__(
+        self,
+        trace: bool = True,
+        metrics: bool = True,
+        capture_payloads: bool = False,
+    ):
+        self.trace: TraceCollector | None = (
+            TraceCollector(capture_payloads=capture_payloads) if trace else None
+        )
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if metrics else None
+        )
+        #: Populated by the executor when the run deadlocks.
+        self.stall_report: StallReport | None = None
+
+    @classmethod
+    def from_trace(cls, trace: TraceCollector) -> "Observability":
+        """Wrap an existing collector (the legacy ``tracer=`` path)."""
+        obs = cls(trace=False, metrics=False)
+        obs.trace = trace
+        return obs
+
+    # ------------------------------------------------------------------
+    # Exporters.
+    # ------------------------------------------------------------------
+
+    def _require_trace(self) -> TraceCollector:
+        if self.trace is None:
+            raise ValueError("tracing was disabled on this Observability")
+        return self.trace
+
+    def chrome_trace(self) -> dict[str, Any]:
+        return to_chrome_trace(self._require_trace(), self.metrics)
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        return write_chrome_trace(self._require_trace(), path, self.metrics)
+
+    def csv(self) -> str:
+        return to_csv(self._require_trace())
+
+    def write_csv(self, path: str | Path) -> Path:
+        return write_csv(self._require_trace(), path)
+
+    def metrics_snapshot(self) -> dict[str, Any] | None:
+        return self.metrics.snapshot() if self.metrics is not None else None

@@ -1,0 +1,87 @@
+"""Trace events and per-context event buffers.
+
+The observability pipeline's first invariant is that *recording must not
+distort the run being observed*.  Each context therefore appends events to
+its own :class:`ContextTraceBuffer` — a plain Python list touched only by
+the thread of control driving that context — so the threaded executor can
+trace without any per-event locking (the append is the lock-free fast
+path; CPython list appends are atomic under the GIL, and no other thread
+reads the list until the run has ended).
+
+The second invariant is *determinism of the merged view*: an event is
+keyed by ``(time, context, seq)`` where ``seq`` is the context's own op
+counter.  Because channel semantics are pure functions of simulated state,
+each context performs the same ops at the same simulated times under every
+executor and scheduling policy; sorting the union of buffers by that key
+therefore yields an identical total order for sequential and threaded
+runs (asserted by the obs test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.time import Time
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed operation.
+
+    ``seq`` is the position of the event in its context's own event
+    stream — the deterministic tiebreaker for merging buffers.
+    """
+
+    context: str
+    kind: str            # "enqueue" | "dequeue" | "peek" | "advance" | "finish"
+    channel: str | None  # channel name for channel ops, else None
+    time: Time           # the context's simulated time after the op
+    payload: Any = None  # data moved, when applicable
+    seq: int = 0         # per-context event index
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.context, self.seq)
+
+
+class ContextTraceBuffer:
+    """Append-only event list owned by exactly one context.
+
+    Executors obtain one buffer per context *before* starting the run and
+    append from the context's own thread of control only; this is what
+    makes tracing executor-agnostic without distorting the schedule.
+    """
+
+    __slots__ = ("context", "events", "capture_payloads", "_seq")
+
+    def __init__(self, context: str, capture_payloads: bool = False):
+        self.context = context
+        self.events: list[TraceEvent] = []
+        self.capture_payloads = capture_payloads
+        self._seq = 0
+
+    def append(
+        self,
+        kind: str,
+        channel: str | None,
+        time: Time,
+        payload: Any = None,
+    ) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        self.events.append(
+            TraceEvent(
+                self.context,
+                kind,
+                channel,
+                time,
+                payload if self.capture_payloads else None,
+                seq,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ContextTraceBuffer({self.context}, {len(self.events)} events)"

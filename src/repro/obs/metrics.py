@@ -1,0 +1,218 @@
+"""A small dependency-free metrics registry: counters, gauges, histograms.
+
+Executors and the bench harness fold their diagnostics into a
+:class:`MetricsRegistry` — channel occupancy, park/unpark counts, SVA spin
+reads, per-context ops and simulated time advanced, wall-clock per
+context — giving every run one machine-readable metrics surface
+(``RunSummary.metrics``) that benchmark trajectories can diff.
+
+Metrics are identified by a name plus optional labels::
+
+    registry.counter("parks", context="worker3").inc()
+    registry.gauge("channel_max_occupancy", channel="scores").set_max(12)
+    registry.histogram("context_wall_seconds").observe(0.03)
+
+The write paths are designed for the executors' folding discipline:
+per-context tallies are kept in executor-local storage (touched only by
+one thread of control) and folded into the registry once, at run end, so
+the registry itself needs no locking.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+_MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, Any]) -> _MetricKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def format_key(key: _MetricKey) -> str:
+    """Render ``("parks", (("context","a"),))`` as ``parks{context=a}``."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins; ``set_max`` keeps peaks)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+    def set_max(self, value: Any) -> None:
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Streaming summary statistics (count / min / max / mean / total).
+
+    Deliberately bucket-free: the run diagnostics need distribution
+    summaries, not quantile sketches, and a four-slot accumulator keeps
+    ``observe`` cheap enough for fold loops over thousands of channels.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Creates-on-first-use registry of named, labelled metrics."""
+
+    def __init__(self) -> None:
+        self._counters: dict[_MetricKey, Counter] = {}
+        self._gauges: dict[_MetricKey, Gauge] = {}
+        self._histograms: dict[_MetricKey, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = _key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram()
+        return metric
+
+    # ------------------------------------------------------------------
+    # Read side.
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Iterator[tuple[str, int]]:
+        for key in sorted(self._counters):
+            yield format_key(key), self._counters[key].value
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view of every metric, keyed ``name{label=value}``.
+
+        This is what lands in ``RunSummary.metrics`` and in benchmark
+        JSON files, so it must contain only JSON-serializable values.
+        """
+        return {
+            "counters": {
+                format_key(key): metric.value
+                for key, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                format_key(key): metric.value
+                for key, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                format_key(key): metric.summary()
+                for key, metric in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True, default=str)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+def fold_channel_metrics(registry: MetricsRegistry, channels) -> None:
+    """Fold per-channel :class:`~repro.core.channel.ChannelStats` into the
+    registry: traffic counters, the always-on peak real occupancy, and a
+    cross-channel occupancy distribution."""
+    occupancy_dist = registry.histogram("channel_max_occupancy_dist")
+    for channel in channels:
+        stats = channel.stats
+        registry.counter("channel_enqueues", channel=channel.name).inc(stats.enqueues)
+        registry.counter("channel_dequeues", channel=channel.name).inc(stats.dequeues)
+        registry.gauge("channel_max_occupancy", channel=channel.name).set_max(
+            stats.max_real_occupancy
+        )
+        occupancy_dist.observe(stats.max_real_occupancy)
+
+
+def fold_context_metrics(
+    registry: MetricsRegistry,
+    name: str,
+    ops: int = 0,
+    finish_time: Any = None,
+    wall_seconds: float | None = None,
+    parks: int = 0,
+    spin_reads: int = 0,
+) -> None:
+    """Fold one context's executor-local tallies into the registry."""
+    if ops:
+        registry.counter("context_ops", context=name).inc(ops)
+    if finish_time is not None:
+        registry.gauge("context_finish_time", context=name).set(finish_time)
+        registry.histogram("context_finish_time_dist").observe(finish_time)
+    if wall_seconds is not None:
+        registry.gauge("context_wall_seconds", context=name).set(wall_seconds)
+        registry.histogram("context_wall_seconds_dist").observe(wall_seconds)
+    if parks:
+        registry.counter("context_parks", context=name).inc(parks)
+    if spin_reads:
+        registry.counter("context_spin_reads", context=name).inc(spin_reads)

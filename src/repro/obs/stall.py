@@ -1,0 +1,110 @@
+"""Stall reports: who is blocked, on which channel, at what time.
+
+When a simulation deadlocks the most useful artifact is not a timeout
+notice but the dependency cycle itself: every blocked context, the channel
+operation it is parked on, and the *simulated* clocks of both endpoints of
+that channel — the receiver stuck at t=5 waiting on a sender already at
+t=12 tells you immediately which way the starvation flows.  Both executors
+build a :class:`StallReport` on deadlock (the threaded watchdog dumps it
+instead of its old bare timeout notice) and attach it to the active
+:class:`~repro.obs.Observability` object when one is present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.time import INFINITY, Time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.channel import Channel
+    from ..core.context import Context
+
+
+def _fmt_time(value: Time | None) -> str:
+    if value is None:
+        return "?"
+    if value == INFINITY:
+        return "inf"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ContextStall:
+    """One blocked context's state at deadlock."""
+
+    context: str
+    detail: str                    # e.g. "dequeue on empty scores"
+    local_time: Time | None
+    channel: str | None = None     # the blocking channel, when channel-blocked
+    capacity: int | None = None    # None for unbounded
+    occupancy: int | None = None   # physically queued elements right now
+    peer: str | None = None        # context on the channel's other end
+    peer_time: Time | None = None  # that peer's simulated clock
+
+    def describe(self) -> str:
+        line = f"{self.context}: {self.detail} @ t={_fmt_time(self.local_time)}"
+        if self.channel is not None:
+            cap = "inf" if self.capacity is None else str(self.capacity)
+            line += (
+                f" [channel {self.channel}: occupancy {self.occupancy}/{cap}"
+            )
+            if self.peer is not None:
+                line += f", peer {self.peer} @ t={_fmt_time(self.peer_time)}"
+            line += "]"
+        elif self.peer is not None:
+            line += f" [peer {self.peer} @ t={_fmt_time(self.peer_time)}]"
+        return line
+
+
+@dataclass
+class StallReport:
+    """The full deadlock diagnosis: one :class:`ContextStall` per blocked
+    context, renderable as the lines of a :class:`DeadlockError`."""
+
+    stalls: list[ContextStall]
+
+    def lines(self) -> list[str]:
+        return [stall.describe() for stall in sorted(self.stalls, key=lambda s: s.context)]
+
+    def for_context(self, name: str) -> ContextStall | None:
+        for stall in self.stalls:
+            if stall.context == name:
+                return stall
+        return None
+
+    def __str__(self) -> str:
+        header = f"stall report ({len(self.stalls)} blocked context(s)):"
+        return "\n".join([header] + ["  " + line for line in self.lines()])
+
+    def __len__(self) -> int:
+        return len(self.stalls)
+
+
+def stall_for(
+    context: "Context",
+    detail: str,
+    channel: "Channel | None" = None,
+    peer: "Context | None" = None,
+) -> ContextStall:
+    """Build one stall record, resolving the peer across ``channel``.
+
+    ``peer`` overrides channel-derived resolution (used for WaitUntil,
+    where the blocking dependency is a clock, not a channel).
+    """
+    if channel is not None and peer is None:
+        if channel.receiver_owner is context:
+            peer = channel.sender_owner
+        else:
+            peer = channel.receiver_owner
+    return ContextStall(
+        context=context.name,
+        detail=detail,
+        local_time=context.time.now(),
+        channel=channel.name if channel is not None else None,
+        capacity=channel.capacity if channel is not None else None,
+        occupancy=channel.real_occupancy() if channel is not None else None,
+        peer=peer.name if peer is not None else None,
+        peer_time=peer.time.now() if peer is not None else None,
+    )

@@ -1,0 +1,106 @@
+"""Exporter golden-file tests.
+
+Exports derive from simulated state only, so they must be byte-identical
+across runs, executors, and machines.  Regenerate the goldens with::
+
+    REFRESH_OBS_GOLDENS=1 PYTHONPATH=src python -m pytest tests/obs/test_export.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro import Observability, ProgramBuilder
+from repro.contexts import Collector, RampSource, UnaryFunction
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def traced_run(executor="sequential"):
+    """A tiny, fully named pipeline (names keep goldens stable: unnamed
+    contexts/channels would pick up global-counter ids)."""
+    builder = ProgramBuilder()
+    s1, r1 = builder.bounded(2, name="raw")
+    s2, r2 = builder.bounded(2, name="doubled")
+    builder.add(RampSource(s1, 3, name="src"))
+    builder.add(UnaryFunction(r1, s2, lambda x: 2 * x, name="double"))
+    builder.add(Collector(r2, name="sink"))
+    obs = Observability(capture_payloads=True, metrics=False)
+    builder.build().run(executor=executor, obs=obs)
+    return obs
+
+
+def check_golden(name: str, rendered: str):
+    golden = GOLDEN_DIR / name
+    if os.environ.get("REFRESH_OBS_GOLDENS"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden.write_text(rendered)
+    assert golden.exists(), f"golden file missing: {golden}"
+    assert rendered == golden.read_text()
+
+
+class TestCsvExport:
+    def test_matches_golden(self):
+        check_golden("tiny_pipeline.csv", traced_run().csv())
+
+    def test_threaded_export_is_identical(self):
+        assert traced_run("threaded").csv() == traced_run("sequential").csv()
+
+
+class TestChromeTraceExport:
+    def test_matches_golden(self):
+        document = traced_run().chrome_trace()
+        rendered = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        check_golden("tiny_pipeline.chrome.json", rendered)
+
+    def test_is_valid_trace_event_json(self, tmp_path):
+        path = traced_run().write_chrome_trace(tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert event["ph"] in {"M", "X", "s", "f"}
+            assert "pid" in event
+            if event["ph"] != "M":
+                assert "ts" in event
+
+    def test_one_track_per_context(self):
+        document = traced_run().chrome_trace()
+        thread_names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert thread_names == {"src", "double", "sink"}
+
+    def test_channel_ops_are_slices(self):
+        document = traced_run().chrome_trace()
+        slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        channel_slices = [e for e in slices if e.get("cat") == "channel"]
+        assert channel_slices
+        for event in channel_slices:
+            assert event["dur"] >= 0
+            assert "channel" in event["args"]
+
+    def test_transfers_become_flow_pairs(self):
+        document = traced_run().chrome_trace()
+        starts = [e for e in document["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in document["traceEvents"] if e["ph"] == "f"]
+        # 3 transfers on each of the 2 channels.
+        assert len(starts) == len(finishes) == 6
+        assert {e["name"] for e in starts} == {"raw", "doubled"}
+        by_id = {e["id"]: e for e in starts}
+        for finish in finishes:
+            start = by_id[finish["id"]]
+            assert finish["ts"] >= start["ts"]
+
+    def test_metrics_embedded_when_enabled(self):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(2, name="only")
+        builder.add(RampSource(snd, 2, name="src"))
+        builder.add(Collector(rcv, name="sink"))
+        obs = Observability(capture_payloads=True)
+        builder.build().run(obs=obs)
+        document = obs.chrome_trace()
+        metrics = document["otherData"]["metrics"]
+        assert metrics["counters"]["channel_enqueues{channel=only}"] == 2

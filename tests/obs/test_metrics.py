@@ -1,0 +1,146 @@
+"""Metrics registry semantics and the executor folding discipline."""
+
+from repro import Observability, ProgramBuilder
+from repro.core.channel import Channel
+from repro.core.time import TimeCell
+from repro.contexts import Collector, RampSource, UnaryFunction
+from repro.obs import MetricsRegistry
+
+
+class TestRegistry:
+    def test_counter_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc()
+        registry.counter("ops").inc(4)
+        assert registry.snapshot()["counters"]["ops"] == 5
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        registry.counter("parks", context="a").inc()
+        registry.counter("parks", context="b").inc(2)
+        counters = registry.snapshot()["counters"]
+        assert counters["parks{context=a}"] == 1
+        assert counters["parks{context=b}"] == 2
+
+    def test_gauge_set_max_keeps_peak(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set_max(3)
+        gauge.set_max(1)
+        gauge.set_max(7)
+        assert registry.snapshot()["gauges"]["depth"] == 7
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in [1.0, 2.0, 3.0]:
+            hist.observe(value)
+        summary = registry.snapshot()["histograms"]["latency"]
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_to_json_round_trips(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(3)
+        registry.gauge("depth", channel="c").set(4)
+        assert json.loads(registry.to_json())["counters"]["ops"] == 3
+
+
+class TestAlwaysOnOccupancy:
+    """Satellite regression: max_real_occupancy no longer needs the
+    enable_profiling toggle and is consistent on every enqueue path."""
+
+    def test_tracked_without_profiling(self):
+        ch = Channel(capacity=8)
+        sender = TimeCell()
+        for i in range(3):
+            ch.do_enqueue(sender, i)
+        assert ch.stats.max_real_occupancy == 3
+        ch.do_dequeue(TimeCell())
+        ch.do_enqueue(sender, 99)
+        assert ch.stats.max_real_occupancy == 3  # peak, not current
+
+    def test_void_enqueue_path_consistent(self):
+        ch = Channel(capacity=8)
+        sender = TimeCell()
+        ch.do_enqueue(sender, "a")
+        ch.do_enqueue(sender, "b")
+        ch.close_receiver()  # channel becomes void, queue cleared
+        ch.do_enqueue(sender, "c")  # discarded
+        assert ch.stats.enqueues == 3
+        assert ch.stats.max_real_occupancy == 2
+        assert ch.real_occupancy() == 0
+
+
+def run_pipeline(executor, n=6):
+    builder = ProgramBuilder()
+    s1, r1 = builder.bounded(3, name="raw")
+    s2, r2 = builder.bounded(3, name="doubled")
+    builder.add(RampSource(s1, n, name="src"))
+    builder.add(UnaryFunction(r1, s2, lambda x: 2 * x, name="double"))
+    builder.add(Collector(r2, name="sink"))
+    obs = Observability(trace=False)
+    summary = builder.build().run(executor=executor, obs=obs)
+    return obs, summary
+
+
+class TestRunMetrics:
+    def test_summary_carries_snapshot(self):
+        _, summary = run_pipeline("sequential")
+        assert summary.metrics is not None
+        assert set(summary.metrics) == {"counters", "gauges", "histograms"}
+
+    def test_channel_metrics_folded(self):
+        _, summary = run_pipeline("sequential")
+        counters = summary.metrics["counters"]
+        gauges = summary.metrics["gauges"]
+        assert counters["channel_enqueues{channel=raw}"] == 6
+        assert counters["channel_dequeues{channel=raw}"] == 6
+        assert 1 <= gauges["channel_max_occupancy{channel=raw}"] <= 3
+
+    def test_channel_metrics_identical_across_executors(self):
+        """Simulated-state metrics are executor-independent."""
+        _, seq = run_pipeline("sequential")
+        _, thr = run_pipeline("threaded")
+        pick = lambda snap: {
+            key: value
+            for key, value in snap["counters"].items()
+            if key.startswith("channel_")
+        }
+        assert pick(seq.metrics) == pick(thr.metrics)
+        assert (
+            seq.metrics["gauges"]["context_finish_time{context=sink}"]
+            == thr.metrics["gauges"]["context_finish_time{context=sink}"]
+        )
+
+    def test_per_context_ops_and_wall(self):
+        _, summary = run_pipeline("sequential")
+        counters = summary.metrics["counters"]
+        gauges = summary.metrics["gauges"]
+        assert counters["context_ops{context=src}"] > 0
+        assert gauges["context_wall_seconds{context=src}"] >= 0.0
+        wall_dist = summary.metrics["histograms"]["context_wall_seconds_dist"]
+        assert wall_dist["count"] == 3
+
+    def test_threaded_records_parks(self):
+        obs, summary = run_pipeline("threaded")
+        counters = summary.metrics["counters"]
+        parks = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("context_parks")
+        )
+        # With capacity-3 channels someone must have parked at least once.
+        assert parks > 0
+
+    def test_no_obs_means_no_metrics(self):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(2)
+        builder.add(RampSource(snd, 3))
+        builder.add(Collector(rcv))
+        summary = builder.build().run()
+        assert summary.metrics is None

@@ -1,0 +1,124 @@
+"""Deadlock stall reports: the blocking channel and both endpoint clocks."""
+
+import pytest
+
+from repro import (
+    Context,
+    DeadlockError,
+    IncrCycles,
+    Observability,
+    ProgramBuilder,
+)
+
+
+class Hold(Context):
+    """Advances ``delay`` cycles, then dequeues before it ever enqueues."""
+
+    def __init__(self, inp, out, name, delay):
+        super().__init__(name=name)
+        self.inp, self.out, self.delay = inp, out, delay
+        self.register(inp, out)
+
+    def run(self):
+        yield IncrCycles(self.delay)
+        value = yield self.inp.dequeue()
+        yield self.out.enqueue(value)
+
+
+def build_cycle():
+    builder = ProgramBuilder()
+    s1, r1 = builder.bounded(1, name="a2b")
+    s2, r2 = builder.bounded(1, name="b2a")
+    builder.add(Hold(r1, s2, "ctx_a", 5))
+    builder.add(Hold(r2, s1, "ctx_b", 3))
+    return builder.build()
+
+
+EXECUTOR_KWARGS = {
+    "sequential": {},
+    "threaded": {"poll_interval": 0.01, "deadlock_grace": 0.2},
+}
+
+
+@pytest.mark.parametrize("executor", ["sequential", "threaded"])
+class TestStallReport:
+    def run_deadlocked(self, executor):
+        obs = Observability(trace=False)
+        with pytest.raises(DeadlockError) as excinfo:
+            build_cycle().run(executor=executor, obs=obs, **EXECUTOR_KWARGS[executor])
+        return obs, excinfo.value
+
+    def test_error_names_blocking_channels(self, executor):
+        _, error = self.run_deadlocked(executor)
+        message = str(error)
+        assert "a2b" in message
+        assert "b2a" in message
+        assert "dequeue on empty" in message
+
+    def test_error_names_both_endpoint_times(self, executor):
+        _, error = self.run_deadlocked(executor)
+        message = str(error)
+        # ctx_a stalled at its local t=5 with its peer visible at t=3.
+        assert "ctx_a: dequeue on empty a2b @ t=5" in message
+        assert "peer ctx_b @ t=3" in message
+        assert "ctx_b: dequeue on empty b2a @ t=3" in message
+        assert "peer ctx_a @ t=5" in message
+
+    def test_report_attached_to_observability(self, executor):
+        obs, _ = self.run_deadlocked(executor)
+        report = obs.stall_report
+        assert report is not None and len(report) == 2
+        stall = report.for_context("ctx_a")
+        assert stall.channel == "a2b"
+        assert stall.local_time == 5
+        assert stall.peer == "ctx_b"
+        assert stall.peer_time == 3
+        assert stall.occupancy == 0
+        assert stall.capacity == 1
+
+    def test_report_renders_human_readable(self, executor):
+        obs, _ = self.run_deadlocked(executor)
+        text = str(obs.stall_report)
+        assert text.startswith("stall report (2 blocked context(s)):")
+        assert "occupancy 0/1" in text
+
+
+class TestFullChannelStall:
+    def test_enqueue_stall_reports_occupancy(self):
+        """A sender stuck on a full channel reports occupancy cap/cap."""
+
+        class Stuffer(Context):
+            def __init__(self, out):
+                super().__init__(name="stuffer")
+                self.out = out
+                self.register(out)
+
+            def run(self):
+                for i in range(10):
+                    yield self.out.enqueue(i)
+
+        class Sleeper(Context):
+            def __init__(self, inp, peer):
+                super().__init__(name="sleeper")
+                self.inp = inp
+                self.peer = peer
+                self.register(inp)
+
+            def run(self):
+                from repro import WaitUntil
+
+                yield WaitUntil(self.peer, 10_000)
+                yield self.inp.dequeue()
+
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(2, name="jam")
+        stuffer = builder.add(Stuffer(snd))
+        builder.add(Sleeper(rcv, stuffer))
+        obs = Observability(trace=False)
+        with pytest.raises(DeadlockError) as excinfo:
+            builder.build().run(obs=obs)
+        message = str(excinfo.value)
+        assert "enqueue on full jam" in message
+        assert "occupancy 2/2" in message
+        # The WaitUntil stall names the peer clock dependency.
+        assert "wait-until 10000 on stuffer" in message

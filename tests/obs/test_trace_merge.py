@@ -1,0 +1,101 @@
+"""Merged-order determinism of the executor-agnostic trace pipeline.
+
+The pillar claim of :mod:`repro.obs`: because channel semantics are pure
+functions of simulated state, every context records the same events at
+the same simulated times under any executor, so the per-context buffers
+merge into an identical total order for sequential and threaded runs.
+"""
+
+from repro import Observability, ProgramBuilder
+from repro.bench import TreeConfig, fib, run_dam_forest
+from repro.contexts import Collector, RampSource, UnaryFunction
+
+
+def event_key(event):
+    return (event.time, event.context, event.seq, event.kind, event.channel,
+            event.payload)
+
+
+def merged_keys(obs):
+    return [event_key(event) for event in obs.trace.events]
+
+
+def run_fib_pipeline(executor):
+    """A three-stage pipeline whose middle stage does fib work."""
+    builder = ProgramBuilder()
+    s1, r1 = builder.bounded(4, name="indices")
+    s2, r2 = builder.bounded(4, name="fibs")
+    builder.add(RampSource(s1, 8, name="src"))
+    builder.add(UnaryFunction(r1, s2, fib, ii=2, name="fib_unit"))
+    sink = builder.add(Collector(r2, name="sink"))
+    obs = Observability(capture_payloads=True)
+    summary = builder.build().run(executor=executor, obs=obs)
+    return obs, summary, list(sink.values)
+
+
+class TestFibPipelineMerge:
+    def test_threaded_merged_order_matches_sequential(self):
+        obs_seq, sum_seq, out_seq = run_fib_pipeline("sequential")
+        obs_thr, sum_thr, out_thr = run_fib_pipeline("threaded")
+        assert out_seq == out_thr == [fib(n) for n in range(8)]
+        assert sum_seq.elapsed_cycles == sum_thr.elapsed_cycles
+        assert merged_keys(obs_seq) == merged_keys(obs_thr)
+
+    def test_sequential_runs_are_reproducible(self):
+        first = merged_keys(run_fib_pipeline("sequential")[0])
+        second = merged_keys(run_fib_pipeline("sequential")[0])
+        assert first == second
+
+    def test_merged_order_is_sorted_by_time(self):
+        obs, _, _ = run_fib_pipeline("sequential")
+        times = [event.time for event in obs.trace.events]
+        assert times == sorted(times)
+
+    def test_per_context_seq_is_dense(self):
+        obs, _, _ = run_fib_pipeline("threaded")
+        for name, buf in obs.trace.buffers().items():
+            assert [event.seq for event in buf.events] == list(
+                range(len(buf.events))
+            ), name
+
+
+class TestReductionTreeMerge:
+    CONFIG = TreeConfig(trees=2, depth=2, reductions=4, fib_index=3)
+
+    def test_threaded_merged_order_matches_sequential(self):
+        obs_seq = Observability(capture_payloads=True)
+        res_seq = run_dam_forest(self.CONFIG, executor="sequential", obs=obs_seq)
+        obs_thr = Observability(capture_payloads=True)
+        res_thr = run_dam_forest(self.CONFIG, executor="threaded", obs=obs_thr)
+        assert res_seq["root_sums"] == res_thr["root_sums"]
+        assert merged_keys(obs_seq) == merged_keys(obs_thr)
+
+    def test_every_context_contributes_events(self):
+        obs = Observability()
+        run_dam_forest(self.CONFIG, executor="threaded", obs=obs)
+        # 2 trees x (4 leaves + 3 nodes + 1 root) contexts, all traced.
+        assert len(obs.trace.buffers()) == 16
+        assert all(len(buf) > 0 for buf in obs.trace.buffers().values())
+
+    def test_scheduling_policy_does_not_change_merged_order(self):
+        baseline = None
+        for policy in ["fifo", "fair"]:
+            obs = Observability(capture_payloads=True)
+            run_dam_forest(
+                self.CONFIG, executor="sequential", policy=policy, obs=obs
+            )
+            keys = merged_keys(obs)
+            if baseline is None:
+                baseline = keys
+            else:
+                assert keys == baseline
+
+
+class TestCompletionTimes:
+    def test_completion_times_match_across_executors(self):
+        """The calibration-facing query is executor-independent."""
+        obs_seq, _, _ = run_fib_pipeline("sequential")
+        obs_thr, _, _ = run_fib_pipeline("threaded")
+        assert obs_seq.trace.completion_times("fibs") == (
+            obs_thr.trace.completion_times("fibs")
+        )
