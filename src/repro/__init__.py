@@ -43,6 +43,8 @@ from .core import (
     GraphConstructionError,
     IncrCycles,
     Peek,
+    PartitionPlan,
+    ProcessExecutor,
     Program,
     ProgramBuilder,
     Receiver,
@@ -55,8 +57,10 @@ from .core import (
     TimeCell,
     ViewTime,
     WaitUntil,
+    channel_weights,
     make_channel,
     peak_simulated_occupancy,
+    plan_partition,
 )
 from .obs import (
     MetricsRegistry,
@@ -86,7 +90,9 @@ __all__ = [
     "IncrCycles",
     "MetricsRegistry",
     "Observability",
+    "PartitionPlan",
     "Peek",
+    "ProcessExecutor",
     "Program",
     "ProgramBuilder",
     "Receiver",
@@ -102,7 +108,9 @@ __all__ = [
     "TraceEvent",
     "ViewTime",
     "WaitUntil",
+    "channel_weights",
     "make_channel",
     "peak_simulated_occupancy",
+    "plan_partition",
     "__version__",
 ]

@@ -24,9 +24,13 @@ from .errors import (
 from .executor import (
     FairPolicy,
     FifoPolicy,
+    PartitionPlan,
+    ProcessExecutor,
     RunSummary,
     SequentialExecutor,
     ThreadedExecutor,
+    channel_weights,
+    plan_partition,
 )
 from .ops import (
     AdvanceTo,
@@ -61,6 +65,10 @@ __all__ = [
     "RunSummary",
     "SequentialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
+    "PartitionPlan",
+    "channel_weights",
+    "plan_partition",
     "FifoPolicy",
     "FairPolicy",
     "Op",

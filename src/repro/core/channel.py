@@ -59,24 +59,30 @@ _channel_ids = itertools.count()
 class ChannelStats:
     """Lightweight per-channel counters.
 
-    ``enqueues``/``dequeues``/``max_real_occupancy`` are always
+    ``enqueues``/``dequeues``/``peeks``/``max_real_occupancy`` are always
     maintained (a length check per enqueue is cheap enough for the hot
     path) and surfaced through the observability metrics registry as
-    ``channel_enqueues``/``channel_dequeues``/``channel_max_occupancy``.
-    The heavier simulated-occupancy log still requires an explicit
-    :meth:`Channel.enable_profiling`.
+    ``channel_enqueues``/``channel_dequeues``/``channel_peeks``/
+    ``channel_max_occupancy``.  The heavier simulated-occupancy log still
+    requires an explicit :meth:`Channel.enable_profiling`.
+
+    The traffic counters (``enqueues``/``dequeues``/``peeks``) are pure
+    functions of simulated state, identical across executors; only
+    ``max_real_occupancy`` depends on the real schedule.
     """
 
-    __slots__ = ("enqueues", "dequeues", "max_real_occupancy")
+    __slots__ = ("enqueues", "dequeues", "peeks", "max_real_occupancy")
 
     def __init__(self) -> None:
         self.enqueues = 0
         self.dequeues = 0
+        self.peeks = 0
         self.max_real_occupancy = 0
 
     def __repr__(self) -> str:
         return (
             f"ChannelStats(enqueues={self.enqueues}, dequeues={self.dequeues}, "
+            f"peeks={self.peeks}, "
             f"max_real_occupancy={self.max_real_occupancy})"
         )
 
@@ -237,6 +243,7 @@ class Channel:
         """Observe the front element (advancing the clock) without removal."""
         stamp, data = self._data[0]
         clock.advance(stamp)
+        self.stats.peeks += 1
         return data
 
     # ------------------------------------------------------------------

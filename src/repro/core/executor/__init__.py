@@ -1,14 +1,19 @@
 """Execution runtimes for DAM programs.
 
-Two executors share identical simulated semantics:
+Three executors share identical simulated semantics:
 
 * :class:`SequentialExecutor` — deterministic cooperative scheduler,
   single-threaded, with pluggable scheduling policies (Table I study).
 * :class:`ThreadedExecutor` — one OS thread per context, SVA/SVP-style
   pairwise synchronization (the paper's runtime).
+* :class:`ProcessExecutor` — graph partitions across forked worker
+  processes, cut channels bridged by shared-memory shuttles; the route
+  around the GIL to the paper's multi-core wall-clock speedups.
 """
 
 from .base import Executor, RunSummary
+from .partition import PartitionPlan, channel_weights, plan_partition
+from .partitioned import ProcessExecutor
 from .policies import FairPolicy, FifoPolicy, SchedulingPolicy, make_policy
 from .sequential import SequentialExecutor
 from .threaded import ThreadedExecutor
@@ -22,4 +27,8 @@ __all__ = [
     "make_policy",
     "SequentialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
+    "PartitionPlan",
+    "channel_weights",
+    "plan_partition",
 ]

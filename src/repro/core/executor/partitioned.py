@@ -1,0 +1,1080 @@
+"""Process-parallel executor: partitioned graphs bridged by shuttles.
+
+The GIL caps the threaded executor at one core; this executor recovers
+DAM's wall-clock scaling by partitioning ``program.contexts`` across
+**forked worker processes** (:mod:`repro.core.executor.partition`), running
+each partition under the existing cooperative scheduler, and bridging the
+*cut* channels — those whose endpoints land in different workers — with
+cross-process shuttles (:mod:`repro.core.executor.shm`).
+
+Why the simulated results stay bit-identical
+--------------------------------------------
+
+Channel semantics are pure functions of simulated state (the FIFO contents
+and the endpoint clocks — see :mod:`repro.core.channel`).  A shuttle
+carries exactly the records an in-process channel would queue, over two
+FIFO lanes:
+
+* **data lane** (sender partition → receiver partition): the ``(stamp,
+  data)`` tuples, followed by a ``SENDER_DONE`` sentinel when the sending
+  context finishes (the channel-close transition);
+* **response lane** (receiver → sender): the dequeue-time responses that
+  drive backpressure, followed by ``RECEIVER_DONE`` when the receiving
+  context finishes (the channel-void transition).
+
+Both lanes preserve order, so every state transition observes the same
+sequence it would in-process, and the sender clock advances through the
+same response times.  The only records whose *real-time* visibility can
+differ from an in-process run are ones the semantics already make dead:
+responses generated after the sender finished are never drained (in
+process, ``close_sender`` clears them), and data enqueued after the
+receiver finished is discarded (void channel) — so the lag of the done
+sentinels cannot change any simulated outcome.  ``ViewTime``/``WaitUntil``
+reads of a remote clock go through a shared float64 mirror
+(:class:`~repro.core.executor.shm.SharedTimeCell`) that is always a lower
+bound, the same contract SVA gives the threaded executor.
+
+Deadlock detection is two-level: a worker whose blocked contexts all wait
+on *local* resources reports a local deadlock immediately (no remote
+record can unblock them), while cross-worker cycles are caught by the
+parent's watchdog — every live worker parked with the shared progress
+total frozen for a grace period — which aborts the workers and merges
+their stall reports into one :class:`~repro.core.errors.DeadlockError`.
+
+The parent merges per-worker results back onto the original program
+object: context finish times (and picklable result attributes), channel
+stats, per-context trace buffers (so the observability layer's
+``(time, context, seq)`` merge is executor-independent), and the metrics
+registry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time as _wallclock
+from collections import deque
+from multiprocessing import connection as _mpconn
+from typing import Any, Optional
+
+from ...obs import Observability, fold_channel_metrics, fold_context_metrics
+from ...obs.stall import StallReport
+from ..channel import Channel, ChannelStats
+from ..errors import DeadlockError, SimulationError
+from ..ops import Dequeue, Enqueue, Peek, WaitUntil
+from ..program import Program
+from .base import Executor, RunSummary
+from .partition import PartitionPlan, plan_partition
+from .policies import SchedulingPolicy, make_policy
+from .sequential import _BLOCKED, _DONE, SequentialExecutor
+from .shm import (
+    DATA,
+    RECEIVER_DONE,
+    RESPONSE,
+    SENDER_DONE,
+    WORKER_BLOCKED,
+    WORKER_DONE,
+    WORKER_RUNNING,
+    ArenaLayout,
+    ChannelShuttle,
+    PipeLane,
+    SharedArena,
+    SharedClockArray,
+    SharedTimeCell,
+    SharedTimeView,
+    ShmRing,
+    StatusBoard,
+)
+
+
+class _WorkerAborted(BaseException):
+    """Internal: the parent pulled the abort switch (peer failure or the
+    global deadlock watchdog fired).  BaseException so user-level handlers
+    inside context generators cannot swallow it."""
+
+
+#: Context attributes that are framework state, never harvested results.
+_FRAMEWORK_ATTRS = frozenset(
+    {"id", "name", "time", "senders", "receivers", "finish_time",
+     "_body", "_pass_context"}
+)
+
+
+# ----------------------------------------------------------------------
+# Cut-channel proxies.
+#
+# After fork, each worker swaps the ``.channel`` of every cut-channel
+# handle owned by a local context for one of these.  They mirror the
+# pure-semantics surface of :class:`Channel` that the sequential
+# executor's dispatch/finish/stall paths touch, but route records over
+# the shuttle lanes instead of shared deques.  Pushes never block the
+# scheduling loop: records that do not fit in the ring queue locally in
+# ``_pending`` and are flushed by ``poll()``.
+# ----------------------------------------------------------------------
+
+
+class _ShuttleSender:
+    """Sender-partition stand-in for a cut channel."""
+
+    __slots__ = (
+        "id", "name", "capacity", "latency", "resp_latency", "real",
+        "sender_owner", "receiver_owner", "stats", "profile_log",
+        "waiting_sender", "waiting_receiver",
+        "_delta", "_resps", "_sender_finished", "_receiver_finished",
+        "_lane_out", "_lane_in", "_pending",
+    )
+
+    def __init__(self, channel: Channel, shuttle: ChannelShuttle):
+        self.id = channel.id
+        self.name = channel.name
+        self.capacity = channel.capacity
+        self.latency = channel.latency
+        self.resp_latency = channel.resp_latency
+        self.real = channel.real
+        self.sender_owner = channel.sender_owner
+        self.receiver_owner = channel.receiver_owner
+        #: Sender side counts enqueues; the receiver partition owns the rest.
+        self.stats = ChannelStats()
+        self.profile_log = None
+        self.waiting_sender: Any = None
+        self.waiting_receiver: Any = None
+        self._delta = 0
+        self._resps: deque = deque()
+        self._sender_finished = False
+        self._receiver_finished = False
+        self._lane_out = shuttle.data
+        self._lane_in = shuttle.resp
+        self._pending: deque = deque()
+
+    # -- Channel surface used by the sender-side dispatch --------------
+
+    def sender_try_reserve(self, clock) -> bool:
+        if self.capacity is None:
+            return True
+        while self._delta >= self.capacity and self._resps:
+            clock.advance(self._resps.popleft())
+            self._delta -= 1
+        if self._delta < self.capacity:
+            return True
+        return self._receiver_finished
+
+    def do_enqueue(self, clock, data) -> None:
+        self.stats.enqueues += 1
+        if self._receiver_finished:
+            return  # void channel: data is discarded
+        stamp = 0 if self.real else clock._time + self.latency
+        if self.capacity is not None:
+            self._delta += 1
+        self._push((DATA, stamp, data))
+
+    def close_sender(self) -> None:
+        self._sender_finished = True
+        self._resps.clear()
+        if not self._receiver_finished:
+            self._push((SENDER_DONE,))
+
+    def real_occupancy(self) -> int:
+        return len(self._pending)
+
+    # -- shuttle servicing ---------------------------------------------
+
+    def _push(self, record) -> None:
+        if self._pending or not self._lane_out.try_push(record):
+            self._pending.append(record)
+
+    def poll(self) -> bool:
+        """Flush the outbound backlog and drain the response lane."""
+        progress = False
+        while self._pending and self._lane_out.try_push(self._pending[0]):
+            self._pending.popleft()
+            progress = True
+        while True:
+            ok, record = self._lane_in.try_pop()
+            if not ok:
+                break
+            progress = True
+            if record[0] == RESPONSE:
+                self._resps.append(record[1])
+            else:  # RECEIVER_DONE: channel voids, the backlog is dead letters
+                self._receiver_finished = True
+                self._pending.clear()
+        return progress
+
+    def outstanding(self) -> bool:
+        return bool(self._pending)
+
+    def sender_ready(self) -> bool:
+        """Could a parked sender's retried reserve make progress now?"""
+        return bool(self._resps) or self._receiver_finished
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_ShuttleSender({self.name}, pending={len(self._pending)})"
+
+
+class _ShuttleReceiver:
+    """Receiver-partition stand-in for a cut channel."""
+
+    __slots__ = (
+        "id", "name", "capacity", "latency", "resp_latency", "real",
+        "sender_owner", "receiver_owner", "stats", "profile_log",
+        "waiting_sender", "waiting_receiver",
+        "_data", "_sender_finished", "_receiver_finished",
+        "_lane_in", "_lane_out", "_pending",
+    )
+
+    def __init__(self, channel: Channel, shuttle: ChannelShuttle):
+        self.id = channel.id
+        self.name = channel.name
+        self.capacity = channel.capacity
+        self.latency = channel.latency
+        self.resp_latency = channel.resp_latency
+        self.real = channel.real
+        self.sender_owner = channel.sender_owner
+        self.receiver_owner = channel.receiver_owner
+        #: Receiver side counts dequeues/peeks/occupancy and the profile log.
+        self.stats = ChannelStats()
+        self.profile_log = [] if channel.profile_log is not None else None
+        self.waiting_sender: Any = None
+        self.waiting_receiver: Any = None
+        self._data: deque = deque()
+        self._sender_finished = False
+        self._receiver_finished = False
+        self._lane_in = shuttle.data
+        self._lane_out = shuttle.resp
+        self._pending: deque = deque()
+
+    # -- Channel surface used by the receiver-side dispatch ------------
+
+    def can_dequeue(self) -> bool:
+        return bool(self._data)
+
+    @property
+    def closed_for_receiver(self) -> bool:
+        return self._sender_finished and not self._data
+
+    def do_dequeue(self, clock):
+        stamp, data = self._data.popleft()
+        clock.advance(stamp)
+        self.stats.dequeues += 1
+        if self.capacity is not None and not self._sender_finished:
+            self._push((RESPONSE, clock._time + self.resp_latency))
+        if self.profile_log is not None:
+            self.profile_log.append((stamp, clock._time))
+        return data
+
+    def do_peek(self, clock):
+        stamp, data = self._data[0]
+        clock.advance(stamp)
+        self.stats.peeks += 1
+        return data
+
+    def close_receiver(self) -> None:
+        self._receiver_finished = True
+        self._data.clear()
+        # In-flight responses still flush first (FIFO lane): the remote
+        # sender drains them before it observes the void transition,
+        # exactly as in-process semantics require.
+        if not self._sender_finished:
+            self._push((RECEIVER_DONE,))
+
+    def real_occupancy(self) -> int:
+        return len(self._data)
+
+    # -- shuttle servicing ---------------------------------------------
+
+    def _push(self, record) -> None:
+        if self._pending or not self._lane_out.try_push(record):
+            self._pending.append(record)
+
+    def poll(self) -> bool:
+        """Flush pending responses and drain the data lane."""
+        progress = False
+        while self._pending and self._lane_out.try_push(self._pending[0]):
+            self._pending.popleft()
+            progress = True
+        while True:
+            ok, record = self._lane_in.try_pop()
+            if not ok:
+                break
+            progress = True
+            if record[0] == DATA:
+                if not self._receiver_finished:
+                    self._data.append((record[1], record[2]))
+                    if len(self._data) > self.stats.max_real_occupancy:
+                        self.stats.max_real_occupancy = len(self._data)
+            else:  # SENDER_DONE: responses the sender will never drain die here
+                self._sender_finished = True
+                self._pending.clear()
+        return progress
+
+    def outstanding(self) -> bool:
+        return bool(self._pending)
+
+    def receiver_ready(self) -> bool:
+        """Could a parked receiver's retried dequeue/peek make progress?"""
+        return bool(self._data) or self._sender_finished
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_ShuttleReceiver({self.name}, queued={len(self._data)})"
+
+
+# ----------------------------------------------------------------------
+# The per-worker executor.
+# ----------------------------------------------------------------------
+
+
+class _WorkerExecutor(SequentialExecutor):
+    """The cooperative scheduler, extended with shuttle servicing.
+
+    Differences from the plain sequential executor:
+
+    * a finite timeslice is forced even under run-to-block policies, so
+      shuttles are serviced (outbound flushed, inbound drained, parked
+      endpoints woken) at bounded intervals;
+    * :meth:`_idle` — reached when the local ready queue empties — polls
+      shuttles and remote-clock waiters instead of declaring the run
+      over, publishes the worker's state on the status board, and
+      returns ``False`` only for a *local* deadlock or full completion
+      (all contexts done and the outbound backlog flushed);
+    * metrics folding is disabled: the parent folds the merged run.
+    """
+
+    name = "process-worker"
+
+    def __init__(
+        self,
+        worker: int,
+        send_proxies: list[_ShuttleSender],
+        recv_proxies: list[_ShuttleReceiver],
+        status: StatusBoard,
+        abort,
+        policy: str | SchedulingPolicy = "fifo",
+        max_ops: Optional[int] = None,
+        obs: Optional[Observability] = None,
+        poll_interval: float = 0.0005,
+        timeslice: int = 1024,
+    ):
+        super().__init__(policy=policy, max_ops=max_ops, obs=obs)
+        if self.policy.timeslice is None:
+            # Run-to-block would starve the shuttles on long-running
+            # contexts; preemption changes only real order, never
+            # simulated results (the determinism invariant).
+            self.policy.timeslice = timeslice
+        self._worker = worker
+        self._send_proxies = send_proxies
+        self._recv_proxies = recv_proxies
+        self._status = status
+        self._abort = abort
+        self._poll_interval = poll_interval
+        self._shuttle_moves = 0
+
+    def _publish(self, state: int) -> None:
+        self._status.publish(
+            self._worker, self.ops_executed + self._shuttle_moves, state
+        )
+
+    def _run_slice(self, state, timeslice) -> None:
+        if self._abort.is_set():
+            raise _WorkerAborted()
+        # Publishing at every slice keeps the watchdog honest: a worker
+        # crunching local work always shows RUNNING with rising progress.
+        self._publish(WORKER_RUNNING)
+        super()._run_slice(state, timeslice)
+        self._service_shuttles()
+
+    def _service_shuttles(self) -> bool:
+        progress = False
+        for proxy in self._send_proxies:
+            if proxy.poll():
+                progress = True
+            waiter = proxy.waiting_sender
+            if waiter is not None and proxy.sender_ready():
+                proxy.waiting_sender = None
+                self._wake(waiter)
+        for proxy in self._recv_proxies:
+            if proxy.poll():
+                progress = True
+            waiter = proxy.waiting_receiver
+            if waiter is not None and proxy.receiver_ready():
+                proxy.waiting_receiver = None
+                self._wake(waiter)
+        if progress:
+            self._shuttle_moves += 1
+        return progress
+
+    def _poll_remote_waiters(self) -> bool:
+        """Wake WaitUntil waiters on remote clocks (shared-slot reads)."""
+        if not self._any_time_waiters:
+            return False
+        woke = self.wakeups
+        for target_id in list(self._time_waiters):
+            if target_id in self._states:
+                continue  # local target: woken by local advances
+            waiters = self._time_waiters.get(target_id)
+            if not waiters:
+                continue
+            op = waiters[0][1].retry_op
+            if op is None:
+                continue
+            self._drain_time_waiters(op.context)
+        return self.wakeups != woke
+
+    def _remote_dependence(self, blocked) -> bool:
+        """True if any blocked context could be unblocked by remote
+        activity (a shuttle record or a remote clock advance)."""
+        for state in blocked:
+            op = state.retry_op
+            if op is None:
+                continue
+            kind = type(op)
+            if kind is Enqueue:
+                if isinstance(op.sender.channel, _ShuttleSender):
+                    return True
+            elif kind is Dequeue or kind is Peek:
+                if isinstance(op.receiver.channel, _ShuttleReceiver):
+                    return True
+            elif kind is WaitUntil:
+                if id(op.context) not in self._states:
+                    return True
+        return False
+
+    def _idle(self) -> bool:
+        spins = 0
+        while True:
+            if self._abort.is_set():
+                raise _WorkerAborted()
+            progress = self._service_shuttles()
+            if self._poll_remote_waiters():
+                progress = True
+            if self.policy:
+                self._publish(WORKER_RUNNING)
+                return True
+            blocked = [
+                st for st in self._states.values() if st.status == _BLOCKED
+            ]
+            if not blocked:
+                # All local contexts finished; retire once every outbound
+                # record (including done sentinels) has been flushed.
+                if not any(p.outstanding() for p in self._send_proxies) and \
+                        not any(p.outstanding() for p in self._recv_proxies):
+                    self._publish(WORKER_DONE)
+                    return False
+            elif not self._remote_dependence(blocked):
+                # Every blocked context waits on a purely local resource:
+                # a local deadlock no remote record can break.  Fall back
+                # to the sequential executor's stall reporting.
+                return False
+            if progress:
+                spins = 0
+                continue
+            self._publish(WORKER_BLOCKED)
+            spins += 1
+            if spins <= 3:
+                _wallclock.sleep(0)
+            else:
+                _wallclock.sleep(self._poll_interval)
+
+    def _fold_metrics(self, program, states):
+        return None  # the parent folds the merged run
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point (fork target: everything arrives by
+# inheritance, nothing is pickled — context generators included).
+# ----------------------------------------------------------------------
+
+
+def _ship_error(exc: SimulationError) -> dict:
+    """Pack a SimulationError for the pipe.  The exception classes have
+    custom ``__init__`` signatures that break default exception pickling,
+    so a structured dict travels instead; the original cause is included
+    only when it pickles cleanly."""
+    original = exc.original
+    try:
+        pickle.dumps(original)
+    except Exception:  # noqa: BLE001 - any pickling failure demotes to repr
+        original = None
+    return {
+        "kind": "simulation",
+        "context": exc.context_name,
+        "original": original,
+        "repr": repr(exc.original),
+    }
+
+
+def _shippable_events(events: list) -> list:
+    """Trace events, with payloads stripped if they refuse to pickle."""
+    try:
+        pickle.dumps(events)
+        return events
+    except Exception:  # noqa: BLE001
+        from ...obs.events import TraceEvent
+
+        return [
+            TraceEvent(e.context, e.kind, e.channel, e.time, None, e.seq)
+            for e in events
+        ]
+
+
+def _harvest(
+    local, slot_of, local_channels, send_proxies, recv_proxies, executor, obs
+):
+    """Everything the parent merges back onto the original program.
+
+    Per-context results are keyed by the context's *slot* (its index in
+    ``program.contexts``, identical in parent and forked child) — names
+    may legitimately repeat across replicated pipelines.
+    """
+    finish_times: dict[int, Any] = {}
+    context_attrs: dict[int, dict] = {}
+    context_stats: dict[int, dict] = {}
+    for ctx in local:
+        slot = slot_of[id(ctx)]
+        finish_times[slot] = ctx.finish_time
+        attrs = {}
+        for key, value in vars(ctx).items():
+            if key in _FRAMEWORK_ATTRS:
+                continue
+            try:
+                pickle.dumps(value)
+            except Exception:  # noqa: BLE001 - handles/locks/closures stay put
+                continue
+            attrs[key] = value
+        if attrs:
+            context_attrs[slot] = attrs
+        state = executor._states.get(id(ctx)) if executor._states else None
+        if state is not None:
+            context_stats[slot] = {
+                "ops": state.ops, "wall": state.wall_seconds
+            }
+
+    channel_stats: dict[int, dict] = {}
+
+    def ship(channel_id: int, stats: ChannelStats, log) -> None:
+        channel_stats[channel_id] = {
+            "enqueues": stats.enqueues,
+            "dequeues": stats.dequeues,
+            "peeks": stats.peeks,
+            "max_real_occupancy": stats.max_real_occupancy,
+            "profile_log": log,
+        }
+
+    for channel in local_channels:
+        ship(channel.id, channel.stats, channel.profile_log)
+    for proxy in send_proxies:
+        ship(proxy.id, proxy.stats, None)
+    for proxy in recv_proxies:
+        ship(proxy.id, proxy.stats, proxy.profile_log)
+
+    trace_events: dict[str, list] = {}
+    if obs is not None and obs.trace is not None:
+        for name, buf in obs.trace.buffers().items():
+            if buf.events:
+                trace_events[name] = _shippable_events(buf.events)
+
+    return {
+        "finish_times": finish_times,
+        "context_attrs": context_attrs,
+        "context_stats": context_stats,
+        "channel_stats": channel_stats,
+        "trace": trace_events,
+        "counters": {
+            "context_switches": executor.context_switches,
+            "wakeups": executor.wakeups,
+            "preemptions": executor.preemptions,
+            "ops_executed": executor.ops_executed,
+        },
+    }
+
+
+def _worker_main(
+    worker_index: int,
+    program: Program,
+    local_ids: frozenset,
+    shuttles: dict[int, ChannelShuttle],
+    arena: SharedArena,
+    clocks: SharedClockArray,
+    status: StatusBoard,
+    abort,
+    conn,
+    options: dict,
+) -> None:
+    payload: dict[str, Any] = {
+        "worker": worker_index, "status": "ok", "error": None, "stalls": None,
+    }
+    local = [ctx for ctx in program.contexts if id(ctx) in local_ids]
+    slot_of = {id(ctx): slot for slot, ctx in enumerate(program.contexts)}
+    try:
+        # Swap clocks: owned contexts get a mirroring cell, remote ones a
+        # read-only view of the owner's published slot.
+        for slot, ctx in enumerate(program.contexts):
+            if id(ctx) in local_ids:
+                ctx.time = SharedTimeCell(clocks, slot, start=ctx.time.now())
+            else:
+                ctx.time = SharedTimeView(clocks, slot)
+
+        # Swap every locally-owned cut-channel handle for a proxy.
+        send_proxies: list[_ShuttleSender] = []
+        recv_proxies: list[_ShuttleReceiver] = []
+        for ctx in local:
+            for handle in ctx.senders:
+                shuttle = shuttles.get(handle.channel.id)
+                if shuttle is not None:
+                    proxy = _ShuttleSender(handle.channel, shuttle)
+                    handle.channel = proxy
+                    send_proxies.append(proxy)
+            for handle in ctx.receivers:
+                shuttle = shuttles.get(handle.channel.id)
+                if shuttle is not None:
+                    proxy = _ShuttleReceiver(handle.channel, shuttle)
+                    handle.channel = proxy
+                    recv_proxies.append(proxy)
+
+        local_channels = [
+            ch for ch in program.channels
+            if id(ch.sender_owner) in local_ids
+            and id(ch.receiver_owner) in local_ids
+        ]
+
+        obs = None
+        if options["trace"] or options["metrics"]:
+            obs = Observability(
+                trace=options["trace"],
+                metrics=options["metrics"],
+                capture_payloads=options["capture_payloads"],
+            )
+
+        executor = _WorkerExecutor(
+            worker_index, send_proxies, recv_proxies, status, abort,
+            policy=options["policy"], max_ops=options["max_ops"], obs=obs,
+            poll_interval=options["poll_interval"],
+            timeslice=options["timeslice"],
+        )
+        try:
+            executor.execute(Program(local, local_channels))
+        except DeadlockError:
+            payload["status"] = "stalled"
+            report = obs.stall_report if obs is not None else None
+            if report is None:
+                report = executor._stall_report(
+                    [st for st in executor._states.values()
+                     if st.status != _DONE]
+                )
+            payload["stalls"] = report.stalls
+        except _WorkerAborted:
+            payload["status"] = "aborted"
+            unfinished = [
+                st for st in executor._states.values() if st.status != _DONE
+            ]
+            if unfinished:
+                payload["stalls"] = executor._stall_report(unfinished).stalls
+        except SimulationError as exc:
+            payload["status"] = "error"
+            payload["error"] = _ship_error(exc)
+        payload.update(
+            _harvest(local, slot_of, local_channels, send_proxies,
+                     recv_proxies, executor, obs)
+        )
+    except BaseException as exc:  # noqa: BLE001 - everything must be reported
+        payload["status"] = "error"
+        if payload.get("error") is None:
+            payload["error"] = {
+                "kind": type(exc).__name__, "context": None,
+                "original": None, "repr": repr(exc),
+            }
+    finally:
+        try:
+            conn.send(payload)
+        except Exception:  # noqa: BLE001 - parent gone; nothing left to do
+            pass
+        try:
+            conn.close()
+        except Exception:  # noqa: BLE001
+            pass
+        status.publish(worker_index, status.progress(worker_index), WORKER_DONE)
+        arena.close()  # release inherited views so the mapping unmaps cleanly
+
+
+# ----------------------------------------------------------------------
+# The parent-side executor.
+# ----------------------------------------------------------------------
+
+
+class ProcessExecutor(Executor):
+    """Partition the program across forked workers; merge the results.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes requested.  The partitioner may use
+        fewer (e.g. a fully connected graph yields one group); empty
+        groups spawn no process.
+    policy:
+        Scheduling policy for each worker's cooperative scheduler.  A
+        finite timeslice is forced so shuttles are serviced at bounded
+        intervals.
+    weights:
+        Optional per-channel traffic weights for the partitioner,
+        typically :func:`~repro.core.executor.partition.channel_weights`
+        from a profiling run of an identically-built program.
+    pins:
+        Manual placement: ``id(context) -> worker index``, merged over
+        (and overriding) the program's builder-declared
+        ``partition_pins``.  Pinning promises co-location/separation,
+        not absolute worker numbering (empty groups are compacted).
+    shuttle:
+        ``"shm"`` (default) bridges cut channels with shared-memory SPSC
+        rings; ``"pipe"`` uses ``multiprocessing.Pipe`` lanes (arbitrary
+        record sizes, higher latency).
+    ring_capacity / resp_ring_capacity:
+        Bytes per cut channel's data / response ring in shm mode.
+    deadlock_grace:
+        Seconds every live worker must stay parked with frozen progress
+        before the watchdog declares a global deadlock.
+    max_ops:
+        Per-worker safety valve (forwarded to each worker's scheduler).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        policy: str | SchedulingPolicy = "fifo",
+        max_ops: Optional[int] = None,
+        tracer=None,
+        obs: Optional[Observability] = None,
+        weights: Optional[dict[str, float]] = None,
+        pins: Optional[dict[int, int]] = None,
+        balance: float = 1.2,
+        shuttle: str = "shm",
+        ring_capacity: int = 1 << 20,
+        resp_ring_capacity: int = 1 << 16,
+        poll_interval: float = 0.0005,
+        deadlock_grace: float = 0.5,
+        timeslice: int = 1024,
+        join_timeout: float = 5.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shuttle not in ("shm", "pipe"):
+            raise ValueError(f"shuttle must be 'shm' or 'pipe', got {shuttle!r}")
+        self.workers = workers
+        self.policy_spec = policy
+        self.policy = make_policy(policy)
+        self.max_ops = max_ops
+        if obs is None and tracer is not None:
+            obs = Observability.from_trace(tracer)
+        self.obs = obs
+        self.tracer = obs.trace if obs is not None else None
+        self.weights = weights
+        self.pins = pins
+        self.balance = balance
+        self.shuttle = shuttle
+        self.ring_capacity = ring_capacity
+        self.resp_ring_capacity = resp_ring_capacity
+        self.poll_interval = poll_interval
+        self.deadlock_grace = deadlock_grace
+        self.timeslice = timeslice
+        self.join_timeout = join_timeout
+        self.context_switches = 0
+        self.wakeups = 0
+        self.preemptions = 0
+        self.ops_executed = 0
+        #: The partition used by the last run (diagnostics).
+        self.plan: Optional[PartitionPlan] = None
+
+    # ------------------------------------------------------------------
+
+    def execute(self, program: Program) -> RunSummary:
+        start = _wallclock.perf_counter()
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise SimulationError(
+                "<process-executor>",
+                RuntimeError(
+                    "the process executor requires the fork start method "
+                    "(context generators cannot be pickled)"
+                ),
+            )
+        mp_ctx = multiprocessing.get_context("fork")
+
+        pins = dict(getattr(program, "partition_pins", None) or {})
+        if self.pins:
+            pins.update(self.pins)
+        plan = plan_partition(
+            program, self.workers, weights=self.weights,
+            pins=pins or None, balance=self.balance,
+        )
+        self.plan = plan
+        # Empty groups (fewer components than workers) spawn no process;
+        # compaction preserves co-location and separation.
+        groups = [group for group in plan.groups if group]
+
+        contexts = program.contexts
+        layout = ArenaLayout()
+        clocks_len = SharedClockArray.size_for(len(contexts))
+        clocks_off = layout.reserve(clocks_len)
+        status_len = StatusBoard.size_for(len(groups))
+        status_off = layout.reserve(status_len)
+        ring_offsets: list[tuple[int, int]] = []
+        if self.shuttle == "shm":
+            for _ in plan.cut:
+                data_off = layout.reserve(ShmRing.size_for(self.ring_capacity))
+                resp_off = layout.reserve(
+                    ShmRing.size_for(self.resp_ring_capacity)
+                )
+                ring_offsets.append((data_off, resp_off))
+
+        arena = SharedArena(layout.size)
+        try:
+            clocks = arena.adopt(
+                SharedClockArray(
+                    arena.view(clocks_off, clocks_len), len(contexts)
+                )
+            )
+            status = arena.adopt(
+                StatusBoard(arena.view(status_off, status_len), len(groups))
+            )
+            shuttles: dict[int, ChannelShuttle] = {}
+            for index, channel in enumerate(plan.cut):
+                if self.shuttle == "shm":
+                    data_off, resp_off = ring_offsets[index]
+                    data_lane = arena.adopt(
+                        ShmRing(
+                            arena.view(
+                                data_off, ShmRing.size_for(self.ring_capacity)
+                            ),
+                            self.ring_capacity,
+                        )
+                    )
+                    resp_lane = arena.adopt(
+                        ShmRing(
+                            arena.view(
+                                resp_off,
+                                ShmRing.size_for(self.resp_ring_capacity),
+                            ),
+                            self.resp_ring_capacity,
+                        )
+                    )
+                else:
+                    data_lane = PipeLane(mp_ctx)
+                    resp_lane = PipeLane(mp_ctx)
+                shuttles[channel.id] = ChannelShuttle(
+                    channel.id, data_lane, resp_lane
+                )
+
+            abort = mp_ctx.Event()
+            options = {
+                "policy": self.policy_spec,
+                "max_ops": self.max_ops,
+                "poll_interval": self.poll_interval,
+                "timeslice": self.timeslice,
+                "trace": self.obs is not None and self.obs.trace is not None,
+                "metrics": self.obs is not None
+                and self.obs.metrics is not None,
+                "capture_payloads": (
+                    self.obs.trace.capture_payloads
+                    if self.obs is not None and self.obs.trace is not None
+                    else False
+                ),
+            }
+
+            procs: list = []
+            conns: dict = {}
+            for worker, group in enumerate(groups):
+                parent_conn, child_conn = mp_ctx.Pipe(duplex=False)
+                proc = mp_ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        worker, program,
+                        frozenset(id(ctx) for ctx in group),
+                        shuttles, arena, clocks, status, abort, child_conn,
+                        options,
+                    ),
+                    name=f"dam-worker-{worker}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns[parent_conn] = worker
+
+            payloads = self._collect(conns, status, abort, procs)
+            self._resolve_failures(payloads)
+            self._merge(program, plan, payloads)
+        finally:
+            arena.close()
+            arena.unlink()
+
+        elapsed = self._makespan(program)
+        return RunSummary(
+            elapsed_cycles=elapsed,
+            real_seconds=_wallclock.perf_counter() - start,
+            context_times={
+                ctx.name: ctx.finish_time for ctx in program.contexts
+            },
+            executor=self.name,
+            policy=self.policy.name,
+            context_switches=self.context_switches,
+            wakeups=self.wakeups,
+            preemptions=self.preemptions,
+            ops_executed=self.ops_executed,
+            metrics=self._fold_metrics(program, plan, payloads),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _collect(self, conns: dict, status: StatusBoard, abort, procs) -> dict:
+        """Receive worker payloads; double as the global deadlock watchdog."""
+        payloads: dict[int, dict] = {}
+        pending = dict(conns)
+        tick = max(self.poll_interval * 4, 0.01)
+        stable_since: Optional[float] = None
+        last_total = -1
+        while pending:
+            ready = _mpconn.wait(list(pending), timeout=tick)
+            if ready:
+                for conn in ready:
+                    worker = pending.pop(conn)
+                    try:
+                        payloads[worker] = conn.recv()
+                    except EOFError:
+                        payloads[worker] = {
+                            "worker": worker, "status": "crashed",
+                            "error": None, "stalls": None,
+                        }
+                    conn.close()
+                    if payloads[worker]["status"] not in ("ok", "aborted"):
+                        abort.set()  # wind the surviving workers down
+                stable_since = None
+                last_total = -1
+                continue
+            # Nothing arrived this tick: check for a global deadlock.
+            total, states = status.snapshot()
+            live = [states[w] for w in pending.values()]
+            if live and all(s == WORKER_BLOCKED for s in live) \
+                    and total == last_total:
+                if stable_since is None:
+                    stable_since = _wallclock.perf_counter()
+                elif (
+                    _wallclock.perf_counter() - stable_since
+                    >= self.deadlock_grace
+                ):
+                    abort.set()
+            else:
+                stable_since = None
+            last_total = total
+        for proc in procs:
+            proc.join(timeout=self.join_timeout)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        return payloads
+
+    def _resolve_failures(self, payloads: dict) -> None:
+        """Raise the run's failure, if any: error > crash > deadlock."""
+        for payload in payloads.values():
+            if payload["status"] == "error":
+                info = payload.get("error") or {}
+                original = info.get("original")
+                if original is None:
+                    original = RuntimeError(
+                        info.get("repr") or "worker failed"
+                    )
+                raise SimulationError(
+                    info.get("context") or "<worker>", original
+                )
+        for worker, payload in sorted(payloads.items()):
+            if payload["status"] == "crashed":
+                raise SimulationError(
+                    f"<worker {worker}>",
+                    RuntimeError(
+                        "worker process exited without reporting a result"
+                    ),
+                )
+        if any(
+            payload["status"] in ("stalled", "aborted")
+            for payload in payloads.values()
+        ):
+            stalls = []
+            for payload in payloads.values():
+                if payload.get("stalls"):
+                    stalls.extend(payload["stalls"])
+            report = StallReport(stalls)
+            if self.obs is not None:
+                self.obs.stall_report = report
+            raise DeadlockError(report.lines())
+
+    def _merge(self, program: Program, plan: PartitionPlan, payloads: dict) -> None:
+        """Apply worker results to the original (parent-side) program."""
+        contexts = program.contexts
+        by_id = {ch.id: ch for ch in program.channels}
+        trace = self.obs.trace if self.obs is not None else None
+
+        for payload in payloads.values():
+            for slot, finish in payload["finish_times"].items():
+                ctx = contexts[slot]
+                ctx.finish_time = finish
+                ctx.time.finish()
+            for slot, attrs in payload.get("context_attrs", {}).items():
+                ctx = contexts[slot]
+                for key, value in attrs.items():
+                    setattr(ctx, key, value)
+            for channel_id, shipped in payload.get("channel_stats", {}).items():
+                channel = by_id.get(channel_id)
+                if channel is None:  # pragma: no cover - defensive
+                    continue
+                stats = channel.stats
+                stats.enqueues += shipped["enqueues"]
+                stats.dequeues += shipped["dequeues"]
+                stats.peeks += shipped["peeks"]
+                if shipped["max_real_occupancy"] > stats.max_real_occupancy:
+                    stats.max_real_occupancy = shipped["max_real_occupancy"]
+                log = shipped.get("profile_log")
+                if log and channel.profile_log is not None:
+                    channel.profile_log.extend(log)
+            if trace is not None:
+                for name, events in payload.get("trace", {}).items():
+                    buf = trace.buffer(name)
+                    buf.events.extend(events)
+                    buf._seq = len(buf.events)
+            counters = payload.get("counters", {})
+            self.context_switches += counters.get("context_switches", 0)
+            self.wakeups += counters.get("wakeups", 0)
+            self.preemptions += counters.get("preemptions", 0)
+            self.ops_executed += counters.get("ops_executed", 0)
+
+        # Post-run channel parity with the in-process executors: every
+        # finished endpoint has propagated its closure.
+        for channel in program.channels:
+            owner = channel.sender_owner
+            if owner is not None and owner.finish_time is not None:
+                channel.close_sender()
+            owner = channel.receiver_owner
+            if owner is not None and owner.finish_time is not None:
+                channel.close_receiver()
+
+    def _fold_metrics(
+        self, program: Program, plan: PartitionPlan, payloads: dict
+    ) -> Optional[dict]:
+        if self.obs is None or self.obs.metrics is None:
+            return None
+        registry = self.obs.metrics
+        fold_channel_metrics(registry, program.channels)
+        for payload in payloads.values():
+            for slot, tallies in payload.get("context_stats", {}).items():
+                ctx = program.contexts[slot]
+                fold_context_metrics(
+                    registry,
+                    ctx.name,
+                    ops=tallies["ops"],
+                    finish_time=ctx.finish_time,
+                    wall_seconds=tallies["wall"],
+                )
+        registry.counter("executor_context_switches").inc(self.context_switches)
+        registry.counter("executor_wakeups").inc(self.wakeups)
+        registry.counter("executor_preemptions").inc(self.preemptions)
+        registry.counter("executor_ops").inc(self.ops_executed)
+        registry.gauge("process_workers").set(plan.workers_used)
+        registry.gauge("process_cut_channels").set(len(plan.cut))
+        return registry.snapshot()

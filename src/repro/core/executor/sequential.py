@@ -145,31 +145,22 @@ class SequentialExecutor(Executor):
         for ctx in program.contexts:
             policy.push(states[id(ctx)], woken=False)
 
-        previous: _ContextState | None = None
-        while policy:
-            state = policy.pop()
-            if state.status != _READY:
-                continue
-            if previous is not None and state is not previous:
-                self.context_switches += 1
-            previous = state
-            if collect_wall:
-                slice_start = _wallclock.perf_counter()
-                self._run_slice(state, policy.timeslice)
-                state.wall_seconds += _wallclock.perf_counter() - slice_start
-            else:
-                self._run_slice(state, policy.timeslice)
-            if state.status == _READY:
-                # Slice expired without blocking: preempted.
-                self.preemptions += 1
-                policy.push(state, woken=False)
-
-        unfinished = [st for st in states.values() if st.status != _DONE]
-        if unfinished:
-            report = self._stall_report(unfinished)
-            if obs is not None:
-                obs.stall_report = report
-            raise DeadlockError(report.lines())
+        try:
+            self._schedule_loop(collect_wall)
+            unfinished = [st for st in states.values() if st.status != _DONE]
+            if unfinished:
+                report = self._stall_report(unfinished)
+                if obs is not None:
+                    obs.stall_report = report
+                raise DeadlockError(report.lines())
+        finally:
+            # On any abort (SimulationError, DeadlockError, max_ops), close
+            # the generators of every context that did not run to completion
+            # so their ``finally:`` blocks execute now, not at interpreter
+            # shutdown (where GeneratorExit/ResourceWarning noise leaks into
+            # test output).  Closing an exhausted generator is a no-op, so
+            # the happy path pays one cheap call per context.
+            self._close_generators(states)
 
         elapsed = self._makespan(program)
         return RunSummary(
@@ -186,6 +177,48 @@ class SequentialExecutor(Executor):
             ops_executed=self.ops_executed,
             metrics=self._fold_metrics(program, states),
         )
+
+    def _schedule_loop(self, collect_wall: bool) -> None:
+        """Drain the ready queue; ask :meth:`_idle` for more work when it
+        empties (subclass hook — the process executor's workers poll their
+        cross-process shuttles there)."""
+        policy = self.policy
+        previous: _ContextState | None = None
+        while True:
+            while policy:
+                state = policy.pop()
+                if state.status != _READY:
+                    continue
+                if previous is not None and state is not previous:
+                    self.context_switches += 1
+                previous = state
+                if collect_wall:
+                    slice_start = _wallclock.perf_counter()
+                    self._run_slice(state, policy.timeslice)
+                    state.wall_seconds += _wallclock.perf_counter() - slice_start
+                else:
+                    self._run_slice(state, policy.timeslice)
+                if state.status == _READY:
+                    # Slice expired without blocking: preempted.
+                    self.preemptions += 1
+                    policy.push(state, woken=False)
+            if not self._idle():
+                return
+
+    def _idle(self) -> bool:
+        """Called when the ready queue empties; return True if new work may
+        have arrived.  The purely local executor has no external event
+        sources, so an empty queue is final (run complete or deadlocked)."""
+        return False
+
+    @staticmethod
+    def _close_generators(states: dict[int, "_ContextState"]) -> None:
+        for state in states.values():
+            if state.status != _DONE:
+                try:
+                    state.gen.close()
+                except Exception:  # noqa: BLE001 - cleanup must not mask the abort
+                    pass
 
     # ------------------------------------------------------------------
 

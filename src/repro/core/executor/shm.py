@@ -1,0 +1,443 @@
+"""Shared-memory primitives for the process executor.
+
+The process executor (:mod:`repro.core.executor.partitioned`) runs each
+graph partition in a forked worker.  Everything the workers must share is
+carved out of **one** ``multiprocessing.shared_memory`` block, the
+:class:`SharedArena`, created by the parent before forking so every worker
+inherits the same mapping:
+
+* :class:`SharedClockArray` — one float64 slot per context.  A context's
+  owning worker mirrors every local-clock advance into its slot
+  (:class:`SharedTimeCell`); other workers read the slot optimistically
+  (:class:`SharedTimeView`).  This keeps the paper's SVA mechanism a plain
+  load across process boundaries: an 8-byte aligned read of a monotone
+  value, never an overestimate.
+
+* :class:`ShmRing` — a single-producer/single-consumer byte ring carrying
+  pickled records.  Each *cut* channel (sender and receiver in different
+  partitions) gets two rings — a data lane for ``(stamp, data)`` tuples
+  and a response lane for dequeue times — bundled as a
+  :class:`ChannelShuttle`.
+
+* :class:`StatusBoard` — per-worker progress counters and run states, the
+  inputs to the parent's global deadlock watchdog.
+
+Memory-ordering note: every cross-process counter (ring head/tail, clock
+slots, progress) is accessed through a ``memoryview.cast`` item, which
+CPython implements as one aligned 8-byte ``memcpy`` — a single load/store
+on x86-64.  (``struct.Struct("<Q").pack_into`` would NOT do: explicit
+byte-order formats pack one byte at a time, and a torn tail read lets the
+consumer run past the last published record.)  The rings are strictly
+SPSC with the data written before the tail is published, so on
+total-store-order hardware (the same assumption :mod:`repro.core.time`
+documents for SVA) the consumer never observes a published record before
+its bytes.  This mirrors the DAM-RS argument for x86 acquire/release
+pairs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from multiprocessing import shared_memory
+from typing import Any
+
+from ..time import INFINITY, Time, TimeCell
+
+_U32 = struct.Struct("<I")
+
+#: Byte overhead of one ring record (length prefix).
+_RECORD_HEADER = 4
+
+#: Ring header: producer tail (8 bytes) + consumer head (8 bytes).
+RING_HEADER = 16
+
+#: Bytes per worker on the status board: progress (8) + state (1), padded.
+STATUS_SLOT = 16
+
+#: Worker states published on the status board.
+WORKER_RUNNING = 0
+WORKER_BLOCKED = 1  # ready queue empty, waiting on remote activity
+WORKER_DONE = 2
+
+
+def _align8(value: int) -> int:
+    return (value + 7) & ~7
+
+
+class SharedArena:
+    """One shared-memory block carved into aligned regions.
+
+    The parent computes the total size, creates the arena, hands region
+    views to the clock array / rings / status board, forks, and finally
+    ``close()``s and ``unlink()``s it.  Workers inherit the mapping and
+    never unlink.
+    """
+
+    def __init__(self, size: int):
+        self.shm = shared_memory.SharedMemory(create=True, size=max(size, 8))
+        self._views: list[memoryview] = []
+        self._components: list[Any] = []
+
+    def view(self, offset: int, length: int) -> memoryview:
+        mv = memoryview(self.shm.buf)[offset : offset + length]
+        self._views.append(mv)
+        return mv
+
+    def adopt(self, component: Any) -> Any:
+        """Register a component whose ``release()`` must run before close
+        (components hold derived views — casts and slices — that would
+        otherwise keep the mapping pinned)."""
+        self._components.append(component)
+        return component
+
+    def close(self) -> None:
+        """Release carved views and unmap (each process for itself)."""
+        for component in self._components:
+            component.release()
+        self._components.clear()
+        for mv in self._views:
+            mv.release()
+        self._views.clear()
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - a component kept a view
+            pass
+
+    def unlink(self) -> None:
+        """Remove the backing segment (parent only, after the run)."""
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ArenaLayout:
+    """Accumulates aligned region reservations before the arena exists."""
+
+    def __init__(self) -> None:
+        self.size = 0
+
+    def reserve(self, length: int) -> int:
+        offset = self.size
+        self.size = _align8(offset + length)
+        return offset
+
+
+# ----------------------------------------------------------------------
+# Shared clocks.
+# ----------------------------------------------------------------------
+
+
+class SharedClockArray:
+    """Float64 clock slots, one per context, in arena memory.
+
+    Simulated times are integers well inside float64's exact range
+    (2^53 cycles); :data:`~repro.core.time.INFINITY` maps to ``inf``.
+    """
+
+    def __init__(self, view: memoryview, slots: int):
+        self._doubles = view.cast("d")
+        self.slots = slots
+        for index in range(slots):
+            self._doubles[index] = 0.0
+
+    def read(self, slot: int) -> float:
+        return self._doubles[slot]
+
+    def write(self, slot: int, value: float) -> None:
+        self._doubles[slot] = value
+
+    def release(self) -> None:
+        self._doubles.release()
+
+    @staticmethod
+    def size_for(slots: int) -> int:
+        return 8 * max(slots, 1)
+
+
+class SharedTimeCell(TimeCell):
+    """A :class:`TimeCell` that mirrors every advance into a shared slot.
+
+    Installed (post-fork) on the contexts a worker *owns*: the worker's
+    cooperative scheduler keeps mutating the local integer clock exactly
+    as before, and peers in other processes read the float mirror — a
+    lower bound by construction, since the mirror is written after the
+    local value it reflects.
+    """
+
+    __slots__ = ("_clocks", "_slot")
+
+    def __init__(self, clocks: SharedClockArray, slot: int, start: Time = 0):
+        super().__init__(start)
+        self._clocks = clocks
+        self._slot = slot
+        clocks.write(slot, float(start))
+
+    def advance(self, target: Time) -> Time:
+        if target > self._time:
+            self._time = target
+            self._clocks.write(self._slot, float(target))
+            hook = self.on_advance
+            if hook is not None:
+                hook(target)
+        return self._time
+
+    def incr(self, cycles: Time) -> Time:
+        if cycles < 0:
+            raise ValueError(f"cannot step backwards in time by {cycles}")
+        if cycles > 0:
+            self._time += cycles
+            self._clocks.write(self._slot, float(self._time))
+            hook = self.on_advance
+            if hook is not None:
+                hook(self._time)
+        return self._time
+
+    def finish(self) -> None:
+        self._time = INFINITY
+        self._clocks.write(self._slot, INFINITY)
+        hook = self.on_advance
+        if hook is not None:
+            hook(INFINITY)
+
+
+class SharedTimeView:
+    """Read-only view of a remote context's shared clock slot.
+
+    Installed (post-fork) on the contexts a worker does *not* own, so
+    ``ViewTime``/``WaitUntil`` ops and stall reports that touch
+    ``ctx.time`` transparently read the owner's published clock.
+    """
+
+    __slots__ = ("_clocks", "_slot", "on_advance")
+
+    def __init__(self, clocks: SharedClockArray, slot: int):
+        self._clocks = clocks
+        self._slot = slot
+        self.on_advance = None
+
+    def now(self) -> float:
+        return self._clocks.read(self._slot)
+
+    @property
+    def finished(self) -> bool:
+        return self._clocks.read(self._slot) == INFINITY
+
+    def advance(self, target: Time) -> Time:  # pragma: no cover - guard
+        raise RuntimeError("cannot advance a remote context's clock")
+
+    def incr(self, cycles: Time) -> Time:  # pragma: no cover - guard
+        raise RuntimeError("cannot advance a remote context's clock")
+
+    def finish(self) -> None:  # pragma: no cover - guard
+        raise RuntimeError("cannot finish a remote context's clock")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SharedTimeView({self.now()})"
+
+
+# ----------------------------------------------------------------------
+# Worker status board.
+# ----------------------------------------------------------------------
+
+
+class StatusBoard:
+    """Per-worker progress counters and run states.
+
+    Each worker owns one slot and publishes (a) a monotone progress
+    counter bumped whenever it executes ops or moves shuttle records, and
+    (b) its coarse state.  The parent's watchdog declares a global
+    deadlock only when every live worker has been :data:`WORKER_BLOCKED`
+    with an unchanged progress total for a full grace period — the
+    cross-process analog of the threaded executor's all-parked heuristic.
+    """
+
+    def __init__(self, view: memoryview, workers: int):
+        self._mv = view
+        # Progress counters as whole-word items (atomic 8-byte stores);
+        # slot layout: word 2*w = progress, byte 16*w+8 = state.
+        self._words = view.cast("Q")
+        self.workers = workers
+        for index in range(workers):
+            self._words[index * 2] = 0
+            self._mv[index * STATUS_SLOT + 8] = WORKER_RUNNING
+
+    def release(self) -> None:
+        self._words.release()
+
+    @staticmethod
+    def size_for(workers: int) -> int:
+        return STATUS_SLOT * max(workers, 1)
+
+    def publish(self, worker: int, progress: int, state: int) -> None:
+        self._words[worker * 2] = progress & (2**64 - 1)
+        self._mv[worker * STATUS_SLOT + 8] = state
+
+    def progress(self, worker: int) -> int:
+        return self._words[worker * 2]
+
+    def state(self, worker: int) -> int:
+        return self._mv[worker * STATUS_SLOT + 8]
+
+    def snapshot(self) -> tuple[int, list[int]]:
+        """Total progress across workers plus each worker's state."""
+        total = 0
+        states = []
+        for index in range(self.workers):
+            total += self.progress(index)
+            states.append(self.state(index))
+        return total, states
+
+
+# ----------------------------------------------------------------------
+# SPSC ring.
+# ----------------------------------------------------------------------
+
+
+class RecordTooLarge(ValueError):
+    """A single pickled record exceeds the ring's capacity."""
+
+    def __init__(self, need: int, capacity: int):
+        super().__init__(
+            f"shuttle record of {need} bytes exceeds ring capacity "
+            f"{capacity}; raise ProcessExecutor(ring_capacity=...) or use "
+            "shuttle='pipe'"
+        )
+
+
+class ShmRing:
+    """Single-producer / single-consumer pickled-record ring.
+
+    Monotone 64-bit head/tail counters live in the first 16 bytes of the
+    region, published as single aligned 8-byte stores (see the module
+    docstring's memory-ordering note); records are a 4-byte length prefix
+    plus the pickle, wrapping byte-wise.  Exactly one process pushes and
+    exactly one pops (a cut channel has one sending and one receiving
+    partition), so no locks are needed — the tail publish *after* the
+    data write is the only ordering requirement.
+    """
+
+    __slots__ = ("_mv", "_counters", "_data", "capacity", "_tail", "_head")
+
+    def __init__(self, view: memoryview, capacity: int):
+        self._mv = view
+        self._counters = view[:RING_HEADER].cast("Q")  # [0]=tail, [1]=head
+        self._data = view[RING_HEADER:]
+        self.capacity = capacity
+        self._counters[0] = 0
+        self._counters[1] = 0
+        # Endpoint-local cached counters (each side caches its own).
+        self._tail = 0
+        self._head = 0
+
+    def release(self) -> None:
+        self._counters.release()
+        self._data.release()
+
+    @staticmethod
+    def size_for(capacity: int) -> int:
+        return RING_HEADER + capacity
+
+    # -- producer side -------------------------------------------------
+
+    def try_push(self, obj: Any) -> bool:
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        need = _RECORD_HEADER + len(blob)
+        if need > self.capacity:
+            raise RecordTooLarge(need, self.capacity)
+        tail = self._tail
+        head = self._counters[1]
+        if self.capacity - (tail - head) < need:
+            return False
+        self._write_bytes(tail % self.capacity, _U32.pack(len(blob)))
+        self._write_bytes((tail + _RECORD_HEADER) % self.capacity, blob)
+        self._tail = tail + need
+        self._counters[0] = self._tail
+        return True
+
+    # -- consumer side -------------------------------------------------
+
+    def try_pop(self) -> tuple[bool, Any]:
+        head = self._head
+        tail = self._counters[0]
+        if tail == head:
+            return False, None
+        length = _U32.unpack(self._read_bytes(head % self.capacity, _RECORD_HEADER))[0]
+        blob = self._read_bytes((head + _RECORD_HEADER) % self.capacity, length)
+        obj = pickle.loads(blob)
+        self._head = head + _RECORD_HEADER + length
+        self._counters[1] = self._head
+        return True, obj
+
+    # -- byte helpers (wraparound copies) ------------------------------
+
+    def _write_bytes(self, pos: int, payload: bytes) -> None:
+        first = min(len(payload), self.capacity - pos)
+        self._data[pos : pos + first] = payload[:first]
+        if first < len(payload):
+            self._data[0 : len(payload) - first] = payload[first:]
+
+    def _read_bytes(self, pos: int, length: int) -> bytes:
+        first = min(length, self.capacity - pos)
+        if first == length:
+            return bytes(self._data[pos : pos + length])
+        return bytes(self._data[pos : pos + first]) + bytes(
+            self._data[0 : length - first]
+        )
+
+
+class PipeLane:
+    """``multiprocessing.Pipe``-backed lane with the same try-push/pop
+    surface as :class:`ShmRing` — the fallback when arbitrary record
+    sizes must flow (or shared memory is unavailable).
+
+    ``try_push`` may block briefly once the OS pipe buffer fills; the
+    receiving worker drains its lanes unconditionally into local mirrors,
+    so sustained blocking only happens if the peer died (and the parent's
+    cleanup terminates stragglers).
+    """
+
+    __slots__ = ("_recv", "_send")
+
+    def __init__(self, mp_context):
+        self._recv, self._send = mp_context.Pipe(duplex=False)
+
+    def try_push(self, obj: Any) -> bool:
+        self._send.send(obj)
+        return True
+
+    def try_pop(self) -> tuple[bool, Any]:
+        if self._recv.poll():
+            return True, self._recv.recv()
+        return False, None
+
+
+# ----------------------------------------------------------------------
+# Shuttles: the two lanes of one cut channel.
+# ----------------------------------------------------------------------
+
+#: Record tags carried on shuttle lanes.
+DATA = "d"          # data lane: (DATA, stamp, payload)
+SENDER_DONE = "c"   # data lane: sender finished (channel closes)
+RESPONSE = "r"      # response lane: (RESPONSE, release_time)
+RECEIVER_DONE = "f"  # response lane: receiver finished (channel voids)
+
+
+class ChannelShuttle:
+    """The cross-process bridge for one cut channel.
+
+    ``data`` flows sender-partition → receiver-partition carrying the
+    exact ``(stamp, data)`` tuples an in-process channel would queue;
+    ``resp`` flows back carrying the dequeue-time responses that drive
+    backpressure.  Both lanes preserve FIFO order, so every simulated
+    state transition sees the same sequence it would in-process — the
+    schedule-independence property the equivalence suite asserts.
+    """
+
+    __slots__ = ("channel_id", "data", "resp")
+
+    def __init__(self, channel_id: int, data_lane, resp_lane):
+        self.channel_id = channel_id
+        self.data = data_lane
+        self.resp = resp_lane

@@ -31,24 +31,36 @@ if TYPE_CHECKING:  # pragma: no cover
 class Program:
     """A validated, ready-to-run dataflow program."""
 
-    def __init__(self, contexts: Sequence[Context], channels: Sequence[Channel]):
+    def __init__(
+        self,
+        contexts: Sequence[Context],
+        channels: Sequence[Channel],
+        partition_pins: Optional[dict[int, int]] = None,
+    ):
         self.contexts = list(contexts)
         self.channels = list(channels)
+        #: Manual placement for the process executor: ``id(context)`` →
+        #: worker index (see :meth:`ProgramBuilder.pin`).
+        self.partition_pins: dict[int, int] = dict(partition_pins or {})
 
     def run(self, executor: str = "sequential", **kwargs) -> "RunSummary":
         """Execute the program and return a :class:`RunSummary`.
 
         ``executor`` selects the runtime: ``"sequential"`` (deterministic
-        cooperative scheduler; default) or ``"threaded"`` (one OS thread
-        per context with SVA/SVP-style synchronization).  Extra keyword
-        arguments are forwarded to the executor constructor.
+        cooperative scheduler; default), ``"threaded"`` (one OS thread
+        per context with SVA/SVP-style synchronization), or ``"process"``
+        (graph partitions across forked worker processes bridged by
+        shared-memory shuttles).  Extra keyword arguments are forwarded
+        to the executor constructor.
         """
-        from .executor import SequentialExecutor, ThreadedExecutor
+        from .executor import ProcessExecutor, SequentialExecutor, ThreadedExecutor
 
         if executor == "sequential":
             return SequentialExecutor(**kwargs).execute(self)
         if executor == "threaded":
             return ThreadedExecutor(**kwargs).execute(self)
+        if executor == "process":
+            return ProcessExecutor(**kwargs).execute(self)
         raise ValueError(f"unknown executor {executor!r}")
 
     def context_count(self) -> int:
@@ -69,6 +81,7 @@ class ProgramBuilder:
     def __init__(self) -> None:
         self._contexts: list[Context] = []
         self._channels: list[Channel] = []
+        self._pins: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Channel factories.
@@ -138,6 +151,24 @@ class ProgramBuilder:
         for context in contexts:
             self.add(context)
 
+    def pin(self, context: Context, worker: int) -> Context:
+        """Pin ``context`` to a process-executor worker (manual placement).
+
+        Overrides the automatic edge-weighted partitioning for this
+        context: contexts pinned to the same index are guaranteed to run
+        in the same worker process, contexts pinned to different indices
+        in different ones.  Ignored by the sequential and threaded
+        executors.  The index must be valid for the worker count the
+        executor is eventually constructed with (validated at run time
+        by :func:`~repro.core.executor.partition.plan_partition`).
+        """
+        if worker < 0:
+            raise GraphConstructionError(
+                f"cannot pin {context.name} to negative worker {worker}"
+            )
+        self._pins[id(context)] = worker
+        return context
+
     # ------------------------------------------------------------------
     # Validation and build.
     # ------------------------------------------------------------------
@@ -178,4 +209,13 @@ class ProgramBuilder:
             raise GraphConstructionError(
                 "invalid program graph: " + "; ".join(sorted(problems))
             )
-        return Program(self._contexts, list(known_channels.values()))
+        for ctx_id in self._pins:
+            if ctx_id not in registered:
+                raise GraphConstructionError(
+                    "a pinned context was never added to the builder"
+                )
+        return Program(
+            self._contexts,
+            list(known_channels.values()),
+            partition_pins=self._pins,
+        )

@@ -10,10 +10,18 @@ Times are plain nonnegative integers (cycles).  :data:`INFINITY` is
 framework does not need a special case for finished contexts.
 
 :class:`TimeCell` is the single mutable clock object owned by each context.
-Both executors mutate it only from the owning context's thread of control;
+Every executor mutates it only from the owning context's thread of control;
 other contexts *read* it (the paper's Synchronization-via-Atomics) — under
 CPython the GIL makes those reads atomic, which is the documented analog of
 x86 acquire loads.
+
+The process executor extends the same contract across address spaces:
+:class:`~repro.core.executor.shm.SharedTimeCell` subclasses this cell to
+mirror every advance into a float64 slot in shared memory (written after
+the local update, so remote reads are always a lower bound), and peers in
+other worker processes read it through
+:class:`~repro.core.executor.shm.SharedTimeView` — SVA as one aligned
+8-byte load, unchanged in spirit.
 """
 
 from __future__ import annotations

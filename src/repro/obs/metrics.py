@@ -188,6 +188,8 @@ def fold_channel_metrics(registry: MetricsRegistry, channels) -> None:
         stats = channel.stats
         registry.counter("channel_enqueues", channel=channel.name).inc(stats.enqueues)
         registry.counter("channel_dequeues", channel=channel.name).inc(stats.dequeues)
+        if stats.peeks:
+            registry.counter("channel_peeks", channel=channel.name).inc(stats.peeks)
         registry.gauge("channel_max_occupancy", channel=channel.name).set_max(
             stats.max_real_occupancy
         )

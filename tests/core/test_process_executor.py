@@ -1,0 +1,584 @@
+"""Process executor: shm primitives, partitioning, and cross-process
+equivalence with the in-process executors."""
+
+import os
+
+import pytest
+
+from repro import (
+    DeadlockError,
+    FunctionContext,
+    GraphConstructionError,
+    IncrCycles,
+    Observability,
+    ProcessExecutor,
+    ProgramBuilder,
+    SimulationError,
+    channel_weights,
+    plan_partition,
+)
+from repro.core.executor.shm import (
+    ArenaLayout,
+    RecordTooLarge,
+    SharedArena,
+    SharedClockArray,
+    SharedTimeCell,
+    SharedTimeView,
+    ShmRing,
+)
+from repro.core.ops import Peek, WaitUntil
+from repro.core.time import INFINITY
+
+
+# ----------------------------------------------------------------------
+# Shared-memory primitives.
+# ----------------------------------------------------------------------
+
+
+class TestShmRing:
+    def _ring(self, capacity):
+        arena = SharedArena(ShmRing.size_for(capacity))
+        ring = arena.adopt(ShmRing(arena.view(0, ShmRing.size_for(capacity)), capacity))
+        return arena, ring
+
+    def test_fifo_roundtrip(self):
+        arena, ring = self._ring(4096)
+        try:
+            records = [("d", i, {"payload": i * 2}) for i in range(50)]
+            for record in records:
+                assert ring.try_push(record)
+            popped = []
+            while True:
+                ok, record = ring.try_pop()
+                if not ok:
+                    break
+                popped.append(record)
+            assert popped == records
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_wraparound_preserves_order(self):
+        arena, ring = self._ring(256)
+        try:
+            sent = 0
+            received = []
+            # Push/pop interleaved far past the capacity so records wrap.
+            for round_ in range(200):
+                while ring.try_push(("d", sent, "x" * (sent % 17))):
+                    sent += 1
+                while True:
+                    ok, record = ring.try_pop()
+                    if not ok:
+                        break
+                    received.append(record)
+            assert [r[1] for r in received] == list(range(len(received)))
+            assert len(received) > 100
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_full_ring_rejects_then_accepts(self):
+        arena, ring = self._ring(64)
+        try:
+            pushed = 0
+            while ring.try_push(("d", pushed)):
+                pushed += 1
+            assert pushed >= 1
+            assert not ring.try_push(("d", pushed))
+            ok, _ = ring.try_pop()
+            assert ok
+            assert ring.try_push(("d", pushed))
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_oversized_record_raises(self):
+        arena, ring = self._ring(64)
+        try:
+            with pytest.raises(RecordTooLarge):
+                ring.try_push("y" * 1024)
+        finally:
+            arena.close()
+            arena.unlink()
+
+
+class TestSharedClocks:
+    def test_cell_mirrors_and_view_reads(self):
+        arena = SharedArena(SharedClockArray.size_for(2))
+        try:
+            clocks = arena.adopt(
+                SharedClockArray(arena.view(0, SharedClockArray.size_for(2)), 2)
+            )
+            cell = SharedTimeCell(clocks, 0)
+            view = SharedTimeView(clocks, 0)
+            assert view.now() == 0.0
+            cell.incr(5)
+            assert view.now() == 5.0
+            cell.advance(42)
+            assert view.now() == 42.0
+            cell.advance(3)  # backwards advance is a no-op
+            assert view.now() == 42.0
+            assert not view.finished
+            cell.finish()
+            assert view.now() == INFINITY
+            assert view.finished
+            with pytest.raises(RuntimeError):
+                view.incr(1)
+        finally:
+            arena.close()
+            arena.unlink()
+
+
+# ----------------------------------------------------------------------
+# Partition planning.
+# ----------------------------------------------------------------------
+
+
+def _chain(builder, names, capacity=4):
+    """A producer -> relay... -> consumer chain; returns contexts."""
+    contexts = []
+    prev_rcv = None
+    for index, name in enumerate(names):
+        last = index == len(names) - 1
+        if not last:
+            snd, rcv = builder.bounded(capacity, name=f"{name}_out")
+        if index == 0:
+            def producer(snd=snd):
+                for k in range(20):
+                    yield snd.enqueue(k)
+                    yield IncrCycles(1)
+            ctx = FunctionContext(producer, handles=[snd], name=name)
+        elif last:
+            def consumer(rcv=prev_rcv):
+                while True:
+                    yield rcv.dequeue()
+                    yield IncrCycles(1)
+            ctx = FunctionContext(consumer, handles=[prev_rcv], name=name)
+        else:
+            def relay(rcv=prev_rcv, snd=snd):
+                while True:
+                    value = yield rcv.dequeue()
+                    yield snd.enqueue(value)
+            ctx = FunctionContext(relay, handles=[prev_rcv, snd], name=name)
+        builder.add(ctx)
+        contexts.append(ctx)
+        if not last:
+            prev_rcv = rcv
+    return contexts
+
+
+class TestPartitionPlan:
+    def test_single_worker_is_trivial(self):
+        builder = ProgramBuilder()
+        _chain(builder, ["a", "b", "c"])
+        program = builder.build()
+        plan = plan_partition(program, 1)
+        assert plan.workers_used == 1
+        assert plan.cut == []
+        assert plan.cut_weight == 0.0
+
+    def test_independent_components_split_with_zero_cut(self):
+        builder = ProgramBuilder()
+        _chain(builder, ["a0", "b0"])
+        _chain(builder, ["a1", "b1"])
+        program = builder.build()
+        plan = plan_partition(program, 2)
+        assert plan.workers_used == 2
+        assert plan.cut == []
+        # Components stay whole: paired contexts share a worker.
+        assignment = {ctx.name: plan.assignment[id(ctx)] for ctx in program.contexts}
+        assert assignment["a0"] == assignment["b0"]
+        assert assignment["a1"] == assignment["b1"]
+        assert assignment["a0"] != assignment["a1"]
+
+    def test_heavy_edges_kept_inside_partitions(self):
+        builder = ProgramBuilder()
+        contexts = _chain(builder, ["a", "b", "c", "d"])
+        program = builder.build()
+        weights = {"a_out": 100.0, "b_out": 1.0, "c_out": 100.0}
+        plan = plan_partition(program, 2, weights=weights, balance=1.0)
+        cut_names = [ch.name for ch in plan.cut]
+        assert cut_names == ["b_out"]
+        assert plan.cut_weight == 1.0
+
+    def test_pins_are_honored(self):
+        builder = ProgramBuilder()
+        contexts = _chain(builder, ["a", "b"])
+        program = builder.build()
+        pins = {id(contexts[0]): 0, id(contexts[1]): 1}
+        plan = plan_partition(program, 2, pins=pins)
+        assert plan.assignment[id(contexts[0])] == 0
+        assert plan.assignment[id(contexts[1])] == 1
+        assert [ch.name for ch in plan.cut] == ["a_out"]
+
+    def test_invalid_pins_rejected(self):
+        builder = ProgramBuilder()
+        contexts = _chain(builder, ["a", "b"])
+        program = builder.build()
+        with pytest.raises(GraphConstructionError):
+            plan_partition(program, 2, pins={id(contexts[0]): 7})
+        with pytest.raises(GraphConstructionError):
+            plan_partition(program, 2, pins={12345: 0})
+        with pytest.raises(GraphConstructionError):
+            plan_partition(program, 0)
+
+    def test_channel_weights_average_same_named_clones(self):
+        builder = ProgramBuilder()
+        _chain(builder, ["a", "b"])
+        program = builder.build()
+        program.run()
+        weights = channel_weights(program)
+        assert weights["a_out"] == 40.0  # 20 enqueues + 20 dequeues
+
+    def test_builder_pin_validation(self):
+        builder = ProgramBuilder()
+        ctx = _chain(builder, ["a", "b"])[0]
+        with pytest.raises(GraphConstructionError):
+            builder.pin(ctx, -1)
+        # Pinning a context that was never added fails at build time.
+        orphan_builder = ProgramBuilder()
+        _chain(orphan_builder, ["c", "d"])
+        orphan = FunctionContext(lambda: iter(()), name="orphan")
+        orphan_builder.pin(orphan, 0)
+        with pytest.raises(GraphConstructionError):
+            orphan_builder.build()
+
+    def test_builder_pins_reach_the_program(self):
+        builder = ProgramBuilder()
+        contexts = _chain(builder, ["a", "b"])
+        builder.pin(contexts[0], 1)
+        program = builder.build()
+        assert program.partition_pins == {id(contexts[0]): 1}
+
+
+# ----------------------------------------------------------------------
+# End-to-end equivalence on small graphs.
+# ----------------------------------------------------------------------
+
+
+def _pipeline_program(pin=None):
+    """prod -> mid -> cons with bounded channels, peeks, and a result."""
+    builder = ProgramBuilder()
+    s1, r1 = builder.bounded(3, latency=2, name="ab")
+    s2, r2 = builder.bounded(2, latency=1, resp_latency=3, name="bc")
+
+    def producer():
+        for value in range(60):
+            yield s1.enqueue(value)
+            yield IncrCycles(1)
+
+    def middle():
+        while True:
+            head = yield Peek(r1)
+            value = yield r1.dequeue()
+            assert head == value
+            yield IncrCycles(2)
+            yield s2.enqueue(value * 3)
+
+    def consumer(ctx):
+        ctx.total = 0
+        while True:
+            value = yield r2.dequeue()
+            ctx.total += value
+            yield IncrCycles(1)
+
+    prod = builder.add(FunctionContext(producer, handles=[s1], name="prod"))
+    mid = builder.add(FunctionContext(middle, handles=[r1, s2], name="mid"))
+    cons = builder.add(
+        FunctionContext(consumer, handles=[r2], name="cons", pass_context=True)
+    )
+    if pin is not None:
+        for ctx, worker in zip((prod, mid, cons), pin):
+            builder.pin(ctx, worker)
+    return builder.build()
+
+
+def _fingerprint(program, summary):
+    stats = {
+        ch.name: (ch.stats.enqueues, ch.stats.dequeues, ch.stats.peeks)
+        for ch in program.channels
+    }
+    total = next(ctx for ctx in program.contexts if ctx.name == "cons").total
+    return (summary.elapsed_cycles, summary.context_times, stats, total)
+
+
+class TestProcessEquivalence:
+    def test_matches_sequential_across_worker_counts(self):
+        reference_program = _pipeline_program()
+        reference = _fingerprint(reference_program, reference_program.run())
+        for workers, pin in [(1, None), (2, (0, 0, 1)), (3, (0, 1, 2))]:
+            program = _pipeline_program(pin=pin)
+            summary = program.run(executor="process", workers=workers)
+            assert _fingerprint(program, summary) == reference
+
+    def test_pipe_shuttle_matches_shm(self):
+        program = _pipeline_program(pin=(0, 1, 1))
+        summary = program.run(executor="process", workers=2, shuttle="pipe")
+        reference_program = _pipeline_program()
+        reference = _fingerprint(reference_program, reference_program.run())
+        assert _fingerprint(program, summary) == reference
+
+    def test_tiny_ring_still_exact(self):
+        # A 96-byte data ring forces constant backlog-and-flush cycles.
+        program = _pipeline_program(pin=(0, 1, 2))
+        summary = program.run(
+            executor="process", workers=3, ring_capacity=96,
+            resp_ring_capacity=96,
+        )
+        reference_program = _pipeline_program()
+        reference = _fingerprint(reference_program, reference_program.run())
+        assert _fingerprint(program, summary) == reference
+
+    def test_trace_merge_identical_to_sequential(self):
+        obs_seq = Observability(capture_payloads=True)
+        reference_program = _pipeline_program()
+        reference_program.run(obs=obs_seq)
+
+        obs_proc = Observability(capture_payloads=True)
+        program = _pipeline_program(pin=(0, 0, 1))
+        program.run(executor="process", workers=2, obs=obs_proc)
+
+        def flatten(trace):
+            return [
+                (e.context, e.kind, e.channel, e.time, e.payload, e.seq)
+                for e in trace.events
+            ]
+
+        assert flatten(obs_proc.trace) == flatten(obs_seq.trace)
+
+    def test_chrome_trace_export_identical(self, tmp_path):
+        obs_seq = Observability()
+        _pipeline_program().run(obs=obs_seq)
+        obs_proc = Observability()
+        _pipeline_program(pin=(0, 1, 1)).run(
+            executor="process", workers=2, obs=obs_proc
+        )
+        seq_events = obs_seq.chrome_trace()["traceEvents"]
+        proc_events = obs_proc.chrome_trace()["traceEvents"]
+        strip = lambda events: [
+            {k: v for k, v in e.items() if k not in ("pid", "tid")}
+            for e in events
+        ]
+        assert strip(proc_events) == strip(seq_events)
+
+    def test_metrics_folded_with_process_gauges(self):
+        obs = Observability()
+        program = _pipeline_program(pin=(0, 1, 2))
+        summary = program.run(executor="process", workers=3, obs=obs)
+        counters = summary.metrics["counters"]
+        assert counters["channel_enqueues{channel=ab}"] == 60
+        assert counters["channel_peeks{channel=ab}"] == 60
+        assert counters["context_ops{context=prod}"] > 0
+        gauges = summary.metrics["gauges"]
+        assert gauges["process_workers"] == 3
+        assert gauges["process_cut_channels"] == 2
+
+    def test_remote_wait_until(self):
+        builder = ProgramBuilder()
+        # Roomy channel: `fast` must never block on backpressure, or it
+        # stalls before its clock reaches the WaitUntil threshold.
+        snd, rcv = builder.bounded(16, name="tick")
+
+        def fast():
+            for value in range(10):
+                yield snd.enqueue(value)
+                yield IncrCycles(10)
+
+        def watcher(ctx, peer):
+            reached = yield WaitUntil(peer, 50)
+            ctx.reached = reached
+            while True:
+                yield rcv.dequeue()
+
+        fast_ctx = builder.add(FunctionContext(fast, handles=[snd], name="fast"))
+
+        def watcher_body(ctx):
+            return watcher(ctx, fast_ctx)
+
+        watch_ctx = builder.add(
+            FunctionContext(watcher_body, handles=[rcv], name="watch",
+                            pass_context=True)
+        )
+        builder.pin(fast_ctx, 0)
+        builder.pin(watch_ctx, 1)
+        program = builder.build()
+        program.run(executor="process", workers=2)
+        watcher_parent = next(c for c in program.contexts if c.name == "watch")
+        assert watcher_parent.reached >= 50
+
+
+# ----------------------------------------------------------------------
+# Failure modes.
+# ----------------------------------------------------------------------
+
+
+def _deadlock_pair(builder):
+    s1, r1 = builder.bounded(2, name="x")
+    s2, r2 = builder.bounded(2, name="y")
+
+    def ctx_a():
+        value = yield r2.dequeue()
+        yield s1.enqueue(value)
+
+    def ctx_b():
+        value = yield r1.dequeue()
+        yield s2.enqueue(value)
+
+    a = builder.add(FunctionContext(ctx_a, handles=[s1, r2], name="A"))
+    b = builder.add(FunctionContext(ctx_b, handles=[s2, r1], name="B"))
+    return a, b
+
+
+class TestProcessFailures:
+    def test_local_deadlock_detected_without_watchdog(self):
+        builder = ProgramBuilder()
+        _deadlock_pair(builder)
+        program = builder.build()
+        # Both contexts land in one worker: a purely local cycle, reported
+        # by the worker itself (no grace period needed — keep it long to
+        # prove the watchdog was not involved).
+        with pytest.raises(DeadlockError) as excinfo:
+            program.run(executor="process", workers=1, deadlock_grace=30.0)
+        message = str(excinfo.value)
+        assert "A" in message and "B" in message
+
+    def test_cross_worker_deadlock_watchdog(self):
+        builder = ProgramBuilder()
+        a, b = _deadlock_pair(builder)
+        builder.pin(a, 0)
+        builder.pin(b, 1)
+        program = builder.build()
+        obs = Observability()
+        with pytest.raises(DeadlockError):
+            program.run(
+                executor="process", workers=2, deadlock_grace=0.3, obs=obs
+            )
+        assert obs.stall_report is not None
+        assert {stall.context for stall in obs.stall_report.stalls} == {"A", "B"}
+
+    def test_worker_exception_propagates(self):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(2, name="z")
+
+        def bad():
+            yield snd.enqueue(1)
+            raise ValueError("boom")
+
+        def consumer():
+            while True:
+                yield rcv.dequeue()
+
+        p = builder.add(FunctionContext(bad, handles=[snd], name="bad"))
+        c = builder.add(FunctionContext(consumer, handles=[rcv], name="cons"))
+        builder.pin(p, 0)
+        builder.pin(c, 1)
+        program = builder.build()
+        with pytest.raises(SimulationError) as excinfo:
+            program.run(executor="process", workers=2, deadlock_grace=0.5)
+        assert excinfo.value.context_name == "bad"
+        assert isinstance(excinfo.value.original, ValueError)
+
+    def test_max_ops_valve(self):
+        builder = ProgramBuilder()
+        snd, rcv = builder.unbounded(name="loop")
+
+        def forever():
+            value = 0
+            while True:
+                yield snd.enqueue(value)
+                yield IncrCycles(1)
+                value += 1
+
+        def drain():
+            while True:
+                yield rcv.dequeue()
+
+        builder.add(FunctionContext(forever, handles=[snd], name="fw"))
+        builder.add(FunctionContext(drain, handles=[rcv], name="dr"))
+        program = builder.build()
+        with pytest.raises(SimulationError):
+            program.run(executor="process", workers=1, max_ops=500)
+
+
+# ----------------------------------------------------------------------
+# Satellites: peek counting and generator cleanup on abort.
+# ----------------------------------------------------------------------
+
+
+class TestPeekStats:
+    def test_peeks_counted_and_exported(self):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(4, name="peeked")
+
+        def producer():
+            for value in range(5):
+                yield snd.enqueue(value)
+
+        def consumer():
+            while True:
+                yield Peek(rcv)
+                yield Peek(rcv)
+                yield rcv.dequeue()
+
+        builder.add(FunctionContext(producer, handles=[snd], name="p"))
+        builder.add(FunctionContext(consumer, handles=[rcv], name="c"))
+        program = builder.build()
+        obs = Observability()
+        summary = program.run(obs=obs)
+        channel = program.channels[0]
+        assert channel.stats.peeks == 10
+        assert channel.stats.dequeues == 5
+        assert summary.metrics["counters"]["channel_peeks{channel=peeked}"] == 10
+
+
+class TestGeneratorCleanupOnAbort:
+    def test_finally_blocks_run_on_deadlock(self):
+        cleaned = []
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(2, name="x")
+        s2, r2 = builder.bounded(2, name="y")
+
+        def ctx_a():
+            try:
+                value = yield r2.dequeue()  # waits on B, which waits on A
+                yield s1.enqueue(value)
+            finally:
+                cleaned.append("A")
+
+        def ctx_b():
+            try:
+                value = yield r1.dequeue()
+                yield s2.enqueue(value)
+            finally:
+                cleaned.append("B")
+
+        builder.add(FunctionContext(ctx_a, handles=[s1, r2], name="A"))
+        builder.add(FunctionContext(ctx_b, handles=[s2, r1], name="B"))
+        program = builder.build()
+        with pytest.raises(DeadlockError):
+            program.run()
+        assert sorted(cleaned) == ["A", "B"]
+
+    def test_finally_blocks_run_on_context_error(self):
+        cleaned = []
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(1, name="c")
+
+        def blocked():
+            try:
+                yield rcv.dequeue()  # never satisfied: crasher dies first
+            finally:
+                cleaned.append("blocked")
+
+        def crasher():
+            yield IncrCycles(1)
+            raise RuntimeError("abort the run")
+            yield snd.enqueue(0)  # pragma: no cover - keeps snd owned
+
+        builder.add(FunctionContext(blocked, handles=[rcv], name="blocked"))
+        builder.add(FunctionContext(crasher, handles=[snd], name="crasher"))
+        program = builder.build()
+        with pytest.raises(SimulationError):
+            program.run()
+        assert cleaned == ["blocked"]

@@ -1,16 +1,23 @@
 """Cross-executor determinism on full SAM kernels.
 
 The paper's exactness claim at application scale: the same SAM kernel
-graph, executed on the cooperative executor (every policy) and on the
-threaded executor, yields identical outputs and identical simulated cycle
-counts.
+graph, executed on the cooperative executor (every policy), on the
+threaded executor, and on the process executor at every worker count,
+yields identical outputs, identical simulated cycle counts, identical
+per-context finish times, and identical channel statistics.
 """
 
 import numpy as np
+import pytest
 
 from repro.core import FairPolicy, SequentialExecutor
 from repro.sam import CsfTensor
-from repro.sam.graphs import build_mmadd, build_sparse_mha, build_spmspm
+from repro.sam.graphs import (
+    build_mmadd,
+    build_sddmm,
+    build_sparse_mha,
+    build_spmspm,
+)
 from repro.sam.primitives import TimingParams
 from repro.sam.tensor import random_dense
 
@@ -85,3 +92,94 @@ class TestKernelDeterminism:
         s_thr = thr.run(executor="threaded")
         assert np.allclose(seq.result_dense(), thr.result_dense())
         assert s_seq.elapsed_cycles == s_thr.elapsed_cycles
+
+
+# ----------------------------------------------------------------------
+# The full matrix: every executor, every worker count, three kernels.
+# ----------------------------------------------------------------------
+
+
+def _build_spmspm_kernel():
+    b = random_dense(6, 6, density=0.3, seed=23)
+    ct = random_dense(6, 6, density=0.3, seed=24)
+    return build_spmspm(
+        CsfTensor.from_dense(b, "cc"),
+        CsfTensor.from_dense(ct, "cc"),
+        depth=4,
+    )
+
+
+def _build_sddmm_kernel():
+    rng = np.random.default_rng(31)
+    s = random_dense(6, 6, density=0.4, seed=30)
+    a = rng.standard_normal((6, 4))
+    b = rng.standard_normal((6, 4))
+    return build_sddmm(
+        CsfTensor.from_dense(s, "cc"), a, b, depth=4,
+        timing=TimingParams(ii=2),
+    )
+
+
+def _build_mha_kernel():
+    rng = np.random.default_rng(3)
+    H, N, d = 2, 5, 3
+    mask = (rng.random((H, N, N)) < 0.5).astype(float)
+    for h in range(H):
+        np.fill_diagonal(mask[h], 1.0)
+    q = rng.standard_normal((H, N, d))
+    k = rng.standard_normal((H, N, d))
+    v = rng.standard_normal((H, N, d))
+    return build_sparse_mha(
+        CsfTensor.from_dense(mask, "dcc"), q, k, v, depth=6, softmax_depth=32,
+    )
+
+
+_KERNELS = {
+    "spmspm": _build_spmspm_kernel,
+    "sddmm": _build_sddmm_kernel,
+    "mha": _build_mha_kernel,
+}
+
+
+def _signature(kernel, summary):
+    """Everything that must be executor-independent about a run.
+
+    (``max_real_occupancy`` is deliberately absent: it measures real
+    queue depth, which legitimately varies with scheduling order.)
+    """
+    channel_stats = tuple(
+        (ch.name, ch.stats.enqueues, ch.stats.dequeues, ch.stats.peeks)
+        for ch in kernel.program.channels
+    )
+    return {
+        "elapsed": summary.elapsed_cycles,
+        "context_times": summary.context_times,
+        "channels": channel_stats,
+        "result": kernel.result_dense().tobytes(),
+    }
+
+
+class TestExecutorMatrix:
+    """sequential × threaded × process(1..4 workers), three SAM kernels.
+
+    Simulated results — cycle counts, per-context finish times, channel
+    traffic statistics, and the numeric output tensor — must be
+    bit-identical regardless of the runtime that produced them.
+    """
+
+    @pytest.mark.parametrize("kernel_name", sorted(_KERNELS))
+    def test_all_executors_agree(self, kernel_name):
+        build = _KERNELS[kernel_name]
+        reference_kernel = build()
+        reference = _signature(reference_kernel, reference_kernel.run())
+
+        runs = [("threaded", {})]
+        runs += [("process", {"workers": n}) for n in (1, 2, 3, 4)]
+        for executor, kwargs in runs:
+            kernel = build()
+            summary = kernel.run(executor=executor, **kwargs)
+            signature = _signature(kernel, summary)
+            assert signature == reference, (
+                f"{kernel_name} on {executor} {kwargs} diverged from "
+                "the sequential reference"
+            )
