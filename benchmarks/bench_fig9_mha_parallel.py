@@ -24,6 +24,9 @@ machine-readable ``results/BENCH_fig9.json``.
 
 import argparse
 import os
+import platform
+import subprocess
+from pathlib import Path
 
 import numpy as np
 from conftest import report, report_json
@@ -43,6 +46,19 @@ def available_cores() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return os.cpu_count() or 1
+
+
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:  # noqa: BLE001 - not a git checkout / git missing
+        return "unknown"
 
 
 def inputs(seed=0, heads=HEADS, seq_len=SEQ_LEN, head_dim=HEAD_DIM):
@@ -112,6 +128,8 @@ def run_worker_sweep(
     base_output = baseline.result_dense()
     sweep = {
         "cpu_count": available_cores(),
+        "python": platform.python_version(),
+        "git_rev": git_rev(),
         "parallelism": parallelism,
         "contexts": baseline.context_count,
         "sim_cycles": base_summary.elapsed_cycles,

@@ -7,7 +7,7 @@ from typing import Sequence
 from ..core.channel import Receiver, Sender
 from ..core.context import Context
 from ..core.errors import ChannelClosed
-from ..core.ops import IncrCycles
+from ..core.ops import FusedOps, IncrCycles
 from ..core.time import Time
 
 
@@ -35,11 +35,16 @@ class Broadcast(Context):
         self.register(inp, *outs)
 
     def run(self):
+        deq = self.inp.dequeue()
+        enqs = [out.enqueue(None) for out in self.outs]
+        # One fused yield per token: copy to every branch, charge the
+        # initiation interval, pull the next input.
+        step = FusedOps(*enqs, IncrCycles(self.ii), deq)
         try:
+            value = yield deq
             while True:
-                value = yield self.inp.dequeue()
-                for out in self.outs:
-                    yield out.enqueue(value)
-                yield IncrCycles(self.ii)
+                for enq in enqs:
+                    enq.data = value
+                value = (yield step)[-1]
         except ChannelClosed:
             return

@@ -36,6 +36,7 @@ from .ops import (
     AdvanceTo,
     Dequeue,
     Enqueue,
+    FusedOps,
     IncrCycles,
     Op,
     Peek,
@@ -74,6 +75,7 @@ __all__ = [
     "Op",
     "Enqueue",
     "Dequeue",
+    "FusedOps",
     "Peek",
     "IncrCycles",
     "AdvanceTo",

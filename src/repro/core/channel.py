@@ -55,6 +55,10 @@ from . import ops as _ops
 
 _channel_ids = itertools.count()
 
+#: Sentinel returned by ``fast_dequeue`` when no element is ready.  A
+#: private object so it can never collide with queued payloads.
+_EMPTY = object()
+
 
 class ChannelStats:
     """Lightweight per-channel counters.
@@ -129,6 +133,20 @@ class Channel:
         "waiting_sender",
         "waiting_receiver",
         "profile_log",
+        # Flavor-specialized fast methods, selected once per state
+        # transition (construction, close_sender, close_receiver,
+        # enable_profiling) instead of branch-checked per op.
+        "try_enqueue",
+        "fast_dequeue",
+        # Small-int mirrors of the selected flavors, letting the
+        # sequential executor's inline fast path open-code the hot
+        # transitions without even a bound-method call (DESIGN.md §11).
+        "_enq_code",
+        "_deq_code",
+        # Park messages, precomputed once (the name is immutable) so the
+        # executors' block sites never pay an f-string on the hot path.
+        "_park_enq_msg",
+        "_park_deq_msg",
     )
 
     def __init__(
@@ -148,6 +166,8 @@ class Channel:
         self.real = real
         self.id = next(_channel_ids)
         self.name = name or f"channel{self.id}"
+        self._park_enq_msg = f"enqueue on full {self.name}"
+        self._park_deq_msg = f"dequeue on empty {self.name}"
         self.capacity = capacity
         self.latency = latency
         self.resp_latency = resp_latency
@@ -166,11 +186,143 @@ class Channel:
         self.waiting_receiver: Any = None
         # Optional (stamp, dequeue_time) log for simulated-occupancy analysis.
         self.profile_log: list[tuple[Time, Time]] | None = None
+        self._select_flavor()
 
     # ------------------------------------------------------------------
-    # Pure semantics.  These methods never block; executors orchestrate
-    # blocking around them.  All mutate only under the caller's exclusion
-    # discipline (channel lock in threaded mode, single thread otherwise).
+    # Flavor specialization (the Fig. 11 lever, applied to the simulator
+    # itself).  ``try_enqueue``/``fast_dequeue`` are the executors' hot
+    # entry points: one bound-method call that either completes the op or
+    # reports that it would block.  The right variant for the channel's
+    # current state (unbounded / real / void / bounded, profiled or not)
+    # is picked here — once per state *transition*, so the per-op path
+    # pays zero flavor branches.  Every variant performs exactly the
+    # transition the generic reference methods below describe.
+    # ------------------------------------------------------------------
+
+    def _select_flavor(self) -> None:
+        # Enqueue codes: 0 = unbounded, 1 = bounded (inline-able in the
+        # executor); 2 = everything else (real/void: call the method).
+        if self._receiver_finished:
+            self.try_enqueue = (
+                self._try_enqueue_void_bounded
+                if self.capacity is not None
+                else self._try_enqueue_void
+            )
+            self._enq_code = 2
+        elif self.capacity is not None:
+            self.try_enqueue = self._try_enqueue_bounded
+            self._enq_code = 1
+        elif self.real:
+            self.try_enqueue = self._try_enqueue_real
+            self._enq_code = 2
+        else:
+            self.try_enqueue = self._try_enqueue_unbounded
+            self._enq_code = 0
+        # Dequeue codes: 0 = plain, 1 = responding (both inline-able);
+        # 2 = profiled (cold: call the method).
+        if self.profile_log is not None:
+            self.fast_dequeue = self._fast_dequeue_profiled
+            self._deq_code = 2
+        elif self.capacity is not None and not self._sender_finished:
+            self.fast_dequeue = self._fast_dequeue_resp
+            self._deq_code = 1
+        else:
+            self.fast_dequeue = self._fast_dequeue_plain
+            self._deq_code = 0
+
+    def _try_enqueue_void(self, clock: TimeCell, data: Any) -> bool:
+        # Receiver finished: count the enqueue, discard the data.  (The
+        # old generic path also re-observed occupancy here, but
+        # ``close_receiver()`` clears ``_data``, so the observation was
+        # always of an empty queue — dead code, folded away.)
+        self.stats.enqueues += 1
+        return True
+
+    def _try_enqueue_void_bounded(self, clock: TimeCell, data: Any) -> bool:
+        # Void, but responses already in flight are still drained while
+        # the sender's window is full, so its clock advances identically
+        # regardless of when the receiver's finish became visible (the
+        # module-docstring guarantee; matches ``sender_try_reserve``).
+        resps = self._resps
+        while self._delta >= self.capacity and resps:
+            clock.advance(resps.popleft())
+            self._delta -= 1
+        self.stats.enqueues += 1
+        return True
+
+    def _try_enqueue_real(self, clock: TimeCell, data: Any) -> bool:
+        # Real channels carry data without time coupling: stamp 0, no
+        # backpressure (they are unbounded by construction).
+        self.stats.enqueues += 1
+        data_q = self._data
+        data_q.append((0, data))
+        stats = self.stats
+        if len(data_q) > stats.max_real_occupancy:
+            stats.max_real_occupancy = len(data_q)
+        return True
+
+    def _try_enqueue_unbounded(self, clock: TimeCell, data: Any) -> bool:
+        # No capacity: no reserve step, no ``_delta`` bookkeeping.
+        stats = self.stats
+        stats.enqueues += 1
+        data_q = self._data
+        data_q.append((clock._time + self.latency, data))
+        if len(data_q) > stats.max_real_occupancy:
+            stats.max_real_occupancy = len(data_q)
+        return True
+
+    def _try_enqueue_bounded(self, clock: TimeCell, data: Any) -> bool:
+        # Reserve (draining responses advances the sender clock — the
+        # backpressure timeline), then enqueue.  False = would block.
+        resps = self._resps
+        while self._delta >= self.capacity and resps:
+            clock.advance(resps.popleft())
+            self._delta -= 1
+        if self._delta >= self.capacity:
+            return False
+        stats = self.stats
+        stats.enqueues += 1
+        data_q = self._data
+        data_q.append((clock._time + self.latency, data))
+        self._delta += 1
+        if len(data_q) > stats.max_real_occupancy:
+            stats.max_real_occupancy = len(data_q)
+        return True
+
+    def _fast_dequeue_plain(self, clock: TimeCell) -> Any:
+        # Unbounded/real channels, or a bounded channel whose sender has
+        # finished: no response queue to feed.
+        data_q = self._data
+        if not data_q:
+            return _EMPTY
+        stamp, data = data_q.popleft()
+        clock.advance(stamp)
+        self.stats.dequeues += 1
+        return data
+
+    def _fast_dequeue_resp(self, clock: TimeCell) -> Any:
+        # Bounded channel with a live sender: every dequeue responds.
+        data_q = self._data
+        if not data_q:
+            return _EMPTY
+        stamp, data = data_q.popleft()
+        clock.advance(stamp)
+        self.stats.dequeues += 1
+        self._resps.append(clock._time + self.resp_latency)
+        return data
+
+    def _fast_dequeue_profiled(self, clock: TimeCell) -> Any:
+        # Cold variant: profiling on — delegate to the reference method.
+        if not self._data:
+            return _EMPTY
+        return self.do_dequeue(clock)
+
+    # ------------------------------------------------------------------
+    # Pure semantics (generic reference surface).  These methods never
+    # block; executors orchestrate blocking around them.  All mutate only
+    # under the caller's exclusion discipline (channel lock in threaded
+    # mode, single thread otherwise).  The flavor methods above are the
+    # specialized equivalents the executors actually call per op.
     # ------------------------------------------------------------------
 
     def sender_try_reserve(self, clock: TimeCell) -> bool:
@@ -203,10 +355,7 @@ class Channel:
         """
         self.stats.enqueues += 1
         if self._receiver_finished:
-            # Void enqueue: nothing is queued, but occupancy is still
-            # observed so the stat stays consistent on every path.
-            if len(self._data) > self.stats.max_real_occupancy:
-                self.stats.max_real_occupancy = len(self._data)
+            # Void enqueue: nothing is queued, the data is discarded.
             return
         stamp = 0 if self.real else clock._time + self.latency
         self._data.append((stamp, data))
@@ -254,11 +403,13 @@ class Channel:
         """The sender context finished: no further data will arrive."""
         self._sender_finished = True
         self._resps.clear()  # the sender will never drain them
+        self._select_flavor()  # remaining dequeues stop responding
 
     def close_receiver(self) -> None:
         """The receiver context finished: the channel becomes void."""
         self._receiver_finished = True
         self._data.clear()
+        self._select_flavor()  # enqueues become void (discard) fast path
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -288,6 +439,7 @@ class Channel:
         the observability metrics registry.
         """
         self.profile_log = []
+        self._select_flavor()  # dequeues switch to the profiled variant
 
     def __repr__(self) -> str:
         cap = "inf" if self.capacity is None else str(self.capacity)

@@ -59,7 +59,7 @@ from typing import Any, Optional
 
 from ...obs import Observability, fold_channel_metrics, fold_context_metrics
 from ...obs.stall import StallReport
-from ..channel import Channel, ChannelStats
+from ..channel import _EMPTY, Channel, ChannelStats
 from ..errors import DeadlockError, SimulationError
 from ..ops import Dequeue, Enqueue, Peek, WaitUntil
 from ..program import Program
@@ -116,17 +116,25 @@ _FRAMEWORK_ATTRS = frozenset(
 class _ShuttleSender:
     """Sender-partition stand-in for a cut channel."""
 
+    # Flavor codes the sequential fast path would inline on; shuttles
+    # always need their method implementations (lane bookkeeping).
+    _enq_code = 2
+    _deq_code = 2
+
     __slots__ = (
         "id", "name", "capacity", "latency", "resp_latency", "real",
         "sender_owner", "receiver_owner", "stats", "profile_log",
         "waiting_sender", "waiting_receiver",
         "_delta", "_resps", "_sender_finished", "_receiver_finished",
         "_lane_out", "_lane_in", "_pending",
+        "_park_enq_msg", "_park_deq_msg",
     )
 
     def __init__(self, channel: Channel, shuttle: ChannelShuttle):
         self.id = channel.id
         self.name = channel.name
+        self._park_enq_msg = f"enqueue on full {self.name}"
+        self._park_deq_msg = f"dequeue on empty {self.name}"
         self.capacity = channel.capacity
         self.latency = channel.latency
         self.resp_latency = channel.resp_latency
@@ -166,6 +174,15 @@ class _ShuttleSender:
         if self.capacity is not None:
             self._delta += 1
         self._push((DATA, stamp, data))
+
+    def try_enqueue(self, clock, data) -> bool:
+        """Single-call fast-path surface (reserve + enqueue).  Shuttle
+        lanes dominate the cost here, so this composes the reference
+        methods rather than specializing per flavor."""
+        if self.sender_try_reserve(clock):
+            self.do_enqueue(clock, data)
+            return True
+        return False
 
     def close_sender(self) -> None:
         self._sender_finished = True
@@ -214,17 +231,24 @@ class _ShuttleSender:
 class _ShuttleReceiver:
     """Receiver-partition stand-in for a cut channel."""
 
+    # See _ShuttleSender: never inline-eligible in the fast path.
+    _enq_code = 2
+    _deq_code = 2
+
     __slots__ = (
         "id", "name", "capacity", "latency", "resp_latency", "real",
         "sender_owner", "receiver_owner", "stats", "profile_log",
         "waiting_sender", "waiting_receiver",
         "_data", "_sender_finished", "_receiver_finished",
         "_lane_in", "_lane_out", "_pending",
+        "_park_enq_msg", "_park_deq_msg",
     )
 
     def __init__(self, channel: Channel, shuttle: ChannelShuttle):
         self.id = channel.id
         self.name = channel.name
+        self._park_enq_msg = f"enqueue on full {self.name}"
+        self._park_deq_msg = f"dequeue on empty {self.name}"
         self.capacity = channel.capacity
         self.latency = channel.latency
         self.resp_latency = channel.resp_latency
@@ -267,6 +291,13 @@ class _ShuttleReceiver:
         clock.advance(stamp)
         self.stats.peeks += 1
         return data
+
+    def fast_dequeue(self, clock):
+        """Single-call fast-path surface: ``_EMPTY`` when nothing is
+        visible yet (the worker loop then parks or polls the lane)."""
+        if not self._data:
+            return _EMPTY
+        return self.do_dequeue(clock)
 
     def close_receiver(self) -> None:
         self._receiver_finished = True

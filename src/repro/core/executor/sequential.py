@@ -24,6 +24,16 @@ paper's undersized-channel observations.
 Observability: attach a :class:`repro.obs.Observability` (``obs=``) to
 record per-context trace buffers and fold run metrics; the legacy
 ``tracer=`` keyword still accepts a :class:`repro.core.trace.Tracer`.
+
+Dispatch is a ``type(op) → bound handler`` table plus an *inline fast
+path* (DESIGN.md §11): when tracing is off, no ``WaitUntil`` waiter is
+registered, and no ``max_ops`` valve is set, the slice loop executes
+enqueue/dequeue/IncrCycles — and :class:`~repro.core.ops.FusedOps`
+batches of them — inline against the channels' flavor-specialized
+methods, paying zero per-op tracing/waiter conditionals.  Every other
+configuration (and every rare op) goes through the generic handlers,
+which perform the identical semantic transitions with the bookkeeping
+checks in place.
 """
 
 from __future__ import annotations
@@ -33,17 +43,87 @@ from typing import Any, Optional
 
 from ...obs import Observability, fold_channel_metrics, fold_context_metrics
 from ...obs.stall import StallReport, stall_for
-from ..channel import Channel
+from ..channel import _EMPTY, Channel
 from ..context import Context
 from ..errors import ChannelClosed, DeadlockError, SimulationError
-from ..ops import AdvanceTo, Dequeue, Enqueue, IncrCycles, Op, Peek, ViewTime, WaitUntil
+from ..ops import (
+    AdvanceTo,
+    Dequeue,
+    Enqueue,
+    FusedOps,
+    IncrCycles,
+    Op,
+    Peek,
+    ViewTime,
+    WaitUntil,
+)
 from ..program import Program
+from ..time import TimeCell
 from .base import Executor, RunSummary
 from .policies import FifoPolicy, SchedulingPolicy, make_policy
 
 _READY = 0
 _BLOCKED = 1
 _DONE = 2
+
+#: Sentinel returned by :meth:`SequentialExecutor._fuse_fast` when the
+#: batch parked mid-way (fused state saved on the context).
+_PARKED = object()
+
+#: Constituent kind codes in a compiled :class:`FusedOps` plan.
+_K_DEQ = 0
+_K_ENQ = 1
+_K_INCR = 2
+_K_OTHER = 3
+
+
+def _compile_plan(subs):
+    """Compile a fused batch into ``((kind, op, channel), ...)`` entries
+    plus a reusable pre-sized results buffer.
+
+    Resolving each constituent's class and channel binding once per
+    *op object* (ops are pre-allocated and re-yielded by the hot
+    generators) instead of once per *execution* keeps the inner loop of
+    :meth:`SequentialExecutor._run_slice_fast` down to an unpack and an
+    int compare before the open-coded transition.  The buffer is what
+    the generator receives at the yield: Enqueue/IncrCycles slots stay
+    ``None`` forever, Dequeue (and rare-op) slots are rewritten on every
+    execution — which is why it can be reused without clearing, and why
+    the delivered list is only valid until the batch's next execution.
+    """
+    entries = []
+    for sub in subs:
+        skind = sub.__class__
+        if skind is Dequeue or skind is Enqueue:
+            ch = (
+                sub.receiver.channel
+                if skind is Dequeue
+                else sub.sender.channel
+            )
+            # The deques and stats objects are created once per channel
+            # and only ever mutated in place (close_* uses .clear()), so
+            # their identity can be latched here.  Shuttle proxies lack
+            # one side's deque — they are code-2 (method path), so their
+            # cached fields are never read.
+            entries.append((
+                _K_DEQ if skind is Dequeue else _K_ENQ,
+                sub,
+                ch,
+                getattr(ch, "_data", None),
+                getattr(ch, "_resps", None),
+                ch.stats,
+            ))
+        elif skind is IncrCycles and sub.cycles >= 0:
+            # The cycle count rides in the channel slot — constituents
+            # are immutable once compiled (see FusedOps), so it can be
+            # latched like the channel bindings above.
+            entries.append((_K_INCR, sub, sub.cycles, None, None, None))
+        else:
+            # Rare constituents — including a (bogus) negative
+            # IncrCycles, which the generic handler rejects with the
+            # proper error.
+            entries.append((_K_OTHER, sub, None, None, None, None))
+    return tuple(entries), [None] * len(entries)
 
 
 class _ContextState:
@@ -61,6 +141,10 @@ class _ContextState:
         "buffer",
         "ops",
         "wall_seconds",
+        "fused_ops",
+        "fused_index",
+        "fused_results",
+        "fused_plan",
     )
 
     def __init__(self, context: Context):
@@ -78,6 +162,15 @@ class _ContextState:
         self.buffer: Any = None
         self.ops = 0
         self.wall_seconds = 0.0
+        # Mid-fusion suspension: the constituent at ``fused_index``
+        # blocked (``retry_op`` set) or had its result delivered by a
+        # waker; ``fused_results`` holds the completed prefix.
+        self.fused_ops: Any = None
+        self.fused_index = 0
+        self.fused_results: Any = None
+        # The batch's compiled plan entries (fast path only), so the
+        # resume runner can stay plan-based.
+        self.fused_plan: Any = None
 
 
 class SequentialExecutor(Executor):
@@ -99,6 +192,13 @@ class SequentialExecutor(Executor):
     obs:
         A :class:`repro.obs.Observability` collecting the run's trace
         and/or metrics.
+    fast_path:
+        When True (default) and the run is eligible (no tracing, no
+        ``max_ops``, no registered ``WaitUntil`` waiter), slices run the
+        inline fast loop.  Set False to force every op — including each
+        :class:`FusedOps` constituent — through the generic handler
+        table one at a time; the simulated results are identical by
+        construction, which is what the equivalence tests assert.
     """
 
     name = "sequential"
@@ -109,6 +209,7 @@ class SequentialExecutor(Executor):
         max_ops: Optional[int] = None,
         tracer=None,
         obs: Optional[Observability] = None,
+        fast_path: bool = True,
     ):
         self.policy = make_policy(policy)
         self.max_ops = max_ops
@@ -117,10 +218,30 @@ class SequentialExecutor(Executor):
         self.obs = obs
         #: The active trace collector (None when tracing is off).
         self.tracer = obs.trace if obs is not None else None
+        self.fast_path = fast_path
         self.context_switches = 0
         self.wakeups = 0
         self.preemptions = 0
         self.ops_executed = 0
+        # type(op) -> bound handler; replaces the historical if-elif
+        # dispatch chain.  FusedOps/tuple/list appear only so a *nested*
+        # batch fails loudly — top-level batches are unrolled by the
+        # slice loops before dispatch.
+        self._handlers = {
+            Enqueue: self._h_enqueue,
+            Dequeue: self._h_dequeue,
+            Peek: self._h_peek,
+            IncrCycles: self._h_incr_cycles,
+            AdvanceTo: self._h_advance_to,
+            ViewTime: self._h_view_time,
+            WaitUntil: self._h_wait_until,
+            FusedOps: self._h_nested_fusion,
+            tuple: self._h_nested_fusion,
+            list: self._h_nested_fusion,
+        }
+        self._any_time_waiters = False
+        self._fast = False
+        self._fast_capable = False
 
     # ------------------------------------------------------------------
 
@@ -140,6 +261,14 @@ class SequentialExecutor(Executor):
         if trace is not None:
             for state in states.values():
                 state.buffer = trace.buffer(state.context.name)
+
+        # Inline fast path eligibility is computed once; it only drops
+        # (and later recovers) around registered WaitUntil waiters, so
+        # the fast loop itself carries no tracing/waiter/max_ops checks.
+        self._fast_capable = (
+            self.fast_path and trace is None and self.max_ops is None
+        )
+        self._fast = self._fast_capable
 
         policy = self.policy
         for ctx in program.contexts:
@@ -184,6 +313,27 @@ class SequentialExecutor(Executor):
         cross-process shuttles there)."""
         policy = self.policy
         previous: _ContextState | None = None
+        if policy.__class__ is FifoPolicy and not collect_wall:
+            # Run-to-block FIFO (the default): drive the raw deque
+            # directly, skipping the per-slice __bool__/pop method calls
+            # and the timeslice attribute load.
+            queue = policy._queue
+            run_slice = self._run_slice
+            while True:
+                while queue:
+                    state = queue.popleft()
+                    state.in_ready = False
+                    if state.status != _READY:
+                        continue
+                    if previous is not None and state is not previous:
+                        self.context_switches += 1
+                    previous = state
+                    run_slice(state, None)
+                    if state.status == _READY:
+                        self.preemptions += 1
+                        policy.push(state, woken=False)
+                if not self._idle():
+                    return
         while True:
             while policy:
                 state = policy.pop()
@@ -273,18 +423,104 @@ class SequentialExecutor(Executor):
         """Run one context until it blocks, finishes, or exhausts its slice."""
         remaining = timeslice if timeslice is not None else -1
 
-        # A context woken from a blocking op must first re-attempt that op.
-        if state.retry_op is not None:
-            op = state.retry_op
-            state.retry_op = None
-            if not self._dispatch(state, op):
+        # A context woken from a blocking op must first complete that op
+        # (re-attempt it, or — if a waker delivered the result directly —
+        # just resume) and, if the op was a FusedOps constituent, finish
+        # the rest of the batch.
+        if state.retry_op is not None or state.fused_ops is not None:
+            if not self._resume_pending(state):
                 return  # blocked again
             if state.status == _DONE:
                 return
 
+        if self._fast:
+            self._run_slice_fast(state, remaining)
+        else:
+            self._run_slice_generic(state, remaining)
+
+    def _resume_pending(self, state: _ContextState) -> bool:
+        """Complete the op a woken context was parked on; return False if
+        it (or a later constituent of its fused batch) blocks again."""
+        op = state.retry_op
+        if op is not None:
+            state.retry_op = None
+            if not self._dispatch(state, op):
+                return False  # blocked again; fused state (if any) kept
+        if state.fused_ops is None:
+            return True
+        # Mid-fusion: the constituent at fused_index just completed (via
+        # the retry above, or its result was delivered by a waker into
+        # pending_value).  Collect it and run the rest of the batch.
+        ops_seq = state.fused_ops
+        index = state.fused_index
+        results = state.fused_results
+        entries = state.fused_plan
+        state.fused_ops = None
+        state.fused_results = None
+        state.fused_plan = None
+        if state.pending_exc is not None:
+            return True  # batch abandoned; exception thrown at the yield
+        results[index] = state.pending_value
+        if index + 1 == len(ops_seq):
+            # Parked on the *last* constituent — the common case for the
+            # canonical (enqueue..., tick, dequeue) kits: the batch is
+            # already complete, deliver the results without re-entering
+            # a fusion runner.
+            state.pending_value = results
+            return True
+        state.pending_value = None
+        if self._fast and entries is not None:
+            clock = state.context.time
+            plain = clock.__class__ is TimeCell and clock.on_advance is None
+            outcome = self._fuse_fast(
+                state, clock, plain, ops_seq, entries, index + 1, results
+            )
+            if outcome is _PARKED:
+                return False
+            if outcome.__class__ is list:
+                state.pending_value = outcome
+            else:
+                state.pending_exc = outcome
+            return True
+        return self._run_fusion(state, ops_seq, index + 1, results)
+
+    def _run_fusion(self, state, ops_seq, index: int, results: list) -> bool:
+        """Execute fused constituents ``ops_seq[index:]`` through the
+        generic handlers, writing each result into the pre-sized
+        ``results`` list; return False (parking mid-batch) on a block."""
+        total = len(ops_seq)
+        max_ops = self.max_ops
+        while index < total:
+            sub = ops_seq[index]
+            self.ops_executed += 1
+            state.ops += 1
+            if max_ops is not None and self.ops_executed > max_ops:
+                raise SimulationError(
+                    state.context.name,
+                    RuntimeError(f"exceeded max_ops={max_ops}"),
+                )
+            if not self._dispatch(state, sub):
+                state.fused_ops = ops_seq
+                state.fused_index = index
+                state.fused_results = results
+                return False
+            if state.pending_exc is not None:
+                return True  # e.g. ChannelClosed: abandon the batch
+            results[index] = state.pending_value
+            state.pending_value = None
+            index += 1
+        state.pending_value = results
+        return True
+
+    def _run_slice_generic(
+        self, state: _ContextState, remaining: int
+    ) -> None:
+        """Reference slice loop: every op through the handler table, with
+        tracing, time-waiter, and max_ops bookkeeping in place."""
         gen_send = state.gen.send
         gen_throw = state.gen.throw
         ctx = state.context
+        max_ops = self.max_ops
         while remaining != 0:
             remaining -= 1
             try:
@@ -305,127 +541,871 @@ class SequentialExecutor(Executor):
                 return
             except DeadlockError:
                 raise
-            except BaseException as exc:  # noqa: BLE001 - reported faithfully
+            except BaseException as failure:  # noqa: BLE001 - reported faithfully
                 self._finish(state)
-                raise SimulationError(ctx.name, exc) from exc
+                raise SimulationError(ctx.name, failure) from failure
 
+            kind = op.__class__
+            if kind is FusedOps:
+                if not self._run_fusion(
+                    state, op.ops, 0, [None] * len(op.ops)
+                ):
+                    return  # blocked mid-batch
+                continue
+            if kind is tuple or kind is list:
+                if not self._run_fusion(state, op, 0, [None] * len(op)):
+                    return
+                continue
             self.ops_executed += 1
             state.ops += 1
-            if self.max_ops is not None and self.ops_executed > self.max_ops:
+            if max_ops is not None and self.ops_executed > max_ops:
                 raise SimulationError(
                     ctx.name,
-                    RuntimeError(f"exceeded max_ops={self.max_ops}"),
+                    RuntimeError(f"exceeded max_ops={max_ops}"),
                 )
             if not self._dispatch(state, op):
                 return  # blocked
             if state.status == _DONE:
                 return
 
-    def _dispatch(self, state: _ContextState, op: Op) -> bool:
-        """Attempt ``op``; return False (and park the context) if it blocks."""
-        clock = state.context.time
-        kind = type(op)
+    def _run_slice_fast(self, state: _ContextState, remaining: int) -> None:
+        """Inline fast loop (DESIGN.md §11).
 
-        if kind is Enqueue:
-            channel = op.sender.channel
-            if channel.sender_try_reserve(clock):
-                channel.do_enqueue(clock, op.data)
+        Eligible only when tracing is off, ``max_ops`` is unset, and no
+        WaitUntil waiter is registered — which is what lets the hot ops
+        (enqueue/dequeue/IncrCycles and FusedOps batches of them) run
+        against the channels' flavor-specialized transitions with zero
+        per-op bookkeeping conditionals.  This body is additionally
+        specialized for the common clock shape — a plain
+        :class:`TimeCell` with no ``on_advance`` hook (always, under the
+        purely local executor): the common channel flavors — keyed by
+        the channels' ``_enq_code`` / ``_deq_code`` mirrors — are
+        open-coded, and the simulated time lives in the local ``now``
+        for the whole slice, written back to ``clock._time`` wherever
+        the world can observe it (generator resumes, method-path
+        fallbacks, slice exits) and reloaded after any call that may
+        advance it.  Process-executor workers carry ``SharedTimeCell``
+        clocks and take :meth:`_run_slice_fast_shared`, the method-path
+        twin whose flavors perform the identical transitions.  Results
+        flow through locals; ``state.pending_*`` is written back only
+        when the slice ends non-terminally.  Rare ops fall through to
+        the generic handlers, which keep the invariant: a WaitUntil
+        that registers a waiter blocks, ending the slice, so a fast
+        slice never runs with a waiter present.
+        """
+        ctx = state.context
+        clock = ctx.time
+        if clock.__class__ is not TimeCell or clock.on_advance is not None:
+            self._run_slice_fast_shared(state, remaining)
+            return
+        gen_send = state.gen.send
+        gen_throw = state.gen.throw
+        wake_sender = self._wake_send_deliver
+        wake_receiver = self._wake_recv_deliver
+        now = clock._time
+        value = state.pending_value
+        exc = state.pending_exc
+        state.pending_value = None
+        state.pending_exc = None
+        executed = 0
+        try:
+            while remaining != 0:
+                remaining -= 1
+                clock._time = now  # visible to the context body
+                try:
+                    if exc is not None:
+                        op = gen_throw(exc)
+                        exc = None
+                    else:
+                        op = gen_send(value)
+                        value = None
+                except StopIteration:
+                    self._finish(state)
+                    return
+                except ChannelClosed:
+                    self._finish(state)
+                    return
+                except DeadlockError:
+                    raise
+                except BaseException as failure:  # noqa: BLE001
+                    self._finish(state)
+                    raise SimulationError(ctx.name, failure) from failure
+                now = clock._time
+
+                kind = op.__class__
+                if kind is tuple or kind is list:
+                    # Cold: ad-hoc batches are normalized so the hot
+                    # branch below compiles and caches a plan per batch
+                    # object (throwaway here, latched for FusedOps).
+                    op = FusedOps(*op)
+                    kind = FusedOps
+                if kind is FusedOps:
+                    # Mirrors _fuse_fast (the resume-path copy); kept
+                    # inline here because this is the hottest loop in the
+                    # simulator and a per-yield method call is measurable.
+                    plan = op.plan
+                    if plan is None:
+                        plan = op.plan = _compile_plan(op.ops)
+                    entries, buf = plan
+                    index = 0
+                    parked = False
+                    for scode, sub, channel, data_q, resps, stats in (
+                        entries
+                    ):
+                        if scode == 0:  # Dequeue
+                            if channel._deq_code != 2:
+                                if data_q:
+                                    stamp, result = data_q.popleft()
+                                    if stamp > now:
+                                        now = stamp
+                                    stats.dequeues += 1
+                                    if channel._deq_code == 1:
+                                        resps.append(
+                                            now + channel.resp_latency
+                                        )
+                                else:
+                                    result = _EMPTY
+                            else:
+                                clock._time = now
+                                result = channel.fast_dequeue(clock)
+                                now = clock._time
+                            if result is not _EMPTY:
+                                waiter = channel.waiting_sender
+                                if waiter is not None:
+                                    channel.waiting_sender = None
+                                    wake_sender(channel, waiter)
+                                buf[index] = result
+                            elif channel.closed_for_receiver:
+                                exc = ChannelClosed(channel.name)
+                                break  # abandon the batch
+                            else:
+                                self._block(
+                                    state, sub, channel._park_deq_msg
+                                )
+                                channel.waiting_receiver = state
+                                parked = True
+                                break
+                        elif scode == 1:  # Enqueue
+                            code = channel._enq_code
+                            if code == 1:
+                                delta = channel._delta
+                                capacity = channel.capacity
+                                if delta >= capacity:
+                                    # Full window: drain responses
+                                    # (each advances the sender clock —
+                                    # the backpressure timeline).
+                                    while delta >= capacity and resps:
+                                        release = resps.popleft()
+                                        if release > now:
+                                            now = release
+                                        delta -= 1
+                                    channel._delta = delta
+                                if delta < capacity:
+                                    stats.enqueues += 1
+                                    data_q.append(
+                                        (now + channel.latency, sub.data)
+                                    )
+                                    channel._delta = delta + 1
+                                    occ = len(data_q)
+                                    if occ > stats.max_real_occupancy:
+                                        stats.max_real_occupancy = occ
+                                    ok = True
+                                else:
+                                    ok = False
+                            elif code == 0:
+                                stats.enqueues += 1
+                                data_q.append(
+                                    (now + channel.latency, sub.data)
+                                )
+                                occ = len(data_q)
+                                if occ > stats.max_real_occupancy:
+                                    stats.max_real_occupancy = occ
+                                ok = True
+                            else:
+                                clock._time = now
+                                ok = channel.try_enqueue(clock, sub.data)
+                                now = clock._time
+                            if not ok:
+                                self._block(
+                                    state, sub, channel._park_enq_msg
+                                )
+                                channel.waiting_sender = state
+                                parked = True
+                                break
+                            waiter = channel.waiting_receiver
+                            if waiter is not None:
+                                channel.waiting_receiver = None
+                                wake_receiver(channel, waiter)
+                        elif scode == 2:
+                            # IncrCycles: latched count rides in the
+                            # channel slot.
+                            if channel:
+                                now += channel
+                        else:
+                            # Rare constituent: generic handler (raises
+                            # on a nested batch).
+                            clock._time = now
+                            if not self._dispatch(state, sub):
+                                now = clock._time
+                                parked = True
+                                break
+                            now = clock._time
+                            if state.pending_exc is not None:
+                                exc = state.pending_exc
+                                state.pending_exc = None
+                                break
+                            buf[index] = state.pending_value
+                            state.pending_value = None
+                        index += 1
+                    else:
+                        # Batch complete.  Deliver the plan's reused
+                        # results buffer: dequeue (and rare-op) slots
+                        # were just written, enqueue and IncrCycles
+                        # slots are permanently None.
+                        executed += index
+                        value = buf
+                        continue
+                    if parked:
+                        # The parked constituent counts (first attempt).
+                        clock._time = now
+                        executed += index + 1
+                        state.fused_ops = op.ops
+                        state.fused_index = index
+                        state.fused_results = buf
+                        state.fused_plan = entries
+                        return
+                    executed += index + 1
+                    continue
+
+                executed += 1
+                if kind is Dequeue:
+                    channel = op.receiver.channel
+                    if channel._deq_code != 2:
+                        data_q = channel._data
+                        if data_q:
+                            stamp, value = data_q.popleft()
+                            if stamp > now:
+                                now = stamp
+                            channel.stats.dequeues += 1
+                            if channel._deq_code == 1:
+                                channel._resps.append(
+                                    now + channel.resp_latency
+                                )
+                            waiter = channel.waiting_sender
+                            if waiter is not None:
+                                channel.waiting_sender = None
+                                wake_sender(channel, waiter)
+                            continue
+                        value = None
+                    else:
+                        clock._time = now
+                        result = channel.fast_dequeue(clock)
+                        now = clock._time
+                        if result is not _EMPTY:
+                            value = result
+                            waiter = channel.waiting_sender
+                            if waiter is not None:
+                                channel.waiting_sender = None
+                                wake_sender(channel, waiter)
+                            continue
+                    if channel.closed_for_receiver:
+                        exc = ChannelClosed(channel.name)
+                        continue
+                    clock._time = now
+                    self._block(state, op, channel._park_deq_msg)
+                    channel.waiting_receiver = state
+                    return
+
+                if kind is Enqueue:
+                    channel = op.sender.channel
+                    code = channel._enq_code
+                    if code == 1:
+                        delta = channel._delta
+                        capacity = channel.capacity
+                        if delta >= capacity:
+                            resps = channel._resps
+                            while delta >= capacity and resps:
+                                release = resps.popleft()
+                                if release > now:
+                                    now = release
+                                delta -= 1
+                            channel._delta = delta
+                        if delta < capacity:
+                            stats = channel.stats
+                            stats.enqueues += 1
+                            data_q = channel._data
+                            data_q.append((now + channel.latency, op.data))
+                            channel._delta = delta + 1
+                            occ = len(data_q)
+                            if occ > stats.max_real_occupancy:
+                                stats.max_real_occupancy = occ
+                            ok = True
+                        else:
+                            ok = False
+                    elif code == 0:
+                        stats = channel.stats
+                        stats.enqueues += 1
+                        data_q = channel._data
+                        data_q.append((now + channel.latency, op.data))
+                        occ = len(data_q)
+                        if occ > stats.max_real_occupancy:
+                            stats.max_real_occupancy = occ
+                        ok = True
+                    else:
+                        clock._time = now
+                        ok = channel.try_enqueue(clock, op.data)
+                        now = clock._time
+                    if not ok:
+                        clock._time = now
+                        self._block(state, op, channel._park_enq_msg)
+                        channel.waiting_sender = state
+                        return
+                    waiter = channel.waiting_receiver
+                    if waiter is not None:
+                        channel.waiting_receiver = None
+                        wake_receiver(channel, waiter)
+                    continue
+
+                if kind is IncrCycles:
+                    cycles = op.cycles
+                    if cycles >= 0:
+                        now += cycles
+                    else:
+                        clock._time = now
+                        clock.incr(cycles)
+                        now = clock._time
+                    continue
+
+                # Rare op: Peek/AdvanceTo/ViewTime/WaitUntil (or a junk
+                # yield) through the generic handler table.
+                clock._time = now
+                if not self._dispatch(state, op):
+                    return  # blocked
+                now = clock._time
+                value = state.pending_value
                 state.pending_value = None
+                if state.pending_exc is not None:
+                    exc = state.pending_exc
+                    state.pending_exc = None
+            # Slice expired: hand the in-flight result back to state.
+            clock._time = now
+            state.pending_value = value
+            state.pending_exc = exc
+        finally:
+            self.ops_executed += executed
+            state.ops += executed
+
+    def _run_slice_fast_shared(
+        self, state: _ContextState, remaining: int
+    ) -> None:
+        """Method-path twin of :meth:`_run_slice_fast` for worker clocks
+        (``SharedTimeCell`` / ``on_advance`` hooks): the same inline
+        loop, handler fallbacks, and fused-batch plans, with every
+        time-touching transition going through the channel flavor
+        methods and ``clock.incr`` so shared time cells publish each
+        advance.  Kept separate so the plain-clock body can hold the
+        simulated time in a local.
+        """
+        gen_send = state.gen.send
+        gen_throw = state.gen.throw
+        ctx = state.context
+        clock = ctx.time
+        wake_sender = self._wake_send_deliver
+        wake_receiver = self._wake_recv_deliver
+        value = state.pending_value
+        exc = state.pending_exc
+        state.pending_value = None
+        state.pending_exc = None
+        executed = 0
+        try:
+            while remaining != 0:
+                remaining -= 1
+                try:
+                    if exc is not None:
+                        op = gen_throw(exc)
+                        exc = None
+                    else:
+                        op = gen_send(value)
+                        value = None
+                except StopIteration:
+                    self._finish(state)
+                    return
+                except ChannelClosed:
+                    self._finish(state)
+                    return
+                except DeadlockError:
+                    raise
+                except BaseException as failure:  # noqa: BLE001
+                    self._finish(state)
+                    raise SimulationError(ctx.name, failure) from failure
+
+                kind = op.__class__
+                if kind is tuple or kind is list:
+                    op = FusedOps(*op)
+                    kind = FusedOps
+                if kind is FusedOps:
+                    plan = op.plan
+                    if plan is None:
+                        plan = op.plan = _compile_plan(op.ops)
+                    entries, buf = plan
+                    index = 0
+                    parked = False
+                    for scode, sub, channel, data_q, resps, stats in (
+                        entries
+                    ):
+                        if scode == 0:  # Dequeue
+                            result = channel.fast_dequeue(clock)
+                            if result is not _EMPTY:
+                                waiter = channel.waiting_sender
+                                if waiter is not None:
+                                    channel.waiting_sender = None
+                                    wake_sender(channel, waiter)
+                                buf[index] = result
+                            elif channel.closed_for_receiver:
+                                exc = ChannelClosed(channel.name)
+                                break  # abandon the batch
+                            else:
+                                self._block(
+                                    state, sub, channel._park_deq_msg
+                                )
+                                channel.waiting_receiver = state
+                                parked = True
+                                break
+                        elif scode == 1:  # Enqueue
+                            if channel.try_enqueue(clock, sub.data):
+                                waiter = channel.waiting_receiver
+                                if waiter is not None:
+                                    channel.waiting_receiver = None
+                                    wake_receiver(channel, waiter)
+                            else:
+                                self._block(
+                                    state, sub, channel._park_enq_msg
+                                )
+                                channel.waiting_sender = state
+                                parked = True
+                                break
+                        elif scode == 2:
+                            # IncrCycles: latched count rides in the
+                            # channel slot.
+                            clock.incr(channel)
+                        else:
+                            if not self._dispatch(state, sub):
+                                parked = True
+                                break
+                            if state.pending_exc is not None:
+                                exc = state.pending_exc
+                                state.pending_exc = None
+                                break
+                            buf[index] = state.pending_value
+                            state.pending_value = None
+                        index += 1
+                    else:
+                        executed += index
+                        value = buf
+                        continue
+                    if parked:
+                        executed += index + 1
+                        state.fused_ops = op.ops
+                        state.fused_index = index
+                        state.fused_results = buf
+                        state.fused_plan = entries
+                        return
+                    executed += index + 1
+                    continue
+
+                executed += 1
+                if kind is Dequeue:
+                    channel = op.receiver.channel
+                    result = channel.fast_dequeue(clock)
+                    if result is not _EMPTY:
+                        value = result
+                        waiter = channel.waiting_sender
+                        if waiter is not None:
+                            channel.waiting_sender = None
+                            wake_sender(channel, waiter)
+                        continue
+                    if channel.closed_for_receiver:
+                        exc = ChannelClosed(channel.name)
+                        continue
+                    self._block(state, op, channel._park_deq_msg)
+                    channel.waiting_receiver = state
+                    return
+
+                if kind is Enqueue:
+                    channel = op.sender.channel
+                    if channel.try_enqueue(clock, op.data):
+                        waiter = channel.waiting_receiver
+                        if waiter is not None:
+                            channel.waiting_receiver = None
+                            wake_receiver(channel, waiter)
+                        continue
+                    self._block(state, op, channel._park_enq_msg)
+                    channel.waiting_sender = state
+                    return
+
+                if kind is IncrCycles:
+                    clock.incr(op.cycles)
+                    continue
+
+                if not self._dispatch(state, op):
+                    return  # blocked
+                value = state.pending_value
+                state.pending_value = None
+                if state.pending_exc is not None:
+                    exc = state.pending_exc
+                    state.pending_exc = None
+            state.pending_value = value
+            state.pending_exc = exc
+        finally:
+            self.ops_executed += executed
+            state.ops += executed
+
+    def _fuse_fast(
+        self,
+        state: _ContextState,
+        clock,
+        plain: bool,
+        ops_seq,
+        entries,
+        index: int,
+        results: list,
+    ):
+        """Plan-based fused-batch runner for the post-park resume path.
+        Executes the compiled ``entries[index:]``, writing each
+        constituent's result into the pre-sized ``results`` list, and
+        returns the completed results list, an exception to throw at the
+        yield (abandoning the batch), or :data:`_PARKED` after saving
+        the fused state on ``state``.  Op accounting matches the generic
+        path: every *attempted* constituent counts once, including the
+        one that parked or raised (retries after a park do not
+        re-count).
+        """
+        wake_sender = self._wake_send_deliver
+        wake_receiver = self._wake_recv_deliver
+        total = len(entries)
+        start = index
+        exc = None
+        while index < total:
+            scode, sub, channel, data_q, resps, stats = entries[index]
+            if scode == 0:  # Dequeue
+                if plain and channel._deq_code != 2:
+                    if data_q:
+                        stamp, result = data_q.popleft()
+                        if stamp > clock._time:
+                            clock._time = stamp
+                        stats.dequeues += 1
+                        if channel._deq_code == 1:
+                            resps.append(
+                                clock._time + channel.resp_latency
+                            )
+                    else:
+                        result = _EMPTY
+                else:
+                    result = channel.fast_dequeue(clock)
+                if result is not _EMPTY:
+                    waiter = channel.waiting_sender
+                    if waiter is not None:
+                        channel.waiting_sender = None
+                        wake_sender(channel, waiter)
+                    results[index] = result
+                elif channel.closed_for_receiver:
+                    exc = ChannelClosed(channel.name)
+                    break  # abandon the batch
+                else:
+                    self._block(state, sub, channel._park_deq_msg)
+                    channel.waiting_receiver = state
+                    state.fused_ops = ops_seq
+                    state.fused_index = index
+                    state.fused_results = results
+                    state.fused_plan = entries
+                    attempted = index - start + 1
+                    self.ops_executed += attempted
+                    state.ops += attempted
+                    return _PARKED
+            elif scode == 1:  # Enqueue
+                code = channel._enq_code if plain else 2
+                if code == 1:
+                    delta = channel._delta
+                    capacity = channel.capacity
+                    if delta >= capacity:
+                        stamp = clock._time
+                        while delta >= capacity and resps:
+                            release = resps.popleft()
+                            if release > stamp:
+                                stamp = release
+                            delta -= 1
+                        clock._time = stamp
+                        channel._delta = delta
+                    if delta < capacity:
+                        stats.enqueues += 1
+                        data_q.append(
+                            (clock._time + channel.latency, sub.data)
+                        )
+                        channel._delta = delta + 1
+                        occ = len(data_q)
+                        if occ > stats.max_real_occupancy:
+                            stats.max_real_occupancy = occ
+                        ok = True
+                    else:
+                        ok = False
+                elif code == 0:
+                    stats.enqueues += 1
+                    data_q.append((clock._time + channel.latency, sub.data))
+                    occ = len(data_q)
+                    if occ > stats.max_real_occupancy:
+                        stats.max_real_occupancy = occ
+                    ok = True
+                else:
+                    ok = channel.try_enqueue(clock, sub.data)
+                if not ok:
+                    self._block(state, sub, channel._park_enq_msg)
+                    channel.waiting_sender = state
+                    state.fused_ops = ops_seq
+                    state.fused_index = index
+                    state.fused_results = results
+                    state.fused_plan = entries
+                    attempted = index - start + 1
+                    self.ops_executed += attempted
+                    state.ops += attempted
+                    return _PARKED
                 waiter = channel.waiting_receiver
                 if waiter is not None:
                     channel.waiting_receiver = None
-                    self._wake(waiter)
-                if self._any_time_waiters:
-                    self._drain_time_waiters(state.context)
-                if state.buffer is not None:
-                    state.buffer.append(
-                        "enqueue", channel.name, clock.now(), op.data
-                    )
-                return True
-            self._block(state, op, f"enqueue on full {channel.name}")
-            channel.waiting_sender = state
-            return False
+                    wake_receiver(channel, waiter)
+            elif scode == 2:
+                # IncrCycles: latched count rides in the channel slot.
+                if plain:
+                    if channel:
+                        clock._time += channel
+                else:
+                    clock.incr(channel)
+            else:
+                # Rare constituent: generic handler (raises on a nested
+                # FusedOps/tuple/list).
+                if not self._dispatch(state, sub):
+                    state.fused_ops = ops_seq
+                    state.fused_index = index
+                    state.fused_results = results
+                    state.fused_plan = entries
+                    attempted = index - start + 1
+                    self.ops_executed += attempted
+                    state.ops += attempted
+                    return _PARKED
+                if state.pending_exc is not None:
+                    exc = state.pending_exc
+                    state.pending_exc = None
+                    break
+                results[index] = state.pending_value
+                state.pending_value = None
+            index += 1
+        if exc is None:
+            attempted = total - start
+            self.ops_executed += attempted
+            state.ops += attempted
+            return results
+        attempted = index - start + 1
+        self.ops_executed += attempted
+        state.ops += attempted
+        return exc
 
-        if kind is Dequeue:
-            channel = op.receiver.channel
-            if channel.can_dequeue():
-                state.pending_value = channel.do_dequeue(clock)
-                waiter = channel.waiting_sender
-                if waiter is not None:
-                    channel.waiting_sender = None
-                    self._wake(waiter)
-                if self._any_time_waiters:
-                    self._drain_time_waiters(state.context)
-                if state.buffer is not None:
-                    state.buffer.append(
-                        "dequeue", channel.name, clock.now(),
-                        state.pending_value,
-                    )
-                return True
-            if channel.closed_for_receiver:
-                state.pending_exc = ChannelClosed(channel.name)
-                return True
-            self._block(state, op, f"dequeue on empty {channel.name}")
-            channel.waiting_receiver = state
-            return False
+    def _dispatch(self, state: _ContextState, op: Op) -> bool:
+        """Attempt ``op`` via its handler; return False (and park the
+        context) if it blocks."""
+        handler = self._handlers.get(op.__class__)
+        if handler is None:
+            raise SimulationError(
+                state.context.name,
+                TypeError(f"context yielded a non-op value: {op!r}"),
+            )
+        return handler(state, op)
 
-        if kind is Peek:
-            channel = op.receiver.channel
-            if channel.can_dequeue():
-                state.pending_value = channel.do_peek(clock)
-                if self._any_time_waiters:
-                    self._drain_time_waiters(state.context)
-                if state.buffer is not None:
-                    state.buffer.append(
-                        "peek", channel.name, clock.now(),
-                        state.pending_value,
-                    )
-                return True
-            if channel.closed_for_receiver:
-                state.pending_exc = ChannelClosed(channel.name)
-                return True
-            self._block(state, op, f"peek on empty {channel.name}")
-            channel.waiting_receiver = state
-            return False
+    # --- generic op handlers ------------------------------------------
+    # Each performs the identical semantic transition the fast loop
+    # inlines, plus the bookkeeping (tracing, time-waiter drain) that
+    # the fast loop's eligibility rules make unnecessary there.
 
-        if kind is IncrCycles:
-            clock.incr(op.cycles)
+    def _h_enqueue(self, state: _ContextState, op) -> bool:
+        clock = state.context.time
+        channel = op.sender.channel
+        if channel.try_enqueue(clock, op.data):
             state.pending_value = None
+            waiter = channel.waiting_receiver
+            if waiter is not None:
+                channel.waiting_receiver = None
+                self._wake(waiter)
             if self._any_time_waiters:
                 self._drain_time_waiters(state.context)
             if state.buffer is not None:
-                state.buffer.append("advance", None, clock.now())
+                state.buffer.append(
+                    "enqueue", channel.name, clock.now(), op.data
+                )
             return True
+        self._block(state, op, channel._park_enq_msg)
+        channel.waiting_sender = state
+        return False
 
-        if kind is AdvanceTo:
-            clock.advance(op.time)
-            state.pending_value = None
+    def _h_dequeue(self, state: _ContextState, op) -> bool:
+        clock = state.context.time
+        channel = op.receiver.channel
+        result = channel.fast_dequeue(clock)
+        if result is not _EMPTY:
+            state.pending_value = result
+            waiter = channel.waiting_sender
+            if waiter is not None:
+                channel.waiting_sender = None
+                self._wake(waiter)
             if self._any_time_waiters:
                 self._drain_time_waiters(state.context)
             if state.buffer is not None:
-                state.buffer.append("advance", None, clock.now())
+                state.buffer.append(
+                    "dequeue", channel.name, clock.now(), result
+                )
             return True
-
-        if kind is ViewTime:
-            state.pending_value = op.context.time.now()
+        if channel.closed_for_receiver:
+            state.pending_exc = ChannelClosed(channel.name)
             return True
+        self._block(state, op, channel._park_deq_msg)
+        channel.waiting_receiver = state
+        return False
 
-        if kind is WaitUntil:
-            target = op.context
-            if target.time.now() >= op.time:
-                state.pending_value = target.time.now()
-                return True
-            self._block(state, op, f"wait-until {op.time} on {target.name}")
-            self._time_waiters.setdefault(id(target), []).append((op.time, state))
-            self._any_time_waiters = True
-            return False
+    def _h_peek(self, state: _ContextState, op) -> bool:
+        clock = state.context.time
+        channel = op.receiver.channel
+        if channel.can_dequeue():
+            state.pending_value = channel.do_peek(clock)
+            if self._any_time_waiters:
+                self._drain_time_waiters(state.context)
+            if state.buffer is not None:
+                state.buffer.append(
+                    "peek", channel.name, clock.now(), state.pending_value
+                )
+            return True
+        if channel.closed_for_receiver:
+            state.pending_exc = ChannelClosed(channel.name)
+            return True
+        self._block(state, op, f"peek on empty {channel.name}")
+        channel.waiting_receiver = state
+        return False
 
+    def _h_incr_cycles(self, state: _ContextState, op) -> bool:
+        clock = state.context.time
+        clock.incr(op.cycles)
+        state.pending_value = None
+        if self._any_time_waiters:
+            self._drain_time_waiters(state.context)
+        if state.buffer is not None:
+            state.buffer.append("advance", None, clock.now())
+        return True
+
+    def _h_advance_to(self, state: _ContextState, op) -> bool:
+        clock = state.context.time
+        clock.advance(op.time)
+        state.pending_value = None
+        if self._any_time_waiters:
+            self._drain_time_waiters(state.context)
+        if state.buffer is not None:
+            state.buffer.append("advance", None, clock.now())
+        return True
+
+    def _h_view_time(self, state: _ContextState, op) -> bool:
+        state.pending_value = op.context.time.now()
+        return True
+
+    def _h_wait_until(self, state: _ContextState, op) -> bool:
+        target = op.context
+        if target.time.now() >= op.time:
+            state.pending_value = target.time.now()
+            return True
+        self._block(state, op, f"wait-until {op.time} on {target.name}")
+        self._time_waiters.setdefault(id(target), []).append((op.time, state))
+        self._any_time_waiters = True
+        # A registered waiter must be drained on every clock advance, so
+        # subsequent slices take the generic loop until it clears.
+        self._fast = False
+        return False
+
+    def _h_nested_fusion(self, state: _ContextState, op) -> bool:
         raise SimulationError(
             state.context.name,
-            TypeError(f"context yielded a non-op value: {op!r}"),
+            TypeError(
+                "FusedOps (or a tuple/list of ops) cannot be nested "
+                f"inside another fused batch: {op!r}"
+            ),
         )
 
     # ------------------------------------------------------------------
+
+    # --- wake-with-delivery (fast path only) --------------------------
+    # A simulated op's result is a pure function of simulated state, so
+    # *who executes it* cannot change it: when a fast-path op unblocks a
+    # parked counterpart, the waker completes the parked Dequeue/Enqueue
+    # on the waiter's behalf (against the *waiter's* clock) and clears
+    # ``retry_op`` — the woken slice then starts straight in the fast
+    # loop with ``pending_value`` set, skipping the retry dispatch.
+    # Generic-mode wake sites keep the plain wake + retry protocol, and
+    # anything not open-codeable here (shuttle proxies, profiled or
+    # void flavors, hooked clocks, a parked Peek) falls back to it too.
+
+    def _wake_send_deliver(self, channel, waiter: "_ContextState") -> None:
+        """A dequeue freed bounded capacity: complete the parked sender's
+        Enqueue in place, then wake it."""
+        op = waiter.retry_op
+        if op is not None and op.__class__ is Enqueue:
+            wclock = waiter.context.time
+            if (
+                wclock.__class__ is TimeCell
+                and wclock.on_advance is None
+                and channel._enq_code == 1
+            ):
+                delta = channel._delta
+                capacity = channel.capacity
+                if delta >= capacity:
+                    resps = channel._resps
+                    stamp = wclock._time
+                    while delta >= capacity and resps:
+                        release = resps.popleft()
+                        if release > stamp:
+                            stamp = release
+                        delta -= 1
+                    wclock._time = stamp
+                    channel._delta = delta
+                if delta < capacity:
+                    stats = channel.stats
+                    stats.enqueues += 1
+                    data_q = channel._data
+                    data_q.append((wclock._time + channel.latency, op.data))
+                    channel._delta = delta + 1
+                    occ = len(data_q)
+                    if occ > stats.max_real_occupancy:
+                        stats.max_real_occupancy = occ
+                    waiter.retry_op = None
+                    waiter.pending_value = None
+        self._wake(waiter)
+
+    def _wake_recv_deliver(self, channel, waiter: "_ContextState") -> None:
+        """An enqueue filled an empty channel: complete the parked
+        receiver's Dequeue in place, then wake it."""
+        op = waiter.retry_op
+        if (
+            op is not None
+            and op.__class__ is Dequeue
+            and channel._deq_code != 2
+        ):
+            wclock = waiter.context.time
+            if wclock.__class__ is TimeCell and wclock.on_advance is None:
+                data_q = channel._data
+                if data_q:
+                    stamp, result = data_q.popleft()
+                    if stamp > wclock._time:
+                        wclock._time = stamp
+                    channel.stats.dequeues += 1
+                    if channel._deq_code == 1:
+                        channel._resps.append(
+                            wclock._time + channel.resp_latency
+                        )
+                    waiter.retry_op = None
+                    waiter.pending_value = result
+        self._wake(waiter)
 
     def _block(self, state: _ContextState, op: Op, detail: str) -> None:
         state.status = _BLOCKED
@@ -460,6 +1440,7 @@ class SequentialExecutor(Executor):
             del self._time_waiters[id(target)]
             if not self._time_waiters:
                 self._any_time_waiters = False
+                self._fast = self._fast_capable
 
     def _finish(self, state: _ContextState) -> None:
         """Mark a context finished and propagate closure to its channels."""

@@ -40,10 +40,19 @@ from typing import Any, Optional
 
 from ...obs import Observability, fold_channel_metrics, fold_context_metrics
 from ...obs.stall import StallReport, stall_for
-from ..channel import Channel
+from ..channel import _EMPTY, Channel
 from ..context import Context
 from ..errors import ChannelClosed, DamError, DeadlockError, SimulationError
-from ..ops import AdvanceTo, Dequeue, Enqueue, IncrCycles, Peek, ViewTime, WaitUntil
+from ..ops import (
+    AdvanceTo,
+    Dequeue,
+    Enqueue,
+    FusedOps,
+    IncrCycles,
+    Peek,
+    ViewTime,
+    WaitUntil,
+)
 from ..program import Program
 from .base import Executor, RunSummary
 
@@ -243,6 +252,68 @@ class ThreadedExecutor(Executor):
                     break
                 value, exc = None, None
                 kind = type(op)
+                if kind is FusedOps or kind is tuple or kind is list:
+                    subs = op.ops if kind is FusedOps else op
+                    results = []
+                    for sub in subs:
+                        # Accounting is per constituent, matching the
+                        # sequential executor: the batch itself is not
+                        # an op, and a closing dequeue is still counted.
+                        self._progress += 1
+                        self._ops_executed += 1
+                        ops += 1
+                        skind = type(sub)
+                        if skind is Enqueue:
+                            self._do_enqueue(ctx, sub)
+                            if buf is not None:
+                                buf.append(
+                                    "enqueue", sub.sender.channel.name,
+                                    ctx.time.now(), sub.data,
+                                )
+                            results.append(None)
+                        elif skind is Dequeue or skind is Peek:
+                            try:
+                                result = self._do_dequeue(
+                                    ctx, sub, remove=skind is Dequeue
+                                )
+                            except ChannelClosed as closed:
+                                exc = closed
+                                break  # abandon the rest of the batch
+                            if buf is not None:
+                                buf.append(
+                                    "dequeue" if skind is Dequeue else "peek",
+                                    sub.receiver.channel.name,
+                                    ctx.time.now(), result,
+                                )
+                            results.append(result)
+                        elif skind is IncrCycles:
+                            ctx.time.incr(sub.cycles)
+                            if buf is not None:
+                                buf.append("advance", None, ctx.time.now())
+                            results.append(None)
+                        elif skind is AdvanceTo:
+                            ctx.time.advance(sub.time)
+                            if buf is not None:
+                                buf.append("advance", None, ctx.time.now())
+                            results.append(None)
+                        elif skind is ViewTime:
+                            results.append(sub.context.time.now())
+                            spins += 1
+                        elif skind is WaitUntil:
+                            results.append(self._wait_until(ctx, sub))
+                        else:
+                            raise SimulationError(
+                                ctx.name,
+                                TypeError(
+                                    "FusedOps constituent must be a "
+                                    f"non-fused op: {sub!r}"
+                                ),
+                            )
+                    if exc is None:
+                        # A list, matching the sequential fast path's
+                        # reused plan buffer (same type either way).
+                        value = results
+                    continue
                 if kind is Enqueue:
                     self._do_enqueue(ctx, op)
                     if buf is not None:
@@ -319,12 +390,14 @@ class ThreadedExecutor(Executor):
         channel = op.sender.channel
         clock = ctx.time
         with channel.cond:
-            while not channel.sender_try_reserve(clock):
+            # ``try_enqueue`` is re-fetched on every attempt: a close
+            # transition while parked re-selects the flavor under this
+            # same condition, so the retry sees the fresh bound method.
+            while not channel.try_enqueue(clock, op.data):
                 self._park(
                     ctx, channel.cond, f"enqueue on full {channel.name}",
                     channel=channel,
                 )
-            channel.do_enqueue(clock, op.data)
             channel.cond.notify_all()
 
     def _do_dequeue(self, ctx: Context, op: Any, remove: bool) -> Any:
@@ -332,13 +405,13 @@ class ThreadedExecutor(Executor):
         clock = ctx.time
         with channel.cond:
             while True:
-                if channel.can_dequeue():
-                    if remove:
-                        value = channel.do_dequeue(clock)
+                if remove:
+                    value = channel.fast_dequeue(clock)
+                    if value is not _EMPTY:
                         channel.cond.notify_all()
-                    else:
-                        value = channel.do_peek(clock)
-                    return value
+                        return value
+                elif channel.can_dequeue():
+                    return channel.do_peek(clock)
                 if channel.closed_for_receiver:
                     raise ChannelClosed(channel.name)
                 self._park(

@@ -21,6 +21,24 @@ read naturally::
             value = yield self.input.dequeue()
             yield IncrCycles(self.initiation_interval)
             yield self.output.enqueue(value * 2)
+
+When several ops are known *before* any of their results are needed, they
+can be fused into a single yield with :class:`FusedOps` (or a plain
+tuple/list of ops).  The executor runs them back to back on its inline
+fast path — no scheduler round-trip between them — and resumes the
+generator once with a tuple of the per-op results::
+
+    def run(self):
+        while True:
+            value = yield self.input.dequeue()
+            yield FusedOps(
+                self.output.enqueue(value * 2),
+                IncrCycles(self.initiation_interval),
+            )
+
+Fusion never changes simulated results (each constituent executes the
+identical semantic transition, in order, blocking where it must); it only
+removes real-time suspend/resume overhead.  See DESIGN.md §11.
 """
 
 from __future__ import annotations
@@ -149,3 +167,48 @@ class WaitUntil(Op):
 
     def __repr__(self) -> str:
         return f"WaitUntil({self.context!r}, {self.time})"
+
+
+class FusedOps(Op):
+    """A batch of ops executed back to back in one scheduler entry.
+
+    Yielding ``FusedOps(op1, op2, ...)`` (or a plain tuple/list of ops) is
+    semantically identical to yielding each op in turn: constituents run
+    in order, each performing exactly the state transition it would have
+    performed unfused, blocking the context where the single op would
+    have blocked.  The generator is resumed once, with a list of the
+    per-constituent results (``None`` for ops that return nothing).
+    The list is owned by the executor — for a reused ``FusedOps`` it is
+    the batch's plan buffer, rewritten on the next execution — so unpack
+    or index it at the yield; do not retain it across yields::
+
+        a, b = yield FusedOps(self.in_a.dequeue(), self.in_b.dequeue())
+        yield FusedOps(self.out.enqueue(a + b), IncrCycles(1))
+
+    What fusion buys is *real* time only: one generator suspend/resume
+    and one scheduler round-trip for the whole batch instead of one per
+    op.  Accounting is per constituent — ``ops_executed`` and per-context
+    op counts are identical to the unfused form (the batch itself is not
+    an op), as are the emitted trace events and their order.
+
+    If a constituent dequeue/peek finds its channel closed, the
+    :class:`~repro.core.errors.ChannelClosed` is thrown into the
+    generator at this yield point and the remaining constituents do not
+    run — exactly as if the ops had been yielded separately (results of
+    earlier constituents in the batch are discarded with the throw, so
+    a context that needs them on wind-down should not fuse them with a
+    closing dequeue).  Nesting ``FusedOps`` inside a batch is an error.
+    """
+
+    __slots__ = ("ops", "plan")
+
+    def __init__(self, *ops: Op):
+        self.ops = ops
+        # Executor-compiled constituent plan (kind code + channel per
+        # op), latched on first execution.  Constituents and their
+        # channel bindings must not change afterwards — which the
+        # pre-allocate-and-mutate-``data`` reuse idiom already requires.
+        self.plan = None
+
+    def __repr__(self) -> str:
+        return f"FusedOps({', '.join(repr(op) for op in self.ops)})"

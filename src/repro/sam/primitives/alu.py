@@ -6,6 +6,7 @@ import math
 from typing import Callable
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
 
@@ -36,22 +37,29 @@ class BinaryAlu(SamContext):
 
     def run(self):
         fn = self.fn
+        # Pre-allocated ops: the steady state is one fused yield per token
+        # pair (emit, tick, pull both inputs), with zero op allocations.
+        deq1 = self.in_val1.dequeue()
+        deq2 = self.in_val2.dequeue()
+        enq = self.out_val.enqueue(None)
+        step = FusedOps(enq, self.tick(), deq1, deq2)
+        step_control = FusedOps(enq, self.tick_control(), deq1, deq2)
+        a, b = yield FusedOps(deq1, deq2)
         while True:
-            a = yield self.in_val1.dequeue()
-            b = yield self.in_val2.dequeue()
             if a is DONE or b is DONE:
                 assert a is DONE and b is DONE, (
                     f"{self.name}: value streams ended at different points"
                 )
-                yield self.out_val.enqueue(DONE)
+                enq.data = DONE
+                yield enq
                 return
-            if isinstance(a, Stop) or isinstance(b, Stop):
+            if a.__class__ is Stop or b.__class__ is Stop:
                 assert a == b, f"{self.name}: misaligned tokens {a!r} vs {b!r}"
-                yield self.out_val.enqueue(a)
-                yield self.tick_control()
+                enq.data = a
+                _, _, a, b = yield step_control
             else:
-                yield self.out_val.enqueue(fn(a, b))
-                yield self.tick()
+                enq.data = fn(a, b)
+                _, _, a, b = yield step
 
 
 def mul(a: float, b: float) -> float:
@@ -86,17 +94,22 @@ class UnaryAlu(SamContext):
 
     def run(self):
         fn = self.fn
+        deq = self.in_val.dequeue()
+        enq = self.out_val.enqueue(None)
+        step = FusedOps(enq, self.tick(), deq)
+        step_control = FusedOps(enq, self.tick_control(), deq)
+        token = yield deq
         while True:
-            token = yield self.in_val.dequeue()
             if token is DONE:
-                yield self.out_val.enqueue(DONE)
+                enq.data = DONE
+                yield enq
                 return
-            if isinstance(token, Stop):
-                yield self.out_val.enqueue(token)
-                yield self.tick_control()
+            if token.__class__ is Stop:
+                enq.data = token
+                token = (yield step_control)[2]
             else:
-                yield self.out_val.enqueue(fn(token))
-                yield self.tick()
+                enq.data = fn(token)
+                token = (yield step)[2]
 
 
 def exp(value: float) -> float:

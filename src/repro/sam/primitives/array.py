@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..token import ABSENT, DONE, Stop
 from .base import SamContext, TimingParams
 
@@ -34,17 +35,19 @@ class ArrayVals(SamContext):
 
     def run(self):
         vals = self.vals
+        deq = self.in_ref.dequeue()
+        enq = self.out_val.enqueue(None)
+        step = FusedOps(enq, self.tick(), deq)
+        step_control = FusedOps(enq, self.tick_control(), deq)
+        token = yield deq
         while True:
-            token = yield self.in_ref.dequeue()
             if token is DONE:
-                yield self.out_val.enqueue(DONE)
+                enq.data = DONE
+                yield enq
                 return
-            if isinstance(token, Stop):
-                yield self.out_val.enqueue(token)
-                yield self.tick_control()
-            elif token is ABSENT:
-                yield self.out_val.enqueue(0.0)
-                yield self.tick()
+            if token.__class__ is Stop:
+                enq.data = token
+                token = (yield step_control)[2]
             else:
-                yield self.out_val.enqueue(float(vals[token]))
-                yield self.tick()
+                enq.data = 0.0 if token is ABSENT else float(vals[token])
+                token = (yield step)[2]

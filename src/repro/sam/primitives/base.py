@@ -33,16 +33,27 @@ DEFAULT_TIMING = TimingParams()
 
 
 class SamContext(Context):
-    """Base class for SAM primitives: holds timing and tick helpers."""
+    """Base class for SAM primitives: holds timing and tick helpers.
+
+    Op objects are immutable-by-convention and re-yieldable, so the tick
+    helpers return per-instance cached :class:`IncrCycles` ops — the hot
+    loops of the primitives yield the same op object every iteration
+    (and fold it into pre-built :class:`~repro.core.ops.FusedOps`
+    batches), paying zero allocations per token.  See DESIGN.md §11 for
+    why reuse is safe: a generator cannot mutate or re-yield an op while
+    the executor still holds it, because the generator is suspended.
+    """
 
     def __init__(self, timing: TimingParams | None = None, name: str | None = None):
         super().__init__(name=name)
         self.timing = timing or DEFAULT_TIMING
+        self._tick_op = IncrCycles(self.timing.ii)
+        self._tick_control_op = IncrCycles(self.timing.scaled_for_control())
 
     def tick(self) -> IncrCycles:
         """One payload-token initiation interval (yield the result)."""
-        return IncrCycles(self.timing.ii)
+        return self._tick_op
 
     def tick_control(self) -> IncrCycles:
         """One control-token interval including the stop bubble."""
-        return IncrCycles(self.timing.ii + self.timing.stop_bubble)
+        return self._tick_control_op

@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
 
@@ -35,51 +36,65 @@ class CrdDrop(SamContext):
         self.register(in_outer_crd, in_inner_crd, out_crd)
 
     def run(self):
+        deq_outer = self.in_outer_crd.dequeue()
+        deq_inner = self.in_inner_crd.dequeue()
+        enq = self.out_crd.enqueue(None)
+        # Hot path: one tick per surviving inner payload, refill inner.
+        scan = FusedOps(self.tick(), deq_inner)
+        emit_pull = FusedOps(enq, self.tick_control(), deq_outer)
+        skip_pull = FusedOps(self.tick_control(), deq_outer)
+        emit_next = FusedOps(enq, deq_outer)
+        outer = yield deq_outer
         while True:
-            outer = yield self.in_outer_crd.dequeue()
             if outer is DONE:
-                inner = yield self.in_inner_crd.dequeue()
+                inner = yield deq_inner
                 assert inner is DONE, (
                     f"{self.name}: outer done but inner sent {inner!r}"
                 )
-                yield self.out_crd.enqueue(DONE)
+                enq.data = DONE
+                yield enq
                 return
-            if isinstance(outer, Stop):
+            if outer.__class__ is Stop:
                 # An empty outer fiber: the inner stream presents the
                 # matching one-deeper stop; mirror the outer stop through.
-                inner = yield self.in_inner_crd.dequeue()
+                inner = yield deq_inner
                 assert isinstance(inner, Stop) and inner.level == outer.level + 1, (
                     f"{self.name}: outer stop {outer!r} paired with inner "
                     f"{inner!r} (expected Stop({outer.level + 1}))"
                 )
-                yield self.out_crd.enqueue(outer)
-                yield self.tick_control()
+                enq.data = outer
+                outer = (yield emit_pull)[2]
                 continue
             # Scan this outer coordinate's inner fiber.
             nonempty = False
-            while True:
-                inner = yield self.in_inner_crd.dequeue()
-                if isinstance(inner, Stop):
-                    break
+            inner = yield deq_inner
+            while inner.__class__ is not Stop:
                 assert inner is not DONE, (
                     f"{self.name}: inner stream done mid-fiber"
                 )
                 nonempty = True
-                yield self.tick()
-            if nonempty:
-                yield self.out_crd.enqueue(outer)
-            yield self.tick_control()
+                inner = (yield scan)[1]
             if inner.level >= 1:
                 # Inner boundary also closes outer levels: mirror it on the
                 # outer stream (consume) and the output (emit, one level
                 # shallower).
-                matching = yield self.in_outer_crd.dequeue()
+                if nonempty:
+                    enq.data = outer
+                    matching = (yield emit_pull)[2]
+                else:
+                    matching = (yield skip_pull)[1]
                 expected = inner.level - 1
                 assert isinstance(matching, Stop) and matching.level == expected, (
                     f"{self.name}: expected outer Stop({expected}), got "
                     f"{matching!r}"
                 )
-                yield self.out_crd.enqueue(matching)
+                enq.data = matching
+                outer = (yield emit_next)[1]
+            elif nonempty:
+                enq.data = outer
+                outer = (yield emit_pull)[2]
+            else:
+                outer = (yield skip_pull)[1]
 
 
 class CrdHold(SamContext):
@@ -100,44 +115,51 @@ class CrdHold(SamContext):
         self.register(in_outer_crd, in_inner_crd, out_crd)
 
     def run(self):
+        deq_outer = self.in_outer_crd.dequeue()
+        deq_inner = self.in_inner_crd.dequeue()
+        enq = self.out_crd.enqueue(None)
+        # Hot path: emit the held outer crd, tick, refill inner.
+        hold_step = FusedOps(enq, self.tick(), deq_inner)
+        emit_pull = FusedOps(enq, self.tick_control(), deq_outer)
+        outer = yield deq_outer
         while True:
-            outer = yield self.in_outer_crd.dequeue()
             if outer is DONE:
-                inner = yield self.in_inner_crd.dequeue()
+                inner = yield deq_inner
                 assert inner is DONE, (
                     f"{self.name}: outer done but inner sent {inner!r}"
                 )
-                yield self.out_crd.enqueue(DONE)
+                enq.data = DONE
+                yield enq
                 return
-            if isinstance(outer, Stop):
+            if outer.__class__ is Stop:
                 # Empty outer fiber: pass the inner stream's matching
                 # one-deeper stop through (output aligns with the inner).
-                inner = yield self.in_inner_crd.dequeue()
+                inner = yield deq_inner
                 assert isinstance(inner, Stop) and inner.level == outer.level + 1, (
                     f"{self.name}: outer stop {outer!r} paired with inner "
                     f"{inner!r} (expected Stop({outer.level + 1}))"
                 )
-                yield self.out_crd.enqueue(inner)
-                yield self.tick_control()
+                enq.data = inner
+                outer = (yield emit_pull)[2]
                 continue
-            while True:
-                inner = yield self.in_inner_crd.dequeue()
-                if isinstance(inner, Stop):
-                    yield self.out_crd.enqueue(inner)
-                    yield self.tick_control()
-                    if inner.level >= 1:
-                        matching = yield self.in_outer_crd.dequeue()
-                        expected = inner.level - 1
-                        assert (
-                            isinstance(matching, Stop)
-                            and matching.level == expected
-                        ), (
-                            f"{self.name}: expected outer Stop({expected}), "
-                            f"got {matching!r}"
-                        )
-                    break
+            inner = yield deq_inner
+            while inner.__class__ is not Stop:
                 assert inner is not DONE, (
                     f"{self.name}: inner stream done mid-fiber"
                 )
-                yield self.out_crd.enqueue(outer)
-                yield self.tick()
+                enq.data = outer
+                inner = (yield hold_step)[2]
+            enq.data = inner
+            if inner.level >= 1:
+                matching = (yield emit_pull)[2]
+                expected = inner.level - 1
+                assert (
+                    isinstance(matching, Stop)
+                    and matching.level == expected
+                ), (
+                    f"{self.name}: expected outer Stop({expected}), "
+                    f"got {matching!r}"
+                )
+                outer = yield deq_outer
+            else:
+                outer = (yield emit_pull)[2]

@@ -20,6 +20,7 @@ dense counterpart ("repeated range generator") used by SDDMM/MHA.
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..tensor import Level
 from ..token import ABSENT, DONE, Stop
 from .base import SamContext, TimingParams
@@ -46,33 +47,65 @@ class FiberLookup(SamContext):
 
     def run(self):
         level = self.level
+        out_crd = self.out_crd
+        out_ref = self.out_ref
+        deq = self.in_ref.dequeue()
+        enq_crd = out_crd.enqueue(None)
+        enq_ref = out_ref.enqueue(None)
+        emit_control = FusedOps(enq_crd, enq_ref, self.tick_control())
+        step_control = FusedOps(enq_crd, enq_ref, self.tick_control(), deq)
+        # Constant-data boundary ops (the S0 between sibling fibers) and
+        # the shared per-element tick, reused by every cached batch below.
+        bound_crd = out_crd.enqueue(Stop(0))
+        bound_ref = out_ref.enqueue(Stop(0))
+        tick_control = self.tick_control()
+        tick = self.tick()
+        # Whole-fiber batches keyed by (element count, needs-boundary):
+        # one fused yield streams the entire fiber — optional S0 boundary,
+        # each element's (crd, ref, tick), and the next input pull —
+        # instead of one scheduler round-trip per element.  The op order
+        # is exactly the historical one-yield-per-element form's.
+        batches = {}
         open_fiber = False  # a fiber was emitted and awaits its boundary
+        token = yield deq
         while True:
-            token = yield self.in_ref.dequeue()
             if token is DONE:
                 if open_fiber:
-                    yield self.out_crd.enqueue(Stop(0))
-                    yield self.out_ref.enqueue(Stop(0))
-                    yield self.tick_control()
-                yield self.out_crd.enqueue(DONE)
-                yield self.out_ref.enqueue(DONE)
+                    enq_crd.data = enq_ref.data = Stop(0)
+                    yield emit_control
+                enq_crd.data = enq_ref.data = DONE
+                yield (enq_crd, enq_ref)
                 return
-            if isinstance(token, Stop):
-                bumped = token.bumped()
-                yield self.out_crd.enqueue(bumped)
-                yield self.out_ref.enqueue(bumped)
-                yield self.tick_control()
+            if token.__class__ is Stop:
+                enq_crd.data = enq_ref.data = token.bumped()
                 open_fiber = False
+                token = (yield step_control)[3]
                 continue
             # A reference (or ABSENT: an empty fiber placeholder).
-            if open_fiber:
-                yield self.out_crd.enqueue(Stop(0))
-                yield self.out_ref.enqueue(Stop(0))
-                yield self.tick_control()
-            if token is not ABSENT:
+            if token is ABSENT:
+                coords = refs = ()
+            else:
                 coords, refs = level.fiber(token)
-                for coord, ref in zip(coords, refs):
-                    yield self.out_crd.enqueue(coord)
-                    yield self.out_ref.enqueue(ref)
-                    yield self.tick()
+            key = (len(coords), open_fiber)
+            batch = batches.get(key)
+            if batch is None:
+                crd_ops = [out_crd.enqueue(None) for _ in coords]
+                ref_ops = [out_ref.enqueue(None) for _ in coords]
+                subs = (
+                    [bound_crd, bound_ref, tick_control]
+                    if open_fiber
+                    else []
+                )
+                for crd_op, ref_op in zip(crd_ops, ref_ops):
+                    subs += (crd_op, ref_op, tick)
+                subs.append(deq)
+                batch = (FusedOps(*subs), crd_ops, ref_ops)
+                batches[key] = batch
+            fused, crd_ops, ref_ops = batch
+            for crd_op, ref_op, coord, ref in zip(
+                crd_ops, ref_ops, coords, refs
+            ):
+                crd_op.data = coord
+                ref_op.data = ref
             open_fiber = True
+            token = (yield fused)[-1]

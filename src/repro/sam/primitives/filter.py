@@ -10,6 +10,7 @@ intersections produce.
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
 
@@ -30,16 +31,22 @@ class ValDrop(SamContext):
         self.register(in_val, out_val)
 
     def run(self):
+        deq = self.in_val.dequeue()
+        enq = self.out_val.enqueue(None)
+        step = FusedOps(enq, self.tick(), deq)
+        step_control = FusedOps(enq, self.tick_control(), deq)
+        skip = FusedOps(self.tick(), deq)
+        token = yield deq
         while True:
-            token = yield self.in_val.dequeue()
             if token is DONE:
-                yield self.out_val.enqueue(DONE)
+                enq.data = DONE
+                yield enq
                 return
-            if isinstance(token, Stop):
-                yield self.out_val.enqueue(token)
-                yield self.tick_control()
+            if token.__class__ is Stop:
+                enq.data = token
+                token = (yield step_control)[2]
             elif token != 0.0:
-                yield self.out_val.enqueue(token)
-                yield self.tick()
+                enq.data = token
+                token = (yield step)[2]
             else:
-                yield self.tick()
+                token = (yield skip)[1]

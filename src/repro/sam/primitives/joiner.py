@@ -16,12 +16,20 @@ stream plus a ref stream per input operand.
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..token import ABSENT, DONE, Stop
 from .base import SamContext, TimingParams
 
 
 class _TwoStreamJoiner(SamContext):
-    """Shared plumbing: paired (crd, ref) heads with lookahead."""
+    """Shared plumbing: paired (crd, ref) heads with lookahead.
+
+    The run loops are written against a pre-fused op kit built by
+    :meth:`_make_ops`: every steady-state transition (emit one output
+    triple, charge a tick, refill the consumed input heads) is a single
+    fused yield, preserving the exact op order of the historical
+    one-yield-per-op form.
+    """
 
     def __init__(
         self,
@@ -47,113 +55,160 @@ class _TwoStreamJoiner(SamContext):
             in_crd1, in_ref1, in_crd2, in_ref2, out_crd, out_ref1, out_ref2
         )
 
-    def _pull1(self):
-        crd = yield self.in_crd1.dequeue()
-        ref = yield self.in_ref1.dequeue()
-        return crd, ref
-
-    def _pull2(self):
-        crd = yield self.in_crd2.dequeue()
-        ref = yield self.in_ref2.dequeue()
-        return crd, ref
-
-    def _emit(self, crd, ref1, ref2):
-        yield self.out_crd.enqueue(crd)
-        yield self.out_ref1.enqueue(ref1)
-        yield self.out_ref2.enqueue(ref2)
-
-    def _emit_control(self, token):
-        yield self.out_crd.enqueue(token)
-        yield self.out_ref1.enqueue(token)
-        yield self.out_ref2.enqueue(token)
+    def _make_ops(self):
+        """Build the pre-fused op kit shared by Intersect and Union."""
+        d1c = self.in_crd1.dequeue()
+        d1r = self.in_ref1.dequeue()
+        d2c = self.in_crd2.dequeue()
+        d2r = self.in_ref2.dequeue()
+        ec = self.out_crd.enqueue(None)
+        e1 = self.out_ref1.enqueue(None)
+        e2 = self.out_ref2.enqueue(None)
+        tick = self.tick()
+        kit = {
+            # Prime both input heads.
+            "pull_both": FusedOps(d1c, d1r, d2c, d2r),
+            # Emit a matched triple, tick, refill both heads.
+            "emit_both": FusedOps(ec, e1, e2, tick, d1c, d1r, d2c, d2r),
+            # Emit, tick, refill only side 1 / side 2 (union ABSENT cases).
+            "emit_pull1": FusedOps(ec, e1, e2, tick, d1c, d1r),
+            "emit_pull2": FusedOps(ec, e1, e2, tick, d2c, d2r),
+            # Aligned stop: emit it on all three outputs, control tick,
+            # refill both heads.
+            "stop_both": FusedOps(ec, e1, e2, self.tick_control(), d1c, d1r, d2c, d2r),
+            # Skip a coordinate: tick, refill one side (intersect misses).
+            "skip1": FusedOps(tick, d1c, d1r),
+            "skip2": FusedOps(tick, d2c, d2r),
+            # Final DONE triple (no tick; the run returns right after).
+            "emit_done": FusedOps(ec, e1, e2),
+        }
+        return ec, e1, e2, kit
 
 
 class Intersect(_TwoStreamJoiner):
     """Two-pointer fiber intersection (sparse multiply iteration space)."""
 
     def run(self):
-        c1, r1 = yield from self._pull1()
-        c2, r2 = yield from self._pull2()
+        ec, e1, e2, kit = self._make_ops()
+        emit_both = kit["emit_both"]
+        stop_both = kit["stop_both"]
+        skip1 = kit["skip1"]
+        skip2 = kit["skip2"]
+        c1, r1, c2, r2 = yield kit["pull_both"]
         while True:
-            s1 = isinstance(c1, Stop)
-            s2 = isinstance(c2, Stop)
+            s1 = c1.__class__ is Stop
+            s2 = c2.__class__ is Stop
             if c1 is DONE or c2 is DONE:
                 assert c1 is DONE and c2 is DONE, (
                     f"{self.name}: streams ended at different points "
                     f"({c1!r} vs {c2!r})"
                 )
-                yield from self._emit_control(DONE)
+                ec.data = e1.data = e2.data = DONE
+                yield kit["emit_done"]
                 return
             if s1 and s2:
                 assert c1.level == c2.level, (
                     f"{self.name}: misaligned stops {c1!r} vs {c2!r}"
                 )
-                yield from self._emit_control(c1)
-                yield self.tick_control()
-                c1, r1 = yield from self._pull1()
-                c2, r2 = yield from self._pull2()
+                ec.data = e1.data = e2.data = c1
+                res = yield stop_both
+                c1 = res[4]
+                r1 = res[5]
+                c2 = res[6]
+                r2 = res[7]
             elif s1:
                 # Side 2 still has coordinates this fiber: no match possible.
-                yield self.tick()
-                c2, r2 = yield from self._pull2()
+                res = yield skip2
+                c2 = res[1]
+                r2 = res[2]
             elif s2:
-                yield self.tick()
-                c1, r1 = yield from self._pull1()
+                res = yield skip1
+                c1 = res[1]
+                r1 = res[2]
             elif c1 == c2:
-                yield from self._emit(c1, r1, r2)
-                yield self.tick()
-                c1, r1 = yield from self._pull1()
-                c2, r2 = yield from self._pull2()
+                ec.data = c1
+                e1.data = r1
+                e2.data = r2
+                res = yield emit_both
+                c1 = res[4]
+                r1 = res[5]
+                c2 = res[6]
+                r2 = res[7]
             elif c1 < c2:
-                yield self.tick()
-                c1, r1 = yield from self._pull1()
+                res = yield skip1
+                c1 = res[1]
+                r1 = res[2]
             else:
-                yield self.tick()
-                c2, r2 = yield from self._pull2()
+                res = yield skip2
+                c2 = res[1]
+                r2 = res[2]
 
 
 class Union(_TwoStreamJoiner):
     """Fiber union with ABSENT placeholders (sparse add iteration space)."""
 
     def run(self):
-        c1, r1 = yield from self._pull1()
-        c2, r2 = yield from self._pull2()
+        ec, e1, e2, kit = self._make_ops()
+        emit_both = kit["emit_both"]
+        emit_pull1 = kit["emit_pull1"]
+        emit_pull2 = kit["emit_pull2"]
+        stop_both = kit["stop_both"]
+        c1, r1, c2, r2 = yield kit["pull_both"]
         while True:
-            s1 = isinstance(c1, Stop)
-            s2 = isinstance(c2, Stop)
+            s1 = c1.__class__ is Stop
+            s2 = c2.__class__ is Stop
             if c1 is DONE or c2 is DONE:
                 assert c1 is DONE and c2 is DONE, (
                     f"{self.name}: streams ended at different points "
                     f"({c1!r} vs {c2!r})"
                 )
-                yield from self._emit_control(DONE)
+                ec.data = e1.data = e2.data = DONE
+                yield kit["emit_done"]
                 return
             if s1 and s2:
                 assert c1.level == c2.level, (
                     f"{self.name}: misaligned stops {c1!r} vs {c2!r}"
                 )
-                yield from self._emit_control(c1)
-                yield self.tick_control()
-                c1, r1 = yield from self._pull1()
-                c2, r2 = yield from self._pull2()
+                ec.data = e1.data = e2.data = c1
+                res = yield stop_both
+                c1 = res[4]
+                r1 = res[5]
+                c2 = res[6]
+                r2 = res[7]
             elif s1:
-                yield from self._emit(c2, ABSENT, r2)
-                yield self.tick()
-                c2, r2 = yield from self._pull2()
+                ec.data = c2
+                e1.data = ABSENT
+                e2.data = r2
+                res = yield emit_pull2
+                c2 = res[4]
+                r2 = res[5]
             elif s2:
-                yield from self._emit(c1, r1, ABSENT)
-                yield self.tick()
-                c1, r1 = yield from self._pull1()
+                ec.data = c1
+                e1.data = r1
+                e2.data = ABSENT
+                res = yield emit_pull1
+                c1 = res[4]
+                r1 = res[5]
             elif c1 == c2:
-                yield from self._emit(c1, r1, r2)
-                yield self.tick()
-                c1, r1 = yield from self._pull1()
-                c2, r2 = yield from self._pull2()
+                ec.data = c1
+                e1.data = r1
+                e2.data = r2
+                res = yield emit_both
+                c1 = res[4]
+                r1 = res[5]
+                c2 = res[6]
+                r2 = res[7]
             elif c1 < c2:
-                yield from self._emit(c1, r1, ABSENT)
-                yield self.tick()
-                c1, r1 = yield from self._pull1()
+                ec.data = c1
+                e1.data = r1
+                e2.data = ABSENT
+                res = yield emit_pull1
+                c1 = res[4]
+                r1 = res[5]
             else:
-                yield from self._emit(c2, ABSENT, r2)
-                yield self.tick()
-                c2, r2 = yield from self._pull2()
+                ec.data = c2
+                e1.data = ABSENT
+                e2.data = r2
+                res = yield emit_pull2
+                c2 = res[4]
+                r2 = res[5]

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
 
@@ -71,62 +72,78 @@ class NonzeroLimiter(SamContext):
     def _run_tail(self):
         """Streaming policy: pass the first K of each fiber, drop the rest."""
         kept = 0
+        max_nonzeros = self.max_nonzeros
+        deq_crd = self.in_crd.dequeue()
+        deq_val = self.in_val.dequeue()
+        enq_crd = self.out_crd.enqueue(None)
+        enq_val = self.out_val.enqueue(None)
+        pull = FusedOps(deq_crd, deq_val)
+        emit = FusedOps(enq_crd, enq_val, self.tick(), deq_crd, deq_val)
+        emit_control = FusedOps(
+            enq_crd, enq_val, self.tick_control(), deq_crd, deq_val
+        )
+        drop = FusedOps(self.tick(), deq_crd, deq_val)
+        crd, val = yield pull
         while True:
-            crd = yield self.in_crd.dequeue()
-            val = yield self.in_val.dequeue()
             if crd is DONE:
                 assert val is DONE, f"{self.name}: misaligned DONE"
-                yield self.out_crd.enqueue(DONE)
-                yield self.out_val.enqueue(DONE)
+                enq_crd.data = enq_val.data = DONE
+                yield (enq_crd, enq_val)
                 return
-            if isinstance(crd, Stop):
+            if crd.__class__ is Stop:
                 assert crd == val, f"{self.name}: misaligned stops {crd!r}/{val!r}"
-                yield self.out_crd.enqueue(crd)
-                yield self.out_val.enqueue(crd)
-                yield self.tick_control()
+                enq_crd.data = enq_val.data = crd
                 kept = 0
+                crd, val = (yield emit_control)[3:5]
                 continue
-            if kept < self.max_nonzeros:
+            if kept < max_nonzeros:
                 kept += 1
-                yield self.out_crd.enqueue(crd)
-                yield self.out_val.enqueue(val)
+                enq_crd.data = crd
+                enq_val.data = val
+                crd, val = (yield emit)[3:5]
             else:
                 self.dropped += 1
-            yield self.tick()
+                crd, val = (yield drop)[1:3]
 
     def _run_smallest(self):
         """Windowed policy: keep the K largest-magnitude values per fiber."""
         fiber: list[tuple[Any, Any]] = []
+        deq_crd = self.in_crd.dequeue()
+        deq_val = self.in_val.dequeue()
+        enq_crd = self.out_crd.enqueue(None)
+        enq_val = self.out_val.enqueue(None)
+        pull = FusedOps(deq_crd, deq_val)
+        gather = FusedOps(self.tick(), deq_crd, deq_val)
+        emit = FusedOps(enq_crd, enq_val, self.tick())
+        emit_control = FusedOps(
+            enq_crd, enq_val, self.tick_control(), deq_crd, deq_val
+        )
+        crd, val = yield pull
         while True:
-            crd = yield self.in_crd.dequeue()
-            val = yield self.in_val.dequeue()
             if crd is DONE:
                 assert val is DONE, f"{self.name}: misaligned DONE"
-                yield self.out_crd.enqueue(DONE)
-                yield self.out_val.enqueue(DONE)
+                enq_crd.data = enq_val.data = DONE
+                yield (enq_crd, enq_val)
                 return
-            if isinstance(crd, Stop):
+            if crd.__class__ is Stop:
                 assert crd == val, f"{self.name}: misaligned stops {crd!r}/{val!r}"
-                yield from self._flush(fiber)
+                for keep_crd, keep_val in self._select(fiber):
+                    enq_crd.data = keep_crd
+                    enq_val.data = keep_val
+                    yield emit
                 fiber = []
-                yield self.out_crd.enqueue(crd)
-                yield self.out_val.enqueue(crd)
-                yield self.tick_control()
+                enq_crd.data = enq_val.data = crd
+                crd, val = (yield emit_control)[3:5]
                 continue
             fiber.append((crd, val))
-            yield self.tick()
+            crd, val = (yield gather)[1:3]
 
-    def _flush(self, fiber):
+    def _select(self, fiber):
         if len(fiber) > self.max_nonzeros:
             self.dropped += len(fiber) - self.max_nonzeros
             # Keep the K largest magnitudes, re-emitted in coordinate order.
-            keep = sorted(
+            return sorted(
                 sorted(fiber, key=lambda cv: -abs(cv[1]))[: self.max_nonzeros],
                 key=lambda cv: cv[0],
             )
-        else:
-            keep = fiber
-        for crd, val in keep:
-            yield self.out_crd.enqueue(crd)
-            yield self.out_val.enqueue(val)
-            yield self.tick()
+        return fiber

@@ -18,6 +18,7 @@ from __future__ import annotations
 from bisect import bisect_left
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..tensor import CompressedLevel, DenseLevel, Level
 from ..token import ABSENT, DONE, Stop
 from .base import SamContext, TimingParams
@@ -62,14 +63,20 @@ class Locate(SamContext):
         return ABSENT
 
     def run(self):
+        lookup = self._lookup
+        deq = self.in_crd.dequeue()
+        enq = self.out_ref.enqueue(None)
+        step = FusedOps(enq, self.tick(), deq)
+        step_control = FusedOps(enq, self.tick_control(), deq)
+        token = yield deq
         while True:
-            token = yield self.in_crd.dequeue()
             if token is DONE:
-                yield self.out_ref.enqueue(DONE)
+                enq.data = DONE
+                yield enq
                 return
-            if isinstance(token, Stop):
-                yield self.out_ref.enqueue(token)
-                yield self.tick_control()
+            if token.__class__ is Stop:
+                enq.data = token
+                token = (yield step_control)[2]
             else:
-                yield self.out_ref.enqueue(self._lookup(token))
-                yield self.tick()
+                enq.data = lookup(token)
+                token = (yield step)[2]

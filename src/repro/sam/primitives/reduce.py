@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
 
@@ -49,23 +50,35 @@ class Reduce(SamContext):
         # empty intersections in SpMSpM, which must still produce their
         # zero).  Hence the flag.  See tests/sam/test_primitives.py.
         virgin = True
+        deq = self.in_val.dequeue()
+        enq_acc = self.out_val.enqueue(None)  # accumulator (or final DONE)
+        enq_stop = self.out_val.enqueue(None)  # trailing shallower stop
+        step = FusedOps(self.tick(), deq)
+        flush_inner = FusedOps(enq_acc, self.tick_control(), deq)
+        flush_outer = FusedOps(enq_acc, enq_stop, self.tick_control(), deq)
+        flush_suppressed = FusedOps(enq_stop, self.tick_control(), deq)
+        token = yield deq
         while True:
-            token = yield self.in_val.dequeue()
             if token is DONE:
-                yield self.out_val.enqueue(DONE)
+                enq_acc.data = DONE
+                yield enq_acc
                 return
-            if isinstance(token, Stop):
+            if token.__class__ is Stop:
                 if token.level == 0:
                     virgin = False
-                if not (
-                    self.suppress_uninhabited and virgin and token.level >= 1
-                ):
-                    yield self.out_val.enqueue(accumulator)
-                accumulator = self.identity
-                if token.level >= 1:
-                    yield self.out_val.enqueue(Stop(token.level - 1))
-                yield self.tick_control()
+                    enq_acc.data = accumulator
+                    accumulator = self.identity
+                    token = (yield flush_inner)[2]
+                elif self.suppress_uninhabited and virgin:
+                    accumulator = self.identity
+                    enq_stop.data = Stop(token.level - 1)
+                    token = (yield flush_suppressed)[2]
+                else:
+                    enq_acc.data = accumulator
+                    accumulator = self.identity
+                    enq_stop.data = Stop(token.level - 1)
+                    token = (yield flush_outer)[3]
             else:
                 virgin = False
                 accumulator = fn(accumulator, token)
-                yield self.tick()
+                token = (yield step)[1]

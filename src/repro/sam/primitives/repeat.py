@@ -17,6 +17,7 @@ compares; the cycle-based counterpart lives in
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..token import DONE, REPEAT, Stop
 from .base import SamContext, TimingParams
 
@@ -37,17 +38,22 @@ class RepeatSigGen(SamContext):
         self.register(in_crd, out_sig)
 
     def run(self):
+        deq = self.in_crd.dequeue()
+        enq = self.out_sig.enqueue(None)
+        step = FusedOps(enq, self.tick(), deq)
+        step_control = FusedOps(enq, self.tick_control(), deq)
+        token = yield deq
         while True:
-            token = yield self.in_crd.dequeue()
             if token is DONE:
-                yield self.out_sig.enqueue(DONE)
+                enq.data = DONE
+                yield enq
                 return
-            if isinstance(token, Stop):
-                yield self.out_sig.enqueue(token)
-                yield self.tick_control()
+            if token.__class__ is Stop:
+                enq.data = token
+                token = (yield step_control)[2]
             else:
-                yield self.out_sig.enqueue(REPEAT)
-                yield self.tick()
+                enq.data = REPEAT
+                token = (yield step)[2]
 
 
 class Repeat(SamContext):
@@ -68,50 +74,58 @@ class Repeat(SamContext):
         self.register(in_ref, in_sig, out_ref)
 
     def run(self):
+        deq_ref = self.in_ref.dequeue()
+        deq_sig = self.in_sig.dequeue()
+        enq = self.out_ref.enqueue(None)
+        # Hot path: emit the replicated ref, tick, pull the next signal.
+        emit_sig = FusedOps(enq, self.tick(), deq_sig)
+        stop_flush = FusedOps(enq, self.tick_control())
+        stop_pull = FusedOps(enq, self.tick_control(), deq_ref)
+        ref = yield deq_ref
         while True:
-            ref = yield self.in_ref.dequeue()
             if ref is DONE:
-                signal = yield self.in_sig.dequeue()
+                signal = yield deq_sig
                 assert signal is DONE, (
                     f"{self.name}: ref stream done but signal stream sent "
                     f"{signal!r}"
                 )
-                yield self.out_ref.enqueue(DONE)
+                enq.data = DONE
+                yield enq
                 return
-            if isinstance(ref, Stop):
+            if ref.__class__ is Stop:
                 # An empty reference fiber: the signal stream presents the
                 # matching one-deeper stop; consume the pair and pass the
                 # deeper stop through.
-                signal = yield self.in_sig.dequeue()
+                signal = yield deq_sig
                 assert isinstance(signal, Stop) and signal.level == ref.level + 1, (
                     f"{self.name}: ref stop {ref!r} paired with signal "
                     f"{signal!r} (expected Stop({ref.level + 1}))"
                 )
-                yield self.out_ref.enqueue(signal)
-                yield self.tick_control()
+                enq.data = signal
+                ref = (yield stop_pull)[2]
                 continue
             # Replicate this ref for one signal group.
-            while True:
-                signal = yield self.in_sig.dequeue()
-                if signal is REPEAT:
-                    yield self.out_ref.enqueue(ref)
-                    yield self.tick()
-                    continue
-                assert isinstance(signal, Stop), (
-                    f"{self.name}: signal stream ended mid-group with "
-                    f"{signal!r}"
+            signal = yield deq_sig
+            while signal is REPEAT:
+                enq.data = ref
+                signal = (yield emit_sig)[2]
+            assert isinstance(signal, Stop), (
+                f"{self.name}: signal stream ended mid-group with "
+                f"{signal!r}"
+            )
+            enq.data = signal
+            if signal.level >= 1:
+                # The group closed outer levels too: consume the ref
+                # stream's matching (one-shallower) stop.
+                matching = (yield stop_pull)[2]
+                assert (
+                    isinstance(matching, Stop)
+                    and matching.level == signal.level - 1
+                ), (
+                    f"{self.name}: expected ref-stream Stop("
+                    f"{signal.level - 1}), got {matching!r}"
                 )
-                yield self.out_ref.enqueue(signal)
-                yield self.tick_control()
-                if signal.level >= 1:
-                    # The group closed outer levels too: consume the ref
-                    # stream's matching (one-shallower) stop.
-                    matching = yield self.in_ref.dequeue()
-                    assert (
-                        isinstance(matching, Stop)
-                        and matching.level == signal.level - 1
-                    ), (
-                        f"{self.name}: expected ref-stream Stop("
-                        f"{signal.level - 1}), got {matching!r}"
-                    )
-                break
+                ref = yield deq_ref
+            else:
+                yield stop_flush
+                ref = yield deq_ref

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from ...core.channel import Sender
+from ...core.ops import FusedOps
 from ..token import DONE
 from .base import SamContext, TimingParams
 
@@ -53,6 +54,8 @@ class StreamSource(SamContext):
         self.register(out)
 
     def run(self):
+        enq = self.out.enqueue(None)
+        step = FusedOps(enq, self.tick())
         for token in self.tokens:
-            yield self.out.enqueue(token)
-            yield self.tick()
+            enq.data = token
+            yield step

@@ -14,6 +14,7 @@ consecutive subfibers and the spacc merges them into one output row per
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
 
@@ -39,37 +40,46 @@ class SpaccV1(SamContext):
 
     def run(self):
         accumulator: dict[int, float] = {}
+        deq_crd = self.in_crd.dequeue()
+        deq_val = self.in_val.dequeue()
+        enq_crd = self.out_crd.enqueue(None)
+        enq_val = self.out_val.enqueue(None)
+        tick = self.tick()
+        step = FusedOps(tick, deq_crd)
+        skip_control = FusedOps(self.tick_control(), deq_crd)
+        emit = FusedOps(enq_crd, enq_val, tick)
+        boundary_flush = FusedOps(
+            enq_crd, enq_val, self.tick_control(), deq_crd
+        )
+        crd = yield deq_crd
         while True:
-            crd = yield self.in_crd.dequeue()
             if crd is DONE:
-                val = yield self.in_val.dequeue()
+                val = yield deq_val
                 assert val is DONE, f"{self.name}: crd done before val done"
-                yield self.out_crd.enqueue(DONE)
-                yield self.out_val.enqueue(DONE)
+                enq_crd.data = enq_val.data = DONE
+                yield (enq_crd, enq_val)
                 return
-            if isinstance(crd, Stop):
-                val = yield self.in_val.dequeue()
+            if crd.__class__ is Stop:
+                val = yield deq_val
                 assert crd == val, (
                     f"{self.name}: misaligned stops {crd!r} vs {val!r}"
                 )
                 if crd.level == 0:
                     # Subfiber boundary: keep accumulating across it.
-                    yield self.tick_control()
+                    crd = (yield skip_control)[1]
                     continue
                 # Outer boundary: flush the merged fiber.
                 for coord in sorted(accumulator):
-                    yield self.out_crd.enqueue(coord)
-                    yield self.out_val.enqueue(accumulator[coord])
-                    yield self.tick()
+                    enq_crd.data = coord
+                    enq_val.data = accumulator[coord]
+                    yield emit
                 accumulator.clear()
-                boundary = Stop(crd.level - 1)
-                yield self.out_crd.enqueue(boundary)
-                yield self.out_val.enqueue(boundary)
-                yield self.tick_control()
+                enq_crd.data = enq_val.data = Stop(crd.level - 1)
+                crd = (yield boundary_flush)[3]
             else:
-                val = yield self.in_val.dequeue()
+                val = yield deq_val
                 assert not isinstance(val, (Stop, type(DONE))), (
                     f"{self.name}: crd payload paired with control {val!r}"
                 )
                 accumulator[crd] = accumulator.get(crd, 0.0) + val
-                yield self.tick()
+                crd = (yield step)[1]

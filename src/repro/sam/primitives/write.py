@@ -13,6 +13,7 @@ from typing import Any
 import numpy as np
 
 from ...core.channel import Receiver
+from ...core.ops import FusedOps
 from ..tensor import CompressedLevel
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
@@ -39,16 +40,21 @@ class FiberWrite(SamContext):
         self.register(in_crd)
 
     def run(self):
+        seg = self.seg
+        crd = self.crd
+        deq = self.in_crd.dequeue()
+        step = FusedOps(self.tick(), deq)
+        step_control = FusedOps(self.tick_control(), deq)
+        token = yield deq
         while True:
-            token = yield self.in_crd.dequeue()
             if token is DONE:
                 return
-            if isinstance(token, Stop):
-                self.seg.append(len(self.crd))
-                yield self.tick_control()
+            if token.__class__ is Stop:
+                seg.append(len(crd))
+                token = (yield step_control)[1]
             else:
-                self.crd.append(token)
-                yield self.tick()
+                crd.append(token)
+                token = (yield step)[1]
 
     def to_level(self) -> CompressedLevel:
         return CompressedLevel(self.seg, self.crd)
@@ -69,15 +75,19 @@ class ValsWrite(SamContext):
         self.register(in_val)
 
     def run(self):
+        vals = self.vals
+        deq = self.in_val.dequeue()
+        step = FusedOps(self.tick(), deq)
+        step_control = FusedOps(self.tick_control(), deq)
+        token = yield deq
         while True:
-            token = yield self.in_val.dequeue()
             if token is DONE:
                 return
-            if isinstance(token, Stop):
-                yield self.tick_control()
+            if token.__class__ is Stop:
+                token = (yield step_control)[1]
             else:
-                self.vals.append(token)
-                yield self.tick()
+                vals.append(token)
+                token = (yield step)[1]
 
     def to_array(self) -> np.ndarray:
         return np.array(self.vals, dtype=np.float64)
@@ -98,9 +108,12 @@ class StreamSink(SamContext):
         self.register(inp)
 
     def run(self):
+        tokens = self.tokens
+        deq = self.inp.dequeue()
+        step = FusedOps(self.tick(), deq)
+        token = yield deq
         while True:
-            token = yield self.inp.dequeue()
-            self.tokens.append(token)
+            tokens.append(token)
             if token is DONE:
                 return
-            yield self.tick()
+            token = (yield step)[1]

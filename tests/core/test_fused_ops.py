@@ -1,0 +1,424 @@
+"""FusedOps semantics: fusion must be invisible to simulated results.
+
+Yielding ``FusedOps(op1, op2, ...)`` (or a plain tuple/list of ops) is the
+one-suspension form of yielding each op in turn.  These tests pin the
+contract from ``ops.py``/DESIGN.md §11: identical cycles, channel stats,
+op accounting, and trace event sequences as the unfused form; list-of-
+results delivery (valid only until the batch's next execution); blocking
+mid-batch at exactly the constituent that would have blocked; ChannelClosed
+surfacing at the yield point; and nested batches rejected.
+
+Every behavioural test runs under both the inline fast path and the
+generic dispatch path (``fast_path=False``) — the two implementations must
+be indistinguishable.
+"""
+
+import pytest
+
+from repro.contexts import Collector
+from repro.core import (
+    FunctionContext,
+    FusedOps,
+    IncrCycles,
+    ProgramBuilder,
+    SequentialExecutor,
+)
+from repro.core.errors import ChannelClosed
+from repro.obs import Observability
+
+BOTH_PATHS = pytest.mark.parametrize("fast", [True, False], ids=["fast", "generic"])
+
+
+def run(builder, fast=True, obs=None):
+    return SequentialExecutor(fast_path=fast, obs=obs).execute(builder.build())
+
+
+# ----------------------------------------------------------------------
+# Result delivery.
+# ----------------------------------------------------------------------
+
+
+class TestResultDelivery:
+    @BOTH_PATHS
+    def test_results_in_constituent_order(self, fast):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(4)
+        seen = []
+
+        def producer():
+            yield snd.enqueue(10)
+            yield snd.enqueue(20)
+
+        def consumer():
+            results = yield FusedOps(rcv.dequeue(), IncrCycles(3), rcv.dequeue())
+            seen.append(list(results))
+
+        builder.add(FunctionContext(producer, handles=[snd]))
+        builder.add(FunctionContext(consumer, handles=[rcv]))
+        run(builder, fast)
+        # Dequeues deliver their element; IncrCycles delivers None.
+        assert seen == [[10, None, 20]]
+
+    @BOTH_PATHS
+    def test_plain_tuple_and_list_accepted(self, fast):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(4)
+        seen = []
+
+        def producer():
+            yield (snd.enqueue(1), snd.enqueue(2))
+            yield [snd.enqueue(3), IncrCycles(1)]
+
+        def consumer():
+            a = yield rcv.dequeue()
+            b, c = (yield (rcv.dequeue(), rcv.dequeue()))
+            seen.append((a, b, c))
+
+        builder.add(FunctionContext(producer, handles=[snd]))
+        builder.add(FunctionContext(consumer, handles=[rcv]))
+        run(builder, fast)
+        assert seen == [(1, 2, 3)]
+
+    @BOTH_PATHS
+    def test_reused_batch_results_valid_until_next_execution(self, fast):
+        """The delivered list belongs to the batch: a reused ``FusedOps``
+        rewrites it on its next execution, so contexts must read results
+        at the yield (the documented contract)."""
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(4)
+        retained = []
+        at_yield = []
+
+        def producer():
+            for i in range(3):
+                yield snd.enqueue(i)
+
+        def consumer():
+            step = FusedOps(rcv.dequeue())
+            for _ in range(3):
+                results = yield step
+                at_yield.append(results[0])
+                retained.append(results)
+
+        builder.add(FunctionContext(producer, handles=[snd]))
+        builder.add(FunctionContext(consumer, handles=[rcv]))
+        run(builder, fast)
+        assert at_yield == [0, 1, 2]
+        # Whether or not the executor reused one buffer, the values read
+        # at each yield were correct; retaining across yields is only
+        # guaranteed to still observe the *latest* execution's results.
+        assert all(r[0] == retained[-1][0] for r in retained) or at_yield == [
+            0,
+            1,
+            2,
+        ]
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the unfused form.
+# ----------------------------------------------------------------------
+
+
+def _pipeline(fused):
+    """A source → double → sink pipeline, fused or op-at-a-time."""
+    builder = ProgramBuilder()
+    s1, r1 = builder.bounded(2, name="raw")
+    s2, r2 = builder.bounded(2, name="doubled")
+
+    if fused:
+
+        def source():
+            enq = s1.enqueue(None)
+            step = FusedOps(enq, IncrCycles(1))
+            for i in range(40):
+                enq.data = i
+                yield step
+
+        def double():
+            deq = r1.dequeue()
+            enq = s2.enqueue(None)
+            step = FusedOps(enq, IncrCycles(2), deq)
+            value = yield deq
+            while True:
+                enq.data = value * 2
+                value = (yield step)[2]
+
+    else:
+
+        def source():
+            for i in range(40):
+                yield s1.enqueue(i)
+                yield IncrCycles(1)
+
+        def double():
+            value = yield r1.dequeue()
+            while True:
+                yield s2.enqueue(value * 2)
+                yield IncrCycles(2)
+                value = yield r1.dequeue()
+
+    builder.add(FunctionContext(source, handles=[s1], name="src"))
+    builder.add(FunctionContext(double, handles=[r1, s2], name="double"))
+    sink = Collector(r2, name="sink")
+    builder.add(sink)
+    return builder, sink
+
+
+def _signature(builder, summary):
+    program = builder.build()  # rebuild shares the channel objects
+    channels = tuple(
+        (ch.name, ch.stats.enqueues, ch.stats.dequeues, ch.stats.peeks)
+        for ch in program.channels
+    )
+    return (
+        summary.elapsed_cycles,
+        summary.context_times,
+        summary.ops_executed,
+        channels,
+    )
+
+
+class TestFusedUnfusedEquivalence:
+    @BOTH_PATHS
+    def test_cycles_stats_and_op_counts_match(self, fast):
+        fused_builder, fused_sink = _pipeline(fused=True)
+        fused_sig = _signature(fused_builder, run(fused_builder, fast))
+        plain_builder, plain_sink = _pipeline(fused=False)
+        plain_sig = _signature(plain_builder, run(plain_builder, fast))
+        assert fused_sink.values == plain_sink.values
+        assert fused_sig == plain_sig
+
+    def test_fast_and_generic_paths_match(self):
+        fast_builder, fast_sink = _pipeline(fused=True)
+        fast_sig = _signature(fast_builder, run(fast_builder, fast=True))
+        gen_builder, gen_sink = _pipeline(fused=True)
+        gen_sig = _signature(gen_builder, run(gen_builder, fast=False))
+        assert fast_sink.values == gen_sink.values
+        assert fast_sig == gen_sig
+
+    def test_trace_event_sequences_match_unfused(self):
+        """Fusion emits the same per-constituent trace events, in the
+        same order, at the same simulated times, as the unfused form."""
+
+        def events(fused):
+            builder, _ = _pipeline(fused=fused)
+            obs = Observability(capture_payloads=True)
+            run(builder, fast=True, obs=obs)
+            return [
+                (e.context, e.kind, e.channel, e.time, e.payload, e.seq)
+                for e in obs.trace.events
+            ]
+
+        assert events(fused=True) == events(fused=False)
+
+
+# ----------------------------------------------------------------------
+# Blocking mid-batch.
+# ----------------------------------------------------------------------
+
+
+class TestMidBatchBlocking:
+    @BOTH_PATHS
+    def test_blocks_at_the_blocking_constituent(self, fast):
+        """Two fused enqueues into a capacity-1 channel: the second blocks
+        until the consumer frees the slot, and its enqueue lands at the
+        response-advanced time — exactly the unfused behaviour."""
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(1, name="narrow")
+        sink = Collector(rcv, ii=5, timestamps=True, name="sink")
+
+        def producer():
+            yield FusedOps(snd.enqueue("a"), snd.enqueue("b"))
+
+        builder.add(FunctionContext(producer, handles=[snd], name="src"))
+        builder.add(sink)
+        summary = run(builder, fast)
+        assert [v for _, v in sink.values] == ["a", "b"]
+        unfused = ProgramBuilder()
+        snd2, rcv2 = unfused.bounded(1, name="narrow")
+        sink2 = Collector(rcv2, ii=5, timestamps=True, name="sink")
+
+        def producer2():
+            yield snd2.enqueue("a")
+            yield snd2.enqueue("b")
+
+        unfused.add(FunctionContext(producer2, handles=[snd2], name="src"))
+        unfused.add(sink2)
+        summary2 = run(unfused, fast)
+        assert sink.values == sink2.values
+        assert summary.elapsed_cycles == summary2.elapsed_cycles
+        assert summary.ops_executed == summary2.ops_executed
+
+    @BOTH_PATHS
+    def test_both_directions_parked_fused(self, fast):
+        """A ring where every transition is fused: park/wake must deliver
+        mid-batch results on both the sender and receiver sides."""
+        builder = ProgramBuilder()
+        s1, r1 = builder.bounded(1)
+        s2, r2 = builder.bounded(1)
+        laps = 25
+        finals = []
+
+        def head():
+            enq = s1.enqueue(None)
+            deq = r2.dequeue()
+            step = FusedOps(enq, IncrCycles(1))
+            yield s1.enqueue(0)
+            value = None
+            for _ in range(laps):
+                value = yield deq
+                enq.data = value + 1
+                yield step
+            finals.append(value)
+
+        def back():
+            deq = r1.dequeue()
+            enq = s2.enqueue(None)
+            step = FusedOps(enq, IncrCycles(1), deq)
+            value = yield deq
+            while True:
+                enq.data = value + 1
+                value = (yield step)[2]
+
+        builder.add(FunctionContext(head, handles=[s1, r2], name="head"))
+        builder.add(FunctionContext(back, handles=[r1, s2], name="back"))
+        run(builder, fast)
+        assert finals == [2 * laps - 1]
+
+
+# ----------------------------------------------------------------------
+# Error paths.
+# ----------------------------------------------------------------------
+
+
+class TestErrorPaths:
+    @BOTH_PATHS
+    def test_channel_closed_raises_at_the_yield(self, fast):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(4)
+        out_snd, out_rcv = builder.bounded(4)
+        sink = Collector(out_rcv, name="sink")
+        caught = []
+
+        def producer():
+            yield snd.enqueue(1)
+
+        def consumer():
+            step = FusedOps(out_snd.enqueue("before"), rcv.dequeue())
+            try:
+                while True:
+                    yield step
+            except ChannelClosed:
+                caught.append(True)
+
+        builder.add(FunctionContext(producer, handles=[snd], name="src"))
+        builder.add(FunctionContext(consumer, handles=[rcv, out_snd], name="mid"))
+        builder.add(sink)
+        run(builder, fast)
+        # First execution: enqueue + dequeue(1).  Second: the enqueue ran
+        # (its effect persists), then the closed dequeue raised.
+        assert caught == [True]
+        assert sink.values == ["before", "before"]
+
+    @BOTH_PATHS
+    def test_nested_fusion_rejected(self, fast):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(4)
+
+        def bad():
+            yield FusedOps(IncrCycles(1), FusedOps(snd.enqueue(1)))
+
+        builder.add(FunctionContext(bad, handles=[snd], name="bad"))
+        builder.add(Collector(rcv, name="sink"))
+        with pytest.raises(Exception, match="[Nn]est"):
+            run(builder, fast)
+
+    @BOTH_PATHS
+    def test_negative_incr_cycles_rejected_fused(self, fast):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(4)
+
+        def bad():
+            yield FusedOps(snd.enqueue(1), IncrCycles(-2))
+
+        builder.add(FunctionContext(bad, handles=[snd], name="bad"))
+        builder.add(Collector(rcv, name="sink"))
+        with pytest.raises(Exception, match="backwards|negative"):
+            run(builder, fast)
+
+
+# ----------------------------------------------------------------------
+# Accounting.
+# ----------------------------------------------------------------------
+
+
+class TestAccounting:
+    @BOTH_PATHS
+    def test_ops_counted_per_constituent(self, fast):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(4)
+
+        def producer():
+            enq = snd.enqueue(None)
+            step = FusedOps(enq, IncrCycles(1))
+            for i in range(10):
+                enq.data = i
+                yield step
+
+        builder.add(FunctionContext(producer, handles=[snd], name="src"))
+        builder.add(Collector(rcv, name="sink"))
+        summary = run(builder, fast)
+        # 10×(enqueue+incr) + 10 dequeues + 1 closing dequeue attempt:
+        # identical to the unfused form of the same program.
+        unfused = ProgramBuilder()
+        snd2, rcv2 = unfused.bounded(4)
+
+        def producer2():
+            for i in range(10):
+                yield snd2.enqueue(i)
+                yield IncrCycles(1)
+
+        unfused.add(FunctionContext(producer2, handles=[snd2], name="src"))
+        unfused.add(Collector(rcv2, name="sink"))
+        summary2 = run(unfused, fast)
+        assert summary.ops_executed == summary2.ops_executed
+
+    @BOTH_PATHS
+    def test_blocked_constituent_not_double_counted(self, fast):
+        builder = ProgramBuilder()
+        snd, rcv = builder.bounded(1)
+        sink = Collector(rcv, ii=3, name="sink")
+
+        def producer():
+            enq = snd.enqueue(None)
+            step = FusedOps(enq, IncrCycles(1))
+            for i in range(6):  # every enqueue after the first parks
+                enq.data = i
+                yield step
+
+        builder.add(FunctionContext(producer, handles=[snd], name="src"))
+        builder.add(sink)
+        summary = run(builder, fast)
+        program = builder.build()
+        chan = program.channels[0]
+        assert chan.stats.enqueues == 6
+        assert chan.stats.dequeues == 6  # the closing attempt moves nothing
+        # Parked constituents count once when first attempted, never again
+        # on retry — so the total matches the unfused form exactly.
+        assert summary.ops_executed == summary2_expected(sink)
+
+
+def summary2_expected(sink):
+    # The unfused equivalent measured once; kept as a helper so the
+    # number above has a derivation rather than a magic constant.
+    builder = ProgramBuilder()
+    snd, rcv = builder.bounded(1)
+
+    def producer():
+        for i in range(6):
+            yield snd.enqueue(i)
+            yield IncrCycles(1)
+
+    builder.add(FunctionContext(producer, handles=[snd], name="src"))
+    builder.add(Collector(rcv, ii=3, name="sink"))
+    return SequentialExecutor().execute(builder.build()).ops_executed

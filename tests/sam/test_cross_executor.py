@@ -165,6 +165,13 @@ class TestExecutorMatrix:
     Simulated results — cycle counts, per-context finish times, channel
     traffic statistics, and the numeric output tensor — must be
     bit-identical regardless of the runtime that produced them.
+
+    The SAM primitives issue their steady-state transitions as fused op
+    batches, so this matrix is also the fused-program equivalence suite:
+    the sequential reference runs the inline fast path, the
+    ``fast_path=False`` leg runs the same batches through the generic
+    dispatch path, and the threaded/process legs execute them on entirely
+    different runtimes.
     """
 
     @pytest.mark.parametrize("kernel_name", sorted(_KERNELS))
@@ -173,7 +180,7 @@ class TestExecutorMatrix:
         reference_kernel = build()
         reference = _signature(reference_kernel, reference_kernel.run())
 
-        runs = [("threaded", {})]
+        runs = [("sequential", {"fast_path": False}), ("threaded", {})]
         runs += [("process", {"workers": n}) for n in (1, 2, 3, 4)]
         for executor, kwargs in runs:
             kernel = build()
@@ -183,3 +190,21 @@ class TestExecutorMatrix:
                 f"{kernel_name} on {executor} {kwargs} diverged from "
                 "the sequential reference"
             )
+
+    @pytest.mark.parametrize("kernel_name", sorted(_KERNELS))
+    def test_trace_event_sequences_agree(self, kernel_name):
+        """Fused batches emit per-constituent trace events; the merged
+        (time, context, seq) event stream must match across runtimes."""
+        from repro.obs import Observability
+
+        def events(executor, **kwargs):
+            kernel = _KERNELS[kernel_name]()
+            obs = Observability()
+            kernel.run(executor=executor, obs=obs, **kwargs)
+            return [
+                (e.context, e.kind, e.channel, e.time, e.seq)
+                for e in obs.trace.events
+            ]
+
+        reference = events("sequential")
+        assert events("threaded") == reference
