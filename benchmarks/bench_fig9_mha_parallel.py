@@ -32,6 +32,7 @@ import numpy as np
 from conftest import report, report_json
 
 from repro.bench import TextTable
+from repro.core import RunConfig, plan_clusters
 from repro.sam.graphs.mha import build_parallel_mha
 
 HEADS = 8
@@ -138,7 +139,9 @@ def run_worker_sweep(
     }
     for workers in worker_counts:
         kernel = build_parallel_mha(mask, q, k, v, parallelism=parallelism)
-        summary = kernel.run(executor="process", workers=workers)
+        summary = kernel.run(
+            executor="process", config=RunConfig(workers=workers)
+        )
         assert summary.elapsed_cycles == base_summary.elapsed_cycles, (
             f"process run (workers={workers}) changed simulated time: "
             f"{summary.elapsed_cycles} != {base_summary.elapsed_cycles}"
@@ -148,22 +151,94 @@ def run_worker_sweep(
             "wall_s": summary.real_seconds,
             "speedup": base_summary.real_seconds / summary.real_seconds,
             "sim_cycles": summary.elapsed_cycles,
+            "steals": summary.steals,
         }
+    sweep["steal"] = run_steal_sweep(
+        parallelism=max(parallelism, 4), smoke=smoke, seed=seed
+    )
     return sweep
+
+
+def _skewed_pins(program):
+    """Pin the first head-pipeline to worker 0 and every other pipeline
+    to worker 1 — a deliberate 1-vs-many load skew."""
+    clusters = plan_clusters(program, {id(ctx): 0 for ctx in program.contexts})
+    first = set(clusters[0].contexts)
+    return {
+        id(ctx): (0 if slot in first else 1)
+        for slot, ctx in enumerate(program.contexts)
+    }
+
+
+def run_steal_sweep(parallelism=4, smoke=False, seed=0):
+    """Work-stealing series: a skewed 2-worker partition, steal off/on.
+
+    With stealing off, worker 0 finishes its single pipeline and idles
+    while worker 1 grinds through the rest; with stealing on, worker 0
+    migrates cold pipelines over their shuttles and shared clocks.  Both
+    runs must reproduce the sequential simulated results exactly.
+    """
+    if smoke:
+        mask, q, k, v = inputs(seed=seed, heads=4, seq_len=6, head_dim=3)
+        parallelism = min(parallelism, 4)
+    else:
+        mask, q, k, v = inputs(seed=seed)
+
+    baseline = build_parallel_mha(mask, q, k, v, parallelism=parallelism)
+    base_summary = baseline.run()
+    base_output = baseline.result_dense()
+
+    rows = {}
+    for label, steal in [("static", False), ("steal", True)]:
+        kernel = build_parallel_mha(mask, q, k, v, parallelism=parallelism)
+        pins = _skewed_pins(kernel.program)
+        summary = kernel.run(
+            executor="process",
+            config=RunConfig(workers=2, pins=pins, steal=steal),
+        )
+        assert summary.elapsed_cycles == base_summary.elapsed_cycles, (
+            f"{label} run changed simulated time: "
+            f"{summary.elapsed_cycles} != {base_summary.elapsed_cycles}"
+        )
+        assert np.allclose(kernel.result_dense(), base_output)
+        rows[label] = summary
+    assert rows["static"].steals == 0
+    assert rows["steal"].steals >= 1, "skewed partition did not force a steal"
+    return {
+        "parallelism": parallelism,
+        "static_wall_s": rows["static"].real_seconds,
+        "steal_wall_s": rows["steal"].real_seconds,
+        "speedup": rows["static"].real_seconds / rows["steal"].real_seconds,
+        "steals": rows["steal"].steals,
+    }
 
 
 def render_worker_table(sweep) -> str:
     table = TextTable(
-        ["workers", "wall_s", "speedup_vs_seq", "sim_cycles"],
+        ["workers", "wall_s", "speedup_vs_seq", "sim_cycles", "steals"],
         title=(
             "Fig. 9 (wall clock): process executor on "
             f"parallelism={sweep['parallelism']} MHA "
             f"({sweep['cpu_count']} cores visible)"
         ),
     )
-    table.add_row("seq", sweep["sequential_s"], 1.0, sweep["sim_cycles"])
+    table.add_row("seq", sweep["sequential_s"], 1.0, sweep["sim_cycles"], 0)
     for workers, row in sorted(sweep["workers"].items(), key=lambda kv: int(kv[0])):
-        table.add_row(workers, row["wall_s"], row["speedup"], row["sim_cycles"])
+        table.add_row(
+            workers, row["wall_s"], row["speedup"], row["sim_cycles"],
+            row.get("steals", 0),
+        )
+    steal = sweep.get("steal")
+    if steal:
+        lines = [table.render()]
+        lines.append(
+            "work stealing (skewed 2-worker partition, "
+            f"parallelism={steal['parallelism']}): "
+            f"static {steal['static_wall_s']:.3f}s -> "
+            f"steal {steal['steal_wall_s']:.3f}s "
+            f"({steal['speedup']:.2f}x, {steal['steals']} steals)"
+        )
+        return "\n".join(lines)
     return table.render()
 
 
@@ -194,6 +269,12 @@ def test_fig9_process_executor_wall_clock():
     if sweep["cpu_count"] >= 2:
         best = max(row["speedup"] for row in sweep["workers"].values())
         assert best > 0.5, f"process executor collapsed: best speedup {best:.2f}"
+        # On a skewed partition, letting the idle worker steal the cold
+        # pipelines must beat strict placement (worker 0 would otherwise
+        # idle through ~(p-1)/p of the work).
+        assert sweep["steal"]["speedup"] > 1.0, (
+            f"stealing did not improve wall clock: {sweep['steal']}"
+        )
 
 
 def main() -> None:

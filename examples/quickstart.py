@@ -6,8 +6,10 @@ and a collecting sink — demonstrating the core CSPT ideas:
 * contexts are generators yielding channel operations,
 * timing is injected with IncrCycles (initiation intervals) and channel
   latency (pipeline depth),
-* the same program runs on the deterministic cooperative executor and on
-  the one-thread-per-context executor with identical simulated results.
+* the same program runs on the deterministic cooperative executor, on
+  the one-thread-per-context executor, and on whatever runtime
+  ``executor="auto"`` picks for this host — with identical simulated
+  results.
 
 Run:  python examples/quickstart.py
 """
@@ -61,11 +63,27 @@ def main():
 
     # Determinism: the threaded executor (one OS thread per context,
     # SVA/SVP-style synchronization) produces identical simulated results.
+    # Tunables travel in a typed RunConfig; each executor picks out the
+    # fields its constructor understands, so the same config is portable
+    # across runtimes.
+    from repro.core import RunConfig
+
     program2, sink2 = build()
-    summary2 = program2.run(executor="threaded")
+    summary2 = program2.run(executor="threaded", config=RunConfig())
     assert sink2.values == sink.values
     assert summary2.elapsed_cycles == summary.elapsed_cycles
     print("threaded executor agrees cycle-exactly:", summary2.elapsed_cycles)
+
+    # "auto" asks the registry for the best runtime this host supports
+    # (free-threaded > process > threaded > sequential) — a no-GIL build
+    # gets the free-threaded runtime, a multi-core GIL build gets the
+    # work-stealing process executor, a one-core box stays sequential.
+    program3, sink3 = build()
+    summary3 = program3.run(executor="auto", config=RunConfig(workers=2))
+    assert sink3.values == sink.values
+    assert summary3.elapsed_cycles == summary.elapsed_cycles
+    print(f"auto picked {summary3.executor!r}; cycle-exact again:",
+          summary3.elapsed_cycles)
 
 
 if __name__ == "__main__":

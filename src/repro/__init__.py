@@ -37,30 +37,21 @@ from .core import (
     DeadlockError,
     Dequeue,
     Enqueue,
-    FairPolicy,
-    FifoPolicy,
     FunctionContext,
     GraphConstructionError,
     IncrCycles,
     Peek,
-    PartitionPlan,
-    ProcessExecutor,
     Program,
     ProgramBuilder,
     Receiver,
-    RunSummary,
     Sender,
-    SequentialExecutor,
     SimulationError,
-    ThreadedExecutor,
     Time,
     TimeCell,
     ViewTime,
     WaitUntil,
-    channel_weights,
     make_channel,
     peak_simulated_occupancy,
-    plan_partition,
 )
 from .obs import (
     MetricsRegistry,
@@ -69,6 +60,44 @@ from .obs import (
     TraceCollector,
     TraceEvent,
 )
+
+# Executor machinery resolves lazily through repro.core (PEP 562): a bare
+# ``import repro`` must not import any runtime, so ``Program.run`` can
+# report an unknown executor — or pick one — without the import cost.
+_LAZY_EXECUTOR = {
+    "Executor",
+    "RunSummary",
+    "RunConfig",
+    "register_executor",
+    "registered_names",
+    "resolve_executor",
+    "FairPolicy",
+    "FifoPolicy",
+    "SequentialExecutor",
+    "ThreadedExecutor",
+    "FreeThreadedExecutor",
+    "ProcessExecutor",
+    "PartitionPlan",
+    "ClusterSpec",
+    "channel_weights",
+    "plan_partition",
+    "plan_clusters",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXECUTOR:
+        from importlib import import_module
+
+        value = getattr(import_module(".core", __name__), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _LAZY_EXECUTOR)
+
 
 __version__ = "1.0.0"
 
@@ -85,6 +114,7 @@ __all__ = [
     "Enqueue",
     "FairPolicy",
     "FifoPolicy",
+    "FreeThreadedExecutor",
     "FunctionContext",
     "GraphConstructionError",
     "IncrCycles",
@@ -96,12 +126,16 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "Receiver",
+    "RunConfig",
     "RunSummary",
     "Sender",
     "SequentialExecutor",
     "SimulationError",
     "StallReport",
     "ThreadedExecutor",
+    "register_executor",
+    "registered_names",
+    "resolve_executor",
     "Time",
     "TimeCell",
     "TraceCollector",

@@ -21,17 +21,6 @@ from .errors import (
     GraphConstructionError,
     SimulationError,
 )
-from .executor import (
-    FairPolicy,
-    FifoPolicy,
-    PartitionPlan,
-    ProcessExecutor,
-    RunSummary,
-    SequentialExecutor,
-    ThreadedExecutor,
-    channel_weights,
-    plan_partition,
-)
 from .ops import (
     AdvanceTo,
     Dequeue,
@@ -46,6 +35,48 @@ from .ops import (
 from .program import Program, ProgramBuilder
 from .time import INFINITY, Time, TimeCell
 from .trace import TraceEvent, Tracer
+
+# Executor machinery is imported lazily (PEP 562): building a program
+# must not pay for runtimes it never selects, and the registry can
+# reject an unknown executor name without importing any of them.
+_LAZY_EXECUTOR = {
+    "Executor",
+    "RunSummary",
+    "RunConfig",
+    "register_executor",
+    "registered_names",
+    "resolve_executor",
+    "executor_available",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "FairPolicy",
+    "make_policy",
+    "SequentialExecutor",
+    "ThreadedExecutor",
+    "FreeThreadedExecutor",
+    "ProcessExecutor",
+    "PartitionPlan",
+    "ClusterSpec",
+    "channel_weights",
+    "plan_partition",
+    "plan_clusters",
+    "plan_affinity",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXECUTOR:
+        from importlib import import_module
+
+        value = getattr(import_module(".executor", __name__), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _LAZY_EXECUTOR)
+
 
 __all__ = [
     "Channel",
@@ -64,12 +95,19 @@ __all__ = [
     "GraphConstructionError",
     "SimulationError",
     "RunSummary",
+    "RunConfig",
     "SequentialExecutor",
     "ThreadedExecutor",
+    "FreeThreadedExecutor",
     "ProcessExecutor",
+    "register_executor",
+    "registered_names",
+    "resolve_executor",
     "PartitionPlan",
+    "ClusterSpec",
     "channel_weights",
     "plan_partition",
+    "plan_clusters",
     "FifoPolicy",
     "FairPolicy",
     "Op",

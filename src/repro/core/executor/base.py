@@ -37,6 +37,9 @@ class RunSummary:
     wakeups: int = 0
     preemptions: int = 0
     ops_executed: int = 0
+    #: Cold clusters claimed away from their planned worker (process
+    #: executor work stealing); 0 for single-runtime executors.
+    steals: int = 0
     metrics: Optional[dict[str, Any]] = None
 
     def __str__(self) -> str:
@@ -46,6 +49,85 @@ class RunSummary:
             f"switches={self.context_switches}, ops={self.ops_executed})"
         )
 
+    @classmethod
+    def merge(
+        cls,
+        program: "Program",
+        payloads,
+        trace=None,
+    ) -> "RunSummary":
+        """Fold per-worker result payloads back onto ``program`` and
+        return a partially-filled summary.
+
+        Each payload is the dict a worker harvests after its slice of the
+        run: ``finish_times`` / ``context_attrs`` / ``context_stats``
+        keyed by context slot, ``channel_stats`` keyed by channel id,
+        per-context ``trace`` event lists, and scheduler ``counters``.
+        The caller (any multi-runtime executor) completes the summary
+        with ``executor`` / ``policy`` / ``real_seconds`` / ``metrics``.
+
+        Folding lives here so :mod:`~repro.core.executor.partitioned`
+        and future distributed executors share one merge: finish times
+        and picklable result attributes land on the original contexts,
+        channel stats accumulate, trace buffers extend (keeping the
+        ``(time, context, seq)`` merge executor-independent), and the
+        post-run channel closures mirror what an in-process run leaves
+        behind.
+        """
+        contexts = program.contexts
+        by_id = {ch.id: ch for ch in program.channels}
+        summary = cls(elapsed_cycles=0, real_seconds=0.0)
+
+        for payload in payloads:
+            for slot, finish in payload.get("finish_times", {}).items():
+                ctx = contexts[slot]
+                ctx.finish_time = finish
+                ctx.time.finish()
+            for slot, attrs in payload.get("context_attrs", {}).items():
+                ctx = contexts[slot]
+                for key, value in attrs.items():
+                    setattr(ctx, key, value)
+            for channel_id, shipped in payload.get("channel_stats", {}).items():
+                channel = by_id.get(channel_id)
+                if channel is None:  # pragma: no cover - defensive
+                    continue
+                stats = channel.stats
+                stats.enqueues += shipped["enqueues"]
+                stats.dequeues += shipped["dequeues"]
+                stats.peeks += shipped["peeks"]
+                if shipped["max_real_occupancy"] > stats.max_real_occupancy:
+                    stats.max_real_occupancy = shipped["max_real_occupancy"]
+                log = shipped.get("profile_log")
+                if log and channel.profile_log is not None:
+                    channel.profile_log.extend(log)
+            if trace is not None:
+                for name, events in payload.get("trace", {}).items():
+                    buf = trace.buffer(name)
+                    buf.events.extend(events)
+                    buf._seq = len(buf.events)
+            counters = payload.get("counters", {})
+            summary.context_switches += counters.get("context_switches", 0)
+            summary.wakeups += counters.get("wakeups", 0)
+            summary.preemptions += counters.get("preemptions", 0)
+            summary.ops_executed += counters.get("ops_executed", 0)
+            summary.steals += counters.get("steals", 0)
+
+        # Post-run channel parity with the in-process executors: every
+        # finished endpoint has propagated its closure.
+        for channel in program.channels:
+            owner = channel.sender_owner
+            if owner is not None and owner.finish_time is not None:
+                channel.close_sender()
+            owner = channel.receiver_owner
+            if owner is not None and owner.finish_time is not None:
+                channel.close_receiver()
+
+        summary.elapsed_cycles = Executor._makespan(program)
+        summary.context_times = {
+            ctx.name: ctx.finish_time for ctx in program.contexts
+        }
+        return summary
+
 
 class Executor:
     """Common interface: ``execute(program) -> RunSummary``."""
@@ -54,6 +136,22 @@ class Executor:
 
     def execute(self, program: "Program") -> RunSummary:
         raise NotImplementedError
+
+    @classmethod
+    def from_config(cls, config=None, **overrides) -> "Executor":
+        """Construct this executor from a :class:`RunConfig`.
+
+        Only the config fields this executor's constructor declares are
+        passed (see :meth:`RunConfig.kwargs_for`); ``overrides`` are
+        applied on top of ``config`` first.
+        """
+        from .config import RunConfig
+
+        if config is None:
+            config = RunConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        return cls(**config.kwargs_for(cls))
 
     @staticmethod
     def _makespan(program: "Program") -> Time:

@@ -1,0 +1,128 @@
+"""Typed run configuration shared by every executor.
+
+:class:`RunConfig` replaces the historical ad-hoc ``**kwargs`` surface of
+:meth:`repro.core.program.Program.run`: one frozen dataclass carries every
+tunable any executor understands, and each executor receives exactly the
+subset its constructor declares (:meth:`RunConfig.kwargs_for` filters by
+signature).  That subsetting is what makes one config portable across
+runtimes — ``RunConfig(workers=4)`` is honored by the process executor
+and silently irrelevant to the sequential one, so the same config can be
+handed to ``Program.run(executor="auto")`` without knowing which runtime
+will win.
+
+Fields default to ``None`` (= "use the executor's own default"), so a
+config only ever *overrides* what the caller explicitly set.  Unknown or
+experimental knobs travel in ``extra`` and are passed through verbatim —
+those are validated by the target constructor, exactly like the old
+kwargs form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: RunConfig fields that are configuration, not payload (``extra`` is
+#: special-cased everywhere).
+_CONFIG_FIELDS: Optional[frozenset] = None
+
+
+def _config_fields() -> frozenset:
+    global _CONFIG_FIELDS
+    if _CONFIG_FIELDS is None:
+        _CONFIG_FIELDS = frozenset(
+            f.name for f in dataclasses.fields(RunConfig) if f.name != "extra"
+        )
+    return _CONFIG_FIELDS
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Executor-independent run configuration.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes (process executor) or a hint for future
+        runtimes.
+    policy:
+        Scheduling policy name or instance for cooperative schedulers.
+    fast_path:
+        Enable the sequential executor's inline fast loop.
+    max_ops:
+        Safety valve: abort after this many operations.
+    obs:
+        An :class:`repro.obs.Observability` collecting trace/metrics.
+    steal:
+        Allow idle workers to claim (steal) cold clusters planned for
+        other workers (process executor; default on).
+    pin_workers:
+        Pin workers/threads to CPUs via ``os.sched_setaffinity``,
+        keeping shuttle peers on the same package (default off).
+    deadlock_grace:
+        Seconds of global stillness before the deadlock watchdog fires.
+    poll_interval:
+        Polling cadence for parked workers/threads.
+    timeslice:
+        Forced timeslice for worker-side cooperative scheduling.
+    shuttle:
+        ``"shm"`` or ``"pipe"`` cut-channel transport.
+    weights / pins / balance:
+        Partitioner inputs (see :func:`~repro.core.executor.partition.plan_partition`).
+    extra:
+        Anything else, passed through to the executor constructor
+        verbatim (and validated there).
+    """
+
+    workers: Optional[int] = None
+    policy: Any = None
+    fast_path: Optional[bool] = None
+    max_ops: Optional[int] = None
+    obs: Any = None
+    steal: Optional[bool] = None
+    pin_workers: Optional[bool] = None
+    deadlock_grace: Optional[float] = None
+    poll_interval: Optional[float] = None
+    timeslice: Optional[int] = None
+    shuttle: Optional[str] = None
+    weights: Optional[dict] = None
+    pins: Optional[dict] = None
+    balance: Optional[float] = None
+    extra: dict = field(default_factory=dict)
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with ``changes`` applied; unknown keys land in ``extra``."""
+        known = {k: v for k, v in changes.items() if k in _config_fields()}
+        unknown = {k: v for k, v in changes.items() if k not in _config_fields()}
+        config = dataclasses.replace(self, **known) if known else self
+        if unknown:
+            merged = dict(config.extra)
+            merged.update(unknown)
+            config = dataclasses.replace(config, extra=merged)
+        return config
+
+    def kwargs_for(self, executor_cls: type) -> dict[str, Any]:
+        """The constructor kwargs of this config that ``executor_cls``
+        accepts.
+
+        Fields left at ``None`` are omitted (the executor default wins);
+        set fields the constructor does not declare are dropped — that is
+        the portability contract.  ``extra`` entries are never dropped:
+        they are passed through so a typo fails loudly in the
+        constructor, matching the legacy kwargs behavior.
+        """
+        params = inspect.signature(executor_cls.__init__).parameters
+        accepts_any = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        )
+        kwargs: dict[str, Any] = {}
+        for name in _config_fields():
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if accepts_any or name in params:
+                kwargs[name] = value
+        kwargs.update(self.extra)
+        return kwargs

@@ -76,6 +76,92 @@ class PartitionPlan:
         )
 
 
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One migratable unit of work: a connected component of a worker's
+    group under that worker's *internal* channels.
+
+    Two clusters of the same worker share no channel at all, and every
+    channel leaving a cluster is, by construction, a planned-cut channel
+    (already bridged by a shuttle) — so a cluster can be activated by
+    *any* worker without creating new communication paths.  That is the
+    invariant the process executor's work stealing rests on.
+
+    ``contexts`` are slots into ``program.contexts`` and ``channels``
+    indices into ``program.channels`` (both identical in parent and
+    forked children), so a spec is plain data either side of a fork.
+    """
+
+    index: int                 # position on the claim board
+    owner: int                 # planned (compacted) worker index
+    contexts: tuple[int, ...]  # slots into program.contexts
+    channels: tuple[int, ...]  # cluster-internal channel indices
+
+    @property
+    def size(self) -> int:
+        return len(self.contexts)
+
+
+def plan_clusters(
+    program: "Program", assignment: dict[int, int]
+) -> list["ClusterSpec"]:
+    """Split each worker's group into :class:`ClusterSpec` units.
+
+    ``assignment`` maps ``id(context)`` → worker index (already
+    compacted: every referenced worker spawns a process).  Clusters are
+    ordered deterministically by (owner, first context slot), which is
+    also their claim-board index.
+    """
+    contexts = program.contexts
+    n = len(contexts)
+    index_of = {id(ctx): i for i, ctx in enumerate(contexts)}
+
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    intra: list[tuple[int, int, int]] = []  # (channel idx, a, b)
+    for chan_index, channel in enumerate(program.channels):
+        sender = channel.sender_owner
+        receiver = channel.receiver_owner
+        if sender is None or receiver is None:  # pragma: no cover - defensive
+            continue
+        a, b = index_of[id(sender)], index_of[id(receiver)]
+        if assignment[id(sender)] != assignment[id(receiver)]:
+            continue  # planned-cut channel: never cluster-internal
+        intra.append((chan_index, a, b))
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    members: dict[int, list[int]] = {}
+    for i in range(n):
+        members.setdefault(find(i), []).append(i)
+    channels_of: dict[int, list[int]] = {}
+    for chan_index, a, _ in intra:
+        channels_of.setdefault(find(a), []).append(chan_index)
+
+    roots = sorted(
+        members, key=lambda r: (assignment[id(contexts[members[r][0]])], r)
+    )
+    specs: list[ClusterSpec] = []
+    for root in roots:
+        slots = tuple(members[root])
+        specs.append(
+            ClusterSpec(
+                index=len(specs),
+                owner=assignment[id(contexts[slots[0]])],
+                contexts=slots,
+                channels=tuple(sorted(channels_of.get(root, ()))),
+            )
+        )
+    return specs
+
+
 class _UnionFind:
     __slots__ = ("parent", "size", "pin")
 

@@ -34,12 +34,34 @@ reads of a remote clock go through a shared float64 mirror
 (:class:`~repro.core.executor.shm.SharedTimeCell`) that is always a lower
 bound, the same contract SVA gives the threaded executor.
 
+Work stealing
+-------------
+
+Workers do not start with their partition materialized.  The partition is
+refined into **clusters** (:func:`~repro.core.executor.partition.plan_clusters`)
+— connected components of a worker's group under its internal channels —
+and every worker begins empty, *activating* clusters lazily: when its run
+queue drains it claims its next own cold cluster from a shared
+:class:`~repro.core.executor.shm.ClaimBoard`, and when it has none left it
+steals another worker's cold cluster (largest first).  Because every
+channel leaving a cluster is a planned-cut channel already bridged by a
+shuttle, activation by *any* worker creates no new communication paths:
+the adopter installs the same shuttle proxies and shared time cells the
+planned owner would have, and since a cluster is claimed exactly once
+(one inherited lock guards the board) the SPSC property of every shuttle
+lane is preserved.  Simulated results cannot change — cluster activation
+moves *where* the same pure state transitions execute, never what they
+compute.  ``steal=False`` restores strict planned placement (pins keep
+their separation guarantee); with stealing on, pins bind the *initial*
+plan only.
+
 Deadlock detection is two-level: a worker whose blocked contexts all wait
 on *local* resources reports a local deadlock immediately (no remote
 record can unblock them), while cross-worker cycles are caught by the
 parent's watchdog — every live worker parked with the shared progress
-total frozen for a grace period — which aborts the workers and merges
-their stall reports into one :class:`~repro.core.errors.DeadlockError`.
+total frozen for a grace period *and no cold cluster left to claim* —
+which aborts the workers and merges their stall reports into one
+:class:`~repro.core.errors.DeadlockError`.
 
 The parent merges per-worker results back onto the original program
 object: context finish times (and picklable result attributes), channel
@@ -63,10 +85,12 @@ from ..channel import _EMPTY, Channel, ChannelStats
 from ..errors import DeadlockError, SimulationError
 from ..ops import Dequeue, Enqueue, Peek, WaitUntil
 from ..program import Program
+from .affinity import pin_current_process, plan_affinity
 from .base import Executor, RunSummary
-from .partition import PartitionPlan, plan_partition
+from .partition import ClusterSpec, PartitionPlan, plan_clusters, plan_partition
 from .policies import SchedulingPolicy, make_policy
-from .sequential import _BLOCKED, _DONE, SequentialExecutor
+from .registry import register_executor
+from .sequential import _BLOCKED, _DONE, SequentialExecutor, _ContextState
 from .shm import (
     DATA,
     RECEIVER_DONE,
@@ -77,6 +101,7 @@ from .shm import (
     WORKER_RUNNING,
     ArenaLayout,
     ChannelShuttle,
+    ClaimBoard,
     PipeLane,
     SharedArena,
     SharedClockArray,
@@ -355,18 +380,26 @@ class _ShuttleReceiver:
 
 
 class _WorkerExecutor(SequentialExecutor):
-    """The cooperative scheduler, extended with shuttle servicing.
+    """The cooperative scheduler, extended with shuttle servicing and
+    lazy cluster activation (work stealing).
 
     Differences from the plain sequential executor:
 
+    * the worker starts with an *empty* program and pulls work from the
+      shared claim board: its own cold clusters first, then — when
+      ``steal`` is on — other workers' (largest first).  Activating a
+      cluster installs shared time cells on its contexts, swaps every
+      cut-channel handle for a shuttle proxy, and pushes the fresh
+      context states onto the ready queue;
     * a finite timeslice is forced even under run-to-block policies, so
       shuttles are serviced (outbound flushed, inbound drained, parked
       endpoints woken) at bounded intervals;
     * :meth:`_idle` — reached when the local ready queue empties — polls
-      shuttles and remote-clock waiters instead of declaring the run
-      over, publishes the worker's state on the status board, and
+      shuttles and remote-clock waiters, claims more work when the board
+      has any, publishes the worker's state on the status board, and
       returns ``False`` only for a *local* deadlock or full completion
-      (all contexts done and the outbound backlog flushed);
+      (all activated contexts done, nothing claimable, and the outbound
+      backlog flushed);
     * metrics folding is disabled: the parent folds the merged run.
     """
 
@@ -375,10 +408,16 @@ class _WorkerExecutor(SequentialExecutor):
     def __init__(
         self,
         worker: int,
-        send_proxies: list[_ShuttleSender],
-        recv_proxies: list[_ShuttleReceiver],
+        program: Program,
+        clusters: list[ClusterSpec],
+        claim: ClaimBoard,
+        claim_lock,
+        shuttles: dict[int, ChannelShuttle],
+        clocks: SharedClockArray,
+        starts: list,
         status: StatusBoard,
         abort,
+        steal: bool = True,
         policy: str | SchedulingPolicy = "fifo",
         max_ops: Optional[int] = None,
         obs: Optional[Observability] = None,
@@ -392,12 +431,124 @@ class _WorkerExecutor(SequentialExecutor):
             # simulated results (the determinism invariant).
             self.policy.timeslice = timeslice
         self._worker = worker
-        self._send_proxies = send_proxies
-        self._recv_proxies = recv_proxies
+        self._program = program
+        self._clusters = clusters
+        self._claim = claim
+        self._claim_lock = claim_lock
+        self._shuttles = shuttles
+        self._clocks = clocks
+        self._starts = starts
         self._status = status
         self._abort = abort
+        self._steal = steal
         self._poll_interval = poll_interval
         self._shuttle_moves = 0
+        self._send_proxies: list[_ShuttleSender] = []
+        self._recv_proxies: list[_ShuttleReceiver] = []
+        #: Contexts this worker activated (own or stolen), in claim order.
+        self._activated: list = []
+        #: Cluster-internal Channel objects of the activated clusters.
+        self._active_channels: list[Channel] = []
+        self.steal_count = 0
+        self.migrations: list[dict] = []
+
+    # -- lazy cluster activation ---------------------------------------
+
+    def _activate_cluster(
+        self, spec: ClusterSpec, stolen_from: Optional[int] = None
+    ) -> None:
+        """Materialize ``spec`` in this worker: shared time cells on its
+        contexts, shuttle proxies on its cut-channel handles, fresh
+        context states on the ready queue.  The caller has already won
+        the claim, so exactly one worker ever runs this for a given
+        cluster — which is what keeps every shuttle lane single-producer
+        single-consumer (a fresh adopter's cached ring counters start at
+        the same zeros the planned owner's would)."""
+        contexts = self._program.contexts
+        channels = self._program.channels
+        for slot in spec.contexts:
+            ctx = contexts[slot]
+            ctx.time = SharedTimeCell(
+                self._clocks, slot, start=self._starts[slot]
+            )
+            for handle in ctx.senders:
+                shuttle = self._shuttles.get(handle.channel.id)
+                if shuttle is not None:
+                    proxy = _ShuttleSender(handle.channel, shuttle)
+                    handle.channel = proxy
+                    self._send_proxies.append(proxy)
+            for handle in ctx.receivers:
+                shuttle = self._shuttles.get(handle.channel.id)
+                if shuttle is not None:
+                    proxy = _ShuttleReceiver(handle.channel, shuttle)
+                    handle.channel = proxy
+                    self._recv_proxies.append(proxy)
+        self._active_channels.extend(channels[i] for i in spec.channels)
+        tracer = self.tracer
+        for slot in spec.contexts:
+            ctx = contexts[slot]
+            state = _ContextState(ctx)
+            if tracer is not None:
+                state.buffer = tracer.buffer(ctx.name)
+            self._states[id(ctx)] = state
+            self.policy.push(state, woken=False)
+            self._activated.append(ctx)
+        if stolen_from is not None:
+            self.steal_count += 1
+            record = {
+                "cluster": spec.index,
+                "from": stolen_from,
+                "to": self._worker,
+                "contexts": [contexts[slot].name for slot in spec.contexts],
+            }
+            self.migrations.append(record)
+            if tracer is not None:
+                # Steals land in a worker-scoped pseudo-buffer, never in
+                # a migrated context's buffer: per-context event streams
+                # (and their seq counters) stay schedule-independent.
+                tracer.buffer(f"<worker-{self._worker}>").append(
+                    "migrate", None, 0, dict(record)
+                )
+
+    def _claim_next(self) -> bool:
+        """Claim and activate one cold cluster; False when none is
+        claimable by this worker (own clusters exhausted and stealing is
+        off or nothing foreign is cold)."""
+        claim = self._claim
+        if claim.cold_count() == 0:
+            return False
+        pick: Optional[ClusterSpec] = None
+        stolen_from: Optional[int] = None
+        with self._claim_lock:
+            if claim.cold_count() != 0:
+                own = [
+                    spec for spec in self._clusters
+                    if spec.owner == self._worker and claim.is_cold(spec.index)
+                ]
+                if own:
+                    pick = own[0]
+                elif self._steal:
+                    foreign = [
+                        spec for spec in self._clusters
+                        if spec.owner != self._worker
+                        and claim.is_cold(spec.index)
+                    ]
+                    if foreign:
+                        # Largest first: the most remaining work amortizes
+                        # the activation; index breaks ties.
+                        pick = max(
+                            foreign, key=lambda s: (s.size, -s.index)
+                        )
+                        stolen_from = pick.owner
+            if pick is not None:
+                claim.claim(pick.index, self._worker)
+        if pick is None:
+            return False
+        self._activate_cluster(pick, stolen_from=stolen_from)
+        # A claim is progress the parent watchdog must see.
+        self._shuttle_moves += 1
+        self._publish(WORKER_RUNNING)
+        return True
 
     def _publish(self, state: int) -> None:
         self._status.publish(
@@ -480,12 +631,18 @@ class _WorkerExecutor(SequentialExecutor):
             if self.policy:
                 self._publish(WORKER_RUNNING)
                 return True
+            # The queue is dry: pull more work off the claim board before
+            # retiring, parking, or declaring a local deadlock — blocked
+            # contexts may be waiting on a cluster nobody activated yet.
+            if self._claim_next():
+                return True
             blocked = [
                 st for st in self._states.values() if st.status == _BLOCKED
             ]
             if not blocked:
-                # All local contexts finished; retire once every outbound
-                # record (including done sentinels) has been flushed.
+                # All activated contexts finished and nothing is
+                # claimable; retire once every outbound record (including
+                # done sentinels) has been flushed.
                 if not any(p.outstanding() for p in self._send_proxies) and \
                         not any(p.outstanding() for p in self._recv_proxies):
                     self._publish(WORKER_DONE)
@@ -547,15 +704,23 @@ def _shippable_events(events: list) -> list:
         ]
 
 
-def _harvest(
-    local, slot_of, local_channels, send_proxies, recv_proxies, executor, obs
-):
+def _harvest(executor: _WorkerExecutor, obs) -> dict:
     """Everything the parent merges back onto the original program.
 
     Per-context results are keyed by the context's *slot* (its index in
     ``program.contexts``, identical in parent and forked child) — names
-    may legitimately repeat across replicated pipelines.
+    may legitimately repeat across replicated pipelines.  What a worker
+    harvests is exactly what it *activated* — own and stolen clusters
+    alike — so stolen work reports from its adopter, never its planned
+    owner.
     """
+    local = executor._activated
+    local_channels = executor._active_channels
+    send_proxies = executor._send_proxies
+    recv_proxies = executor._recv_proxies
+    slot_of = {
+        id(ctx): slot for slot, ctx in enumerate(executor._program.contexts)
+    }
     finish_times: dict[int, Any] = {}
     context_attrs: dict[int, dict] = {}
     context_stats: dict[int, dict] = {}
@@ -582,13 +747,23 @@ def _harvest(
     channel_stats: dict[int, dict] = {}
 
     def ship(channel_id: int, stats: ChannelStats, log) -> None:
-        channel_stats[channel_id] = {
-            "enqueues": stats.enqueues,
-            "dequeues": stats.dequeues,
-            "peeks": stats.peeks,
-            "max_real_occupancy": stats.max_real_occupancy,
-            "profile_log": log,
-        }
+        # Accumulate, never overwrite: after a steal one worker may hold
+        # *both* proxies of a cut channel (sender-side enqueues and
+        # receiver-side dequeues land in separate ChannelStats).
+        entry = channel_stats.setdefault(
+            channel_id,
+            {
+                "enqueues": 0, "dequeues": 0, "peeks": 0,
+                "max_real_occupancy": 0, "profile_log": None,
+            },
+        )
+        entry["enqueues"] += stats.enqueues
+        entry["dequeues"] += stats.dequeues
+        entry["peeks"] += stats.peeks
+        if stats.max_real_occupancy > entry["max_real_occupancy"]:
+            entry["max_real_occupancy"] = stats.max_real_occupancy
+        if log:
+            entry["profile_log"] = log
 
     for channel in local_channels:
         ship(channel.id, channel.stats, channel.profile_log)
@@ -609,11 +784,13 @@ def _harvest(
         "context_stats": context_stats,
         "channel_stats": channel_stats,
         "trace": trace_events,
+        "migrations": executor.migrations,
         "counters": {
             "context_switches": executor.context_switches,
             "wakeups": executor.wakeups,
             "preemptions": executor.preemptions,
             "ops_executed": executor.ops_executed,
+            "steals": executor.steal_count,
         },
     }
 
@@ -621,7 +798,9 @@ def _harvest(
 def _worker_main(
     worker_index: int,
     program: Program,
-    local_ids: frozenset,
+    clusters: list[ClusterSpec],
+    claim: ClaimBoard,
+    claim_lock,
     shuttles: dict[int, ChannelShuttle],
     arena: SharedArena,
     clocks: SharedClockArray,
@@ -633,39 +812,19 @@ def _worker_main(
     payload: dict[str, Any] = {
         "worker": worker_index, "status": "ok", "error": None, "stalls": None,
     }
-    local = [ctx for ctx in program.contexts if id(ctx) in local_ids]
-    slot_of = {id(ctx): slot for slot, ctx in enumerate(program.contexts)}
     try:
-        # Swap clocks: owned contexts get a mirroring cell, remote ones a
-        # read-only view of the owner's published slot.
+        cpus = options.get("cpus")
+        if cpus is not None:
+            pin_current_process(cpus[worker_index])
+
+        # Every context starts as a read-only view of its published clock
+        # slot (the parent pre-wrote the start times); activating a
+        # cluster promotes its contexts to mirroring cells.  Until then
+        # ViewTime/WaitUntil/stall reads of *any* context — cold, local,
+        # or remote — go through the shared slot.
+        starts = [ctx.time.now() for ctx in program.contexts]
         for slot, ctx in enumerate(program.contexts):
-            if id(ctx) in local_ids:
-                ctx.time = SharedTimeCell(clocks, slot, start=ctx.time.now())
-            else:
-                ctx.time = SharedTimeView(clocks, slot)
-
-        # Swap every locally-owned cut-channel handle for a proxy.
-        send_proxies: list[_ShuttleSender] = []
-        recv_proxies: list[_ShuttleReceiver] = []
-        for ctx in local:
-            for handle in ctx.senders:
-                shuttle = shuttles.get(handle.channel.id)
-                if shuttle is not None:
-                    proxy = _ShuttleSender(handle.channel, shuttle)
-                    handle.channel = proxy
-                    send_proxies.append(proxy)
-            for handle in ctx.receivers:
-                shuttle = shuttles.get(handle.channel.id)
-                if shuttle is not None:
-                    proxy = _ShuttleReceiver(handle.channel, shuttle)
-                    handle.channel = proxy
-                    recv_proxies.append(proxy)
-
-        local_channels = [
-            ch for ch in program.channels
-            if id(ch.sender_owner) in local_ids
-            and id(ch.receiver_owner) in local_ids
-        ]
+            ctx.time = SharedTimeView(clocks, slot)
 
         obs = None
         if options["trace"] or options["metrics"]:
@@ -676,13 +835,16 @@ def _worker_main(
             )
 
         executor = _WorkerExecutor(
-            worker_index, send_proxies, recv_proxies, status, abort,
+            worker_index, program, clusters, claim, claim_lock,
+            shuttles, clocks, starts, status, abort,
+            steal=options["steal"],
             policy=options["policy"], max_ops=options["max_ops"], obs=obs,
             poll_interval=options["poll_interval"],
             timeslice=options["timeslice"],
         )
         try:
-            executor.execute(Program(local, local_channels))
+            # The worker starts empty; its first _idle() claims work.
+            executor.execute(Program([], []))
         except DeadlockError:
             payload["status"] = "stalled"
             report = obs.stall_report if obs is not None else None
@@ -702,10 +864,7 @@ def _worker_main(
         except SimulationError as exc:
             payload["status"] = "error"
             payload["error"] = _ship_error(exc)
-        payload.update(
-            _harvest(local, slot_of, local_channels, send_proxies,
-                     recv_proxies, executor, obs)
-        )
+        payload.update(_harvest(executor, obs))
     except BaseException as exc:  # noqa: BLE001 - everything must be reported
         payload["status"] = "error"
         if payload.get("error") is None:
@@ -731,6 +890,7 @@ def _worker_main(
 # ----------------------------------------------------------------------
 
 
+@register_executor("process")
 class ProcessExecutor(Executor):
     """Partition the program across forked workers; merge the results.
 
@@ -753,6 +913,17 @@ class ProcessExecutor(Executor):
         (and overriding) the program's builder-declared
         ``partition_pins``.  Pinning promises co-location/separation,
         not absolute worker numbering (empty groups are compacted).
+        With ``steal=True`` pins bind the *initial* placement; a pinned
+        cluster left cold may still be migrated to an idle worker.
+    steal:
+        Allow idle workers to claim (steal) cold clusters planned for
+        other workers (default on).  Migration happens before a cluster
+        starts running, so simulated results are unchanged;
+        ``steal=False`` restores strict planned placement.
+    pin_workers:
+        Pin each worker process to a CPU set via ``os.sched_setaffinity``
+        (default off).  Workers bridged by shuttles are kept on the same
+        package (see :func:`~repro.core.executor.affinity.plan_affinity`).
     shuttle:
         ``"shm"`` (default) bridges cut channels with shared-memory SPSC
         rings; ``"pipe"`` uses ``multiprocessing.Pipe`` lanes (arbitrary
@@ -761,7 +932,8 @@ class ProcessExecutor(Executor):
         Bytes per cut channel's data / response ring in shm mode.
     deadlock_grace:
         Seconds every live worker must stay parked with frozen progress
-        before the watchdog declares a global deadlock.
+        (and no cold cluster left) before the watchdog declares a global
+        deadlock.
     max_ops:
         Per-worker safety valve (forwarded to each worker's scheduler).
     """
@@ -778,6 +950,8 @@ class ProcessExecutor(Executor):
         weights: Optional[dict[str, float]] = None,
         pins: Optional[dict[int, int]] = None,
         balance: float = 1.2,
+        steal: bool = True,
+        pin_workers: bool = False,
         shuttle: str = "shm",
         ring_capacity: int = 1 << 20,
         resp_ring_capacity: int = 1 << 16,
@@ -801,6 +975,8 @@ class ProcessExecutor(Executor):
         self.weights = weights
         self.pins = pins
         self.balance = balance
+        self.steal = steal
+        self.pin_workers = pin_workers
         self.shuttle = shuttle
         self.ring_capacity = ring_capacity
         self.resp_ring_capacity = resp_ring_capacity
@@ -812,8 +988,14 @@ class ProcessExecutor(Executor):
         self.wakeups = 0
         self.preemptions = 0
         self.ops_executed = 0
+        self.steals = 0
+        #: Cluster migrations performed by the last run (diagnostics):
+        #: ``{"cluster", "from", "to", "contexts"}`` dicts.
+        self.migrations: list[dict] = []
         #: The partition used by the last run (diagnostics).
         self.plan: Optional[PartitionPlan] = None
+        #: The cluster refinement of the last run's partition.
+        self.clusters: Optional[list[ClusterSpec]] = None
 
     # ------------------------------------------------------------------
 
@@ -840,6 +1022,16 @@ class ProcessExecutor(Executor):
         # Empty groups (fewer components than workers) spawn no process;
         # compaction preserves co-location and separation.
         groups = [group for group in plan.groups if group]
+        compact: dict[int, int] = {}
+        for worker, group in enumerate(plan.groups):
+            if group:
+                compact[worker] = len(compact)
+        assignment = {
+            ctx_id: compact[worker]
+            for ctx_id, worker in plan.assignment.items()
+        }
+        clusters = plan_clusters(program, assignment)
+        self.clusters = clusters
 
         contexts = program.contexts
         layout = ArenaLayout()
@@ -847,6 +1039,8 @@ class ProcessExecutor(Executor):
         clocks_off = layout.reserve(clocks_len)
         status_len = StatusBoard.size_for(len(groups))
         status_off = layout.reserve(status_len)
+        claim_len = ClaimBoard.size_for(len(clusters))
+        claim_off = layout.reserve(claim_len)
         ring_offsets: list[tuple[int, int]] = []
         if self.shuttle == "shm":
             for _ in plan.cut:
@@ -863,9 +1057,19 @@ class ProcessExecutor(Executor):
                     arena.view(clocks_off, clocks_len), len(contexts)
                 )
             )
+            # Pre-publish every context's start time so cold contexts
+            # read correctly through SharedTimeView before activation.
+            for slot, ctx in enumerate(contexts):
+                clocks.write(slot, float(ctx.time.now()))
             status = arena.adopt(
                 StatusBoard(arena.view(status_off, status_len), len(groups))
             )
+            claim = arena.adopt(
+                ClaimBoard(arena.view(claim_off, claim_len), len(clusters))
+            )
+            for spec in clusters:
+                claim.set_owner(spec.index, spec.owner)
+            claim_lock = mp_ctx.Lock()
             shuttles: dict[int, ChannelShuttle] = {}
             for index, channel in enumerate(plan.cut):
                 if self.shuttle == "shm":
@@ -895,9 +1099,21 @@ class ProcessExecutor(Executor):
                 )
 
             abort = mp_ctx.Event()
+            cpu_sets = None
+            if self.pin_workers:
+                peer_pairs = [
+                    (
+                        assignment[id(channel.sender_owner)],
+                        assignment[id(channel.receiver_owner)],
+                    )
+                    for channel in plan.cut
+                ]
+                cpu_sets = plan_affinity(len(groups), peer_pairs)
             options = {
                 "policy": self.policy_spec,
                 "max_ops": self.max_ops,
+                "steal": self.steal,
+                "cpus": cpu_sets,
                 "poll_interval": self.poll_interval,
                 "timeslice": self.timeslice,
                 "trace": self.obs is not None and self.obs.trace is not None,
@@ -912,13 +1128,12 @@ class ProcessExecutor(Executor):
 
             procs: list = []
             conns: dict = {}
-            for worker, group in enumerate(groups):
+            for worker in range(len(groups)):
                 parent_conn, child_conn = mp_ctx.Pipe(duplex=False)
                 proc = mp_ctx.Process(
                     target=_worker_main,
                     args=(
-                        worker, program,
-                        frozenset(id(ctx) for ctx in group),
+                        worker, program, clusters, claim, claim_lock,
                         shuttles, arena, clocks, status, abort, child_conn,
                         options,
                     ),
@@ -930,32 +1145,40 @@ class ProcessExecutor(Executor):
                 procs.append(proc)
                 conns[parent_conn] = worker
 
-            payloads = self._collect(conns, status, abort, procs)
+            payloads = self._collect(conns, status, abort, procs, claim)
             self._resolve_failures(payloads)
-            self._merge(program, plan, payloads)
+            trace = self.obs.trace if self.obs is not None else None
+            summary = RunSummary.merge(
+                program,
+                [payloads[worker] for worker in sorted(payloads)],
+                trace=trace,
+            )
         finally:
             arena.close()
             arena.unlink()
 
-        elapsed = self._makespan(program)
-        return RunSummary(
-            elapsed_cycles=elapsed,
-            real_seconds=_wallclock.perf_counter() - start,
-            context_times={
-                ctx.name: ctx.finish_time for ctx in program.contexts
-            },
-            executor=self.name,
-            policy=self.policy.name,
-            context_switches=self.context_switches,
-            wakeups=self.wakeups,
-            preemptions=self.preemptions,
-            ops_executed=self.ops_executed,
-            metrics=self._fold_metrics(program, plan, payloads),
-        )
+        self.context_switches += summary.context_switches
+        self.wakeups += summary.wakeups
+        self.preemptions += summary.preemptions
+        self.ops_executed += summary.ops_executed
+        self.steals += summary.steals
+        self.migrations = [
+            migration
+            for worker in sorted(payloads)
+            for migration in payloads[worker].get("migrations", ())
+        ]
+        summary.executor = self.name
+        summary.policy = self.policy.name
+        summary.real_seconds = _wallclock.perf_counter() - start
+        summary.metrics = self._fold_metrics(program, plan, payloads)
+        return summary
 
     # ------------------------------------------------------------------
 
-    def _collect(self, conns: dict, status: StatusBoard, abort, procs) -> dict:
+    def _collect(
+        self, conns: dict, status: StatusBoard, abort, procs,
+        claim: ClaimBoard,
+    ) -> dict:
         """Receive worker payloads; double as the global deadlock watchdog."""
         payloads: dict[int, dict] = {}
         pending = dict(conns)
@@ -980,11 +1203,13 @@ class ProcessExecutor(Executor):
                 stable_since = None
                 last_total = -1
                 continue
-            # Nothing arrived this tick: check for a global deadlock.
+            # Nothing arrived this tick: check for a global deadlock.  A
+            # run with cold (claimable) clusters left is never deadlocked
+            # — some worker will claim one, and claiming bumps progress.
             total, states = status.snapshot()
             live = [states[w] for w in pending.values()]
             if live and all(s == WORKER_BLOCKED for s in live) \
-                    and total == last_total:
+                    and total == last_total and claim.cold_count() == 0:
                 if stable_since is None:
                     stable_since = _wallclock.perf_counter()
                 elif (
@@ -1036,55 +1261,6 @@ class ProcessExecutor(Executor):
                 self.obs.stall_report = report
             raise DeadlockError(report.lines())
 
-    def _merge(self, program: Program, plan: PartitionPlan, payloads: dict) -> None:
-        """Apply worker results to the original (parent-side) program."""
-        contexts = program.contexts
-        by_id = {ch.id: ch for ch in program.channels}
-        trace = self.obs.trace if self.obs is not None else None
-
-        for payload in payloads.values():
-            for slot, finish in payload["finish_times"].items():
-                ctx = contexts[slot]
-                ctx.finish_time = finish
-                ctx.time.finish()
-            for slot, attrs in payload.get("context_attrs", {}).items():
-                ctx = contexts[slot]
-                for key, value in attrs.items():
-                    setattr(ctx, key, value)
-            for channel_id, shipped in payload.get("channel_stats", {}).items():
-                channel = by_id.get(channel_id)
-                if channel is None:  # pragma: no cover - defensive
-                    continue
-                stats = channel.stats
-                stats.enqueues += shipped["enqueues"]
-                stats.dequeues += shipped["dequeues"]
-                stats.peeks += shipped["peeks"]
-                if shipped["max_real_occupancy"] > stats.max_real_occupancy:
-                    stats.max_real_occupancy = shipped["max_real_occupancy"]
-                log = shipped.get("profile_log")
-                if log and channel.profile_log is not None:
-                    channel.profile_log.extend(log)
-            if trace is not None:
-                for name, events in payload.get("trace", {}).items():
-                    buf = trace.buffer(name)
-                    buf.events.extend(events)
-                    buf._seq = len(buf.events)
-            counters = payload.get("counters", {})
-            self.context_switches += counters.get("context_switches", 0)
-            self.wakeups += counters.get("wakeups", 0)
-            self.preemptions += counters.get("preemptions", 0)
-            self.ops_executed += counters.get("ops_executed", 0)
-
-        # Post-run channel parity with the in-process executors: every
-        # finished endpoint has propagated its closure.
-        for channel in program.channels:
-            owner = channel.sender_owner
-            if owner is not None and owner.finish_time is not None:
-                channel.close_sender()
-            owner = channel.receiver_owner
-            if owner is not None and owner.finish_time is not None:
-                channel.close_receiver()
-
     def _fold_metrics(
         self, program: Program, plan: PartitionPlan, payloads: dict
     ) -> Optional[dict]:
@@ -1108,4 +1284,8 @@ class ProcessExecutor(Executor):
         registry.counter("executor_ops").inc(self.ops_executed)
         registry.gauge("process_workers").set(plan.workers_used)
         registry.gauge("process_cut_channels").set(len(plan.cut))
+        registry.counter("process_steals").inc(self.steals)
+        registry.counter("process_migrated_contexts").inc(
+            sum(len(m["contexts"]) for m in self.migrations)
+        )
         return registry.snapshot()

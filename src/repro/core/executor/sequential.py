@@ -60,6 +60,7 @@ from ..ops import (
 from ..program import Program
 from ..time import TimeCell
 from .base import Executor, RunSummary
+from .registry import register_executor
 from .policies import FifoPolicy, SchedulingPolicy, make_policy
 
 _READY = 0
@@ -173,6 +174,7 @@ class _ContextState:
         self.fused_plan: Any = None
 
 
+@register_executor("sequential")
 class SequentialExecutor(Executor):
     """Cooperative, single-threaded, deterministic executor.
 

@@ -55,6 +55,7 @@ from ..ops import (
 )
 from ..program import Program
 from .base import Executor, RunSummary
+from .registry import register_executor
 
 
 class _Aborted(Exception):
@@ -71,6 +72,7 @@ class _TimeSync:
         self.waiter_count = 0
 
 
+@register_executor("threaded")
 class ThreadedExecutor(Executor):
     """Executes each context on a dedicated OS thread.
 

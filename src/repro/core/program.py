@@ -43,25 +43,69 @@ class Program:
         #: worker index (see :meth:`ProgramBuilder.pin`).
         self.partition_pins: dict[int, int] = dict(partition_pins or {})
 
-    def run(self, executor: str = "sequential", **kwargs) -> "RunSummary":
+    def run(
+        self,
+        executor="sequential",
+        *,
+        config=None,
+        obs=None,
+        **kwargs,
+    ) -> "RunSummary":
         """Execute the program and return a :class:`RunSummary`.
 
-        ``executor`` selects the runtime: ``"sequential"`` (deterministic
-        cooperative scheduler; default), ``"threaded"`` (one OS thread
-        per context with SVA/SVP-style synchronization), or ``"process"``
-        (graph partitions across forked worker processes bridged by
-        shared-memory shuttles).  Extra keyword arguments are forwarded
-        to the executor constructor.
-        """
-        from .executor import ProcessExecutor, SequentialExecutor, ThreadedExecutor
+        ``executor`` selects the runtime by registered name —
+        ``"sequential"`` (deterministic cooperative scheduler; default),
+        ``"threaded"``, ``"free-threaded"``, ``"process"`` — or
+        ``"auto"``, which picks the best runtime the host supports
+        (free-threaded > process > threaded > sequential).  An
+        :class:`~repro.core.executor.base.Executor` instance or subclass
+        is also accepted.  Resolution goes through the registry
+        (:mod:`repro.core.executor.registry`), so an unknown name raises
+        a :class:`ValueError` listing the registered names without
+        importing any executor module.
 
-        if executor == "sequential":
-            return SequentialExecutor(**kwargs).execute(self)
-        if executor == "threaded":
-            return ThreadedExecutor(**kwargs).execute(self)
-        if executor == "process":
-            return ProcessExecutor(**kwargs).execute(self)
-        raise ValueError(f"unknown executor {executor!r}")
+        ``config`` is a :class:`~repro.core.executor.config.RunConfig`;
+        each executor receives exactly the fields its constructor
+        declares, which is what makes one config portable across
+        runtimes (and across ``"auto"``'s choices).  ``obs`` attaches an
+        :class:`~repro.obs.Observability` and is merged into the config.
+
+        Passing other executor keyword arguments directly (the pre-
+        registry form, e.g. ``run(executor="process", workers=4)``)
+        still works but emits a :class:`DeprecationWarning`; use
+        ``config=RunConfig(workers=4)`` instead.
+        """
+        from .executor.base import Executor
+        from .executor.config import RunConfig
+        from .executor.registry import resolve_executor
+
+        if isinstance(executor, Executor):
+            if config is not None or kwargs:
+                raise TypeError(
+                    "run() got an executor instance and configuration; "
+                    "construct the executor with its settings instead"
+                )
+            return executor.execute(self)
+
+        if kwargs:
+            import warnings
+
+            warnings.warn(
+                "passing executor keyword arguments to Program.run() is "
+                "deprecated; pass config=RunConfig(...) instead "
+                f"(got {sorted(kwargs)})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if config is None:
+            config = RunConfig()
+        if kwargs:
+            config = config.replace(**kwargs)
+        if obs is not None:
+            config = config.replace(obs=obs)
+
+        executor_cls = resolve_executor(executor)
+        return executor_cls.from_config(config).execute(self)
 
     def context_count(self) -> int:
         return len(self.contexts)

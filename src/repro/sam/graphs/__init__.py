@@ -8,7 +8,7 @@ numpy references in :mod:`repro.sam.reference`.
 
 from .common import KernelGraph, SamGraphBuilder
 from .mmadd import build_mmadd
-from .mha import build_sparse_mha
+from .mha import ParallelMha, build_parallel_mha, build_sparse_mha
 from .sddmm import build_sddmm
 from .spmspm import build_spmspm
 from .spmspm_gustavson import build_spmspm_gustavson
@@ -21,4 +21,6 @@ __all__ = [
     "build_spmspm_gustavson",
     "build_sddmm",
     "build_sparse_mha",
+    "build_parallel_mha",
+    "ParallelMha",
 ]

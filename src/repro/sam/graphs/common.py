@@ -97,8 +97,10 @@ class KernelGraph:
         self._assemble = assemble
         self.summary = None
 
-    def run(self, executor: str = "sequential", **kwargs):
-        self.summary = self.program.run(executor=executor, **kwargs)
+    def run(self, executor="sequential", *, config=None, obs=None, **kwargs):
+        self.summary = self.program.run(
+            executor=executor, config=config, obs=obs, **kwargs
+        )
         return self.summary
 
     def result_dense(self) -> np.ndarray:

@@ -261,8 +261,10 @@ class ParallelMha:
         self.program = Program(contexts, channels)
         self.summary = None
 
-    def run(self, executor: str = "sequential", **kwargs):
-        self.summary = self.program.run(executor=executor, **kwargs)
+    def run(self, executor="sequential", *, config=None, obs=None, **kwargs):
+        self.summary = self.program.run(
+            executor=executor, config=config, obs=obs, **kwargs
+        )
         return self.summary
 
     def result_dense(self) -> np.ndarray:

@@ -176,20 +176,40 @@ class TestExecutorMatrix:
 
     @pytest.mark.parametrize("kernel_name", sorted(_KERNELS))
     def test_all_executors_agree(self, kernel_name):
+        from repro.core import RunConfig
+
         build = _KERNELS[kernel_name]
         reference_kernel = build()
         reference = _signature(reference_kernel, reference_kernel.run())
 
-        runs = [("sequential", {"fast_path": False}), ("threaded", {})]
-        runs += [("process", {"workers": n}) for n in (1, 2, 3, 4)]
-        for executor, kwargs in runs:
+        runs = [
+            ("sequential", RunConfig(fast_path=False)),
+            ("threaded", RunConfig()),
+        ]
+        runs += [("process", RunConfig(workers=n)) for n in (1, 2, 3, 4)]
+        # On a GIL build this leg exercises the fallback chain (process
+        # when fork exists, threaded otherwise) — the simulated results
+        # must be identical whichever runtime actually executes.
+        runs += [("free-threaded", RunConfig(workers=2))]
+        for executor, config in runs:
             kernel = build()
-            summary = kernel.run(executor=executor, **kwargs)
+            summary = kernel.run(executor=executor, config=config)
             signature = _signature(kernel, summary)
             assert signature == reference, (
-                f"{kernel_name} on {executor} {kwargs} diverged from "
+                f"{kernel_name} on {executor} {config} diverged from "
                 "the sequential reference"
             )
+
+    def test_legacy_kwargs_form_still_works(self):
+        """Pre-registry call style (bare kwargs) must keep working, with
+        a DeprecationWarning pointing at ``config=RunConfig(...)``."""
+        reference_kernel = _KERNELS["spmspm"]()
+        reference = _signature(reference_kernel, reference_kernel.run())
+
+        kernel = _KERNELS["spmspm"]()
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            summary = kernel.run(executor="process", workers=2)
+        assert _signature(kernel, summary) == reference
 
     @pytest.mark.parametrize("kernel_name", sorted(_KERNELS))
     def test_trace_event_sequences_agree(self, kernel_name):
@@ -208,3 +228,75 @@ class TestExecutorMatrix:
 
         reference = events("sequential")
         assert events("threaded") == reference
+
+
+# ----------------------------------------------------------------------
+# Forced work stealing: a deliberately skewed partition of the
+# head-parallel MHA graph, where the only way the light worker gets more
+# work is by migrating cold clusters away from the heavy worker.
+# ----------------------------------------------------------------------
+
+
+def _build_parallel_mha_kernel(parallelism=6):
+    from repro.sam.graphs import build_parallel_mha
+
+    rng = np.random.default_rng(11)
+    H, N, d = parallelism, 5, 3
+    mask = (rng.random((H, N, N)) < 0.5).astype(float)
+    for h in range(H):
+        np.fill_diagonal(mask[h], 1.0)
+    q = rng.standard_normal((H, N, d))
+    k = rng.standard_normal((H, N, d))
+    v = rng.standard_normal((H, N, d))
+    return build_parallel_mha(
+        mask, q, k, v, parallelism=parallelism, depth=6, softmax_depth=32,
+    )
+
+
+def _skewed_pins(program):
+    """Pin the first connected component to worker 0 and every other
+    component to worker 1 (a 1-vs-many skew)."""
+    from repro.core import plan_clusters
+
+    clusters = plan_clusters(
+        program, {id(ctx): 0 for ctx in program.contexts}
+    )
+    first = set(clusters[0].contexts)
+    return {
+        id(ctx): (0 if slot in first else 1)
+        for slot, ctx in enumerate(program.contexts)
+    }
+
+
+class TestWorkStealing:
+    def test_forced_steal_matches_sequential(self):
+        """Worker 0 owns one of six pipelines; the other five sit cold on
+        worker 1.  Worker 0 must steal, and the simulated results must
+        stay bit-identical to the sequential reference anyway."""
+        from repro.core import RunConfig
+
+        reference_kernel = _build_parallel_mha_kernel()
+        reference = _signature(reference_kernel, reference_kernel.run())
+
+        kernel = _build_parallel_mha_kernel()
+        pins = _skewed_pins(kernel.program)
+        summary = kernel.run(
+            executor="process", config=RunConfig(workers=2, pins=pins)
+        )
+        assert summary.steals >= 1, "skewed partition did not force a steal"
+        assert _signature(kernel, summary) == reference
+
+    def test_steal_disabled_keeps_planned_placement(self):
+        from repro.core import RunConfig
+
+        reference_kernel = _build_parallel_mha_kernel()
+        reference = _signature(reference_kernel, reference_kernel.run())
+
+        kernel = _build_parallel_mha_kernel()
+        pins = _skewed_pins(kernel.program)
+        summary = kernel.run(
+            executor="process",
+            config=RunConfig(workers=2, pins=pins, steal=False),
+        )
+        assert summary.steals == 0
+        assert _signature(kernel, summary) == reference
