@@ -33,10 +33,13 @@ from .core import (
     ChannelClosed,
     ChannelElement,
     Context,
+    ContextFault,
     DamError,
     DeadlockError,
     Dequeue,
     Enqueue,
+    FaultInjected,
+    FaultPlan,
     FunctionContext,
     GraphConstructionError,
     IncrCycles,
@@ -44,12 +47,16 @@ from .core import (
     Program,
     ProgramBuilder,
     Receiver,
+    RunTimeoutError,
     Sender,
+    ShuttleStall,
     SimulationError,
     Time,
     TimeCell,
     ViewTime,
     WaitUntil,
+    WorkerCrashError,
+    WorkerKill,
     make_channel,
     peak_simulated_occupancy,
 )
@@ -108,11 +115,14 @@ __all__ = [
     "ChannelClosed",
     "ChannelElement",
     "Context",
+    "ContextFault",
     "DamError",
     "DeadlockError",
     "Dequeue",
     "Enqueue",
     "FairPolicy",
+    "FaultInjected",
+    "FaultPlan",
     "FifoPolicy",
     "FreeThreadedExecutor",
     "FunctionContext",
@@ -128,11 +138,15 @@ __all__ = [
     "Receiver",
     "RunConfig",
     "RunSummary",
+    "RunTimeoutError",
     "Sender",
     "SequentialExecutor",
+    "ShuttleStall",
     "SimulationError",
     "StallReport",
     "ThreadedExecutor",
+    "WorkerCrashError",
+    "WorkerKill",
     "register_executor",
     "registered_names",
     "resolve_executor",

@@ -19,7 +19,16 @@ from .errors import (
     DamError,
     DeadlockError,
     GraphConstructionError,
+    RunTimeoutError,
     SimulationError,
+    WorkerCrashError,
+)
+from .faults import (
+    ContextFault,
+    FaultInjected,
+    FaultPlan,
+    ShuttleStall,
+    WorkerKill,
 )
 from .ops import (
     AdvanceTo,
@@ -93,7 +102,14 @@ __all__ = [
     "DamError",
     "DeadlockError",
     "GraphConstructionError",
+    "RunTimeoutError",
     "SimulationError",
+    "WorkerCrashError",
+    "ContextFault",
+    "FaultInjected",
+    "FaultPlan",
+    "ShuttleStall",
+    "WorkerKill",
     "RunSummary",
     "RunConfig",
     "SequentialExecutor",

@@ -411,6 +411,30 @@ class Channel:
         self._data.clear()
         self._select_flavor()  # enqueues become void (discard) fast path
 
+    def reset(self) -> None:
+        """Restore pristine pre-run state (wiring and parameters kept).
+
+        The retry ladder (``RunConfig(fallback=...)``) calls this through
+        :meth:`~repro.core.program.Program.reset` before re-running a
+        program whose previous attempt crashed or timed out, so the retry
+        observes exactly the state a fresh build would.  Occupancy,
+        response queues, finished flags, stats, parked waiters, and the
+        profiling log (re-armed empty if profiling was enabled) are all
+        cleared; the flavor-specialized fast methods are re-selected for
+        the restored state.
+        """
+        self._data.clear()
+        self._resps.clear()
+        self._delta = 0
+        self._sender_finished = False
+        self._receiver_finished = False
+        self.stats = ChannelStats()
+        self.waiting_sender = None
+        self.waiting_receiver = None
+        if self.profile_log is not None:
+            self.profile_log = []
+        self._select_flavor()
+
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------

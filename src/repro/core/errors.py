@@ -16,9 +16,27 @@ The framework distinguishes three failure families:
   mis-wired: a dangling channel endpoint, a handle registered twice, and so
   on.  These are raised at :meth:`ProgramBuilder.build` time, before any
   simulation starts.
+
+* **Host errors** (:class:`WorkerCrashError`, :class:`RunTimeoutError`) — the
+  *host* failed, not the simulated system: a worker process died (OOM kill,
+  segfault, SIGKILL) or the run overshot its wall-clock deadline.  Unlike the
+  simulation errors these are non-deterministic, so the retry ladder in
+  :meth:`Program.run` may transparently re-run the program on a safer
+  executor when ``RunConfig(fallback=...)`` is set.
+
+The module also hosts :func:`pack_exception` / :func:`unpack_exception`, the
+marshalling helpers that carry exceptions across the worker result pipe.
+Several DAM exceptions have custom ``__init__`` signatures that break naive
+exception pickling (``DeadlockError`` would unpickle with its formatted
+message where the ``blocked`` list belongs; ``SimulationError`` fails
+outright), so the helpers encode them field-by-field and demote anything
+unpicklable to its ``repr``.
 """
 
 from __future__ import annotations
+
+import pickle
+from typing import Any
 
 
 class DamError(Exception):
@@ -63,3 +81,123 @@ class SimulationError(DamError):
 
 class GraphConstructionError(DamError):
     """The program graph is structurally invalid (dangling channel, etc.)."""
+
+
+class WorkerCrashError(DamError):
+    """A worker process died without reporting a result.
+
+    Raised by the process executor's supervisor when a worker's result pipe
+    hits EOF (or its sentinel fires) before a final payload arrived —
+    typically an external SIGKILL, the OOM killer, or a segfault in an
+    extension module.  Carries everything the supervisor could salvage:
+    which worker died, its exit code, the contexts it had claimed, and the
+    last clock value each of those contexts published to the shared clock
+    board before the crash.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        exitcode: int | None = None,
+        contexts: list[str] | None = None,
+        clocks: dict[str, float] | None = None,
+    ):
+        self.worker = worker
+        self.exitcode = exitcode
+        self.contexts = list(contexts or [])
+        self.clocks = dict(clocks or {})
+        cause = f"exit code {exitcode}" if exitcode is not None else "no exit code"
+        if exitcode is not None and exitcode < 0:
+            cause += f" (signal {-exitcode})"
+        running = (
+            " while running " + ", ".join(repr(name) for name in self.contexts)
+            if self.contexts
+            else ""
+        )
+        super().__init__(f"worker {worker} crashed ({cause}){running}")
+
+
+class RunTimeoutError(DamError):
+    """The run exceeded ``RunConfig(deadline_s=...)`` and was aborted.
+
+    ``summary`` holds a *partial* :class:`RunSummary` — finish times for
+    contexts that completed before the abort and current (lower-bound)
+    clocks for the rest — and ``stall_report`` describes where every
+    still-blocked context was parked when the deadline fired.
+    """
+
+    def __init__(
+        self,
+        deadline_s: float,
+        executor: str = "",
+        summary: Any = None,
+        stall_report: Any = None,
+    ):
+        self.deadline_s = deadline_s
+        self.executor = executor
+        self.summary = summary
+        self.stall_report = stall_report
+        where = f" on executor {executor!r}" if executor else ""
+        super().__init__(f"run exceeded deadline of {deadline_s}s{where}")
+
+
+# ----------------------------------------------------------------------
+# Cross-process exception marshalling.
+# ----------------------------------------------------------------------
+
+
+def pack_exception(exc: BaseException) -> dict[str, Any]:
+    """Encode ``exc`` as a picklable dict for the worker result pipe.
+
+    DAM exceptions with custom constructor signatures are encoded
+    field-by-field so :func:`unpack_exception` can rebuild them exactly.
+    Arbitrary exceptions are shipped as-is when picklable and demoted to
+    their ``repr`` otherwise (a user context can raise an exception holding
+    an open file handle, a generator, a lock — anything).
+    """
+    if isinstance(exc, ChannelClosed):
+        return {"kind": "channel_closed", "channel": exc.channel_name}
+    if isinstance(exc, DeadlockError):
+        return {"kind": "deadlock", "blocked": list(exc.blocked)}
+    if isinstance(exc, SimulationError):
+        original: BaseException | None = exc.original
+        try:
+            pickle.dumps(original)
+        except Exception:
+            original = None
+        return {
+            "kind": "simulation",
+            "context": exc.context_name,
+            "original": original,
+            "repr": repr(exc.original),
+        }
+    try:
+        pickle.dumps(exc)
+    except Exception:
+        return {"kind": "opaque", "type": type(exc).__name__, "repr": repr(exc)}
+    return {"kind": "pickled", "exception": exc, "repr": repr(exc)}
+
+
+def unpack_exception(info: dict[str, Any]) -> BaseException:
+    """Rebuild the exception encoded by :func:`pack_exception`.
+
+    The inverse is lossy only in the demotion cases: an unpicklable
+    ``SimulationError.original`` comes back as a ``RuntimeError`` carrying
+    the original's ``repr``, and an unpicklable top-level exception comes
+    back as ``RuntimeError("<TypeName>: <repr>")``.
+    """
+    kind = info.get("kind")
+    if kind == "channel_closed":
+        return ChannelClosed(info.get("channel", "<channel>"))
+    if kind == "deadlock":
+        return DeadlockError(list(info.get("blocked", [])))
+    if kind == "simulation":
+        original = info.get("original")
+        if original is None:
+            original = RuntimeError(info.get("repr") or "worker context failed")
+        return SimulationError(info.get("context") or "<worker>", original)
+    if kind == "pickled":
+        return info["exception"]
+    detail = info.get("repr") or "worker failed"
+    type_name = info.get("type")
+    return RuntimeError(f"{type_name}: {detail}" if type_name else detail)

@@ -41,6 +41,12 @@ class RunSummary:
     #: executor work stealing); 0 for single-runtime executors.
     steals: int = 0
     metrics: Optional[dict[str, Any]] = None
+    #: Retry-ladder history: one record per execution attempt when
+    #: ``RunConfig(fallback=...)`` was set and at least one attempt failed
+    #: with a host error (worker crash / deadline).  Each record carries
+    #: ``executor``, ``outcome`` ("ok", "WorkerCrashError", ...), an
+    #: ``error`` string for failures, and ``seconds`` of wall clock spent.
+    attempts: list[dict[str, Any]] = field(default_factory=list)
 
     def __str__(self) -> str:
         return (

@@ -28,6 +28,11 @@ from typing import Any, Optional
 #: special-cased everywhere).
 _CONFIG_FIELDS: Optional[frozenset] = None
 
+#: Fields interpreted by :meth:`Program.run` itself, never forwarded to an
+#: executor constructor (the retry ladder re-runs whole executions; no
+#: executor could honour it from the inside).
+_RUN_ONLY_FIELDS = frozenset({"fallback"})
+
 
 def _config_fields() -> frozenset:
     global _CONFIG_FIELDS
@@ -71,6 +76,19 @@ class RunConfig:
         ``"shm"`` or ``"pipe"`` cut-channel transport.
     weights / pins / balance:
         Partitioner inputs (see :func:`~repro.core.executor.partition.plan_partition`).
+    deadline_s:
+        Wall-clock budget for the run.  Every executor aborts cleanly into
+        :class:`~repro.core.errors.RunTimeoutError` (carrying a partial
+        summary and a stall report) once the budget is exhausted.
+    fallback:
+        Retry ladder for non-deterministic host failures (worker crash,
+        deadline overrun — never ``DeadlockError``/``SimulationError``).
+        A name, a sequence of names, or ``True`` for the default ladder
+        ``process → threaded → sequential`` below the current executor.
+        Consumed by :meth:`Program.run`, never by executors.
+    faults:
+        A :class:`~repro.core.faults.FaultPlan` of injected failures for
+        chaos testing.
     extra:
         Anything else, passed through to the executor constructor
         verbatim (and validated there).
@@ -90,6 +108,9 @@ class RunConfig:
     weights: Optional[dict] = None
     pins: Optional[dict] = None
     balance: Optional[float] = None
+    deadline_s: Optional[float] = None
+    fallback: Any = None
+    faults: Any = None
     extra: dict = field(default_factory=dict)
 
     def replace(self, **changes: Any) -> "RunConfig":
@@ -119,6 +140,8 @@ class RunConfig:
         )
         kwargs: dict[str, Any] = {}
         for name in _config_fields():
+            if name in _RUN_ONLY_FIELDS:
+                continue
             value = getattr(self, name)
             if value is None:
                 continue

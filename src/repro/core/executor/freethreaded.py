@@ -60,11 +60,15 @@ class FreeThreadedExecutor(ThreadedExecutor):
         workers: Optional[int] = None,
         pin_workers: bool = False,
         steal: bool = True,
+        deadline_s: Optional[float] = None,
+        faults=None,
     ):
         super().__init__(
             poll_interval=poll_interval,
             deadlock_grace=deadlock_grace,
             obs=obs,
+            deadline_s=deadline_s,
+            faults=faults,
         )
         self.workers = workers
         self.pin_workers = pin_workers
@@ -111,12 +115,16 @@ class FreeThreadedExecutor(ThreadedExecutor):
                 deadlock_grace=max(self.deadlock_grace, 0.5),
                 steal=self.steal,
                 pin_workers=self.pin_workers,
+                deadline_s=self.deadline_s,
+                faults=self.faults,
             )
         else:  # pragma: no cover - no-fork platforms
             fallback = ThreadedExecutor(
                 poll_interval=self.poll_interval,
                 deadlock_grace=self.deadlock_grace,
                 obs=self.obs,
+                deadline_s=self.deadline_s,
+                faults=self.faults,
             )
         summary = fallback.execute(program)
         summary.executor = f"{self.name}({fallback.name})"

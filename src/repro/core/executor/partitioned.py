@@ -73,6 +73,7 @@ registry.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time as _wallclock
 from collections import deque
@@ -82,7 +83,16 @@ from typing import Any, Optional
 from ...obs import Observability, fold_channel_metrics, fold_context_metrics
 from ...obs.stall import StallReport
 from ..channel import _EMPTY, Channel, ChannelStats
-from ..errors import DeadlockError, SimulationError
+from ..errors import (
+    DamError,
+    DeadlockError,
+    RunTimeoutError,
+    SimulationError,
+    WorkerCrashError,
+    pack_exception,
+    unpack_exception,
+)
+from ..faults import StalledLane
 from ..ops import Dequeue, Enqueue, Peek, WaitUntil
 from ..program import Program
 from .affinity import pin_current_process, plan_affinity
@@ -423,13 +433,22 @@ class _WorkerExecutor(SequentialExecutor):
         obs: Optional[Observability] = None,
         poll_interval: float = 0.0005,
         timeslice: int = 1024,
+        faults=None,
+        kill=None,
     ):
-        super().__init__(policy=policy, max_ops=max_ops, obs=obs)
+        super().__init__(policy=policy, max_ops=max_ops, obs=obs, faults=faults)
+        #: Chaos hook: a WorkerKill aimed at *this* worker — the process
+        #: SIGKILLs itself the first time its published progress counter
+        #: reaches the trigger (see :meth:`_publish`).
+        self._kill = kill
         if self.policy.timeslice is None:
             # Run-to-block would starve the shuttles on long-running
             # contexts; preemption changes only real order, never
             # simulated results (the determinism invariant).
             self.policy.timeslice = timeslice
+        # ... and the run-to-block FIFO branch would additionally make the
+        # worker deaf to the parent's abort flag: bounded slices, always.
+        self._always_bounded = True
         self._worker = worker
         self._program = program
         self._clusters = clusters
@@ -551,9 +570,12 @@ class _WorkerExecutor(SequentialExecutor):
         return True
 
     def _publish(self, state: int) -> None:
-        self._status.publish(
-            self._worker, self.ops_executed + self._shuttle_moves, state
-        )
+        progress = self.ops_executed + self._shuttle_moves
+        self._status.publish(self._worker, progress, state)
+        if self._kill is not None and progress >= self._kill.after_ops:
+            # Injected crash: die exactly as an external SIGKILL would —
+            # no cleanup, no payload, pipe slammed shut.
+            os.kill(os.getpid(), self._kill.signal)
 
     def _run_slice(self, state, timeslice) -> None:
         if self._abort.is_set():
@@ -670,24 +692,6 @@ class _WorkerExecutor(SequentialExecutor):
 # Worker process entry point (fork target: everything arrives by
 # inheritance, nothing is pickled — context generators included).
 # ----------------------------------------------------------------------
-
-
-def _ship_error(exc: SimulationError) -> dict:
-    """Pack a SimulationError for the pipe.  The exception classes have
-    custom ``__init__`` signatures that break default exception pickling,
-    so a structured dict travels instead; the original cause is included
-    only when it pickles cleanly."""
-    original = exc.original
-    try:
-        pickle.dumps(original)
-    except Exception:  # noqa: BLE001 - any pickling failure demotes to repr
-        original = None
-    return {
-        "kind": "simulation",
-        "context": exc.context_name,
-        "original": original,
-        "repr": repr(exc.original),
-    }
 
 
 def _shippable_events(events: list) -> list:
@@ -834,6 +838,30 @@ def _worker_main(
                 capture_payloads=options["capture_payloads"],
             )
 
+        # Fault-injection hooks (chaos testing).  Shuttle stalls wrap the
+        # named channels' data lanes *before* any proxy captures them;
+        # only the receiving side ever pops a data lane, so wrapping the
+        # per-process copy in every worker stalls exactly the delivery
+        # path.  The kill targets this worker only if the resolved plan
+        # says so; context faults ride the inherited sequential machinery.
+        faults = options.get("faults")
+        kill = None
+        if faults is not None:
+            kill = faults.kill_for(worker_index)
+            if faults.stalls:
+                by_name = {ch.name: ch.id for ch in program.channels}
+                for stall in faults.stalls:
+                    channel_id = by_name.get(stall.channel)
+                    shuttle = (
+                        shuttles.get(channel_id)
+                        if channel_id is not None
+                        else None
+                    )
+                    if shuttle is not None:
+                        shuttle.data = StalledLane(
+                            shuttle.data, stall.after_records
+                        )
+
         executor = _WorkerExecutor(
             worker_index, program, clusters, claim, claim_lock,
             shuttles, clocks, starts, status, abort,
@@ -841,6 +869,7 @@ def _worker_main(
             policy=options["policy"], max_ops=options["max_ops"], obs=obs,
             poll_interval=options["poll_interval"],
             timeslice=options["timeslice"],
+            faults=faults, kill=kill,
         )
         try:
             # The worker starts empty; its first _idle() claims work.
@@ -863,15 +892,12 @@ def _worker_main(
                 payload["stalls"] = executor._stall_report(unfinished).stalls
         except SimulationError as exc:
             payload["status"] = "error"
-            payload["error"] = _ship_error(exc)
+            payload["error"] = pack_exception(exc)
         payload.update(_harvest(executor, obs))
     except BaseException as exc:  # noqa: BLE001 - everything must be reported
         payload["status"] = "error"
         if payload.get("error") is None:
-            payload["error"] = {
-                "kind": type(exc).__name__, "context": None,
-                "original": None, "repr": repr(exc),
-            }
+            payload["error"] = pack_exception(exc)
     finally:
         try:
             conn.send(payload)
@@ -959,6 +985,8 @@ class ProcessExecutor(Executor):
         deadlock_grace: float = 0.5,
         timeslice: int = 1024,
         join_timeout: float = 5.0,
+        deadline_s: Optional[float] = None,
+        faults=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -984,6 +1012,12 @@ class ProcessExecutor(Executor):
         self.deadlock_grace = deadlock_grace
         self.timeslice = timeslice
         self.join_timeout = join_timeout
+        self.deadline_s = deadline_s
+        self.faults = faults
+        #: Set by _collect when the run was aborted for its deadline, so
+        #: _resolve_failures raises RunTimeoutError instead of reading the
+        #: aborted workers' stalls as a deadlock.
+        self._deadline_hit = False
         self.context_switches = 0
         self.wakeups = 0
         self.preemptions = 0
@@ -1051,6 +1085,15 @@ class ProcessExecutor(Executor):
                 ring_offsets.append((data_off, resp_off))
 
         arena = SharedArena(layout.size)
+        # Declared before the try so the wind-down in ``finally`` sees
+        # whatever was spawned, on *every* exit path: a KeyboardInterrupt
+        # (or any parent-side failure) must still terminate-then-join the
+        # children and unlink the arena, or the host leaks processes and
+        # /dev/shm segments.
+        procs: list = []
+        conns: dict = {}
+        abort = None
+        self._deadline_hit = False
         try:
             clocks = arena.adopt(
                 SharedClockArray(
@@ -1099,6 +1142,11 @@ class ProcessExecutor(Executor):
                 )
 
             abort = mp_ctx.Event()
+            faults = (
+                self.faults.resolve(len(groups))
+                if self.faults is not None
+                else None
+            )
             cpu_sets = None
             if self.pin_workers:
                 peer_pairs = [
@@ -1124,10 +1172,9 @@ class ProcessExecutor(Executor):
                     if self.obs is not None and self.obs.trace is not None
                     else False
                 ),
+                "faults": faults,
             }
 
-            procs: list = []
-            conns: dict = {}
             for worker in range(len(groups)):
                 parent_conn, child_conn = mp_ctx.Pipe(duplex=False)
                 proc = mp_ctx.Process(
@@ -1145,8 +1192,11 @@ class ProcessExecutor(Executor):
                 procs.append(proc)
                 conns[parent_conn] = worker
 
-            payloads = self._collect(conns, status, abort, procs, claim)
-            self._resolve_failures(payloads)
+            payloads = self._collect(
+                conns, status, abort, procs, claim, clusters, program, clocks,
+                start,
+            )
+            self._resolve_failures(payloads, program, clocks, start)
             trace = self.obs.trace if self.obs is not None else None
             summary = RunSummary.merge(
                 program,
@@ -1154,6 +1204,7 @@ class ProcessExecutor(Executor):
                 trace=trace,
             )
         finally:
+            self._wind_down(procs, conns, abort)
             arena.close()
             arena.unlink()
 
@@ -1177,32 +1228,91 @@ class ProcessExecutor(Executor):
 
     def _collect(
         self, conns: dict, status: StatusBoard, abort, procs,
-        claim: ClaimBoard,
+        claim: ClaimBoard, clusters: list[ClusterSpec], program: Program,
+        clocks: SharedClockArray, start: float,
     ) -> dict:
-        """Receive worker payloads; double as the global deadlock watchdog."""
+        """Receive worker payloads; double as the crash supervisor, the
+        deadline enforcer, and the global deadlock watchdog.
+
+        Crash supervision is two-layered: a dead worker's result pipe hits
+        EOF (its write end closes with the process), and its process
+        sentinel fires — both are waited on, so a SIGKILLed worker is
+        detected within one tick even if something keeps its pipe fd
+        alive.  Either way the worker is recorded as ``"crashed"`` with
+        its exit code, claimed contexts, and last-published clocks
+        snapshotted off the shared boards while they are still mapped.
+        """
         payloads: dict[int, dict] = {}
         pending = dict(conns)
         tick = max(self.poll_interval * 4, 0.01)
+        deadline_at = (
+            start + self.deadline_s if self.deadline_s is not None else None
+        )
+        abort_since: Optional[float] = None
         stable_since: Optional[float] = None
         last_total = -1
         while pending:
-            ready = _mpconn.wait(list(pending), timeout=tick)
-            if ready:
-                for conn in ready:
-                    worker = pending.pop(conn)
-                    try:
-                        payloads[worker] = conn.recv()
-                    except EOFError:
-                        payloads[worker] = {
-                            "worker": worker, "status": "crashed",
-                            "error": None, "stalls": None,
-                        }
-                    conn.close()
-                    if payloads[worker]["status"] not in ("ok", "aborted"):
-                        abort.set()  # wind the surviving workers down
+            sentinels = {
+                procs[worker].sentinel: (conn, worker)
+                for conn, worker in pending.items()
+            }
+            ready = _mpconn.wait(
+                list(pending) + list(sentinels), timeout=tick
+            )
+            collected = False
+            for item in ready or ():
+                if item in pending:
+                    conn, worker = item, pending[item]
+                elif item in sentinels:
+                    conn, worker = sentinels[item]
+                    # The process died.  A final payload may still sit in
+                    # the pipe (normal exit races its own sentinel); only
+                    # an empty pipe means a crash, and recv below turns
+                    # that into EOFError.
+                else:
+                    continue  # pragma: no cover - defensive
+                if worker in payloads:
+                    continue  # both wait objects fired for one worker
+                pending.pop(conn, None)
+                try:
+                    payloads[worker] = conn.recv()
+                except (EOFError, OSError):
+                    payloads[worker] = self._crash_payload(
+                        worker, procs, claim, clusters, program, clocks
+                    )
+                conn.close()
+                collected = True
+                if payloads[worker]["status"] not in ("ok", "aborted"):
+                    abort.set()  # wind the surviving workers down
+            if abort.is_set() and abort_since is None:
+                abort_since = _wallclock.perf_counter()
+            if collected:
                 stable_since = None
                 last_total = -1
                 continue
+            now = _wallclock.perf_counter()
+            if deadline_at is not None and not self._deadline_hit \
+                    and now >= deadline_at:
+                # Deadline: flip the abort switch and keep collecting —
+                # workers park their state into "aborted" payloads
+                # (stalls included) that feed the RunTimeoutError.
+                self._deadline_hit = True
+                abort.set()
+                abort_since = now
+                continue
+            if abort_since is not None and (
+                now - abort_since > self.join_timeout
+            ):
+                # Workers ignored the abort for a whole join_timeout
+                # (wedged in uninterruptible state): stop waiting and
+                # record them as crashed; _wind_down terminates them.
+                for conn, worker in list(pending.items()):
+                    payloads[worker] = self._crash_payload(
+                        worker, procs, claim, clusters, program, clocks
+                    )
+                    pending.pop(conn)
+                    conn.close()
+                break
             # Nothing arrived this tick: check for a global deadlock.  A
             # run with cold (claimable) clusters left is never deadlocked
             # — some worker will claim one, and claiming bumps progress.
@@ -1227,27 +1337,89 @@ class ProcessExecutor(Executor):
                 proc.join(timeout=1.0)
         return payloads
 
-    def _resolve_failures(self, payloads: dict) -> None:
-        """Raise the run's failure, if any: error > crash > deadlock."""
+    def _crash_payload(
+        self, worker: int, procs, claim: ClaimBoard,
+        clusters: list[ClusterSpec], program: Program,
+        clocks: SharedClockArray,
+    ) -> dict:
+        """Post-mortem for a dead worker: exit code, the contexts it had
+        claimed, and their last-published clocks (read off the shared
+        boards before the arena is unlinked)."""
+        proc = procs[worker]
+        proc.join(timeout=0.2)  # give the exit code a beat to land
+        contexts: list[str] = []
+        clock_map: dict[str, float] = {}
+        for spec in clusters:
+            if claim.claimant(spec.index) != worker:
+                continue
+            for slot in spec.contexts:
+                name = program.contexts[slot].name
+                contexts.append(name)
+                clock_map[name] = clocks.read(slot)
+        return {
+            "worker": worker, "status": "crashed", "error": None,
+            "stalls": None, "exitcode": proc.exitcode,
+            "contexts": contexts, "clocks": clock_map,
+        }
+
+    def _wind_down(self, procs, conns, abort) -> None:
+        """Terminate-then-join every worker and close the parent pipe
+        ends.  Runs in ``execute``'s finally on every exit path —
+        KeyboardInterrupt included — so no exit can strand children (the
+        shm segment unlink follows immediately after)."""
+        if abort is not None:
+            try:
+                abort.set()
+            except Exception:  # noqa: BLE001 - wind-down must not raise
+                pass
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=self.join_timeout)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.kill()
+                proc.join(timeout=1.0)
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    def _resolve_failures(
+        self, payloads: dict, program: Program, clocks: SharedClockArray,
+        start: float,
+    ) -> None:
+        """Raise the run's failure, if any: error > crash > timeout >
+        deadlock."""
         for payload in payloads.values():
             if payload["status"] == "error":
                 info = payload.get("error") or {}
-                original = info.get("original")
-                if original is None:
-                    original = RuntimeError(
-                        info.get("repr") or "worker failed"
-                    )
+                exc = unpack_exception(info)
+                if isinstance(exc, SimulationError):
+                    raise exc
+                if isinstance(exc, DamError):
+                    raise exc
                 raise SimulationError(
-                    info.get("context") or "<worker>", original
-                )
+                    f"<worker {payload['worker']}>", exc
+                ) from exc
         for worker, payload in sorted(payloads.items()):
-            if payload["status"] == "crashed":
-                raise SimulationError(
-                    f"<worker {worker}>",
-                    RuntimeError(
-                        "worker process exited without reporting a result"
-                    ),
-                )
+            if payload["status"] != "crashed":
+                continue
+            if self._deadline_hit and payload.get("exitcode") is None:
+                # Not a real death: the deadline abort's escape hatch
+                # force-recorded a worker that ignored the abort flag for a
+                # whole join_timeout (it was still alive — no exit code).
+                # That is the *timeout's* collateral, not a crash.
+                continue
+            error = WorkerCrashError(
+                worker,
+                exitcode=payload.get("exitcode"),
+                contexts=payload.get("contexts"),
+                clocks=payload.get("clocks"),
+            )
+            self._report_supervisor_event("crash", error)
+            raise error
         if any(
             payload["status"] in ("stalled", "aborted")
             for payload in payloads.values()
@@ -1259,7 +1431,76 @@ class ProcessExecutor(Executor):
             report = StallReport(stalls)
             if self.obs is not None:
                 self.obs.stall_report = report
+            if self._deadline_hit:
+                error = self._timeout_failure(payloads, program, clocks,
+                                              report, start)
+                self._report_supervisor_event("timeout", error)
+                raise error
             raise DeadlockError(report.lines())
+        if self._deadline_hit:
+            # Reached when every worker either raced to completion as the
+            # deadline fired or was force-recorded by the escape hatch.
+            error = self._timeout_failure(
+                payloads, program, clocks, StallReport([]), start
+            )
+            self._report_supervisor_event("timeout", error)
+            raise error
+
+    def _timeout_failure(
+        self, payloads: dict, program: Program, clocks: SharedClockArray,
+        report: StallReport, start: float,
+    ) -> RunTimeoutError:
+        """Build the deadline abort without mutating ``program``: finish
+        times come from the aborted workers' harvests, everything else
+        from the shared clock board (a lower bound on each context)."""
+        finish: dict[int, Any] = {}
+        ops = 0
+        for payload in payloads.values():
+            for slot, t in payload.get("finish_times", {}).items():
+                if t is not None:
+                    finish[slot] = t
+            ops += payload.get("counters", {}).get("ops_executed", 0)
+        context_times = {
+            ctx.name: finish.get(slot, clocks.read(slot))
+            for slot, ctx in enumerate(program.contexts)
+        }
+        summary = RunSummary(
+            elapsed_cycles=max(finish.values(), default=0),
+            real_seconds=_wallclock.perf_counter() - start,
+            context_times=context_times,
+            executor=self.name,
+            policy=self.policy.name,
+            ops_executed=ops,
+        )
+        return RunTimeoutError(
+            self.deadline_s,
+            executor=self.name,
+            summary=summary,
+            stall_report=report,
+        )
+
+    def _report_supervisor_event(self, kind: str, error) -> None:
+        """Feed the failure into the run's observability: a supervisor
+        pseudo-buffer event in the trace merge, a crash report on the
+        obs handle, and a counter in the metrics registry."""
+        if self.obs is None:
+            return
+        if kind == "crash":
+            self.obs.crash_report = error
+        if self.obs.metrics is not None:
+            name = "worker_crashes" if kind == "crash" else "run_timeouts"
+            self.obs.metrics.counter(name).inc()
+        if self.obs.trace is not None:
+            payload: dict[str, Any] = {"error": str(error)}
+            if kind == "crash":
+                payload.update(
+                    worker=error.worker,
+                    exitcode=error.exitcode,
+                    contexts=list(error.contexts),
+                )
+            self.obs.trace.buffer("<supervisor>").append(
+                kind, None, 0, payload
+            )
 
     def _fold_metrics(
         self, program: Program, plan: PartitionPlan, payloads: dict

@@ -61,10 +61,18 @@ def _fork_available() -> bool:
 
 
 def _cpu_budget() -> int:
+    # ``sched_getaffinity`` is absent off-Linux (AttributeError) and can
+    # fail with OSError in constrained sandboxes/containers where the
+    # affinity syscall (or /proc) is masked.  Registry resolution must
+    # degrade, never raise: fall back to the flat CPU count, then to 1.
     try:
         return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
+    except (AttributeError, OSError, ValueError):
+        pass
+    try:
         return os.cpu_count() or 1
+    except OSError:  # pragma: no cover - /proc unavailable
+        return 1
 
 
 def _process_available() -> bool:
@@ -112,9 +120,19 @@ def registered_names() -> list[str]:
 
 
 def executor_available(name: str) -> bool:
-    """Whether ``"auto"`` may pick ``name`` on this host."""
+    """Whether ``"auto"`` may pick ``name`` on this host.
+
+    A predicate that *raises* (host probing is inherently platform-
+    dependent) counts as unavailable: ``"auto"`` resolution must always
+    land on some executor rather than surface a probe failure.
+    """
     predicate = _AVAILABILITY.get(name)
-    return bool(predicate()) if predicate is not None else False
+    if predicate is None:
+        return False
+    try:
+        return bool(predicate())
+    except Exception:
+        return False
 
 
 def _resolve_auto() -> type:

@@ -45,7 +45,12 @@ from ...obs import Observability, fold_channel_metrics, fold_context_metrics
 from ...obs.stall import StallReport, stall_for
 from ..channel import _EMPTY, Channel
 from ..context import Context
-from ..errors import ChannelClosed, DeadlockError, SimulationError
+from ..errors import (
+    ChannelClosed,
+    DeadlockError,
+    RunTimeoutError,
+    SimulationError,
+)
 from ..ops import (
     AdvanceTo,
     Dequeue,
@@ -66,6 +71,22 @@ from .policies import FifoPolicy, SchedulingPolicy, make_policy
 _READY = 0
 _BLOCKED = 1
 _DONE = 2
+
+#: When a deadline or fault plan forces bounded slices, this is the slice
+#: length used where the policy does not set one: long enough that the
+#: per-slice wall-clock check is noise, short enough that a deadline is
+#: honoured within milliseconds.
+_BOUNDED_TIMESLICE = 2048
+
+
+class _DeadlineExpired(BaseException):
+    """Internal control flow: the schedule loop hit ``deadline_s``.
+
+    A ``BaseException`` so user ``except Exception`` clauses inside context
+    bodies can never swallow it; converted to
+    :class:`~repro.core.errors.RunTimeoutError` (with a partial summary
+    attached) in :meth:`SequentialExecutor.execute`.
+    """
 
 #: Sentinel returned by :meth:`SequentialExecutor._fuse_fast` when the
 #: batch parked mid-way (fused state saved on the context).
@@ -212,9 +233,24 @@ class SequentialExecutor(Executor):
         tracer=None,
         obs: Optional[Observability] = None,
         fast_path: bool = True,
+        deadline_s: Optional[float] = None,
+        faults=None,
     ):
         self.policy = make_policy(policy)
         self.max_ops = max_ops
+        self.deadline_s = deadline_s
+        self.faults = faults
+        #: Context-fault triggers still pending, keyed by context name
+        #: (populated per run from ``faults.context_faults``).
+        self._fault_map: dict = {}
+        self._deadline_at: Optional[float] = None
+        self._bounded = False
+        #: Subclass hook: process-executor workers set this so the
+        #: schedule loop never takes the run-to-block FIFO branch — a
+        #: worker must return from every slice to service its shuttles
+        #: and observe the cross-process abort flag (a never-blocking
+        #: context would otherwise spin one endless slice, deaf to both).
+        self._always_bounded = False
         if obs is None and tracer is not None:
             obs = Observability.from_trace(tracer)
         self.obs = obs
@@ -272,6 +308,25 @@ class SequentialExecutor(Executor):
         )
         self._fast = self._fast_capable
 
+        # Deadlines and context faults both need the loop to come up for
+        # air: force bounded slices (run-to-block would otherwise let one
+        # busy context starve the wall-clock check and the fault trigger).
+        self._fault_map = (
+            dict(self.faults.context_faults)
+            if self.faults is not None and self.faults.context_faults
+            else {}
+        )
+        self._deadline_at = (
+            start + self.deadline_s if self.deadline_s is not None else None
+        )
+        self._bounded = (
+            self._always_bounded
+            or self._deadline_at is not None
+            or bool(self._fault_map)
+        )
+        if self._bounded and self.policy.timeslice is None:
+            self.policy.timeslice = _BOUNDED_TIMESLICE
+
         policy = self.policy
         for ctx in program.contexts:
             policy.push(states[id(ctx)], woken=False)
@@ -284,6 +339,17 @@ class SequentialExecutor(Executor):
                 if obs is not None:
                     obs.stall_report = report
                 raise DeadlockError(report.lines())
+        except _DeadlineExpired:
+            blocked = [st for st in states.values() if st.status == _BLOCKED]
+            report = self._stall_report(blocked)
+            if obs is not None:
+                obs.stall_report = report
+            raise RunTimeoutError(
+                self.deadline_s,
+                executor=self.name,
+                summary=self._partial_summary(program, start),
+                stall_report=report,
+            ) from None
         finally:
             # On any abort (SimulationError, DeadlockError, max_ops), close
             # the generators of every context that did not run to completion
@@ -315,7 +381,12 @@ class SequentialExecutor(Executor):
         cross-process shuttles there)."""
         policy = self.policy
         previous: _ContextState | None = None
-        if policy.__class__ is FifoPolicy and not collect_wall:
+        deadline_at = self._deadline_at
+        if (
+            policy.__class__ is FifoPolicy
+            and not collect_wall
+            and not self._bounded
+        ):
             # Run-to-block FIFO (the default): drive the raw deque
             # directly, skipping the per-slice __bool__/pop method calls
             # and the timeslice attribute load.
@@ -350,6 +421,10 @@ class SequentialExecutor(Executor):
                     state.wall_seconds += _wallclock.perf_counter() - slice_start
                 else:
                     self._run_slice(state, policy.timeslice)
+                if deadline_at is not None and (
+                    _wallclock.perf_counter() >= deadline_at
+                ):
+                    raise _DeadlineExpired
                 if state.status == _READY:
                     # Slice expired without blocking: preempted.
                     self.preemptions += 1
@@ -373,6 +448,28 @@ class SequentialExecutor(Executor):
                     pass
 
     # ------------------------------------------------------------------
+
+    def _partial_summary(self, program: Program, start: float) -> RunSummary:
+        """Best-effort summary for an aborted run: finish times where a
+        context completed, current (lower-bound) clocks elsewhere."""
+        return RunSummary(
+            elapsed_cycles=self._makespan(program),
+            real_seconds=_wallclock.perf_counter() - start,
+            context_times={
+                ctx.name: (
+                    ctx.finish_time
+                    if ctx.finish_time is not None
+                    else ctx.time.now()
+                )
+                for ctx in program.contexts
+            },
+            executor=self.name,
+            policy=self.policy.name,
+            context_switches=self.context_switches,
+            wakeups=self.wakeups,
+            preemptions=self.preemptions,
+            ops_executed=self.ops_executed,
+        )
 
     def _stall_report(self, unfinished: list[_ContextState]) -> StallReport:
         """Diagnose the blocked set: who is parked, on which channel, and
@@ -424,6 +521,22 @@ class SequentialExecutor(Executor):
     def _run_slice(self, state: _ContextState, timeslice: Optional[int]) -> None:
         """Run one context until it blocks, finishes, or exhausts its slice."""
         remaining = timeslice if timeslice is not None else -1
+
+        # Fault injection (chaos testing): once the victim context's op
+        # counter passes the trigger, abandon whatever it was parked on and
+        # throw FaultInjected into its generator at the next resume.  The
+        # trigger is evaluated at slice granularity — bounded slices are
+        # forced whenever a fault plan is present, so it fires promptly.
+        if self._fault_map:
+            fault = self._fault_map.get(state.context.name)
+            if fault is not None and state.ops >= fault.after_ops:
+                del self._fault_map[state.context.name]
+                state.retry_op = None
+                state.fused_ops = None
+                state.fused_results = None
+                state.fused_plan = None
+                state.pending_value = None
+                state.pending_exc = fault.make()
 
         # A context woken from a blocking op must first complete that op
         # (re-attempt it, or — if a waker delivered the result directly —

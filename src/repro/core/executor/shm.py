@@ -467,12 +467,22 @@ class PipeLane:
         self._recv, self._send = mp_context.Pipe(duplex=False)
 
     def try_push(self, obj: Any) -> bool:
-        self._send.send(obj)
+        try:
+            self._send.send(obj)
+        except (BrokenPipeError, OSError):
+            # The receiving worker died.  Swallow the record (dead
+            # letters): the parent's crash supervisor is about to abort
+            # the run, and a sender wedged in an unhandled BrokenPipeError
+            # would be misreported as its own failure.
+            return True
         return True
 
     def try_pop(self) -> tuple[bool, Any]:
-        if self._recv.poll():
-            return True, self._recv.recv()
+        try:
+            if self._recv.poll():
+                return True, self._recv.recv()
+        except (EOFError, BrokenPipeError, OSError):
+            pass  # peer died mid-record; supervision handles the abort
         return False, None
 
 

@@ -42,7 +42,13 @@ from ...obs import Observability, fold_channel_metrics, fold_context_metrics
 from ...obs.stall import StallReport, stall_for
 from ..channel import _EMPTY, Channel
 from ..context import Context
-from ..errors import ChannelClosed, DamError, DeadlockError, SimulationError
+from ..errors import (
+    ChannelClosed,
+    DamError,
+    DeadlockError,
+    RunTimeoutError,
+    SimulationError,
+)
 from ..ops import (
     AdvanceTo,
     Dequeue,
@@ -95,10 +101,16 @@ class ThreadedExecutor(Executor):
         poll_interval: float = 0.05,
         deadlock_grace: float = 2.0,
         obs: Optional[Observability] = None,
+        deadline_s: Optional[float] = None,
+        faults=None,
     ):
         self.poll_interval = poll_interval
         self.deadlock_grace = deadlock_grace
         self.obs = obs
+        self.deadline_s = deadline_s
+        self.faults = faults
+        self._fault_map: dict = {}
+        self._deadline_at: Optional[float] = None
         self._abort = threading.Event()
         self._progress = 0  # monotone op counter (heuristic, GIL-atomic)
         self._blocked_count = 0
@@ -114,6 +126,17 @@ class ThreadedExecutor(Executor):
 
     def execute(self, program: Program) -> RunSummary:
         start = _wallclock.perf_counter()
+        self._start = start
+        self._deadline_at = (
+            start + self.deadline_s if self.deadline_s is not None else None
+        )
+        # Each thread only ever reads/deletes its own context's entry, so
+        # plain dict operations suffice (GIL- and per-object-lock safe).
+        self._fault_map = (
+            dict(self.faults.context_faults)
+            if self.faults is not None and self.faults.context_faults
+            else {}
+        )
         self._program = program
         self._time_sync = {id(ctx): _TimeSync() for ctx in program.contexts}
         self._unfinished = len(program.contexts)
@@ -240,8 +263,17 @@ class ThreadedExecutor(Executor):
         ops = 0
         spins = 0
         wall_start = _wallclock.perf_counter() if self._collect_metrics else 0.0
+        abort_is_set = self._abort.is_set
+        fault = self._fault_map.pop(ctx.name, None)
         try:
             while True:
+                # Per-op abort check: without it a context that never
+                # blocks (pure IncrCycles loops) would ignore deadline and
+                # peer-failure aborts until it happened to park.
+                if abort_is_set():
+                    raise _Aborted
+                if fault is not None and ops >= fault.after_ops:
+                    exc, fault = fault.make(), None
                 try:
                     if exc is not None:
                         pending, exc = exc, None
@@ -495,15 +527,51 @@ class ThreadedExecutor(Executor):
         with self._unfinished_lock:
             self._unfinished -= 1
 
+    def _timeout_error(self, program: Program) -> RunTimeoutError:
+        """Build the deadline abort: stall report + partial summary, with
+        clocks snapshotted *now*, before thread wind-down freezes them at
+        infinity."""
+        report = self._stall_report()
+        if self.obs is not None:
+            self.obs.stall_report = report
+        summary = RunSummary(
+            elapsed_cycles=self._makespan(program),
+            real_seconds=_wallclock.perf_counter() - self._start,
+            context_times={
+                ctx.name: (
+                    ctx.finish_time
+                    if ctx.finish_time is not None
+                    else ctx.time.now()
+                )
+                for ctx in program.contexts
+            },
+            executor=self.name,
+            policy="os",
+            ops_executed=self._ops_executed,
+        )
+        return RunTimeoutError(
+            self.deadline_s,
+            executor=self.name,
+            summary=summary,
+            stall_report=report,
+        )
+
     def _watch(self, threads: list[threading.Thread]) -> None:
         """Abort the run when all unfinished threads are parked, stalled."""
         stall_start: Optional[float] = None
         last_progress = -1
+        deadline_at = self._deadline_at
         while not self._abort.is_set():
             _wallclock.sleep(self.poll_interval)
             with self._unfinished_lock:
                 unfinished = self._unfinished
             if unfinished == 0:
+                return
+            if deadline_at is not None and (
+                _wallclock.perf_counter() >= deadline_at
+            ):
+                self._errors.append(self._timeout_error(self._program))
+                self._abort.set()
                 return
             progress = self._progress
             with self._blocked_lock:

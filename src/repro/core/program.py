@@ -22,10 +22,16 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 from .channel import Channel, Receiver, Sender, make_channel
 from .context import Context
 from .errors import GraphConstructionError
-from .time import Time
+from .time import Time, TimeCell
 
 if TYPE_CHECKING:  # pragma: no cover
     from .executor.base import RunSummary
+
+#: The default retry ladder for ``RunConfig(fallback=True)``: each entry is
+#: strictly "safer" than the one before it (fewer moving parts, no shared
+#: memory, finally no concurrency at all).  A failing executor retries on
+#: the entries *after* its own position.
+FALLBACK_LADDER = ("process", "threaded", "sequential")
 
 
 class Program:
@@ -105,7 +111,119 @@ class Program:
             config = config.replace(obs=obs)
 
         executor_cls = resolve_executor(executor)
-        return executor_cls.from_config(config).execute(self)
+        if not config.fallback:
+            return executor_cls.from_config(config).execute(self)
+        return self._run_with_fallback(executor_cls, config)
+
+    # ------------------------------------------------------------------
+    # Fault tolerance: the retry ladder and program reset.
+    # ------------------------------------------------------------------
+
+    def _run_with_fallback(self, executor_cls, config) -> "RunSummary":
+        """Execute with the ``RunConfig(fallback=...)`` retry ladder.
+
+        Only *infrastructure* failures are retried — a
+        :class:`~repro.core.errors.WorkerCrashError` (a worker process
+        died) or :class:`~repro.core.errors.RunTimeoutError` (the
+        ``deadline_s`` wall-clock budget expired).  Simulation outcomes
+        (:class:`DeadlockError`, :class:`SimulationError`) are properties
+        of the *program*, identical on every executor, so retrying them
+        would only repeat the failure; they propagate immediately.
+
+        Between attempts the program is :meth:`reset` and the attached
+        observability is wiped (``trace.clear()``, stale stall/crash
+        reports dropped) so the retry is indistinguishable from a fresh
+        run; the ``run_retries`` counter is incremented *before* each
+        retry so the successful attempt's metrics snapshot includes it.
+        Every attempt — including the successful one — is recorded in
+        ``RunSummary.attempts``; if the whole ladder fails, the record is
+        attached to the raised exception as ``exc.attempts``.
+        """
+        from time import perf_counter
+
+        from .errors import RunTimeoutError, WorkerCrashError
+        from .executor.registry import resolve_executor
+
+        specs: list = [executor_cls]
+        fallback = config.fallback
+        if fallback is True:
+            name = getattr(executor_cls, "name", "")
+            if name in FALLBACK_LADDER:
+                chain = FALLBACK_LADDER[FALLBACK_LADDER.index(name) + 1 :]
+            else:
+                chain = FALLBACK_LADDER
+            specs.extend(chain or ("sequential",))
+        elif isinstance(fallback, str):
+            specs.append(fallback)
+        else:
+            specs.extend(fallback)
+
+        obs = config.obs
+        attempts: list[dict] = []
+        for position, spec in enumerate(specs):
+            cls = resolve_executor(spec)
+            instance = cls.from_config(config)
+            started = perf_counter()
+            try:
+                summary = instance.execute(self)
+            except (RunTimeoutError, WorkerCrashError) as exc:
+                attempts.append(
+                    {
+                        "executor": instance.name,
+                        "outcome": (
+                            "timeout"
+                            if isinstance(exc, RunTimeoutError)
+                            else "crashed"
+                        ),
+                        "error": repr(exc),
+                        "seconds": perf_counter() - started,
+                    }
+                )
+                if position == len(specs) - 1:
+                    exc.attempts = attempts
+                    raise
+                self.reset()
+                if obs is not None:
+                    if obs.trace is not None:
+                        obs.trace.clear()
+                    obs.stall_report = None
+                    obs.crash_report = None
+                    if obs.metrics is not None:
+                        obs.metrics.counter("run_retries").inc()
+            else:
+                attempts.append(
+                    {
+                        "executor": instance.name,
+                        "outcome": "ok",
+                        "error": None,
+                        "seconds": perf_counter() - started,
+                    }
+                )
+                summary.attempts = attempts
+                return summary
+        raise AssertionError("unreachable: ladder neither returned nor raised")
+
+    def reset(self) -> None:
+        """Restore every context clock and channel to pre-run state.
+
+        The graph (contexts, channels, wiring, pins) is untouched; only
+        run state is cleared: context clocks return to zero, finish times
+        are forgotten, and every channel is drained back to its built
+        state (see :meth:`Channel.reset`).  Called by the retry ladder
+        between attempts; also useful for running the same program
+        repeatedly in benchmarks.
+
+        Note that *user state* inside a context body (instance attributes
+        mutated by ``run()``) is the context author's responsibility —
+        DAM contexts conventionally keep their state in locals, created
+        fresh each time the generator is re-invoked, in which case reset
+        is complete.
+        """
+        for context in self.contexts:
+            context.time = TimeCell(0)
+            context.finish_time = None
+        for channel in self.channels:
+            channel.reset()
 
     def context_count(self) -> int:
         return len(self.contexts)

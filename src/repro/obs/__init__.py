@@ -86,6 +86,9 @@ class Observability:
         )
         #: Populated by the executor when the run deadlocks.
         self.stall_report: StallReport | None = None
+        #: Populated by the process executor's supervisor when a worker
+        #: process crashes (a :class:`~repro.core.errors.WorkerCrashError`).
+        self.crash_report = None
 
     @classmethod
     def from_trace(cls, trace: TraceCollector) -> "Observability":

@@ -61,6 +61,17 @@ class TraceCollector:
         """Append one event on behalf of ``context`` (compatibility API)."""
         self.buffer(context).append(kind, channel, time, payload)
 
+    def clear(self) -> None:
+        """Drop every recorded event and buffer.
+
+        The retry ladder calls this between attempts so a failed run's
+        partial events cannot pollute the retried run's merge; executors
+        re-create their buffers at run start, so clearing is always safe
+        between runs.
+        """
+        self._buffers.clear()
+        self._merged = None
+
     # ------------------------------------------------------------------
     # The merged view.
     # ------------------------------------------------------------------

@@ -1,0 +1,585 @@
+"""Chaos suite: crash supervision, run deadlines, the retry ladder, and
+deterministic fault injection.
+
+Every test in this module asserts the *absence of collateral damage* as
+hard as it asserts the typed error: the autouse fixture verifies that no
+worker process outlives its run and no ``/dev/shm/psm_*`` segment leaks,
+whatever failure the test injected.
+"""
+
+import glob
+import multiprocessing
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    ChannelClosed,
+    DeadlockError,
+    FaultInjected,
+    FaultPlan,
+    FunctionContext,
+    IncrCycles,
+    Observability,
+    ProgramBuilder,
+    RunConfig,
+    RunTimeoutError,
+    SimulationError,
+    WorkerCrashError,
+)
+from repro.core.errors import pack_exception, unpack_exception
+from repro.core.faults import StalledLane, WorkerKill
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not fork_available, reason="fork start method unavailable"
+)
+
+
+def _shm_segments():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_resources():
+    """Every test must leave zero orphan children and zero shm segments."""
+    before = _shm_segments()
+    yield
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not multiprocessing.active_children(), "worker processes leaked"
+    leaked = _shm_segments() - before
+    assert not leaked, f"shared memory leaked: {sorted(leaked)}"
+
+
+# ----------------------------------------------------------------------
+# Test programs.
+# ----------------------------------------------------------------------
+
+
+def _stream_program(n=400, capacity=8, pin=None):
+    """prod -> cons over one bounded channel; cons accumulates a total."""
+    builder = ProgramBuilder()
+    snd, rcv = builder.bounded(capacity, name="ch")
+
+    def producer():
+        for value in range(n):
+            yield snd.enqueue(value)
+            yield IncrCycles(1)
+
+    def consumer(ctx):
+        ctx.total = 0
+        while True:
+            try:
+                value = yield rcv.dequeue()
+            except ChannelClosed:
+                return
+            ctx.total += value
+            yield IncrCycles(1)
+
+    prod = builder.add(FunctionContext(producer, handles=[snd], name="prod"))
+    cons = builder.add(
+        FunctionContext(consumer, handles=[rcv], name="cons", pass_context=True)
+    )
+    if pin is not None:
+        builder.pin(prod, pin[0])
+        builder.pin(cons, pin[1])
+    return builder.build()
+
+
+def _runaway_program(pin=None):
+    """Two contexts that never finish (deadline tests need a run that
+    would otherwise spin forever)."""
+    builder = ProgramBuilder()
+    snd, rcv = builder.unbounded(name="spin")
+
+    def spinner():
+        while True:
+            yield snd.enqueue(1)
+            yield IncrCycles(1)
+
+    def sink():
+        while True:
+            yield rcv.dequeue()
+            yield IncrCycles(1)
+
+    a = builder.add(FunctionContext(spinner, handles=[snd], name="a"))
+    b = builder.add(FunctionContext(sink, handles=[rcv], name="b"))
+    if pin is not None:
+        builder.pin(a, pin[0])
+        builder.pin(b, pin[1])
+    return builder.build()
+
+
+def _deadlocking_program():
+    """A guaranteed cyclic wait: the producer must land two records on a
+    capacity-1 channel before touching the channel the consumer reads
+    first, so both sides block forever."""
+    builder = ProgramBuilder()
+    s1, r1 = builder.bounded(1, name="first")
+    s2, r2 = builder.bounded(1, name="second")
+
+    def producer():
+        yield s1.enqueue(0)
+        yield s1.enqueue(1)  # blocks: nobody drains "first" yet
+        yield s2.enqueue(2)
+
+    def consumer():
+        yield r2.dequeue()  # blocks: the producer never reaches "second"
+        yield r1.dequeue()
+
+    builder.add(FunctionContext(producer, handles=[s1, s2], name="prod"))
+    builder.add(FunctionContext(consumer, handles=[r1, r2], name="cons"))
+    return builder.build()
+
+
+def _fingerprint(program, summary):
+    stats = {
+        ch.name: (ch.stats.enqueues, ch.stats.dequeues)
+        for ch in program.channels
+    }
+    total = next(c for c in program.contexts if c.name == "cons").total
+    return (summary.elapsed_cycles, summary.context_times, stats, total)
+
+
+def _process_config(**kwargs):
+    # Stealing is disabled so cluster placement follows the pins exactly —
+    # on a loaded box worker 0 would otherwise claim every cluster before
+    # worker 1 is scheduled, and a kill aimed at worker 1 would never fire.
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("steal", False)
+    return RunConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Exception marshalling.
+# ----------------------------------------------------------------------
+
+
+class TestExceptionMarshalling:
+    def _roundtrip(self, exc):
+        # The packed form must itself survive the pipe's pickling.
+        packed = pickle.loads(pickle.dumps(pack_exception(exc)))
+        return unpack_exception(packed)
+
+    def test_channel_closed(self):
+        back = self._roundtrip(ChannelClosed("my_channel"))
+        assert isinstance(back, ChannelClosed)
+        assert back.channel_name == "my_channel"
+
+    def test_deadlock_keeps_blocked_list(self):
+        back = self._roundtrip(DeadlockError(["a: dequeue on x", "b: enqueue on y"]))
+        assert isinstance(back, DeadlockError)
+        assert back.blocked == ["a: dequeue on x", "b: enqueue on y"]
+
+    def test_simulation_with_picklable_original(self):
+        back = self._roundtrip(SimulationError("worker_ctx", ValueError("boom")))
+        assert isinstance(back, SimulationError)
+        assert back.context_name == "worker_ctx"
+        assert isinstance(back.original, ValueError)
+        assert str(back.original) == "boom"
+
+    def test_simulation_with_unpicklable_original_demotes_to_repr(self):
+        class Unpicklable(RuntimeError):
+            def __init__(self):
+                super().__init__("held a generator")
+                self.gen = (x for x in range(3))
+
+        back = self._roundtrip(SimulationError("ctx", Unpicklable()))
+        assert isinstance(back, SimulationError)
+        assert isinstance(back.original, RuntimeError)
+        assert "held a generator" in str(back.original)
+
+    def test_arbitrary_picklable_exception_survives(self):
+        back = self._roundtrip(KeyError("missing"))
+        assert isinstance(back, KeyError)
+        assert back.args == ("missing",)
+
+    def test_unpicklable_exception_demotes_to_typed_repr(self):
+        class Opaque(Exception):
+            def __init__(self):
+                super().__init__("locked")
+                self.lock = (x for x in range(1))
+
+        back = self._roundtrip(Opaque())
+        assert isinstance(back, RuntimeError)
+        assert "Opaque" in str(back)
+        assert "locked" in str(back)
+
+    def test_fault_injected_survives(self):
+        back = self._roundtrip(SimulationError("c", FaultInjected("chaos")))
+        assert isinstance(back.original, FaultInjected)
+
+
+# ----------------------------------------------------------------------
+# The fault plan itself.
+# ----------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_seeded_victim_is_deterministic(self):
+        picks = {
+            FaultPlan(seed=7).kill_worker(after_ops=5).resolve(4).kills[0].worker
+            for _ in range(10)
+        }
+        assert len(picks) == 1
+        assert picks.pop() in range(4)
+
+    def test_explicit_worker_is_untouched(self):
+        plan = FaultPlan().kill_worker(worker=3, after_ops=9).resolve(8)
+        assert plan.kill_for(3) == WorkerKill(3, 9, signal.SIGKILL)
+        assert plan.kill_for(0) is None
+
+    def test_stall_lookup(self):
+        plan = FaultPlan().stall_shuttle("bus", after_records=2)
+        assert plan.stall_for("bus").after_records == 2
+        assert plan.stall_for("other") is None
+
+    def test_stalled_lane_dries_up(self):
+        class FakeLane:
+            def __init__(self):
+                self.items = [1, 2, 3, 4]
+
+            def try_push(self, obj):
+                self.items.append(obj)
+                return True
+
+            def try_pop(self):
+                return (True, self.items.pop(0)) if self.items else (False, None)
+
+        lane = StalledLane(FakeLane(), after_records=2)
+        assert lane.try_pop() == (True, 1)
+        assert lane.try_pop() == (True, 2)
+        # Wedged: records remain in the inner lane but never surface.
+        assert lane.try_pop() == (False, None)
+        assert lane.try_pop() == (False, None)
+        assert lane.try_push(5)  # pushes still pass through
+
+
+# ----------------------------------------------------------------------
+# Context faults surface as SimulationError on every executor.
+# ----------------------------------------------------------------------
+
+
+class TestContextFault:
+    @pytest.mark.parametrize("executor", ["sequential", "threaded"])
+    def test_in_process_executors(self, executor):
+        program = _stream_program()
+        plan = FaultPlan().raise_in("prod", after_ops=10, message="chaos")
+        with pytest.raises(SimulationError) as info:
+            program.run(executor, config=RunConfig(faults=plan))
+        assert isinstance(info.value.original, FaultInjected)
+        assert "prod" in str(info.value)
+
+    @needs_fork
+    def test_process_executor(self):
+        program = _stream_program(pin=(0, 1))
+        plan = FaultPlan().raise_in("prod", after_ops=10, message="chaos")
+        with pytest.raises(SimulationError) as info:
+            program.run("process", config=_process_config(faults=plan))
+        assert isinstance(info.value.original, FaultInjected)
+
+
+# ----------------------------------------------------------------------
+# Run deadlines.
+# ----------------------------------------------------------------------
+
+
+class TestDeadline:
+    @pytest.mark.parametrize("executor", ["sequential", "threaded"])
+    def test_runaway_run_is_aborted(self, executor):
+        program = _runaway_program()
+        with pytest.raises(RunTimeoutError) as info:
+            program.run(executor, config=RunConfig(deadline_s=0.3))
+        err = info.value
+        assert err.deadline_s == 0.3
+        assert err.summary is not None
+        # Partial clocks: the spinners made progress before the abort.
+        assert any(v for v in err.summary.context_times.values())
+
+    @needs_fork
+    def test_process_runaway_is_aborted(self):
+        program = _runaway_program(pin=(0, 1))
+        with pytest.raises(RunTimeoutError) as info:
+            program.run("process", config=_process_config(deadline_s=0.5))
+        assert info.value.summary is not None
+
+    def test_generous_deadline_changes_nothing(self):
+        reference = _stream_program()
+        expected = _fingerprint(reference, reference.run())
+        program = _stream_program()
+        summary = program.run(config=RunConfig(deadline_s=60.0))
+        assert _fingerprint(program, summary) == expected
+
+    def test_sequential_timeout_files_stall_report(self):
+        obs = Observability()
+        program = _runaway_program()
+        with pytest.raises(RunTimeoutError):
+            program.run(config=RunConfig(deadline_s=0.2, obs=obs))
+        # The runaway contexts are running, not blocked, so the report can
+        # be empty — what matters is the run filed one coherent outcome.
+        assert obs.metrics is not None
+
+
+# ----------------------------------------------------------------------
+# Crash supervision (the tentpole).
+# ----------------------------------------------------------------------
+
+
+@needs_fork
+class TestWorkerCrash:
+    def test_sigkilled_worker_surfaces_typed_error(self):
+        program = _stream_program(n=50_000, pin=(0, 1))
+        plan = FaultPlan().kill_worker(worker=1, after_ops=50)
+        started = time.monotonic()
+        with pytest.raises(WorkerCrashError) as info:
+            program.run("process", config=_process_config(faults=plan))
+        elapsed = time.monotonic() - started
+        err = info.value
+        assert err.worker == 1
+        assert err.exitcode == -signal.SIGKILL
+        assert "cons" in err.contexts
+        assert "cons" in err.clocks
+        # Detection must ride the pipe EOF / sentinel, not a long timeout:
+        # well within one watchdog interval of the kill.
+        assert elapsed < 5.0
+
+    def test_crash_feeds_observability(self):
+        obs = Observability()
+        program = _stream_program(n=50_000, pin=(0, 1))
+        plan = FaultPlan().kill_worker(worker=0, after_ops=50)
+        with pytest.raises(WorkerCrashError):
+            program.run("process", config=_process_config(faults=plan, obs=obs))
+        assert isinstance(obs.crash_report, WorkerCrashError)
+        assert obs.metrics.counter("worker_crashes").value == 1
+        kinds = [event.kind for event in obs.trace.for_context("<supervisor>")]
+        assert "crash" in kinds
+
+    def test_seeded_kill_picks_some_worker(self):
+        program = _stream_program(n=50_000, pin=(0, 1))
+        plan = FaultPlan(seed=3).kill_worker(after_ops=0)
+        with pytest.raises(WorkerCrashError) as info:
+            program.run("process", config=_process_config(faults=plan))
+        assert info.value.worker in (0, 1)
+
+
+@needs_fork
+class TestShuttleStall:
+    def test_wedged_shuttle_is_a_deadlock(self):
+        program = _stream_program(n=400, pin=(0, 1))
+        plan = FaultPlan().stall_shuttle("ch", after_records=5)
+        with pytest.raises(DeadlockError):
+            program.run(
+                "process",
+                config=_process_config(faults=plan, deadlock_grace=0.3),
+            )
+
+    def test_wedged_shuttle_with_deadline_is_a_timeout(self):
+        program = _stream_program(n=400, pin=(0, 1))
+        plan = FaultPlan().stall_shuttle("ch", after_records=5)
+        with pytest.raises(RunTimeoutError) as info:
+            program.run(
+                "process",
+                config=_process_config(faults=plan, deadline_s=0.5),
+            )
+        assert info.value.summary is not None
+
+
+# ----------------------------------------------------------------------
+# The retry ladder.
+# ----------------------------------------------------------------------
+
+
+class TestRetryLadder:
+    @needs_fork
+    def test_crash_falls_back_and_result_is_bit_identical(self):
+        reference = _stream_program(n=300)
+        expected = _fingerprint(reference, reference.run())
+
+        obs = Observability()
+        program = _stream_program(n=300, pin=(0, 1))
+        plan = FaultPlan().kill_worker(worker=0, after_ops=50)
+        summary = program.run(
+            "process",
+            config=_process_config(faults=plan, fallback="sequential", obs=obs),
+        )
+        assert [a["outcome"] for a in summary.attempts] == ["crashed", "ok"]
+        assert summary.attempts[0]["executor"] == "process"
+        assert summary.attempts[1]["executor"] == "sequential"
+        assert obs.metrics.counter("run_retries").value == 1
+        assert _fingerprint(program, summary) == expected
+
+    @needs_fork
+    def test_default_ladder_steps_to_threaded_first(self):
+        program = _stream_program(n=300, pin=(0, 1))
+        plan = FaultPlan().kill_worker(worker=0, after_ops=50)
+        summary = program.run(
+            "process", config=_process_config(faults=plan, fallback=True)
+        )
+        assert [a["outcome"] for a in summary.attempts] == ["crashed", "ok"]
+        assert summary.attempts[1]["executor"] == "threaded"
+
+    def test_timeout_is_retried_and_attempts_ride_the_error(self):
+        program = _runaway_program()
+        with pytest.raises(RunTimeoutError) as info:
+            program.run(
+                config=RunConfig(deadline_s=0.2, fallback="sequential")
+            )
+        attempts = info.value.attempts
+        assert [a["outcome"] for a in attempts] == ["timeout", "timeout"]
+        assert all(a["executor"] == "sequential" for a in attempts)
+
+    def test_deadlock_is_never_retried(self):
+        obs = Observability()
+        program = _deadlocking_program()
+        with pytest.raises(DeadlockError):
+            program.run(config=RunConfig(fallback="sequential", obs=obs))
+        # A deterministic simulation outcome must not consume a retry.
+        assert obs.metrics.counter("run_retries").value == 0
+
+    def test_clean_run_records_single_attempt(self):
+        program = _stream_program(n=100)
+        summary = program.run(config=RunConfig(fallback="sequential"))
+        assert [a["outcome"] for a in summary.attempts] == ["ok"]
+
+    def test_reset_restores_pristine_state(self):
+        program = _stream_program(n=200)
+        first = _fingerprint(program, program.run())
+        program.reset()
+        for channel in program.channels:
+            assert channel.stats.enqueues == 0
+            assert not channel.sender_finished
+        second = _fingerprint(program, program.run())
+        assert first == second
+
+
+# ----------------------------------------------------------------------
+# KeyboardInterrupt leaves nothing behind (satellite).
+# ----------------------------------------------------------------------
+
+
+@needs_fork
+def test_sigint_mid_run_cleans_up_children_and_shm():
+    token = f"dam_chaos_token_{os.getpid()}"
+    script = textwrap.dedent(
+        f"""
+        import sys
+        sys.path.insert(0, {str(SRC_DIR)!r})
+        TOKEN = {token!r}
+        from repro import FunctionContext, IncrCycles, ProgramBuilder, RunConfig
+
+        builder = ProgramBuilder()
+        snd, rcv = builder.unbounded(name="spin")
+
+        def spinner():
+            while True:
+                yield snd.enqueue(1)
+                yield IncrCycles(1)
+
+        def sink():
+            while True:
+                yield rcv.dequeue()
+                yield IncrCycles(1)
+
+        a = builder.add(FunctionContext(spinner, handles=[snd], name="a"))
+        b = builder.add(FunctionContext(sink, handles=[rcv], name="b"))
+        builder.pin(a, 0)
+        builder.pin(b, 1)
+        program = builder.build()
+        print("RUNNING", flush=True)
+        program.run(executor="process", config=RunConfig(workers=2, steal=False))
+        """
+    )
+    before = _shm_segments()
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        assert "RUNNING" in proc.stdout.readline()
+        time.sleep(1.0)  # let the workers fork and enter their run loops
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=20)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - hang safety net
+            proc.kill()
+            proc.wait(timeout=5)
+        proc.stdout.close()
+    assert proc.returncode != 0
+    assert not (_shm_segments() - before), "SIGINT leaked shared memory"
+    # No orphaned worker carries our token in its command line.
+    survivors = []
+    for cmdline in glob.glob("/proc/[0-9]*/cmdline"):
+        try:
+            with open(cmdline, "rb") as handle:
+                if token.encode() in handle.read():
+                    survivors.append(cmdline)
+        except OSError:
+            continue
+    assert not survivors, f"SIGINT left orphan workers: {survivors}"
+
+
+# ----------------------------------------------------------------------
+# Registry probes degrade instead of raising (satellite).
+# ----------------------------------------------------------------------
+
+
+class TestRegistryDegradation:
+    def test_cpu_budget_survives_masked_affinity(self, monkeypatch):
+        from repro.core.executor import registry
+
+        def raises(_):
+            raise OSError("affinity syscall masked")
+
+        monkeypatch.setattr(registry.os, "sched_getaffinity", raises, raising=False)
+        assert registry._cpu_budget() >= 1
+
+    def test_cpu_budget_survives_missing_affinity(self, monkeypatch):
+        from repro.core.executor import registry
+
+        monkeypatch.delattr(registry.os, "sched_getaffinity", raising=False)
+        assert registry._cpu_budget() >= 1
+
+    def test_raising_predicate_counts_as_unavailable(self, monkeypatch):
+        from repro.core.executor import registry
+
+        def explodes():
+            raise RuntimeError("probe failed")
+
+        monkeypatch.setitem(registry._AVAILABILITY, "process", explodes)
+        assert registry.executor_available("process") is False
+
+    def test_auto_always_lands_on_an_executor(self, monkeypatch):
+        from repro.core.executor import registry
+
+        def explodes():
+            raise OSError("host probing broke")
+
+        for name in ("free-threaded", "process", "threaded"):
+            monkeypatch.setitem(registry._AVAILABILITY, name, explodes)
+        cls = registry.resolve_executor("auto")
+        assert cls.name == "sequential"
+
+    def test_auto_still_runs_a_program(self, monkeypatch):
+        from repro.core.executor import registry
+
+        def explodes():
+            raise OSError("host probing broke")
+
+        for name in ("free-threaded", "process", "threaded"):
+            monkeypatch.setitem(registry._AVAILABILITY, name, explodes)
+        program = _stream_program(n=50)
+        summary = program.run("auto")
+        assert summary.elapsed_cycles > 0
