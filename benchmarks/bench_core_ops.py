@@ -61,7 +61,9 @@ except ImportError:  # pragma: no cover - baseline-capture path
 def build_deep_pipeline(stages: int = 16, tokens: int = 2000, capacity: int = 8):
     """A chain of forwarding stages: the non-blocking-op fast path."""
     builder = ProgramBuilder()
-    links = [builder.bounded(capacity) for _ in range(stages + 1)]
+    links = [
+        builder.bounded(capacity, name=f"link{i}") for i in range(stages + 1)
+    ]
 
     def source(snd=links[0][0], n=tokens):
         if FusedOps is not None:
@@ -122,7 +124,7 @@ def build_deep_pipeline(stages: int = 16, tokens: int = 2000, capacity: int = 8)
 def build_tiny_ring(nodes: int = 4, laps: int = 1500):
     """One token around a capacity-1 ring: the park/wake slow path."""
     builder = ProgramBuilder()
-    links = [builder.bounded(1) for _ in range(nodes)]
+    links = [builder.bounded(1, name=f"hop{i}") for i in range(nodes)]
 
     def head(rcv=links[-1][1], snd=links[0][0], n=laps):
         if FusedOps is not None:
@@ -238,6 +240,57 @@ def run_workloads(workloads: dict, repeats: int = 3) -> dict:
     }
 
 
+def profile_workloads(workloads: dict) -> dict:
+    """Critical-path profiles for every workload (simulated time only).
+
+    Profiles derive from the merged trace, so unlike the ops/sec numbers
+    they are bit-stable across machines: the checked-in baseline diffs
+    exactly unless the simulator's timing semantics change.
+    """
+    from repro.obs import Observability
+
+    profiles = {}
+    for name, build in workloads.items():
+        program = build()
+        obs = Observability(capture_payloads=False, metrics=False)
+        SequentialExecutor(obs=obs).execute(program)
+        profiles[name] = obs.profile_report.to_dict()
+    return profiles
+
+
+def render_profiles(profiles: dict) -> str:
+    table = TextTable(
+        ["workload", "finish_time", "compute", "blocked_deq", "blocked_enq",
+         "overhead"],
+        title="Critical-path attribution (simulated cycles)",
+    )
+    for name, profile in sorted(profiles.items()):
+        path = profile["critical_path"]["by_category"]
+        table.add_row(
+            name,
+            profile["finish_time"],
+            path.get("compute", 0),
+            path.get("blocked_on_dequeue", 0),
+            path.get("blocked_on_enqueue", 0),
+            path.get("overhead", 0),
+        )
+    return table.render()
+
+
+def write_profile(path: str, profiles: dict) -> None:
+    """Write the profile artifact: all workload sections, plus a top-level
+    ``profile`` key (the spmspm section) so ``python -m repro.obs diff``
+    can consume the file directly."""
+    payload = {
+        "schema": 1,
+        "env": env_info(),
+        "profile": profiles["spmspm"],
+        "workloads": profiles,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote profile to {path}")
+
+
 def env_info() -> dict:
     try:
         rev = subprocess.run(
@@ -298,7 +351,8 @@ def load_committed() -> dict | None:
     return None
 
 
-def smoke(repeats: int = 2, tolerance: float = 3.0) -> int:
+def smoke(repeats: int = 2, tolerance: float = 3.0,
+          profile_out: str | None = None) -> int:
     """CI gate: current ops/sec must be within ``tolerance`` (3x) of the
     committed numbers — generous enough to ignore machine variation,
     tight enough to catch an order-of-magnitude core-loop regression."""
@@ -322,6 +376,10 @@ def smoke(repeats: int = 2, tolerance: float = 3.0) -> int:
         )
         if row["ops_per_sec"] < floor:
             failures.append(name)
+    profiles = profile_workloads(_SMOKE)
+    print(render_profiles(profiles))
+    if profile_out:
+        write_profile(profile_out, profiles)
     if failures:
         print(f"core-loop regression (> {tolerance}x) on: {', '.join(failures)}")
         return 1
@@ -354,6 +412,7 @@ def full_run(repeats: int, baseline_file: str | None) -> dict:
         },
     }
     print(render_table(current, baseline))
+    print(render_profiles(profile_workloads(_FULL)))
     return payload
 
 
@@ -389,10 +448,17 @@ def main() -> None:
         "--baseline-file", metavar="PATH", default=None,
         help="embed the numbers saved at PATH as the baseline",
     )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="write critical-path profiles (repro.obs diff compatible)",
+    )
     args = parser.parse_args()
 
     if args.smoke:
-        sys.exit(smoke(repeats=max(1, args.repeats - 1)))
+        sys.exit(
+            smoke(repeats=max(1, args.repeats - 1),
+                  profile_out=args.profile_out)
+        )
 
     if args.save_baseline:
         current = run_workloads(_FULL, repeats=args.repeats)
@@ -405,6 +471,8 @@ def main() -> None:
     payload = full_run(args.repeats, args.baseline_file)
     path = report_json("BENCH_core", payload)
     print(f"wrote {path}")
+    if args.profile_out:
+        write_profile(args.profile_out, profile_workloads(_FULL))
 
 
 if __name__ == "__main__":

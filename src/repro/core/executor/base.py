@@ -41,6 +41,12 @@ class RunSummary:
     #: executor work stealing); 0 for single-runtime executors.
     steals: int = 0
     metrics: Optional[dict[str, Any]] = None
+    #: The run's performance-attribution report
+    #: (:meth:`repro.obs.profile.ProfileReport.to_dict`): critical path,
+    #: blocked-time accounting, utilization epochs.  Attached when an
+    #: :class:`~repro.obs.Observability` with tracing was on the run;
+    #: derived from simulated state only, hence executor-independent.
+    profile: Optional[dict[str, Any]] = None
     #: Retry-ladder history: one record per execution attempt when
     #: ``RunConfig(fallback=...)`` was set and at least one attempt failed
     #: with a host error (worker crash / deadline).  Each record carries
@@ -168,3 +174,48 @@ class Executor:
             if ctx.finish_time is not None
         ]
         return max(times, default=0)
+
+    # ------------------------------------------------------------------
+    # Shared observability hooks.
+    # ------------------------------------------------------------------
+
+    def _attach_profile(self, summary: RunSummary, program: "Program", obs) -> None:
+        """Compute the performance-attribution report from the run's trace
+        and attach it to both ``summary.profile`` and the obs bundle.
+
+        A no-op without tracing.  The process executor's in-worker
+        sequential executor overrides this to nothing — the parent
+        profiles the merged run, exactly like metrics folding.
+        """
+        if obs is None or getattr(obs, "trace", None) is None:
+            return
+        trace = obs.trace
+        if not trace.buffers():
+            return
+        from ...obs.profile import channel_meta_for, profile_trace
+
+        meta = channel_meta_for(program.channels)
+        obs.channel_meta = meta
+        report = profile_trace(trace, channel_meta=meta)
+        obs.profile_report = report
+        summary.profile = report.to_dict()
+
+    @staticmethod
+    def _start_sampler(interval_s, probe, sink):
+        """Start a live :class:`~repro.obs.stream.MetricsSampler` when an
+        interval was configured; returns the sampler or ``None``."""
+        if not interval_s:
+            return None
+        from ...obs.stream import MetricsSampler
+
+        return MetricsSampler(interval_s, probe, sink=sink).start()
+
+    @staticmethod
+    def _stop_sampler(sampler, obs) -> None:
+        """Stop ``sampler`` (taking a final sample) and publish the
+        samples on the obs bundle when one is attached."""
+        if sampler is None:
+            return
+        samples = sampler.stop()
+        if obs is not None:
+            obs.metrics_samples = samples

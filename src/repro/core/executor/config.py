@@ -89,6 +89,15 @@ class RunConfig:
     faults:
         A :class:`~repro.core.faults.FaultPlan` of injected failures for
         chaos testing.
+    metrics_interval_s:
+        Enable live metric streaming: every this many wall-clock seconds
+        a read-only sampler snapshots context clocks, op counters, and
+        the metrics registry (see :class:`repro.obs.stream.MetricsSampler`).
+        Sampling never perturbs simulated results.
+    metrics_sink:
+        Where streamed samples go: a callable invoked per sample, or a
+        path appended to as JSON lines.  Samples are always also kept on
+        ``obs.metrics_samples`` when an ``obs`` is attached.
     extra:
         Anything else, passed through to the executor constructor
         verbatim (and validated there).
@@ -111,6 +120,8 @@ class RunConfig:
     deadline_s: Optional[float] = None
     fallback: Any = None
     faults: Any = None
+    metrics_interval_s: Optional[float] = None
+    metrics_sink: Any = None
     extra: dict = field(default_factory=dict)
 
     def replace(self, **changes: Any) -> "RunConfig":

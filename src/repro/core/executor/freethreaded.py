@@ -62,6 +62,8 @@ class FreeThreadedExecutor(ThreadedExecutor):
         steal: bool = True,
         deadline_s: Optional[float] = None,
         faults=None,
+        metrics_interval_s: Optional[float] = None,
+        metrics_sink=None,
     ):
         super().__init__(
             poll_interval=poll_interval,
@@ -69,6 +71,8 @@ class FreeThreadedExecutor(ThreadedExecutor):
             obs=obs,
             deadline_s=deadline_s,
             faults=faults,
+            metrics_interval_s=metrics_interval_s,
+            metrics_sink=metrics_sink,
         )
         self.workers = workers
         self.pin_workers = pin_workers
@@ -117,6 +121,8 @@ class FreeThreadedExecutor(ThreadedExecutor):
                 pin_workers=self.pin_workers,
                 deadline_s=self.deadline_s,
                 faults=self.faults,
+                metrics_interval_s=self.metrics_interval_s,
+                metrics_sink=self.metrics_sink,
             )
         else:  # pragma: no cover - no-fork platforms
             fallback = ThreadedExecutor(
@@ -125,6 +131,8 @@ class FreeThreadedExecutor(ThreadedExecutor):
                 obs=self.obs,
                 deadline_s=self.deadline_s,
                 faults=self.faults,
+                metrics_interval_s=self.metrics_interval_s,
+                metrics_sink=self.metrics_sink,
             )
         summary = fallback.execute(program)
         summary.executor = f"{self.name}({fallback.name})"

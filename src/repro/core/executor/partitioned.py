@@ -687,6 +687,9 @@ class _WorkerExecutor(SequentialExecutor):
     def _fold_metrics(self, program, states):
         return None  # the parent folds the merged run
 
+    def _attach_profile(self, summary, program, obs):
+        return None  # the parent profiles the merged run
+
 
 # ----------------------------------------------------------------------
 # Worker process entry point (fork target: everything arrives by
@@ -987,6 +990,8 @@ class ProcessExecutor(Executor):
         join_timeout: float = 5.0,
         deadline_s: Optional[float] = None,
         faults=None,
+        metrics_interval_s: Optional[float] = None,
+        metrics_sink=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -1014,6 +1019,8 @@ class ProcessExecutor(Executor):
         self.join_timeout = join_timeout
         self.deadline_s = deadline_s
         self.faults = faults
+        self.metrics_interval_s = metrics_interval_s
+        self.metrics_sink = metrics_sink
         #: Set by _collect when the run was aborted for its deadline, so
         #: _resolve_failures raises RunTimeoutError instead of reading the
         #: aborted workers' stalls as a deadlock.
@@ -1093,6 +1100,7 @@ class ProcessExecutor(Executor):
         procs: list = []
         conns: dict = {}
         abort = None
+        sampler = None
         self._deadline_hit = False
         try:
             clocks = arena.adopt(
@@ -1175,6 +1183,15 @@ class ProcessExecutor(Executor):
                 "faults": faults,
             }
 
+            # Live metric streaming samples the *shared* clock slots from
+            # the parent: workers publish their contexts' times to the
+            # arena anyway, so the sampler adds zero work to any worker.
+            sampler = self._start_sampler(
+                self.metrics_interval_s,
+                self._sampler_probe(contexts, clocks, status),
+                self.metrics_sink,
+            )
+
             for worker in range(len(groups)):
                 parent_conn, child_conn = mp_ctx.Pipe(duplex=False)
                 proc = mp_ctx.Process(
@@ -1204,6 +1221,8 @@ class ProcessExecutor(Executor):
                 trace=trace,
             )
         finally:
+            # The sampler reads arena memory; stop it before the unmap.
+            self._stop_sampler(sampler, self.obs)
             self._wind_down(procs, conns, abort)
             arena.close()
             arena.unlink()
@@ -1222,7 +1241,30 @@ class ProcessExecutor(Executor):
         summary.policy = self.policy.name
         summary.real_seconds = _wallclock.perf_counter() - start
         summary.metrics = self._fold_metrics(program, plan, payloads)
+        self._attach_profile(summary, program, self.obs)
         return summary
+
+    def _sampler_probe(self, contexts, clocks: SharedClockArray, status: StatusBoard):
+        """Read-only closure for the live sampler: every context's
+        shared-memory clock slot, total worker progress, and the parent
+        registry when metrics are enabled."""
+        obs = self.obs
+        registry = obs.metrics if obs is not None else None
+
+        def probe() -> dict:
+            progress, _states = status.snapshot()
+            sample: dict = {
+                "contexts": {
+                    ctx.name: clocks.read(slot)
+                    for slot, ctx in enumerate(contexts)
+                },
+                "progress": progress,
+            }
+            if registry is not None:
+                sample["metrics"] = registry.snapshot()
+            return sample
+
+        return probe
 
     # ------------------------------------------------------------------
 

@@ -235,11 +235,15 @@ class SequentialExecutor(Executor):
         fast_path: bool = True,
         deadline_s: Optional[float] = None,
         faults=None,
+        metrics_interval_s: Optional[float] = None,
+        metrics_sink=None,
     ):
         self.policy = make_policy(policy)
         self.max_ops = max_ops
         self.deadline_s = deadline_s
         self.faults = faults
+        self.metrics_interval_s = metrics_interval_s
+        self.metrics_sink = metrics_sink
         #: Context-fault triggers still pending, keyed by context name
         #: (populated per run from ``faults.context_faults``).
         self._fault_map: dict = {}
@@ -331,6 +335,9 @@ class SequentialExecutor(Executor):
         for ctx in program.contexts:
             policy.push(states[id(ctx)], woken=False)
 
+        sampler = self._start_sampler(
+            self.metrics_interval_s, self._sampler_probe(states), self.metrics_sink
+        )
         try:
             self._schedule_loop(collect_wall)
             unfinished = [st for st in states.values() if st.status != _DONE]
@@ -358,9 +365,10 @@ class SequentialExecutor(Executor):
             # test output).  Closing an exhausted generator is a no-op, so
             # the happy path pays one cheap call per context.
             self._close_generators(states)
+            self._stop_sampler(sampler, obs)
 
         elapsed = self._makespan(program)
-        return RunSummary(
+        summary = RunSummary(
             elapsed_cycles=elapsed,
             real_seconds=_wallclock.perf_counter() - start,
             context_times={
@@ -374,6 +382,29 @@ class SequentialExecutor(Executor):
             ops_executed=self.ops_executed,
             metrics=self._fold_metrics(program, states),
         )
+        self._attach_profile(summary, program, obs)
+        return summary
+
+    def _sampler_probe(self, states: dict[int, "_ContextState"]):
+        """Build the read-only closure the live metrics sampler calls:
+        context clocks, the op counter, and — when enabled — the metrics
+        registry.  Reads only; it cannot perturb the simulated run."""
+        obs = self.obs
+        registry = obs.metrics if obs is not None else None
+
+        def probe() -> dict:
+            sample: dict = {
+                "contexts": {
+                    state.context.name: state.context.time.now()
+                    for state in states.values()
+                },
+                "ops_executed": self.ops_executed,
+            }
+            if registry is not None:
+                sample["metrics"] = registry.snapshot()
+            return sample
+
+        return probe
 
     def _schedule_loop(self, collect_wall: bool) -> None:
         """Drain the ready queue; ask :meth:`_idle` for more work when it

@@ -103,12 +103,16 @@ class ThreadedExecutor(Executor):
         obs: Optional[Observability] = None,
         deadline_s: Optional[float] = None,
         faults=None,
+        metrics_interval_s: Optional[float] = None,
+        metrics_sink=None,
     ):
         self.poll_interval = poll_interval
         self.deadlock_grace = deadlock_grace
         self.obs = obs
         self.deadline_s = deadline_s
         self.faults = faults
+        self.metrics_interval_s = metrics_interval_s
+        self.metrics_sink = metrics_sink
         self._fault_map: dict = {}
         self._deadline_at: Optional[float] = None
         self._abort = threading.Event()
@@ -175,10 +179,16 @@ class ThreadedExecutor(Executor):
             target=self._watch, args=(threads,), name="dam-watchdog", daemon=True
         )
         watchdog.start()
-        for thread in threads:
-            thread.join()
-        self._abort.set()  # stop the watchdog
-        watchdog.join()
+        sampler = self._start_sampler(
+            self.metrics_interval_s, self._sampler_probe(program), self.metrics_sink
+        )
+        try:
+            for thread in threads:
+                thread.join()
+        finally:
+            self._abort.set()  # stop the watchdog
+            watchdog.join()
+            self._stop_sampler(sampler, obs)
 
         for ctx in program.contexts:
             ctx.time.on_advance = None
@@ -196,7 +206,7 @@ class ThreadedExecutor(Executor):
                 obs.stall_report = report
             raise DeadlockError(report.lines())
 
-        return RunSummary(
+        summary = RunSummary(
             elapsed_cycles=self._makespan(program),
             real_seconds=_wallclock.perf_counter() - start,
             context_times={ctx.name: ctx.finish_time for ctx in program.contexts},
@@ -205,6 +215,26 @@ class ThreadedExecutor(Executor):
             ops_executed=self._ops_executed,
             metrics=self._fold_metrics(program),
         )
+        self._attach_profile(summary, program, obs)
+        return summary
+
+    def _sampler_probe(self, program: Program):
+        """Read-only closure for the live metrics sampler: each context's
+        published clock, the op counter, and the registry when enabled."""
+        obs = self.obs
+        registry = obs.metrics if obs is not None else None
+        contexts = list(program.contexts)
+
+        def probe() -> dict:
+            sample: dict = {
+                "contexts": {ctx.name: ctx.time.now() for ctx in contexts},
+                "ops_executed": self._ops_executed,
+            }
+            if registry is not None:
+                sample["metrics"] = registry.snapshot()
+            return sample
+
+        return probe
 
     # ------------------------------------------------------------------
 

@@ -12,7 +12,12 @@ executor.  The pieces:
   gauges, and histograms folded into ``RunSummary.metrics``;
 * :mod:`~repro.obs.export` — Chrome trace-event / Perfetto JSON and CSV;
 * :mod:`~repro.obs.stall` — deadlock stall reports naming the blocking
-  channel and both endpoint clocks.
+  channel, both endpoint clocks, and the virtual-time gap between them;
+* :mod:`~repro.obs.profile` — post-run critical-path analysis,
+  blocked-time accounting, utilization epochs, and run diffing
+  (``python -m repro.obs report/diff``);
+* :mod:`~repro.obs.stream` — the live :class:`MetricsSampler` behind
+  ``RunConfig(metrics_interval_s=...)``.
 
 :class:`Observability` bundles them for the common case::
 
@@ -37,7 +42,18 @@ from .metrics import (
     fold_channel_metrics,
     fold_context_metrics,
 )
+from .profile import (
+    PathSegment,
+    ProfileReport,
+    channel_meta_for,
+    describe_diff,
+    diff_profiles,
+    events_from_chrome_trace,
+    profile_trace,
+    resolve_profile,
+)
 from .stall import ContextStall, StallReport, stall_for
+from .stream import MetricsSampler
 from .trace import TraceCollector
 
 __all__ = [
@@ -47,12 +63,21 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsSampler",
     "Observability",
+    "PathSegment",
+    "ProfileReport",
     "StallReport",
     "TraceCollector",
     "TraceEvent",
+    "channel_meta_for",
+    "describe_diff",
+    "diff_profiles",
+    "events_from_chrome_trace",
     "fold_channel_metrics",
     "fold_context_metrics",
+    "profile_trace",
+    "resolve_profile",
     "stall_for",
     "to_chrome_trace",
     "to_csv",
@@ -89,6 +114,16 @@ class Observability:
         #: Populated by the process executor's supervisor when a worker
         #: process crashes (a :class:`~repro.core.errors.WorkerCrashError`).
         self.crash_report = None
+        #: Channel capacity/latency metadata set by the executor at run
+        #: start (:func:`channel_meta_for`); used for exact op pairing in
+        #: the profiler and embedded in Chrome trace exports.
+        self.channel_meta: dict[str, Any] | None = None
+        #: The post-run :class:`ProfileReport`, attached by the executor
+        #: when tracing was enabled (also available as ``summary.profile``).
+        self.profile_report: ProfileReport | None = None
+        #: Samples taken by the live :class:`MetricsSampler` when
+        #: ``RunConfig(metrics_interval_s=...)`` was set.
+        self.metrics_samples: list[dict[str, Any]] = []
 
     @classmethod
     def from_trace(cls, trace: TraceCollector) -> "Observability":
@@ -107,10 +142,23 @@ class Observability:
         return self.trace
 
     def chrome_trace(self) -> dict[str, Any]:
-        return to_chrome_trace(self._require_trace(), self.metrics)
+        profile = self.profile_report
+        return to_chrome_trace(
+            self._require_trace(),
+            self.metrics,
+            profile=profile.to_dict() if profile is not None else None,
+            channels=self.channel_meta,
+        )
 
     def write_chrome_trace(self, path: str | Path) -> Path:
-        return write_chrome_trace(self._require_trace(), path, self.metrics)
+        profile = self.profile_report
+        return write_chrome_trace(
+            self._require_trace(),
+            path,
+            self.metrics,
+            profile=profile.to_dict() if profile is not None else None,
+            channels=self.channel_meta,
+        )
 
     def csv(self) -> str:
         return to_csv(self._require_trace())
@@ -120,3 +168,23 @@ class Observability:
 
     def metrics_snapshot(self) -> dict[str, Any] | None:
         return self.metrics.snapshot() if self.metrics is not None else None
+
+    # ------------------------------------------------------------------
+    # Profiling.
+    # ------------------------------------------------------------------
+
+    def profile(self, epochs: int | None = None) -> ProfileReport:
+        """The run's :class:`ProfileReport` — the executor-attached one
+        when available, else computed on demand from the trace."""
+        if self.profile_report is not None and epochs is None:
+            return self.profile_report
+        from .profile import DEFAULT_EPOCHS
+
+        report = profile_trace(
+            self._require_trace(),
+            channel_meta=self.channel_meta,
+            epochs=epochs if epochs is not None else DEFAULT_EPOCHS,
+        )
+        if epochs is None:
+            self.profile_report = report
+        return report

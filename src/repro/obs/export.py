@@ -45,8 +45,19 @@ def _payload_str(payload: Any) -> str:
 def to_chrome_trace(
     trace: TraceCollector,
     metrics: "MetricsRegistry | None" = None,
+    profile: dict[str, Any] | None = None,
+    channels: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Render the trace as a Chrome trace-event / Perfetto JSON object."""
+    """Render the trace as a Chrome trace-event / Perfetto JSON object.
+
+    ``profile`` (a :meth:`~repro.obs.profile.ProfileReport.to_dict`) adds
+    a Perfetto counter track (``ph: "C"``) with the utilization timeline's
+    active/blocked series per epoch and embeds the full report under
+    ``otherData.profile``; ``channels`` (capacity/latency metadata from
+    :func:`~repro.obs.profile.channel_meta_for`) is embedded under
+    ``otherData.channels`` so profiles recomputed from the exported file
+    pair channel ops exactly like the in-process analysis.
+    """
     events: list[dict[str, Any]] = [
         {
             "name": "process_name",
@@ -121,12 +132,37 @@ def to_chrome_trace(
                 {**common, "ph": "f", "bp": "e", "tid": deq_tid, "ts": deq_ts}
             )
 
+    # The utilization timeline as a Perfetto counter track: one counter
+    # event per epoch with the active/blocked simulated-time series.
+    if profile is not None:
+        for epoch in (profile.get("timeline") or {}).get("epochs", []):
+            events.append(
+                {
+                    "name": "utilization",
+                    "cat": "profile",
+                    "ph": "C",
+                    "pid": _PID,
+                    "ts": epoch["start"],
+                    "args": {
+                        "active": epoch["active"],
+                        "blocked": epoch["blocked"],
+                    },
+                }
+            )
+
     document: dict[str, Any] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
     }
+    other: dict[str, Any] = {}
     if metrics is not None:
-        document["otherData"] = {"metrics": metrics.snapshot()}
+        other["metrics"] = metrics.snapshot()
+    if profile is not None:
+        other["profile"] = profile
+    if channels is not None:
+        other["channels"] = channels
+    if other:
+        document["otherData"] = other
     return document
 
 
@@ -134,10 +170,12 @@ def write_chrome_trace(
     trace: TraceCollector,
     path: str | Path,
     metrics: "MetricsRegistry | None" = None,
+    profile: dict[str, Any] | None = None,
+    channels: dict[str, Any] | None = None,
 ) -> Path:
     """Write the Perfetto-loadable JSON to ``path`` and return it."""
     path = Path(path)
-    document = to_chrome_trace(trace, metrics)
+    document = to_chrome_trace(trace, metrics, profile=profile, channels=channels)
     path.write_text(json.dumps(document, sort_keys=True, default=str))
     return path
 

@@ -21,6 +21,7 @@ the registry itself needs no locking.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Iterator
 
 _MetricKey = tuple[str, tuple[tuple[str, str], ...]]
@@ -73,21 +74,31 @@ class Gauge:
         return f"Gauge({self.value})"
 
 
-class Histogram:
-    """Streaming summary statistics (count / min / max / mean / total).
+#: Log-linear quantile buckets: this many per octave (power of two).
+_QUANTILE_SUBDIV = 4
+#: Bucket index for values <= 0 (histograms observe durations, but a
+#: zero-cost op is legal and must not blow up ``log2``).
+_UNDERFLOW_BUCKET = -(2**31)
 
-    Deliberately bucket-free: the run diagnostics need distribution
-    summaries, not quantile sketches, and a four-slot accumulator keeps
-    ``observe`` cheap enough for fold loops over thousands of channels.
+
+class Histogram:
+    """Streaming summary statistics (count / min / max / mean / total)
+    plus a log-linear bucket sketch backing :meth:`quantile`.
+
+    The buckets are deterministic functions of the observed values (no
+    sampling), so histograms over simulated quantities stay bit-identical
+    across executors; ``summary()`` intentionally keeps its original
+    bucket-free shape for ``RunSummary.metrics`` stability.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -96,10 +107,39 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if value <= 0:
+            bucket = _UNDERFLOW_BUCKET
+        else:
+            bucket = math.ceil(math.log2(value) * _QUANTILE_SUBDIV)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the bucket
+        sketch; exact at the extremes (``q=0`` -> min, ``q=1`` -> max),
+        within one log-linear bucket (~19%) elsewhere."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        if q == 0.0:
+            return float(self.min)  # type: ignore[arg-type]
+        if q == 1.0:
+            return float(self.max)  # type: ignore[arg-type]
+        rank = q * (self.count - 1)
+        cumulative = 0
+        for bucket in sorted(self._buckets):
+            cumulative += self._buckets[bucket]
+            if cumulative > rank:
+                if bucket == _UNDERFLOW_BUCKET:
+                    return float(self.min)  # type: ignore[arg-type]
+                value = 2.0 ** (bucket / _QUANTILE_SUBDIV)
+                # Clamp the bucket's representative into the observed range.
+                return min(max(value, float(self.min)), float(self.max))  # type: ignore[arg-type]
+        return float(self.max)  # type: ignore[arg-type]
 
     def summary(self) -> dict[str, float]:
         return {

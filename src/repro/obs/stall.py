@@ -43,18 +43,30 @@ class ContextStall:
     peer: str | None = None        # context on the channel's other end
     peer_time: Time | None = None  # that peer's simulated clock
 
+    @property
+    def gap(self) -> Time | None:
+        """Virtual-time gap between the two endpoint clocks
+        (``peer_time - local_time``): positive means the peer is ahead
+        (starvation flows toward us), negative means we outran the peer.
+        ``None`` when either clock is unknown."""
+        if self.local_time is None or self.peer_time is None:
+            return None
+        return self.peer_time - self.local_time
+
     def describe(self) -> str:
         line = f"{self.context}: {self.detail} @ t={_fmt_time(self.local_time)}"
+        gap = self.gap
+        gap_text = f", gap={_fmt_time(gap)}" if gap is not None else ""
         if self.channel is not None:
             cap = "inf" if self.capacity is None else str(self.capacity)
             line += (
                 f" [channel {self.channel}: occupancy {self.occupancy}/{cap}"
             )
             if self.peer is not None:
-                line += f", peer {self.peer} @ t={_fmt_time(self.peer_time)}"
+                line += f", peer {self.peer} @ t={_fmt_time(self.peer_time)}{gap_text}"
             line += "]"
         elif self.peer is not None:
-            line += f" [peer {self.peer} @ t={_fmt_time(self.peer_time)}]"
+            line += f" [peer {self.peer} @ t={_fmt_time(self.peer_time)}{gap_text}]"
         return line
 
 
@@ -66,7 +78,16 @@ class StallReport:
     stalls: list[ContextStall]
 
     def lines(self) -> list[str]:
-        return [stall.describe() for stall in sorted(self.stalls, key=lambda s: s.context)]
+        """One line per stall, widest |clock gap| first (the biggest gap
+        usually names the bottleneck); unknown gaps sort last, ties break
+        by context name for determinism."""
+
+        def key(stall: ContextStall) -> tuple:
+            gap = stall.gap
+            magnitude = abs(gap) if gap is not None else -1.0
+            return (-magnitude, stall.context)
+
+        return [stall.describe() for stall in sorted(self.stalls, key=key)]
 
     def for_context(self, name: str) -> ContextStall | None:
         for stall in self.stalls:

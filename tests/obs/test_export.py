@@ -59,10 +59,26 @@ class TestChromeTraceExport:
         events = document["traceEvents"]
         assert isinstance(events, list) and events
         for event in events:
-            assert event["ph"] in {"M", "X", "s", "f"}
+            assert event["ph"] in {"M", "X", "s", "f", "C"}
             assert "pid" in event
             if event["ph"] != "M":
                 assert "ts" in event
+
+    def test_utilization_counter_track_embedded(self):
+        document = traced_run().chrome_trace()
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert counters, "profile runs must emit a utilization counter track"
+        for event in counters:
+            assert event["name"] == "utilization"
+            assert set(event["args"]) == {"active", "blocked"}
+
+    def test_profile_and_channel_meta_embedded(self):
+        document = traced_run().chrome_trace()
+        other = document["otherData"]
+        profile = other["profile"]
+        assert profile["critical_path"]["total"] == profile["finish_time"]
+        assert set(other["channels"]) == {"raw", "doubled"}
+        assert other["channels"]["raw"]["capacity"] == 2
 
     def test_one_track_per_context(self):
         document = traced_run().chrome_trace()

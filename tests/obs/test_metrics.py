@@ -41,6 +41,42 @@ class TestRegistry:
         assert summary["max"] == 3.0
         assert summary["mean"] == 2.0
 
+    def test_histogram_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 100.0
+        # Log-bucketed: the median lands in the right octave, not exactly
+        # at 50, but well within a bucket width of it.
+        assert 32.0 <= hist.quantile(0.5) <= 64.0
+        assert hist.quantile(0.99) <= 100.0
+        assert hist.quantile(0.5) <= hist.quantile(0.9)
+
+    def test_histogram_quantile_edge_cases(self):
+        import pytest
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("empty")
+        assert hist.quantile(0.5) == 0.0  # no observations yet
+        hist.observe(7.0)
+        assert hist.quantile(0.0) == hist.quantile(1.0) == 7.0
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+    def test_histogram_quantile_nonpositive_values(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("gaps")
+        for value in [0.0, 0.0, 5.0]:
+            hist.observe(value)
+        # Non-positive observations land in the underflow bucket and are
+        # represented by the recorded minimum.
+        assert hist.quantile(0.25) == 0.0
+        assert hist.quantile(1.0) == 5.0
+
     def test_to_json_round_trips(self):
         import json
 

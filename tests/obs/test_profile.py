@@ -1,0 +1,308 @@
+"""Critical-path profiler tests: hand-computed goldens, the telescoping
+invariant (segment durations sum to ``finish_time``), cross-executor
+identity of the attribution, run diffing, and the CLI.
+
+The two-context fixtures are small enough to hand-simulate; the expected
+numbers in the asserts were derived on paper from the channel timing
+rules (enqueue stamps at ``sender_now + latency``; dequeue advances to
+the stamp; a full bounded enqueue waits for ``dequeue_time +
+resp_latency``).
+"""
+
+import json
+
+import pytest
+
+from repro import Observability, ProgramBuilder
+from repro.contexts import (
+    BinaryFunction,
+    Broadcast,
+    Collector,
+    RampSource,
+    UnaryFunction,
+)
+from repro.core import RunConfig
+from repro.obs import diff_profiles, profile_trace
+from repro.obs.__main__ import main as obs_main
+from repro.obs.profile import (
+    BLOCKED_ON_DEQUEUE,
+    BLOCKED_ON_ENQUEUE,
+    COMPUTE,
+    ProfileReport,
+    events_from_chrome_trace,
+)
+
+
+def run_with_profile(build, executor="sequential", **config_kwargs):
+    obs = Observability()
+    program = build()
+    summary = program.run(
+        executor=executor, config=RunConfig(obs=obs, **config_kwargs)
+    )
+    return obs.profile_report, summary
+
+
+def build_starved_pipeline():
+    """src (ii=2) -> c(cap=8, lat=1, resp=1) -> sink (ii=4).
+
+    Hand simulation: src enqueues at t=0/2/4 (stamps 1/3/5), finishes at
+    6; sink dequeues at t=1 (waited [0,1]), 5, 9, finishing at 13.  The
+    critical path is the sink's 12 cycles of compute plus 1 cycle of
+    starvation on c.
+    """
+    builder = ProgramBuilder()
+    snd, rcv = builder.bounded(8, name="c")
+    builder.add(RampSource(snd, 3, ii=2, name="src"))
+    builder.add(Collector(rcv, ii=4, name="sink"))
+    return builder.build()
+
+
+def build_backpressured_pipeline():
+    """src (ii=0) -> c(cap=1, lat=1, resp=1) -> sink (ii=0).
+
+    With capacity 1 every transfer ping-pongs: the critical path
+    alternates starvation (sink waiting on the stamp) and backpressure
+    (src waiting on the dequeue response) with zero compute — dequeues at
+    t=1/3/5, backpressured enqueues at t=2/4, finish_time 5.
+    """
+    builder = ProgramBuilder()
+    snd, rcv = builder.bounded(1, name="c")
+    builder.add(RampSource(snd, 3, ii=0, name="src"))
+    builder.add(Collector(rcv, ii=0, name="sink"))
+    return builder.build()
+
+
+def build_diamond():
+    """The known-diamond graph: a slow branch that must dominate.
+
+    src -> broadcast -> {fast (ii=1), slow (ii=6)} -> join -> sink.
+    The longest chain necessarily runs through ``slow``; the join's
+    ``slow_out`` input is the starvation point.
+    """
+    builder = ProgramBuilder()
+    feed_s, feed_r = builder.bounded(4, name="feed")
+    fast_in_s, fast_in_r = builder.bounded(4, name="fast_in")
+    slow_in_s, slow_in_r = builder.bounded(4, name="slow_in")
+    fast_out_s, fast_out_r = builder.bounded(4, name="fast_out")
+    slow_out_s, slow_out_r = builder.bounded(4, name="slow_out")
+    join_s, join_r = builder.bounded(4, name="joined")
+    builder.add(RampSource(feed_s, 4, name="src"))
+    builder.add(Broadcast(feed_r, [fast_in_s, slow_in_s], name="split"))
+    builder.add(UnaryFunction(fast_in_r, fast_out_s, lambda x: x + 1, ii=1, name="fast"))
+    builder.add(UnaryFunction(slow_in_r, slow_out_s, lambda x: x * 2, ii=6, name="slow"))
+    builder.add(
+        BinaryFunction(fast_out_r, slow_out_r, join_s, lambda a, b: a + b, name="join")
+    )
+    builder.add(Collector(join_r, name="sink"))
+    return builder.build()
+
+
+ALL_EXECUTOR_LEGS = [
+    ("sequential", {}),
+    ("sequential", {"fast_path": False}),
+    ("threaded", {}),
+    ("process", {"workers": 2}),
+]
+
+
+class TestCriticalPath:
+    def test_starved_pipeline_hand_computed(self):
+        report, summary = run_with_profile(build_starved_pipeline)
+        assert report.finish_time == 13
+        assert report.path_total() == 13
+        cats = report.by_category()
+        assert cats[COMPUTE] == 12
+        assert cats[BLOCKED_ON_DEQUEUE] == 1
+        assert cats[BLOCKED_ON_ENQUEUE] == 0
+        assert report.by_channel() == {"c": 1}
+        # The starvation segment is the first on the path.
+        first = report.segments[0]
+        assert (first.category, first.channel, first.start, first.end) == (
+            BLOCKED_ON_DEQUEUE, "c", 0, 1
+        )
+        assert summary.profile["critical_path"]["total"] == 13
+
+    def test_backpressured_pipeline_hand_computed(self):
+        report, _ = run_with_profile(build_backpressured_pipeline)
+        assert report.finish_time == 5
+        assert report.path_total() == 5
+        cats = report.by_category()
+        assert cats[COMPUTE] == 0
+        assert cats[BLOCKED_ON_DEQUEUE] == 3
+        assert cats[BLOCKED_ON_ENQUEUE] == 2
+        # The path ping-pongs between the two contexts over channel c.
+        assert report.by_channel() == {"c": 5}
+        assert {seg.context for seg in report.segments} == {"src", "sink"}
+
+    def test_attribution_accounts_every_context_cycle(self):
+        report, _ = run_with_profile(build_starved_pipeline)
+        per_context = report.attribution["per_context"]
+        assert per_context["src"][COMPUTE] == 6
+        assert per_context["src"]["idle"] == 7
+        assert per_context["sink"][COMPUTE] == 12
+        assert per_context["sink"][BLOCKED_ON_DEQUEUE] == 1
+        assert per_context["sink"]["idle"] == 0
+        # Every context's categories + idle tile [0, finish_time].
+        for totals in per_context.values():
+            accounted = sum(totals[cat] for cat in
+                            (COMPUTE, BLOCKED_ON_DEQUEUE, BLOCKED_ON_ENQUEUE))
+            assert accounted + totals["idle"] == report.finish_time
+        assert report.attribution["per_channel"]["c"][BLOCKED_ON_DEQUEUE] == 1
+
+    def test_backpressure_attributed_to_sender(self):
+        report, _ = run_with_profile(build_backpressured_pipeline)
+        per_context = report.attribution["per_context"]
+        # src stalls 2 cycles on each of its two backpressured enqueues
+        # (t=0->2 and t=2->4); sink's three dequeues wait 1+2+2 cycles.
+        assert per_context["src"][BLOCKED_ON_ENQUEUE] == 4
+        assert per_context["sink"][BLOCKED_ON_DEQUEUE] == 5
+
+    @pytest.mark.parametrize("executor,kwargs", ALL_EXECUTOR_LEGS)
+    def test_diamond_attribution_identical_across_executors(
+        self, executor, kwargs
+    ):
+        reference, _ = run_with_profile(build_diamond)
+        report, summary = run_with_profile(build_diamond, executor, **kwargs)
+        assert report.to_dict() == reference.to_dict(), (
+            f"{executor} {kwargs} produced a different profile"
+        )
+        assert summary.profile == reference.to_dict()
+
+    def test_diamond_critical_path_runs_through_slow_branch(self):
+        report, _ = run_with_profile(build_diamond)
+        assert report.path_total() == report.finish_time
+        # slow's 4 items at ii=6 (first dequeue lands at t=2) bound the
+        # makespan at 26: 24 cycles of slow compute plus the two delivery
+        # hops (feed into split, slow_in into slow) that started it.
+        assert report.finish_time == 26
+        by_context = report.by_context()
+        assert by_context["slow"] == 25
+        assert "fast" not in by_context
+        assert report.by_channel() == {"feed": 1, "slow_in": 1}
+        # The join's starvation on the slow branch shows up in whole-run
+        # attribution (it waits off the critical path); the fast branch
+        # never starves anyone.
+        per_channel = report.attribution["per_channel"]
+        assert (
+            per_channel["slow_out"][BLOCKED_ON_DEQUEUE]
+            > per_channel["fast_out"][BLOCKED_ON_DEQUEUE]
+        )
+
+    def test_timeline_epochs_tile_the_run(self):
+        report, _ = run_with_profile(build_starved_pipeline)
+        epochs = report.timeline["epochs"]
+        assert len(epochs) == 32
+        width = report.timeline["epoch_width"]
+        assert width * len(epochs) == pytest.approx(report.finish_time)
+        # Active simulated time across epochs == total compute across contexts.
+        total_active = sum(e["active"] for e in epochs)
+        assert total_active == pytest.approx(6 + 12)
+        assert all(0.0 <= e["utilization"] <= 1.0 for e in epochs)
+
+    def test_segment_quantiles_present(self):
+        report, _ = run_with_profile(build_starved_pipeline)
+        quant = report.segment_quantiles
+        assert quant["max"] == 4  # the longest sink compute span
+        assert quant["p50"] >= 1
+
+    def test_empty_trace_profiles_to_zero(self):
+        report = profile_trace([])
+        assert report.finish_time == 0
+        assert report.segments == []
+
+
+class TestRoundTrips:
+    def test_chrome_trace_round_trip_matches_in_process(self, tmp_path):
+        obs = Observability()
+        build_starved_pipeline().run(config=RunConfig(obs=obs))
+        path = obs.write_chrome_trace(tmp_path / "run.json")
+        events, channels = events_from_chrome_trace(json.loads(path.read_text()))
+        rebuilt = profile_trace(events, channel_meta=channels)
+        assert rebuilt.to_dict() == obs.profile_report.to_dict()
+
+    def test_report_dict_round_trip(self):
+        report, _ = run_with_profile(build_backpressured_pipeline)
+        rebuilt = ProfileReport.from_dict(report.to_dict())
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_describe_states_the_telescoping_sum(self):
+        report, _ = run_with_profile(build_starved_pipeline)
+        text = report.describe()
+        assert "path sum=13 finish_time=13" in text
+
+
+class TestDiff:
+    def test_identical_profiles_are_ok(self):
+        report, _ = run_with_profile(build_starved_pipeline)
+        diff = diff_profiles(report.to_dict(), report.to_dict())
+        assert diff["ok"] and not diff["regressions"]
+
+    def test_regression_flagged_beyond_tolerance(self):
+        report, _ = run_with_profile(build_starved_pipeline)
+        base = report.to_dict()
+        worse = json.loads(json.dumps(base))
+        worse["finish_time"] = base["finish_time"] * 5
+        worse["critical_path"]["by_category"][COMPUTE] *= 5
+        diff = diff_profiles(base, worse, tolerance=3.0)
+        assert not diff["ok"]
+        flagged = {row["metric"] for row in diff["regressions"]}
+        assert "finish_time" in flagged
+        assert f"critical_path.{COMPUTE}" in flagged
+
+    def test_small_growth_within_tolerance_passes(self):
+        report, _ = run_with_profile(build_starved_pipeline)
+        base = report.to_dict()
+        slightly = json.loads(json.dumps(base))
+        slightly["finish_time"] = base["finish_time"] * 2
+        diff = diff_profiles(base, slightly, tolerance=3.0)
+        assert diff["ok"]
+
+
+class TestCli:
+    def test_report_command_prints_critical_path(self, tmp_path, capsys):
+        obs = Observability()
+        build_starved_pipeline().run(config=RunConfig(obs=obs))
+        path = obs.write_chrome_trace(tmp_path / "run.json")
+        assert obs_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "path sum=13 finish_time=13" in out
+
+    def test_diff_command_exit_codes(self, tmp_path, capsys):
+        report, _ = run_with_profile(build_starved_pipeline)
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(report.to_dict()))
+        worse_dict = report.to_dict()
+        worse_dict["finish_time"] *= 10
+        worse_dict["critical_path"]["by_category"][COMPUTE] *= 10
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(worse_dict))
+        assert obs_main(["diff", str(base), str(base)]) == 0
+        assert obs_main(["diff", str(base), str(worse)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+
+    def test_report_on_spmspm_sums_to_finish_time(self, tmp_path, capsys):
+        """The acceptance criterion: on the spmspm SAM kernel the printed
+        critical path's segment durations sum to ``finish_time``."""
+        from repro.sam import CsfTensor
+        from repro.sam.graphs import build_spmspm
+        from repro.sam.tensor import random_dense
+
+        b = random_dense(6, 6, density=0.3, seed=23)
+        ct = random_dense(6, 6, density=0.3, seed=24)
+        kernel = build_spmspm(
+            CsfTensor.from_dense(b, "cc"),
+            CsfTensor.from_dense(ct, "cc"),
+            depth=4,
+        )
+        obs = Observability()
+        summary = kernel.run(config=RunConfig(obs=obs))
+        path = obs.write_chrome_trace(tmp_path / "spmspm.json")
+        assert obs_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"path sum={summary.elapsed_cycles} " \
+               f"finish_time={summary.elapsed_cycles}" in out
+        # And the in-process report agrees exactly.
+        report = obs.profile_report
+        assert report.path_total() == pytest.approx(summary.elapsed_cycles)

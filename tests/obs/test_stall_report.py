@@ -83,6 +83,44 @@ class TestStallReport:
         assert "occupancy 0/1" in text
 
 
+class TestClockGap:
+    def test_gap_computed_and_rendered(self):
+        obs = Observability(trace=False)
+        with pytest.raises(DeadlockError):
+            build_cycle().run(obs=obs)
+        report = obs.stall_report
+        # ctx_a local t=5, peer ctx_b at t=3 -> gap -2 (we outran the
+        # peer); ctx_b sees the mirror image.
+        assert report.for_context("ctx_a").gap == -2
+        assert report.for_context("ctx_b").gap == 2
+        text = str(report)
+        assert "gap=-2" in text
+        assert "gap=2" in text
+
+    def test_lines_sorted_by_gap_magnitude(self):
+        from repro.obs.stall import ContextStall, StallReport
+
+        report = StallReport(
+            stalls=[
+                ContextStall("near", "dequeue on empty x", 10,
+                             peer="p", peer_time=11),
+                ContextStall("far", "dequeue on empty y", 2,
+                             peer="p", peer_time=50),
+                ContextStall("unknown", "wait-until 99 on p", 4),
+            ]
+        )
+        ordering = [line.split(":")[0] for line in report.lines()]
+        # Widest |gap| first; unknown gaps last.
+        assert ordering == ["far", "near", "unknown"]
+
+    def test_gap_none_when_peer_clock_unknown(self):
+        from repro.obs.stall import ContextStall
+
+        stall = ContextStall("lone", "dequeue on empty z", 7)
+        assert stall.gap is None
+        assert "gap" not in stall.describe()
+
+
 class TestFullChannelStall:
     def test_enqueue_stall_reports_occupancy(self):
         """A sender stuck on a full channel reports occupancy cap/cap."""

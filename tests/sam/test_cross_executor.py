@@ -211,6 +211,50 @@ class TestExecutorMatrix:
             summary = kernel.run(executor="process", workers=2)
         assert _signature(kernel, summary) == reference
 
+    @pytest.mark.parametrize(
+        "executor,kwargs",
+        [
+            ("sequential", {}),
+            ("threaded", {}),
+            ("process", {"workers": 2}),
+        ],
+    )
+    def test_sampled_metrics_leg_is_bit_identical(self, executor, kwargs):
+        """Live metric streaming (``metrics_interval_s``) must not perturb
+        SVA: the sampled run's simulated results, merged trace, and
+        profile must be bit-identical to the unsampled reference."""
+        from repro.core import RunConfig
+        from repro.obs import Observability
+
+        def run(sampled):
+            kernel = _KERNELS["spmspm"]()
+            obs = Observability()
+            sink: list = []
+            config = RunConfig(
+                obs=obs,
+                metrics_interval_s=0.002 if sampled else None,
+                metrics_sink=sink.append if sampled else None,
+                **kwargs,
+            )
+            summary = kernel.run(executor=executor, config=config)
+            # Keep only simulated-state kinds: the process executor also
+            # records ``migrate`` events for steals, whose placement is a
+            # scheduling artifact and varies run to run.
+            kinds = {"enqueue", "dequeue", "peek", "advance", "finish"}
+            events = [
+                (e.context, e.kind, e.channel, e.time, e.seq)
+                for e in obs.trace.events
+                if e.kind in kinds
+            ]
+            return _signature(kernel, summary), events, summary.profile, sink
+
+        ref_sig, ref_events, ref_profile, _ = run(sampled=False)
+        sig, events, profile, sink = run(sampled=True)
+        assert sig == ref_sig, f"{executor}: sampling changed the results"
+        assert events == ref_events, f"{executor}: sampling changed the trace"
+        assert profile == ref_profile, f"{executor}: sampling changed the profile"
+        assert sink, f"{executor}: sampler produced no samples"
+
     @pytest.mark.parametrize("kernel_name", sorted(_KERNELS))
     def test_trace_event_sequences_agree(self, kernel_name):
         """Fused batches emit per-constituent trace events; the merged
