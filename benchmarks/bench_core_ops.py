@@ -8,15 +8,24 @@ the committed numbers plus the pre-fast-path baseline, and CI's
 ``--smoke`` mode fails when the current tree regresses by more than 3x
 (an order-of-magnitude core-loop regression, not benchmark noise).
 
-Three workloads, chosen to stress distinct parts of the core loop:
+Four workloads, chosen to stress distinct parts of the core loop:
 
 * ``deep_pipeline`` — a long chain of forwarding stages over bounded
   channels; nearly every op is a non-blocking dequeue/enqueue/IncrCycles,
   the case the inline fast path (fused ops + channel flavors) targets.
 * ``tiny_ring`` — one token circulating a ring of capacity-1 channels;
   almost every dequeue blocks first, stressing the park/wake machinery.
+* ``wide_diamond`` — fan-out/fan-in over capacity-1 arms; the
+  multi-endpoint broadcast/join steps are the adversarial case for
+  superblock peer-to-peer inlining (DESIGN.md §15), bailing out far
+  more often than a ring or pipeline.
 * ``spmspm`` — the Gustavson SpMSpM SAM kernel: the end-to-end mix of
   primitive contexts a real workload produces.
+
+The full run and the smoke gate additionally measure each workload as an
+interleaved ``superblocks`` on/off pair (same tree, alternating modes),
+recording the pairwise speedup; CI asserts superblocks-on stays within
+tolerance of superblocks-off.
 
 Usage (from ``benchmarks/``)::
 
@@ -51,6 +60,11 @@ try:  # the inline fast path (this PR); absent on the pre-PR baseline tree
     from repro.core.ops import FusedOps
 except ImportError:  # pragma: no cover - baseline-capture path
     FusedOps = None
+
+try:  # superblock compilation; absent on pre-superblock trees
+    from repro.core.executor.superblock import cold_cluster_count
+except ImportError:  # pragma: no cover - baseline-capture path
+    cold_cluster_count = None
 
 
 # ----------------------------------------------------------------------
@@ -180,6 +194,104 @@ def build_tiny_ring(nodes: int = 4, laps: int = 1500):
     return builder.build()
 
 
+def build_wide_diamond(width: int = 4, depth: int = 2, tokens: int = 600):
+    """Fan-out/fan-in over capacity-1 arms: park/wake-delivery dense.
+
+    A source broadcasts each token across ``width`` parallel arms of
+    ``depth`` forwarding stages, all over capacity-1 channels, and a
+    sink joins them back.  The whole diamond is one cold cluster, but
+    the multi-endpoint fan-out/fan-in steps stress the superblock
+    driver's bail-out path far harder than a ring or pipeline does —
+    this is the adversarial leg of the paired superblock comparison,
+    expected to sit near 1.0x rather than show the ring's speedup."""
+    builder = ProgramBuilder()
+    entries = [builder.bounded(1, name=f"fan{w}") for w in range(width)]
+    exits = [builder.bounded(1, name=f"join{w}") for w in range(width)]
+    arm_links = [
+        [builder.bounded(1, name=f"arm{w}_{d}") for d in range(depth - 1)]
+        for w in range(width)
+    ]
+
+    def source(senders, n=tokens):
+        if FusedOps is not None:
+            def body():
+                enqs = [snd.enqueue(None) for snd in senders]
+                step = FusedOps(*enqs, IncrCycles(1))
+                for i in range(n):
+                    for enq in enqs:
+                        enq.data = i
+                    yield step
+        else:
+            def body():
+                for i in range(n):
+                    for snd in senders:
+                        yield snd.enqueue(i)
+                    yield IncrCycles(1)
+
+        return body
+
+    def stage(rcv, snd):
+        if FusedOps is not None:
+            def body():
+                deq = rcv.dequeue()
+                enq = snd.enqueue(None)
+                step = FusedOps(enq, IncrCycles(1), deq)
+                value = yield deq
+                while True:
+                    enq.data = value + 1
+                    value = (yield step)[2]
+        else:
+            def body():
+                while True:
+                    value = yield rcv.dequeue()
+                    yield snd.enqueue(value + 1)
+                    yield IncrCycles(1)
+
+        return body
+
+    def sink(receivers):
+        if FusedOps is not None:
+            def body():
+                step = FusedOps(
+                    *[rcv.dequeue() for rcv in receivers], IncrCycles(1)
+                )
+                while True:
+                    yield step
+        else:
+            def body():
+                while True:
+                    for rcv in receivers:
+                        yield rcv.dequeue()
+                    yield IncrCycles(1)
+
+        return body
+
+    fan_senders = [snd for snd, _ in entries]
+    builder.add(
+        FunctionContext(source(fan_senders), handles=fan_senders, name="fan")
+    )
+    for w in range(width):
+        hops = (
+            [entries[w][1]]
+            + [end for link in arm_links[w] for end in link]
+            + [exits[w][0]]
+        )
+        # hops = [rcv0, snd1, rcv1, snd2, rcv2, ...]: stage d forwards
+        # hops[2d] -> hops[2d+1].
+        for d in range(depth):
+            rcv, snd = hops[2 * d], hops[2 * d + 1]
+            builder.add(
+                FunctionContext(
+                    stage(rcv, snd), handles=[rcv, snd], name=f"arm{w}s{d}"
+                )
+            )
+    join_receivers = [rcv for _, rcv in exits]
+    builder.add(
+        FunctionContext(sink(join_receivers), handles=join_receivers, name="join")
+    )
+    return builder.build()
+
+
 def build_spmspm_program(size: int = 8, density: float = 0.4, depth: int = 4):
     """The Gustavson SpMSpM kernel: a realistic primitive mix."""
     b = random_dense(size, size, density=density, seed=101)
@@ -195,6 +307,7 @@ def build_spmspm_program(size: int = 8, density: float = 0.4, depth: int = 4):
 _FULL = {
     "deep_pipeline": lambda: build_deep_pipeline(stages=16, tokens=2000),
     "tiny_ring": lambda: build_tiny_ring(nodes=4, laps=1500),
+    "wide_diamond": lambda: build_wide_diamond(width=2, depth=4, tokens=1200),
     # Saturation-regime instance: large enough (~150k ops) that steady-state
     # primitive streaming dominates over program build/teardown and the
     # short prefix before the pipeline fills, which tiny instances overweigh.
@@ -204,6 +317,7 @@ _FULL = {
 _SMOKE = {
     "deep_pipeline": lambda: build_deep_pipeline(stages=8, tokens=400),
     "tiny_ring": lambda: build_tiny_ring(nodes=4, laps=300),
+    "wide_diamond": lambda: build_wide_diamond(width=2, depth=4, tokens=250),
     "spmspm": lambda: build_spmspm_program(size=6),
 }
 
@@ -213,12 +327,12 @@ _SMOKE = {
 # ----------------------------------------------------------------------
 
 
-def measure(build, repeats: int = 3) -> dict:
+def measure(build, repeats: int = 3, **executor_kwargs) -> dict:
     """Best-of-N ops/sec for one workload under the sequential executor."""
     best = None
     for _ in range(repeats):
         program = build()
-        executor = SequentialExecutor()
+        executor = SequentialExecutor(**executor_kwargs)
         start = time.perf_counter()
         summary = executor.execute(program)
         seconds = time.perf_counter() - start
@@ -238,6 +352,51 @@ def run_workloads(workloads: dict, repeats: int = 3) -> dict:
         name: measure(build, repeats=repeats)
         for name, build in workloads.items()
     }
+
+
+def measure_superblock_pair(build, repeats: int = 3) -> dict:
+    """Best-of-N ops/sec with superblocks off vs on, *interleaved*: each
+    repetition runs one off leg then one on leg back to back, so both
+    modes see the same machine state (frequency, cache, background
+    noise) and the pairwise speedup is meaningful."""
+    best = {"off": None, "on": None}
+    for _ in range(repeats):
+        for mode in ("off", "on"):
+            program = build()
+            executor = SequentialExecutor(superblocks=mode)
+            start = time.perf_counter()
+            summary = executor.execute(program)
+            seconds = time.perf_counter() - start
+            rate = summary.ops_executed / seconds
+            if best[mode] is None or rate > best[mode]:
+                best[mode] = rate
+    return {
+        "off_ops_per_sec": best["off"],
+        "on_ops_per_sec": best["on"],
+        "speedup": best["on"] / best["off"],
+    }
+
+
+def run_superblock_pairs(workloads: dict, repeats: int = 3) -> dict:
+    return {
+        name: measure_superblock_pair(build, repeats=repeats)
+        for name, build in workloads.items()
+    }
+
+
+def render_superblock_table(pairs: dict) -> str:
+    table = TextTable(
+        ["workload", "off_ops_per_sec", "on_ops_per_sec", "speedup"],
+        title="Superblock compilation, paired off/on legs (sequential)",
+    )
+    for name, row in sorted(pairs.items()):
+        table.add_row(
+            name,
+            round(row["off_ops_per_sec"]),
+            round(row["on_ops_per_sec"]),
+            f"{row['speedup']:.3f}x",
+        )
+    return table.render()
 
 
 def profile_workloads(workloads: dict) -> dict:
@@ -311,13 +470,31 @@ def env_info() -> dict:
             rev += "+dirty"
     except Exception:  # noqa: BLE001 - not a git checkout / git missing
         rev = "unknown"
-    return {
+    info = {
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "git_rev": rev,
         "fused_ops_available": FusedOps is not None,
+        "superblocks": cold_cluster_count is not None,
     }
+    if cold_cluster_count is not None:
+        info["cold_clusters"] = _cold_clusters()
+    return info
+
+
+_COLD_CLUSTERS: dict | None = None
+
+
+def _cold_clusters() -> dict:
+    """Multi-member cold-cluster count per full workload (cached: the
+    env block appears several times per payload)."""
+    global _COLD_CLUSTERS
+    if _COLD_CLUSTERS is None:
+        _COLD_CLUSTERS = {
+            name: cold_cluster_count(build()) for name, build in _FULL.items()
+        }
+    return _COLD_CLUSTERS
 
 
 def render_table(current: dict, baseline: dict | None) -> str:
@@ -376,6 +553,21 @@ def smoke(repeats: int = 2, tolerance: float = 3.0,
         )
         if row["ops_per_sec"] < floor:
             failures.append(name)
+    if cold_cluster_count is not None:
+        # Paired superblock legs: on must stay within tolerance of off.
+        # A small deficit on stream-dominated shapes is machine noise /
+        # scratch-cell overhead, not a regression — the win is asserted
+        # on the park-heavy workloads by the committed full run.
+        pairs = run_superblock_pairs(_SMOKE, repeats=max(2, repeats))
+        print(render_superblock_table(pairs))
+        sb_floor = 1.0 / tolerance
+        for name, row in pairs.items():
+            if row["speedup"] < sb_floor:
+                print(
+                    f"{name}: superblocks-on is {row['speedup']:.2f}x of "
+                    f"off (floor {sb_floor:.2f}x) -> REGRESSION"
+                )
+                failures.append(f"{name}(superblocks)")
     profiles = profile_workloads(_SMOKE)
     print(render_profiles(profiles))
     if profile_out:
@@ -388,6 +580,11 @@ def smoke(repeats: int = 2, tolerance: float = 3.0,
 
 def full_run(repeats: int, baseline_file: str | None) -> dict:
     current = run_workloads(_FULL, repeats=repeats)
+    superblock_pairs = (
+        run_superblock_pairs(_FULL, repeats=repeats)
+        if cold_cluster_count is not None
+        else None
+    )
     if baseline_file:
         baseline_payload = json.loads(Path(baseline_file).read_text())
         baseline = baseline_payload["workloads"]
@@ -411,7 +608,11 @@ def full_run(repeats: int, baseline_file: str | None) -> dict:
             if name in baseline
         },
     }
+    if superblock_pairs is not None:
+        payload["superblocks"] = superblock_pairs
     print(render_table(current, baseline))
+    if superblock_pairs is not None:
+        print(render_superblock_table(superblock_pairs))
     print(render_profiles(profile_workloads(_FULL)))
     return payload
 

@@ -67,6 +67,7 @@ _LAZY_EXECUTOR = {
     "PartitionPlan",
     "ClusterSpec",
     "channel_weights",
+    "pins_from_placement",
     "plan_partition",
     "plan_clusters",
     "plan_affinity",
@@ -122,6 +123,7 @@ __all__ = [
     "PartitionPlan",
     "ClusterSpec",
     "channel_weights",
+    "pins_from_placement",
     "plan_partition",
     "plan_clusters",
     "FifoPolicy",

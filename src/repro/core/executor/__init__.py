@@ -40,6 +40,7 @@ _LAZY = {
     "PartitionPlan": ".partition",
     "ClusterSpec": ".partition",
     "channel_weights": ".partition",
+    "pins_from_placement": ".partition",
     "plan_partition": ".partition",
     "plan_clusters": ".partition",
     "plan_affinity": ".affinity",

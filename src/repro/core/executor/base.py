@@ -40,6 +40,14 @@ class RunSummary:
     #: Cold clusters claimed away from their planned worker (process
     #: executor work stealing); 0 for single-runtime executors.
     steals: int = 0
+    #: Observed post-steal placement (process executor): context name →
+    #: worker index where the context *actually* ran — planned owners
+    #: overridden by recorded migrations.  Feed it back through
+    #: :func:`~repro.core.executor.partition.pins_from_placement` so the
+    #: next plan (and ``superblocks="auto"``) sees real locality instead
+    #: of crediting a stolen cluster to its original owner.  ``None`` for
+    #: single-runtime executors.
+    placement: Optional[dict[str, int]] = None
     metrics: Optional[dict[str, Any]] = None
     #: The run's performance-attribution report
     #: (:meth:`repro.obs.profile.ProfileReport.to_dict`): critical path,

@@ -98,6 +98,14 @@ class RunConfig:
         Where streamed samples go: a callable invoked per sample, or a
         path appended to as JSON lines.  Samples are always also kept on
         ``obs.metrics_samples`` when an ``obs`` is attached.
+    superblocks:
+        Superblock compilation of cold clusters (DESIGN.md §15):
+        ``"on"``/``True`` compiles every multi-context cold cluster into
+        a straight-line driver, ``"off"``/``False`` disables it, and
+        ``"auto"`` (executor default) compiles clusters the planner
+        considers worth it (``plan_clusters`` + observed channel
+        weights).  Results, traces, and profiles are bit-identical in
+        every mode.
     extra:
         Anything else, passed through to the executor constructor
         verbatim (and validated there).
@@ -122,6 +130,7 @@ class RunConfig:
     faults: Any = None
     metrics_interval_s: Optional[float] = None
     metrics_sink: Any = None
+    superblocks: Any = None
     extra: dict = field(default_factory=dict)
 
     def replace(self, **changes: Any) -> "RunConfig":

@@ -64,6 +64,7 @@ class FreeThreadedExecutor(ThreadedExecutor):
         faults=None,
         metrics_interval_s: Optional[float] = None,
         metrics_sink=None,
+        superblocks=None,
     ):
         super().__init__(
             poll_interval=poll_interval,
@@ -73,6 +74,7 @@ class FreeThreadedExecutor(ThreadedExecutor):
             faults=faults,
             metrics_interval_s=metrics_interval_s,
             metrics_sink=metrics_sink,
+            superblocks="auto" if superblocks is None else superblocks,
         )
         self.workers = workers
         self.pin_workers = pin_workers
@@ -123,6 +125,7 @@ class FreeThreadedExecutor(ThreadedExecutor):
                 faults=self.faults,
                 metrics_interval_s=self.metrics_interval_s,
                 metrics_sink=self.metrics_sink,
+                superblocks=self.superblocks,
             )
         else:  # pragma: no cover - no-fork platforms
             fallback = ThreadedExecutor(
@@ -133,6 +136,7 @@ class FreeThreadedExecutor(ThreadedExecutor):
                 faults=self.faults,
                 metrics_interval_s=self.metrics_interval_s,
                 metrics_sink=self.metrics_sink,
+                superblocks=self.superblocks,
             )
         summary = fallback.execute(program)
         summary.executor = f"{self.name}({fallback.name})"

@@ -55,6 +55,33 @@ def channel_weights(program: "Program") -> dict[str, float]:
     return {name: totals[name] / counts[name] for name in totals}
 
 
+def pins_from_placement(
+    program: "Program", placement: Optional[dict[str, int]]
+) -> dict[int, int]:
+    """Convert an observed run placement back into planner pins.
+
+    ``placement`` is :attr:`RunSummary.placement` — context name →
+    worker index where the context *actually* ran, with stolen clusters
+    credited to their adopter rather than their planned owner.  The
+    returned ``{id(context): worker}`` mapping plugs straight into
+    ``RunConfig(pins=...)`` / :func:`plan_partition`, so a re-run (of an
+    identically-built program) starts from the locality the previous run
+    converged to instead of re-planning the same skew and re-stealing.
+
+    Contexts absent from ``placement`` (e.g. a scaled-up build with new
+    pipelines) are simply left unpinned.  Same-named contexts consume
+    placement entries in program order, mirroring how
+    :func:`channel_weights` averages same-named channels.
+    """
+    if not placement:
+        return {}
+    return {
+        id(ctx): placement[ctx.name]
+        for ctx in program.contexts
+        if ctx.name in placement
+    }
+
+
 @dataclass
 class PartitionPlan:
     """The result of partitioning: per-worker context groups + the cut."""

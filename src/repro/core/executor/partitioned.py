@@ -435,8 +435,15 @@ class _WorkerExecutor(SequentialExecutor):
         timeslice: int = 1024,
         faults=None,
         kill=None,
+        superblocks="auto",
     ):
-        super().__init__(policy=policy, max_ops=max_ops, obs=obs, faults=faults)
+        super().__init__(
+            policy=policy,
+            max_ops=max_ops,
+            obs=obs,
+            faults=faults,
+            superblocks=superblocks,
+        )
         #: Chaos hook: a WorkerKill aimed at *this* worker — the process
         #: SIGKILLs itself the first time its published progress counter
         #: reaches the trigger (see :meth:`_publish`).
@@ -512,6 +519,33 @@ class _WorkerExecutor(SequentialExecutor):
             self._states[id(ctx)] = state
             self.policy.push(state, woken=False)
             self._activated.append(ctx)
+        if len(spec.contexts) >= 2:
+            # Recompile the cluster as a superblock *on the adopter*: a
+            # stolen cluster's members already carry this worker's shared
+            # time slots, so the driver batches against its new clocks.
+            # The same gates as _compile_superblocks apply (the turn loop
+            # is the fast loop; faults are slice-granular; "auto" declines
+            # under per-context wall-clock metrics).
+            from .superblock import Superblock, attach, normalize_mode
+
+            mode = normalize_mode(self.superblocks)
+            if (
+                mode != "off"
+                and self._fast_capable
+                and not self._fault_map
+                and not (
+                    mode == "auto"
+                    and self.obs is not None
+                    and self.obs.metrics is not None
+                )
+            ):
+                attach(
+                    Superblock(spec.index),
+                    [
+                        self._states[id(contexts[slot])]
+                        for slot in spec.contexts
+                    ],
+                )
         if stolen_from is not None:
             self.steal_count += 1
             record = {
@@ -873,6 +907,7 @@ def _worker_main(
             poll_interval=options["poll_interval"],
             timeslice=options["timeslice"],
             faults=faults, kill=kill,
+            superblocks=options.get("superblocks", "auto"),
         )
         try:
             # The worker starts empty; its first _idle() claims work.
@@ -992,6 +1027,7 @@ class ProcessExecutor(Executor):
         faults=None,
         metrics_interval_s: Optional[float] = None,
         metrics_sink=None,
+        superblocks: Any = "auto",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -1021,6 +1057,11 @@ class ProcessExecutor(Executor):
         self.faults = faults
         self.metrics_interval_s = metrics_interval_s
         self.metrics_sink = metrics_sink
+        #: Superblock compilation mode for the worker-side schedulers
+        #: ("on"/"off"/"auto"; DESIGN.md §15).  Workers compile each
+        #: cluster at activation time, so stolen clusters recompile
+        #: against their adopter's shared clock slots.
+        self.superblocks = superblocks
         #: Set by _collect when the run was aborted for its deadline, so
         #: _resolve_failures raises RunTimeoutError instead of reading the
         #: aborted workers' stalls as a deadlock.
@@ -1181,6 +1222,7 @@ class ProcessExecutor(Executor):
                     else False
                 ),
                 "faults": faults,
+                "superblocks": self.superblocks,
             }
 
             # Live metric streaming samples the *shared* clock slots from
@@ -1237,6 +1279,20 @@ class ProcessExecutor(Executor):
             for worker in sorted(payloads)
             for migration in payloads[worker].get("migrations", ())
         ]
+        # Observed placement: planned owners, overridden by every recorded
+        # steal.  This is the feedback loop the planner consumes via
+        # pins_from_placement() — without it, channel_weights-style
+        # replanning keeps crediting stolen clusters to their original
+        # owner and re-plans the same skew forever.
+        placement = {
+            program.contexts[slot].name: spec.owner
+            for spec in clusters
+            for slot in spec.contexts
+        }
+        for migration in self.migrations:
+            for name in migration["contexts"]:
+                placement[name] = migration["to"]
+        summary.placement = placement
         summary.executor = self.name
         summary.policy = self.policy.name
         summary.real_seconds = _wallclock.perf_counter() - start

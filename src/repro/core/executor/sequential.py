@@ -167,6 +167,10 @@ class _ContextState:
         "fused_index",
         "fused_results",
         "fused_plan",
+        "superblock",
+        "sb_ready",
+        "sb_cell",
+        "sb_send",
     )
 
     def __init__(self, context: Context):
@@ -193,6 +197,14 @@ class _ContextState:
         # The batch's compiled plan entries (fast path only), so the
         # resume runner can stay plan-based.
         self.fused_plan: Any = None
+        # Superblock membership (DESIGN.md §15): the compiled cluster
+        # driver, the local-ready-deque flag, and the scratch time cell
+        # member turns run against (the real clock when it is a plain
+        # TimeCell, a shadow cell published per turn otherwise).
+        self.superblock: Any = None
+        self.sb_ready = False
+        self.sb_cell: Any = None
+        self.sb_send: Any = None  # cached gen.send, bound at attach
 
 
 @register_executor("sequential")
@@ -222,6 +234,12 @@ class SequentialExecutor(Executor):
         :class:`FusedOps` constituent — through the generic handler
         table one at a time; the simulated results are identical by
         construction, which is what the equivalence tests assert.
+    superblocks:
+        Cluster compilation (DESIGN.md §15): ``"auto"`` (default)
+        compiles the cold clusters observed traffic marks as live,
+        ``"on"``/``True`` compiles every multi-member cluster,
+        ``"off"``/``False``/``None`` disables.  Requires the fast path;
+        simulated results are identical either way.
     """
 
     name = "sequential"
@@ -237,8 +255,10 @@ class SequentialExecutor(Executor):
         faults=None,
         metrics_interval_s: Optional[float] = None,
         metrics_sink=None,
+        superblocks: Any = "auto",
     ):
         self.policy = make_policy(policy)
+        self.superblocks = superblocks
         self.max_ops = max_ops
         self.deadline_s = deadline_s
         self.faults = faults
@@ -331,6 +351,8 @@ class SequentialExecutor(Executor):
         if self._bounded and self.policy.timeslice is None:
             self.policy.timeslice = _BOUNDED_TIMESLICE
 
+        self._compile_superblocks(program, states, collect_wall)
+
         policy = self.policy
         for ctx in program.contexts:
             policy.push(states[id(ctx)], woken=False)
@@ -405,6 +427,29 @@ class SequentialExecutor(Executor):
             return sample
 
         return probe
+
+    def _compile_superblocks(
+        self, program: Program, states: dict, collect_wall: bool
+    ) -> int:
+        """Attach cluster drivers (DESIGN.md §15) when this run can use
+        them: the fast path must be available (superblock turns are the
+        fast loop, across contexts) and no fault plan may target a
+        context (fault triggers are checked at slice granularity by the
+        generic scheduler).  ``"auto"`` additionally declines when
+        per-context wall-clock metrics are being collected, since a
+        whole superblock step would be attributed to its entry member;
+        ``"on"`` forces compilation regardless.
+        """
+        from .superblock import compile_superblocks, normalize_mode
+
+        mode = normalize_mode(self.superblocks)
+        if mode == "off":
+            return 0
+        if not self._fast_capable or self._fault_map:
+            return 0
+        if mode == "auto" and collect_wall:
+            return 0
+        return compile_superblocks(self, program, states, mode)
 
     def _schedule_loop(self, collect_wall: bool) -> None:
         """Drain the ready queue; ask :meth:`_idle` for more work when it
@@ -568,6 +613,14 @@ class SequentialExecutor(Executor):
                 state.fused_plan = None
                 state.pending_value = None
                 state.pending_exc = fault.make()
+
+        # Superblock member: hand the whole slice to the cluster driver
+        # (which performs its own resume handling and budget accounting).
+        # Falls through to the generic path whenever the fast path is
+        # unavailable — e.g. while a WaitUntil waiter is registered.
+        if state.superblock is not None and self._fast:
+            state.superblock.drive(self, state, remaining)
+            return
 
         # A context woken from a blocking op must first complete that op
         # (re-attempt it, or — if a waker delivered the result directly —

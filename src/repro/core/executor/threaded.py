@@ -62,6 +62,7 @@ from ..ops import (
 from ..program import Program
 from .base import Executor, RunSummary
 from .registry import register_executor
+from .sequential import SequentialExecutor
 
 
 class _Aborted(Exception):
@@ -105,10 +106,17 @@ class ThreadedExecutor(Executor):
         faults=None,
         metrics_interval_s: Optional[float] = None,
         metrics_sink=None,
+        superblocks: Any = "auto",
     ):
         self.poll_interval = poll_interval
         self.deadlock_grace = deadlock_grace
         self.obs = obs
+        #: Superblock mode (DESIGN.md §15): eligible cold clusters run on
+        #: one thread each via an embedded sequential cluster driver with
+        #: shared-clock shadow cells; every other context keeps its own
+        #: thread.  Scheduling-independent results are identical either
+        #: way (the determinism invariant).
+        self.superblocks = superblocks
         self.deadline_s = deadline_s
         self.faults = faults
         self.metrics_interval_s = metrics_interval_s
@@ -166,12 +174,26 @@ class ThreadedExecutor(Executor):
         for ctx in program.contexts:
             self._install_advance_hook(ctx)
 
+        cluster_groups = self._plan_superblocks(program)
+        clustered = {
+            id(ctx) for contexts, _ in cluster_groups for ctx in contexts
+        }
         threads = [
             threading.Thread(
                 target=self._drive, args=(ctx,), name=f"dam-{ctx.name}", daemon=True
             )
             for ctx in program.contexts
+            if id(ctx) not in clustered
         ]
+        threads.extend(
+            threading.Thread(
+                target=self._drive_cluster,
+                args=(contexts, channels),
+                name=f"dam-cluster-{contexts[0].name}",
+                daemon=True,
+            )
+            for contexts, channels in cluster_groups
+        )
         for thread in threads:
             thread.start()
 
@@ -281,6 +303,71 @@ class ThreadedExecutor(Executor):
                     _sync.cond.notify_all()
 
         ctx.time.on_advance = notify
+
+    # ------------------------------------------------------------------
+    # Superblocks (DESIGN.md §15): shared-clock twins of the sequential
+    # cluster driver.  Each eligible cold cluster runs on ONE thread via
+    # an embedded SequentialExecutor whose superblock turns run against
+    # shadow cells and publish one clock leap per turn through the
+    # parent-installed advance hooks — preserving the SVA lower-bound
+    # contract for every non-member observer.
+
+    def _plan_superblocks(
+        self, program: Program
+    ) -> list[tuple[list[Context], list[Any]]]:
+        """Resolve which cold clusters get a single cluster-driver thread.
+
+        Declines whenever per-op observability or fault injection needs
+        the per-context thread structure (tracing buffers and fault
+        triggers are wired to ``_drive``).
+        """
+        from .partition import plan_clusters
+        from .superblock import normalize_mode, select_clusters
+
+        mode = normalize_mode(self.superblocks)
+        if mode == "off" or self.obs is not None or self._fault_map:
+            return []
+        clusters = plan_clusters(
+            program, {id(ctx): 0 for ctx in program.contexts}
+        )
+        specs = select_clusters(program, clusters, mode)
+        return [
+            (
+                [program.contexts[slot] for slot in spec.contexts],
+                [program.channels[slot] for slot in spec.channels],
+            )
+            for spec in specs
+        ]
+
+    def _drive_cluster(
+        self, contexts: list[Context], channels: list[Any]
+    ) -> None:
+        """Thread body: drive one cold cluster to completion through an
+        embedded sequential engine (superblocks included)."""
+        driver = _ClusterDriver(self)
+        try:
+            driver.execute(Program(contexts, channels))
+        except _Aborted:
+            return
+        except BaseException as failure:  # noqa: BLE001 - reported faithfully
+            self._errors.append(
+                failure
+                if isinstance(failure, DamError)
+                else SimulationError(contexts[0].name, failure)
+            )
+            self._abort.set()
+        finally:
+            states = getattr(driver, "_states", None) or {}
+            for ctx in contexts:
+                # Parent-side wind-down per member: close channels under
+                # their conditions (waking any foreign parked threads)
+                # and decrement the unfinished count — mirroring the tail
+                # of ``_drive``.  The embedded driver already stamped
+                # finish times for members that completed.
+                self._finish(ctx)
+                state = states.get(id(ctx))
+                if state is not None:
+                    self._ctx_ops[ctx.name] = state.ops
 
     def _drive(self, ctx: Context) -> None:
         """Thread body: interpret one context's generator to completion."""
@@ -624,3 +711,94 @@ class ThreadedExecutor(Executor):
             else:
                 stall_start = None
                 last_progress = progress
+
+
+class _ClusterDriver(SequentialExecutor):
+    """One cold cluster on one thread, embedded in a threaded run.
+
+    A shared-clock twin of the sequential superblock driver: member
+    clocks carry the parent's advance hooks, so superblock turns run
+    against scratch shadow cells and publish a single vectorized leap
+    per turn — a monotone lower bound, exactly the SVA contract foreign
+    ``ViewTime``/``WaitUntil`` observers rely on.  Bounded slices keep
+    the parent's abort flag and progress counter live, and idling polls
+    foreign clocks (the one external dependency a cold cluster can
+    have) instead of declaring deadlock — the parent watchdog owns that
+    verdict.
+    """
+
+    name = "threaded-cluster"
+
+    def __init__(self, parent: ThreadedExecutor):
+        super().__init__(superblocks=parent.superblocks)
+        self._parent = parent
+        self._always_bounded = True
+        # WaitUntil targets seen so far (possibly foreign contexts), so
+        # idling can drain their waiters by object, not just by id.
+        self._wu_targets: dict[int, Context] = {}
+
+    def _run_slice(self, state, remaining) -> None:
+        parent = self._parent
+        if parent._abort.is_set():
+            raise _Aborted
+        before = self.ops_executed
+        super()._run_slice(state, remaining)
+        delta = self.ops_executed - before
+        if delta:
+            parent._progress += delta
+            parent._ops_executed += delta
+
+    def _h_wait_until(self, state, op):
+        self._wu_targets[id(op.context)] = op.context
+        return super()._h_wait_until(state, op)
+
+    def _idle(self) -> bool:
+        parent = self._parent
+        if parent._abort.is_set():
+            raise _Aborted
+        blocked = [
+            st for st in self._states.values() if st.status == 1  # _BLOCKED
+        ]
+        if not blocked:
+            return False  # every member ran to completion
+        # A foreign clock may have passed a member's WaitUntil threshold.
+        if self._any_time_waiters:
+            for target in list(self._wu_targets.values()):
+                self._drain_time_waiters(target)
+            if self.policy:
+                return True
+        # Genuinely idle: park the whole cluster for one poll interval,
+        # with each member's site registered so the stall report and the
+        # watchdog's stasis detector see the real blocking structure.
+        sites: dict[str, tuple] = {}
+        for st in blocked:
+            op = st.retry_op
+            channel = None
+            if op is not None:
+                port = getattr(op, "sender", None) or getattr(
+                    op, "receiver", None
+                )
+                if port is not None:
+                    channel = port.channel
+            sites[st.context.name] = (st.blocked_detail, channel, None)
+        with parent._blocked_lock:
+            parent._blocked_count += len(sites)
+            for name, site in sites.items():
+                parent._blocked_details[name] = site[0]
+                parent._blocked_sites[name] = site
+        try:
+            _wallclock.sleep(parent.poll_interval)
+        finally:
+            with parent._blocked_lock:
+                parent._blocked_count -= len(sites)
+                for name in sites:
+                    parent._blocked_details.pop(name, None)
+                    parent._blocked_sites.pop(name, None)
+        if parent._abort.is_set():
+            # Keep the park sites for the deadlock report.
+            with parent._blocked_lock:
+                for name, site in sites.items():
+                    parent._blocked_details[name] = site[0]
+                    parent._blocked_sites[name] = site
+            raise _Aborted
+        return True

@@ -33,6 +33,18 @@ def _load(path: str) -> dict[str, Any]:
 
 def _profile_or_die(path: str, epochs: int | None = None) -> dict[str, Any]:
     document = _load(path)
+    if "traceEvents" in document and not (
+        (document.get("otherData") or {}).get("channels")
+    ):
+        # Older exports (and third-party Chrome traces) carry no embedded
+        # channel metadata; producer/unblocker pairing then falls back to
+        # timestamp bisection, which is approximate for latency channels.
+        print(
+            f"warning: {path} has no embedded channel metadata "
+            "(otherData.channels); critical-path attribution falls back "
+            "to timestamp bisection and may be approximate",
+            file=sys.stderr,
+        )
     if epochs is not None and "traceEvents" in document:
         from .profile import events_from_chrome_trace, profile_trace
 

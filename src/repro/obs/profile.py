@@ -681,4 +681,8 @@ def describe_diff(diff: Mapping[str, Any]) -> str:
             f"{flag}{row['metric']}: {row['base']:g} -> {row['other']:g} "
             f"({ratio_text})"
         )
+    regressions = diff.get("regressions") or []
+    if regressions:
+        names = ", ".join(row["metric"] for row in regressions)
+        lines.append(f"regressed section(s): {names}")
     return "\n".join(lines)

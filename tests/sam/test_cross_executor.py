@@ -330,6 +330,36 @@ class TestWorkStealing:
         assert summary.steals >= 1, "skewed partition did not force a steal"
         assert _signature(kernel, summary) == reference
 
+    def test_placement_feedback_eliminates_resteals(self):
+        """RunSummary.placement credits stolen clusters to their adopter;
+        replanning with pins_from_placement reproduces the observed
+        locality, so the second run steals nothing — with identical
+        simulated results both times."""
+        from repro.core import RunConfig, pins_from_placement
+
+        reference_kernel = _build_parallel_mha_kernel()
+        reference = _signature(reference_kernel, reference_kernel.run())
+
+        kernel = _build_parallel_mha_kernel()
+        pins = _skewed_pins(kernel.program)
+        summary = kernel.run(
+            executor="process", config=RunConfig(workers=2, pins=pins)
+        )
+        assert summary.steals >= 1
+        assert summary.placement is not None
+        assert set(summary.placement) == {
+            ctx.name for ctx in kernel.program.contexts
+        }
+
+        replay = _build_parallel_mha_kernel()
+        replay_pins = pins_from_placement(replay.program, summary.placement)
+        summary2 = replay.run(
+            executor="process",
+            config=RunConfig(workers=2, pins=replay_pins),
+        )
+        assert summary2.steals == 0, "observed placement was not honored"
+        assert _signature(replay, summary2) == reference
+
     def test_steal_disabled_keeps_planned_placement(self):
         from repro.core import RunConfig
 
@@ -344,3 +374,69 @@ class TestWorkStealing:
         )
         assert summary.steals == 0
         assert _signature(kernel, summary) == reference
+
+
+# ----------------------------------------------------------------------
+# Superblock compilation (DESIGN.md §15): the same kernels with cold
+# clusters compiled to straight-line drivers must remain bit-identical
+# to the un-superblocked reference on every runtime.
+# ----------------------------------------------------------------------
+
+
+class TestSuperblockModes:
+    @pytest.mark.parametrize("kernel_name", sorted(_KERNELS))
+    def test_results_identical_across_executors_and_modes(self, kernel_name):
+        from repro.core import RunConfig
+
+        build = _KERNELS[kernel_name]
+        reference_kernel = build()
+        reference = _signature(
+            reference_kernel,
+            reference_kernel.run(config=RunConfig(superblocks="off")),
+        )
+        legs = [
+            ("sequential", {}),
+            ("threaded", {}),
+            ("process", {"workers": 2}),
+            ("free-threaded", {"workers": 2}),
+        ]
+        for executor, kwargs in legs:
+            for mode in ("off", "on"):
+                kernel = build()
+                summary = kernel.run(
+                    executor=executor,
+                    config=RunConfig(superblocks=mode, **kwargs),
+                )
+                assert _signature(kernel, summary) == reference, (
+                    f"{kernel_name} on {executor} with superblocks={mode} "
+                    "diverged from the un-superblocked reference"
+                )
+
+    def test_trace_and_profile_identical_across_modes(self):
+        """Traced runs retreat to the generic dispatch path (tracing
+        disables the fast loop the superblock turns run on), so the
+        merged event stream and the derived profile must be identical
+        whatever superblock mode was requested."""
+        from repro.core import RunConfig
+        from repro.obs import Observability
+
+        def run(executor, mode):
+            kernel = _KERNELS["spmspm"]()
+            obs = Observability()
+            summary = kernel.run(
+                executor=executor,
+                config=RunConfig(obs=obs, superblocks=mode),
+            )
+            events = [
+                (e.context, e.kind, e.channel, e.time, e.seq)
+                for e in obs.trace.events
+            ]
+            return _signature(kernel, summary), events, summary.profile
+
+        reference = run("sequential", "off")
+        for executor in ("sequential", "threaded"):
+            for mode in ("on", "auto"):
+                outcome = run(executor, mode)
+                assert outcome == reference, (
+                    f"{executor} superblocks={mode}: trace/profile diverged"
+                )
