@@ -1,0 +1,149 @@
+"""Serve smoke: a live server under concurrent mixed-graph load.
+
+Starts a real :class:`SimServer`, fires 8 concurrent requests across two
+graphs and three tenants, and asserts the service contract end to end:
+
+* every served summary and result tensor is **bit-identical** to a
+  direct in-process ``Program.run`` of the same spec;
+* the repeated shapes hit the plan cache, visible on ``/metrics``;
+* ``/metrics`` serves the full registry + subsystem snapshots as JSON;
+* after shutdown, no worker processes and no ``/dev/shm`` segments leak
+  (the chaos suite's post-condition, applied to the serve path).
+
+Run:  PYTHONPATH=../src python serve_smoke.py
+"""
+
+import glob
+import json
+import multiprocessing
+import sys
+import threading
+
+from repro.sam import CsfTensor
+from repro.sam.spec import ProgramSpec
+from repro.sam.tensor import random_dense
+from repro.serve import ServeClient, ServeConfig, start_in_thread
+
+
+def _spmspm_spec(seed):
+    b = CsfTensor.from_dense(random_dense(6, 6, density=0.3, seed=seed), "cc")
+    ct = CsfTensor.from_dense(
+        random_dense(6, 6, density=0.3, seed=seed + 1), "cc"
+    )
+    return ProgramSpec.from_graph_inputs(
+        "spmspm", {"b": b, "c_transposed": ct}, params={"depth": 4}
+    )
+
+
+def _mmadd_spec(seed):
+    b = CsfTensor.from_dense(random_dense(6, 6, density=0.5, seed=seed), "cc")
+    c = CsfTensor.from_dense(
+        random_dense(6, 6, density=0.5, seed=seed + 1), "cc"
+    )
+    return ProgramSpec.from_graph_inputs(
+        "mmadd", {"b": b, "c": c}, params={"depth": 3}
+    )
+
+
+def _shm_segments():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def main() -> int:
+    shm_before = _shm_segments()
+
+    # Two graphs x two seeds, each requested twice = 8 requests with
+    # guaranteed shape repeats for the plan cache.
+    specs = []
+    for seed in (23, 33):
+        specs.append(_spmspm_spec(seed))
+        specs.append(_mmadd_spec(seed + 50))
+    specs = specs * 2
+    tenants = ["alice", "bob", "ci"] * 3
+
+    expected = []
+    for spec in specs:
+        built, summary = spec.run()
+        expected.append(
+            (summary.elapsed_cycles, built.result_dense().tobytes())
+        )
+
+    handle = start_in_thread(ServeConfig(max_concurrent=2, queue_limit=8))
+    failures: list[str] = []
+    try:
+        client = ServeClient(handle.address)
+        results: dict = {}
+        barrier = threading.Barrier(len(specs))
+
+        def submit(index):
+            barrier.wait()
+            results[index] = client.submit(
+                specs[index], tenant=tenants[index], request_id=f"smoke-{index}"
+            )
+
+        threads = [
+            threading.Thread(target=submit, args=(i,))
+            for i in range(len(specs))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+
+        if len(results) != len(specs):
+            failures.append(
+                f"{len(specs) - len(results)} of {len(specs)} requests "
+                "never completed"
+            )
+        for index, result in sorted(results.items()):
+            cycles, payload = expected[index]
+            if result.summary.elapsed_cycles != cycles:
+                failures.append(
+                    f"request {index}: served {result.summary.elapsed_cycles} "
+                    f"cycles, local run gave {cycles}"
+                )
+            if result.result_dense().tobytes() != payload:
+                failures.append(f"request {index}: result tensor diverged")
+
+        metrics = client.metrics()
+        json.dumps(metrics)
+        counters = metrics["metrics"]["counters"]
+        # Identical payloads coalesce onto one execution, so at most 4
+        # distinct runs happen: one miss then one hit per graph shape.
+        hits = metrics["plan_cache"]["hits"]
+        if hits < 2:
+            failures.append(
+                f"expected >=2 plan-cache hits from repeated shapes, got {hits}"
+            )
+        if "plan_cache_hits" not in counters:
+            failures.append("/metrics registry is missing plan_cache_hits")
+        ok = sum(
+            v for k, v in counters.items() if k.startswith("runs_ok")
+        )
+        if ok != len(specs):
+            failures.append(f"runs_ok={ok}, expected {len(specs)}")
+        print(
+            f"served {len(results)} requests: "
+            f"plan_cache hits={hits} misses={metrics['plan_cache']['misses']}, "
+            f"tenants={sorted(metrics['tenants'])}"
+        )
+    finally:
+        handle.stop()
+
+    stray = multiprocessing.active_children()
+    if stray:
+        failures.append(f"leaked child processes: {stray}")
+    leaked = _shm_segments() - shm_before
+    if leaked:
+        failures.append(f"leaked shm segments: {sorted(leaked)}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve smoke OK: 8 concurrent requests bit-identical, no leaks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

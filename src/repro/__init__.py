@@ -71,6 +71,9 @@ from .obs import (
 # Executor machinery resolves lazily through repro.core (PEP 562): a bare
 # ``import repro`` must not import any runtime, so ``Program.run`` can
 # report an unknown executor — or pick one — without the import cost.
+# The spec/serve layer resolves lazily too (it pulls in numpy and the
+# kernel-graph modules).  ``repro.api`` documents which of these names
+# are the stable public surface.
 _LAZY_EXECUTOR = {
     "Executor",
     "RunSummary",
@@ -92,18 +95,36 @@ _LAZY_EXECUTOR = {
 }
 
 
-def __getattr__(name: str):
-    if name in _LAZY_EXECUTOR:
-        from importlib import import_module
+_LAZY_SPEC = {
+    "ProgramSpec",
+    "SpecError",
+    "build_spec",
+    "encode_tensor",
+    "decode_tensor",
+    "register_graph",
+    "registered_graphs",
+}
 
+_LAZY_MODULES = {"api", "serve", "sam"}
+
+
+def __getattr__(name: str):
+    from importlib import import_module
+
+    if name in _LAZY_EXECUTOR:
         value = getattr(import_module(".core", __name__), name)
-        globals()[name] = value
-        return value
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    elif name in _LAZY_SPEC:
+        value = getattr(import_module(".sam.spec", __name__), name)
+    elif name in _LAZY_MODULES:
+        value = import_module(f".{name}", __name__)
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    globals()[name] = value
+    return value
 
 
 def __dir__():
-    return sorted(set(globals()) | _LAZY_EXECUTOR)
+    return sorted(set(globals()) | _LAZY_EXECUTOR | _LAZY_SPEC | _LAZY_MODULES)
 
 
 __version__ = "1.0.0"
@@ -135,6 +156,7 @@ __all__ = [
     "ProcessExecutor",
     "Program",
     "ProgramBuilder",
+    "ProgramSpec",
     "Receiver",
     "RunConfig",
     "RunSummary",
@@ -143,6 +165,7 @@ __all__ = [
     "SequentialExecutor",
     "ShuttleStall",
     "SimulationError",
+    "SpecError",
     "StallReport",
     "ThreadedExecutor",
     "WorkerCrashError",
@@ -156,9 +179,16 @@ __all__ = [
     "TraceEvent",
     "ViewTime",
     "WaitUntil",
+    "api",
+    "build_spec",
     "channel_weights",
+    "decode_tensor",
+    "encode_tensor",
     "make_channel",
     "peak_simulated_occupancy",
     "plan_partition",
+    "register_graph",
+    "registered_graphs",
+    "serve",
     "__version__",
 ]

@@ -33,8 +33,8 @@ class SeqAgnosticAttention:
         self.params = params
         self.summary = None
 
-    def run(self, executor: str = "sequential", **kwargs):
-        self.summary = self.program.run(executor=executor, **kwargs)
+    def run(self, executor: str = "sequential", *, config=None, obs=None):
+        self.summary = self.program.run(executor=executor, config=config, obs=obs)
         return self.summary
 
     def result(self) -> np.ndarray:

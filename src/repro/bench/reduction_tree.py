@@ -132,11 +132,13 @@ def run_dam_forest(
 ) -> dict[str, Any]:
     """Run the forest; pass an :class:`repro.obs.Observability` as ``obs``
     to trace the run and receive the metrics snapshot in the result."""
+    from ..core import RunConfig
+
     program, roots = build_dam_forest(config, capacity=capacity)
-    kwargs: dict[str, Any] = {"policy": policy} if executor == "sequential" else {}
-    if obs is not None:
-        kwargs["obs"] = obs
-    summary = program.run(executor=executor, **kwargs)
+    run_config = RunConfig(
+        policy=policy if executor == "sequential" else None, obs=obs
+    )
+    summary = program.run(executor=executor, config=run_config)
     return {
         "summary": summary,
         "root_sums": [list(root.values) for root in roots],

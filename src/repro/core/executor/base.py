@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
@@ -59,8 +60,57 @@ class RunSummary:
     #: ``RunConfig(fallback=...)`` was set and at least one attempt failed
     #: with a host error (worker crash / deadline).  Each record carries
     #: ``executor``, ``outcome`` ("ok", "WorkerCrashError", ...), an
-    #: ``error`` string for failures, and ``seconds`` of wall clock spent.
+    #: ``error`` string for failures, ``seconds`` of wall clock spent,
+    #: and the run's ``tag`` (below) so multiplexed logs stay attributable.
     attempts: list[dict[str, Any]] = field(default_factory=list)
+    #: Opaque caller identity from ``RunConfig(tag=...)``, stamped by
+    #: :meth:`Program.run` — never produced or interpreted by executors.
+    #: The serve layer tags ``"tenant/request_id"`` so a summary pulled
+    #: out of a log or metrics stream names the request that ran it.
+    tag: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Wire format (the serve layer streams summaries as JSON).
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-clean dict of the whole summary.
+
+        ``metrics`` / ``profile`` / ``attempts`` are already plain dicts
+        by construction (:meth:`MetricsRegistry.snapshot`,
+        :meth:`ProfileReport.to_dict`); times are ints/floats.  The
+        result round-trips exactly through :meth:`from_dict` — Python
+        floats survive JSON bit-for-bit (shortest-round-trip repr).
+        """
+        return {
+            "elapsed_cycles": self.elapsed_cycles,
+            "real_seconds": self.real_seconds,
+            "context_times": dict(self.context_times),
+            "executor": self.executor,
+            "policy": self.policy,
+            "context_switches": self.context_switches,
+            "wakeups": self.wakeups,
+            "preemptions": self.preemptions,
+            "ops_executed": self.ops_executed,
+            "steals": self.steals,
+            "placement": dict(self.placement) if self.placement else None,
+            "metrics": self.metrics,
+            "profile": self.profile,
+            "attempts": list(self.attempts),
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunSummary":
+        """Rebuild a summary from its :meth:`to_dict` form (client side)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown RunSummary field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(known))}"
+            )
+        return cls(**data)
 
     def __str__(self) -> str:
         return (

@@ -29,9 +29,18 @@ from typing import Any, Optional
 _CONFIG_FIELDS: Optional[frozenset] = None
 
 #: Fields interpreted by :meth:`Program.run` itself, never forwarded to an
-#: executor constructor (the retry ladder re-runs whole executions; no
-#: executor could honour it from the inside).
-_RUN_ONLY_FIELDS = frozenset({"fallback"})
+#: executor constructor (the retry ladder re-runs whole executions and the
+#: tag stamps the finished summary; no executor could honour either from
+#: the inside).
+_RUN_ONLY_FIELDS = frozenset({"fallback", "tag"})
+
+#: Fields whose values are process-local by construction and therefore can
+#: never travel on the wire: live objects (``obs``, ``policy`` instances,
+#: ``faults`` plans, ``metrics_sink`` callables) and ``pins``, which is
+#: keyed by ``id(context)`` — rebuild it on the receiving side from a
+#: name-keyed placement via
+#: :func:`~repro.core.executor.partition.pins_from_placement`.
+_LOCAL_ONLY_FIELDS = frozenset({"obs", "pins", "faults", "metrics_sink"})
 
 
 def _config_fields() -> frozenset:
@@ -41,6 +50,31 @@ def _config_fields() -> frozenset:
             f.name for f in dataclasses.fields(RunConfig) if f.name != "extra"
         )
     return _CONFIG_FIELDS
+
+
+def _check_wire(name: str, value: Any) -> Any:
+    """Verify ``value`` is built purely of JSON-representable pieces.
+
+    Containers are copied (so mutating the wire dict never aliases the
+    frozen config); anything else — class instances, callables, numpy
+    scalars — raises :class:`TypeError` naming the field.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_check_wire(name, item) for item in value]
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"RunConfig.{name} has non-string dict key {key!r}; "
+                    "wire dicts must be string-keyed"
+                )
+        return {key: _check_wire(name, item) for key, item in value.items()}
+    raise TypeError(
+        f"RunConfig.{name}={value!r} is not wire-serializable; only "
+        "JSON-representable values travel (see RunConfig.to_dict)"
+    )
 
 
 @dataclass(frozen=True)
@@ -106,6 +140,13 @@ class RunConfig:
         considers worth it (``plan_clusters`` + observed channel
         weights).  Results, traces, and profiles are bit-identical in
         every mode.
+    tag:
+        An opaque identity stamped onto the finished
+        :class:`~repro.core.executor.base.RunSummary` (``summary.tag``)
+        and every retry-ladder attempt record.  Never interpreted by any
+        executor — it exists so a caller multiplexing many runs (the
+        ``repro.serve`` front end tags ``tenant/request_id``) can
+        attribute summaries in logs and metrics.
     extra:
         Anything else, passed through to the executor constructor
         verbatim (and validated there).
@@ -131,6 +172,7 @@ class RunConfig:
     metrics_interval_s: Optional[float] = None
     metrics_sink: Any = None
     superblocks: Any = None
+    tag: Optional[str] = None
     extra: dict = field(default_factory=dict)
 
     def replace(self, **changes: Any) -> "RunConfig":
@@ -143,6 +185,64 @@ class RunConfig:
             merged.update(unknown)
             config = dataclasses.replace(config, extra=merged)
         return config
+
+    # ------------------------------------------------------------------
+    # Wire format.
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The wire form of this config: a JSON-clean dict of every field
+        the caller set (``None`` fields — "use the executor default" —
+        are omitted, so the dict round-trips through :meth:`from_dict`
+        to an equal config).
+
+        Only declarative values travel: a config holding a live object
+        (an ``obs`` bundle, a policy *instance*, a fault plan, a metrics
+        sink callable) or the ``id()``-keyed ``pins`` mapping raises
+        :class:`TypeError` naming the offending field — those are
+        process-local by construction and must be re-attached on the
+        receiving side.
+        """
+        out: dict[str, Any] = {}
+        for name in sorted(_config_fields()):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if name in _LOCAL_ONLY_FIELDS:
+                raise TypeError(
+                    f"RunConfig.{name} is process-local and cannot be "
+                    f"serialized (got {value!r}); attach it after "
+                    "from_dict() on the receiving side"
+                )
+            out[name] = _check_wire(name, value)
+        if self.extra:
+            out["extra"] = _check_wire("extra", dict(self.extra))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunConfig":
+        """Rebuild a config from its :meth:`to_dict` wire form, strictly.
+
+        Unknown keys raise :class:`ValueError` listing every valid field
+        (mirroring the executor registry's unknown-name error) — a typo
+        in a serialized request must fail loudly at the API boundary,
+        not vanish into ``extra`` to explode inside some constructor.
+        Experimental knobs belong under an explicit ``"extra"`` dict.
+        """
+        if not isinstance(data, dict):
+            raise TypeError(f"RunConfig.from_dict wants a dict, got {data!r}")
+        valid = _config_fields() | {"extra"}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown RunConfig field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
+        extra = data.get("extra", {})
+        if not isinstance(extra, dict):
+            raise TypeError(f"RunConfig 'extra' must be a dict, got {extra!r}")
+        fields = {k: v for k, v in data.items() if k != "extra"}
+        return cls(**fields, extra=dict(extra))
 
     def kwargs_for(self, executor_cls: type) -> dict[str, Any]:
         """The constructor kwargs of this config that ``executor_cls``

@@ -55,7 +55,6 @@ class Program:
         *,
         config=None,
         obs=None,
-        **kwargs,
     ) -> "RunSummary":
         """Execute the program and return a :class:`RunSummary`.
 
@@ -70,49 +69,45 @@ class Program:
         a :class:`ValueError` listing the registered names without
         importing any executor module.
 
-        ``config`` is a :class:`~repro.core.executor.config.RunConfig`;
-        each executor receives exactly the fields its constructor
-        declares, which is what makes one config portable across
-        runtimes (and across ``"auto"``'s choices).  ``obs`` attaches an
-        :class:`~repro.obs.Observability` and is merged into the config.
-
-        Passing other executor keyword arguments directly (the pre-
-        registry form, e.g. ``run(executor="process", workers=4)``)
-        still works but emits a :class:`DeprecationWarning`; use
-        ``config=RunConfig(workers=4)`` instead.
+        ``config`` is a :class:`~repro.core.executor.config.RunConfig` —
+        the one way to configure a run; each executor receives exactly
+        the fields its constructor declares, which is what makes one
+        config portable across runtimes (and across ``"auto"``'s
+        choices).  ``obs`` attaches an :class:`~repro.obs.Observability`
+        and is merged into the config.  ``RunConfig(tag=...)`` is
+        stamped onto the returned summary (``summary.tag``) — and onto
+        the partial summary of a :class:`RunTimeoutError` — so callers
+        multiplexing many runs can attribute each one.
         """
+        from .errors import RunTimeoutError
         from .executor.base import Executor
         from .executor.config import RunConfig
         from .executor.registry import resolve_executor
 
         if isinstance(executor, Executor):
-            if config is not None or kwargs:
+            if config is not None:
                 raise TypeError(
                     "run() got an executor instance and configuration; "
                     "construct the executor with its settings instead"
                 )
             return executor.execute(self)
 
-        if kwargs:
-            import warnings
-
-            warnings.warn(
-                "passing executor keyword arguments to Program.run() is "
-                "deprecated; pass config=RunConfig(...) instead "
-                f"(got {sorted(kwargs)})",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         if config is None:
             config = RunConfig()
-        if kwargs:
-            config = config.replace(**kwargs)
         if obs is not None:
             config = config.replace(obs=obs)
 
         executor_cls = resolve_executor(executor)
         if not config.fallback:
-            return executor_cls.from_config(config).execute(self)
+            try:
+                summary = executor_cls.from_config(config).execute(self)
+            except RunTimeoutError as exc:
+                if exc.summary is not None and config.tag is not None:
+                    exc.summary.tag = config.tag
+                raise
+            if config.tag is not None:
+                summary.tag = config.tag
+            return summary
         return self._run_with_fallback(executor_cls, config)
 
     # ------------------------------------------------------------------
@@ -177,10 +172,14 @@ class Program:
                         ),
                         "error": repr(exc),
                         "seconds": perf_counter() - started,
+                        "tag": config.tag,
                     }
                 )
                 if position == len(specs) - 1:
                     exc.attempts = attempts
+                    summary = getattr(exc, "summary", None)
+                    if summary is not None and config.tag is not None:
+                        summary.tag = config.tag
                     raise
                 self.reset()
                 if obs is not None:
@@ -197,9 +196,12 @@ class Program:
                         "outcome": "ok",
                         "error": None,
                         "seconds": perf_counter() - started,
+                        "tag": config.tag,
                     }
                 )
                 summary.attempts = attempts
+                if config.tag is not None:
+                    summary.tag = config.tag
                 return summary
         raise AssertionError("unreachable: ladder neither returned nor raised")
 

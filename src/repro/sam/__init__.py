@@ -15,6 +15,9 @@ Structure:
   value arrays, ALUs, reduce, sparse accumulator, crd-drop/hold, writers
 * :mod:`repro.sam.graphs` — TACO-style kernel graphs: MMAdd, SpMSpM,
   SDDMM, and sparse multi-head attention
+* :mod:`repro.sam.spec` — :class:`ProgramSpec`, the wire-serializable
+  description of a kernel run (graph name + tensor payloads + config),
+  and the graph registry behind it
 * :mod:`repro.sam.reference` — dense numpy reference kernels used by tests
 
 The sibling package :mod:`repro.samlegacy` re-implements the same
@@ -22,13 +25,29 @@ primitives in the original simulator's cycle-by-cycle style; it is the
 baseline of the Fig. 7 code-size and Fig. 8 performance comparisons.
 """
 
+from .spec import (
+    ProgramSpec,
+    SpecError,
+    build_spec,
+    decode_tensor,
+    encode_tensor,
+    register_graph,
+    registered_graphs,
+)
 from .tensor import CsfTensor, random_sparse_matrix, random_sparse_tensor
 from .token import DONE, Done, Stop, clean_stream, stream_values
 
 __all__ = [
     "CsfTensor",
+    "ProgramSpec",
+    "SpecError",
+    "build_spec",
+    "decode_tensor",
+    "encode_tensor",
     "random_sparse_matrix",
     "random_sparse_tensor",
+    "register_graph",
+    "registered_graphs",
     "DONE",
     "Done",
     "Stop",

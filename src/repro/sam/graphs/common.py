@@ -97,10 +97,8 @@ class KernelGraph:
         self._assemble = assemble
         self.summary = None
 
-    def run(self, executor="sequential", *, config=None, obs=None, **kwargs):
-        self.summary = self.program.run(
-            executor=executor, config=config, obs=obs, **kwargs
-        )
+    def run(self, executor="sequential", *, config=None, obs=None):
+        self.summary = self.program.run(executor=executor, config=config, obs=obs)
         return self.summary
 
     def result_dense(self) -> np.ndarray:

@@ -261,10 +261,8 @@ class ParallelMha:
         self.program = Program(contexts, channels)
         self.summary = None
 
-    def run(self, executor="sequential", *, config=None, obs=None, **kwargs):
-        self.summary = self.program.run(
-            executor=executor, config=config, obs=obs, **kwargs
-        )
+    def run(self, executor="sequential", *, config=None, obs=None):
+        self.summary = self.program.run(executor=executor, config=config, obs=obs)
         return self.summary
 
     def result_dense(self) -> np.ndarray:

@@ -1,0 +1,397 @@
+"""Declarative program specs: SAM graphs constructible from data.
+
+Every entry point so far hands :meth:`Program.run` *live objects* — a
+graph wired out of generator contexts, numpy tensors, an ``obs`` bundle.
+That is the right interface in-process and a dead end on a wire: you
+cannot ship a generator to a run server.  :class:`ProgramSpec` is the
+serializable half of the API redesign — a named graph from a registry
+over :mod:`repro.sam.graphs`, tensor *payloads* (encoded CSF levels /
+dense arrays), builder parameters, and a
+:meth:`~repro.core.executor.config.RunConfig.to_dict` wire config::
+
+    spec = ProgramSpec.from_graph_inputs(
+        "spmspm", {"b": b, "c_transposed": ct}, params={"depth": 4},
+    )
+    wire = spec.to_json()                  # ship it
+    kernel = ProgramSpec.from_json(wire).build()
+    summary = kernel.run(config=spec.run_config())
+
+Graphs resolve through a registry exactly like executors do
+(:mod:`repro.core.executor.registry`): builtin kernels are declared as
+lazy ``name -> (module, attr, tensor-args)`` entries, third-party graphs
+join via the :func:`register_graph` decorator, and an unknown name raises
+a :class:`SpecError` listing every registered graph.
+
+Two keys summarize a spec at different granularities:
+
+* :meth:`ProgramSpec.shape_key` hashes only what determines the *built
+  graph's topology* — graph name, params, and each tensor's structural
+  signature (kind/formats/shape, never values).  Two requests with the
+  same shape key build isomorphic programs, which is what lets the serve
+  layer's plan cache replay partition placements across requests.
+* :meth:`ProgramSpec.payload_key` hashes the entire spec including
+  tensor values and config — the identity used to coalesce identical
+  in-flight requests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..core.errors import DamError
+from ..core.executor.config import RunConfig
+from .tensor import CompressedLevel, CsfTensor, DenseLevel, Level
+
+
+class SpecError(DamError):
+    """A program spec is invalid: unknown graph, malformed tensor
+    payload, or unknown field.  Raised at the API boundary, before any
+    simulation starts (the declarative sibling of
+    :class:`~repro.core.errors.GraphConstructionError`)."""
+
+
+# ----------------------------------------------------------------------
+# Tensor payload encoding.
+# ----------------------------------------------------------------------
+
+
+def encode_tensor(value: Any) -> dict[str, Any]:
+    """Encode a :class:`CsfTensor` or dense ndarray as a JSON-clean dict.
+
+    Values travel as Python floats, which round-trip through JSON
+    bit-for-bit (shortest-round-trip repr), so a decoded tensor is
+    numerically identical to the original — the property the serve
+    equivalence tests pin down.
+    """
+    if isinstance(value, CsfTensor):
+        levels: list[dict[str, Any]] = []
+        for level in value.levels:
+            if isinstance(level, DenseLevel):
+                levels.append({"kind": "dense", "size": level.size})
+            elif isinstance(level, CompressedLevel):
+                levels.append(
+                    {"kind": "compressed", "seg": list(level.seg), "crd": list(level.crd)}
+                )
+            else:  # pragma: no cover - no other level kinds exist
+                raise SpecError(f"cannot encode level {level!r}")
+        return {
+            "kind": "csf",
+            "shape": list(value.shape),
+            "levels": levels,
+            "vals": [float(v) for v in value.vals],
+        }
+    array = np.asarray(value)
+    if array.dtype.kind not in "fiub":
+        raise SpecError(f"cannot encode array of dtype {array.dtype}")
+    return {
+        "kind": "dense",
+        "shape": list(array.shape),
+        "vals": [float(v) for v in np.asarray(array, dtype=np.float64).ravel()],
+    }
+
+
+def decode_tensor(data: dict[str, Any]) -> Any:
+    """Rebuild the tensor encoded by :func:`encode_tensor`."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise SpecError(f"malformed tensor payload: {data!r}")
+    kind = data["kind"]
+    if kind == "dense":
+        shape = tuple(data["shape"])
+        return np.asarray(data["vals"], dtype=np.float64).reshape(shape)
+    if kind == "csf":
+        levels: list[Level] = []
+        for entry in data["levels"]:
+            if entry.get("kind") == "dense":
+                levels.append(DenseLevel(entry["size"]))
+            elif entry.get("kind") == "compressed":
+                levels.append(CompressedLevel(entry["seg"], entry["crd"]))
+            else:
+                raise SpecError(f"malformed level payload: {entry!r}")
+        vals = np.asarray(data["vals"], dtype=np.float64)
+        return CsfTensor(levels, vals, tuple(data["shape"]))
+    raise SpecError(f"unknown tensor payload kind {kind!r} (want 'csf' or 'dense')")
+
+
+def _tensor_signature(data: dict[str, Any]) -> dict[str, Any]:
+    """The structural (value-free) part of an encoded tensor payload."""
+    if data.get("kind") == "csf":
+        formats = "".join(
+            "d" if level.get("kind") == "dense" else "c"
+            for level in data.get("levels", ())
+        )
+        return {"kind": "csf", "formats": formats, "shape": list(data.get("shape", ()))}
+    return {"kind": data.get("kind"), "shape": list(data.get("shape", ()))}
+
+
+# ----------------------------------------------------------------------
+# Graph registry.
+# ----------------------------------------------------------------------
+
+#: Builtin kernel graphs, resolvable without importing their modules —
+#: ``name -> (module, attr, required tensor argument names)``.
+_BUILTIN_GRAPHS: dict[str, tuple[str, str, tuple[str, ...]]] = {
+    "spmspm": (".graphs.spmspm", "build_spmspm", ("b", "c_transposed")),
+    "spmspm_gustavson": (
+        ".graphs.spmspm_gustavson",
+        "build_spmspm_gustavson",
+        ("b", "c"),
+    ),
+    "mmadd": (".graphs.mmadd", "build_mmadd", ("b", "c")),
+    "sddmm": (".graphs.sddmm", "build_sddmm", ("s", "a_dense", "b_dense")),
+    "mha": (".graphs.mha", "build_sparse_mha", ("mask", "q", "k", "v")),
+}
+
+#: Graphs registered at runtime via :func:`register_graph`.
+_GRAPH_REGISTRY: dict[str, tuple[Callable[..., Any], tuple[str, ...]]] = {}
+
+
+def register_graph(
+    name: str, *, tensors: tuple[str, ...] = ()
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: make ``builder`` constructible from a :class:`ProgramSpec`.
+
+    ``tensors`` names the builder arguments that receive decoded tensor
+    payloads (everything else comes from ``spec.params``).  The builder
+    may return a :class:`~repro.sam.graphs.common.KernelGraph` or a bare
+    :class:`~repro.core.program.Program`.
+    """
+
+    def decorate(builder: Callable[..., Any]) -> Callable[..., Any]:
+        _GRAPH_REGISTRY[name] = (builder, tuple(tensors))
+        return builder
+
+    return decorate
+
+
+def registered_graphs() -> list[str]:
+    """Every spec-constructible graph name (no imports performed)."""
+    return sorted(set(_BUILTIN_GRAPHS) | set(_GRAPH_REGISTRY))
+
+
+def _graph_entry(name: str) -> tuple[Callable[..., Any], tuple[str, ...]]:
+    entry = _GRAPH_REGISTRY.get(name)
+    if entry is not None:
+        return entry
+    builtin = _BUILTIN_GRAPHS.get(name)
+    if builtin is not None:
+        module_name, attr, tensors = builtin
+        module = import_module(module_name, __package__)
+        return getattr(module, attr), tensors
+    raise SpecError(
+        f"unknown graph {name!r}; registered graphs: "
+        f"{', '.join(registered_graphs())}"
+    )
+
+
+# ----------------------------------------------------------------------
+# The spec itself.
+# ----------------------------------------------------------------------
+
+_SPEC_FIELDS = ("graph", "tensors", "params", "config", "executor")
+
+
+@dataclass
+class ProgramSpec:
+    """A wire-serializable description of one simulation run.
+
+    ``graph`` names a registered kernel builder; ``tensors`` maps the
+    builder's tensor arguments to encoded payloads
+    (:func:`encode_tensor`); ``params`` carries the remaining builder
+    keyword arguments (``depth``, ``latency``, a ``timing`` dict, ...);
+    ``config`` is a strict :meth:`RunConfig.to_dict` wire dict and
+    ``executor`` the registered executor name the run should use.
+    """
+
+    graph: str
+    tensors: dict[str, Any] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+    config: dict[str, Any] = field(default_factory=dict)
+    executor: str = "sequential"
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_graph_inputs(
+        cls,
+        graph: str,
+        tensors: dict[str, Any],
+        params: Optional[dict[str, Any]] = None,
+        config: Any = None,
+        executor: str = "sequential",
+    ) -> "ProgramSpec":
+        """Build a spec from live inputs, encoding tensors and config.
+
+        ``config`` may be a :class:`RunConfig` (serialized via
+        :meth:`~RunConfig.to_dict`) or an already-wire dict.  ``params``
+        values of type :class:`~repro.sam.primitives.TimingParams` are
+        encoded as dicts.
+        """
+        from .primitives import TimingParams
+
+        encoded_params: dict[str, Any] = {}
+        for key, value in (params or {}).items():
+            if isinstance(value, TimingParams):
+                value = {"ii": value.ii, "stop_bubble": value.stop_bubble}
+            encoded_params[key] = value
+        if config is None:
+            config_dict: dict[str, Any] = {}
+        elif isinstance(config, RunConfig):
+            config_dict = config.to_dict()
+        else:
+            config_dict = RunConfig.from_dict(config).to_dict()
+        return cls(
+            graph=graph,
+            tensors={name: encode_tensor(t) for name, t in tensors.items()},
+            params=encoded_params,
+            config=config_dict,
+            executor=executor,
+        )
+
+    # -- wire format ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "graph": self.graph,
+            "tensors": self.tensors,
+            "params": self.params,
+            "config": self.config,
+            "executor": self.executor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProgramSpec":
+        """Strict inverse of :meth:`to_dict`: unknown keys raise a
+        :class:`SpecError` listing the valid fields."""
+        if not isinstance(data, dict):
+            raise SpecError(f"ProgramSpec.from_dict wants a dict, got {data!r}")
+        unknown = sorted(set(data) - set(_SPEC_FIELDS))
+        if unknown:
+            raise SpecError(
+                f"unknown ProgramSpec field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(_SPEC_FIELDS)}"
+            )
+        if "graph" not in data:
+            raise SpecError("ProgramSpec requires a 'graph' name")
+        # Validate the config eagerly so a bad request fails at the API
+        # boundary with the strict RunConfig error, not mid-run.
+        config = data.get("config", {})
+        RunConfig.from_dict(config)
+        return cls(
+            graph=data["graph"],
+            tensors=dict(data.get("tensors", {})),
+            params=dict(data.get("params", {})),
+            config=dict(config),
+            executor=data.get("executor", "sequential"),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProgramSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- identity -------------------------------------------------------
+
+    def shape_key(self) -> str:
+        """Hash of everything that determines the built graph's topology.
+
+        Tensor *values* are excluded: two requests multiplying different
+        matrices of the same shape/format share a shape key, and with it
+        a cached partition plan.
+        """
+        basis = {
+            "graph": self.graph,
+            "params": self.params,
+            "tensors": {
+                name: _tensor_signature(payload)
+                for name, payload in sorted(self.tensors.items())
+            },
+        }
+        return _digest(basis)
+
+    def payload_key(self) -> str:
+        """Hash of the entire spec — the request-coalescing identity."""
+        return _digest(self.to_dict())
+
+    # -- build and run --------------------------------------------------
+
+    def run_config(self) -> RunConfig:
+        """The spec's :class:`RunConfig`, strictly validated."""
+        return RunConfig.from_dict(self.config)
+
+    def build(self) -> Any:
+        """Construct the graph: decode tensors, resolve the builder, call
+        it.  Returns whatever the builder returns (a
+        :class:`~repro.sam.graphs.common.KernelGraph` for the builtin
+        kernels, possibly a bare :class:`Program` for registered ones).
+        """
+        builder, tensor_args = _graph_entry(self.graph)
+        missing = [name for name in tensor_args if name not in self.tensors]
+        if missing:
+            raise SpecError(
+                f"graph {self.graph!r} is missing tensor argument(s) "
+                f"{', '.join(map(repr, missing))}; required: "
+                f"{', '.join(tensor_args)}"
+            )
+        stray = sorted(set(self.tensors) - set(tensor_args))
+        if stray:
+            raise SpecError(
+                f"graph {self.graph!r} got unexpected tensor(s) "
+                f"{', '.join(map(repr, stray))}; required: "
+                f"{', '.join(tensor_args)}"
+            )
+        kwargs = {
+            name: decode_tensor(self.tensors[name]) for name in tensor_args
+        }
+        for key, value in self.params.items():
+            if key == "timing" and isinstance(value, dict):
+                from .primitives import TimingParams
+
+                value = TimingParams(**value)
+            kwargs[key] = value
+        try:
+            return builder(**kwargs)
+        except TypeError as exc:
+            raise SpecError(
+                f"graph {self.graph!r} rejected its parameters: {exc}"
+            ) from exc
+
+    def run(self, *, obs: Any = None, config: Optional[RunConfig] = None):
+        """Convenience: build and execute, returning ``(built, summary)``.
+
+        ``config`` overrides the spec's own wire config when given (the
+        serve layer passes a tenant-clamped, plan-augmented config).
+        """
+        built = self.build()
+        effective = config if config is not None else self.run_config()
+        program = built.program if hasattr(built, "program") else built
+        summary = program.run(self.executor, config=effective, obs=obs)
+        if hasattr(built, "summary"):
+            built.summary = summary
+        return built, summary
+
+
+def build_spec(spec: "ProgramSpec | dict[str, Any] | str") -> Any:
+    """Resolve ``spec`` (a :class:`ProgramSpec`, wire dict, or JSON
+    string) and build its graph."""
+    if isinstance(spec, str):
+        spec = ProgramSpec.from_json(spec)
+    elif isinstance(spec, dict):
+        spec = ProgramSpec.from_dict(spec)
+    return spec.build()
+
+
+def _digest(value: Any) -> str:
+    canonical = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

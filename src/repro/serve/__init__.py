@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: a multi-tenant run server for DAM programs.
+
+``repro.serve`` turns the simulator into a long-lived service: clients
+submit declarative :class:`~repro.sam.spec.ProgramSpec` payloads (named
+graph + tensors + serialized :class:`~repro.core.executor.config.RunConfig`)
+over a tiny stdlib HTTP protocol; the server admits them against
+per-tenant budgets, coalesces identical in-flight requests, replays
+cached partition plans for repeated graph shapes, and streams back the
+:class:`~repro.core.executor.base.RunSummary` (plus live metric samples)
+as ndjson.  Results are bit-identical to a direct in-process
+``Program.run`` — the service adds scheduling, never semantics.
+
+Quick start::
+
+    from repro.serve import ServeConfig, start_in_thread, ServeClient
+
+    handle = start_in_thread(ServeConfig(max_concurrent=2))
+    client = ServeClient(handle.address)
+    result = client.submit(spec, tenant="alice")
+    handle.stop()
+
+Or from a shell: ``python -m repro.serve --port 8750``.
+"""
+
+from .client import RunResult, ServeClient
+from .errors import AdmissionError, ServeError, TenantBudgetError
+from .plancache import CachedPlan, PlanCache
+from .pool import RunPool
+from .server import ServeConfig, ServerHandle, SimServer, serve, start_in_thread
+from .tenants import TenantLedger, TenantPolicy
+
+__all__ = [
+    "AdmissionError",
+    "CachedPlan",
+    "PlanCache",
+    "RunPool",
+    "RunResult",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerHandle",
+    "SimServer",
+    "TenantBudgetError",
+    "TenantLedger",
+    "TenantPolicy",
+    "serve",
+    "start_in_thread",
+]

@@ -1,0 +1,81 @@
+"""``python -m repro.serve`` — run a simulation server from the shell.
+
+Tenant policies come from a JSON file mapping tenant name to policy
+fields, e.g.::
+
+    {"ci": {"max_in_flight": 4, "deadline_s": 30.0},
+     "interactive": {"max_in_flight": 1, "run_budget_s": 600.0}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from .server import ServeConfig, serve
+from .tenants import TenantPolicy
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve DAM simulations over HTTP (ndjson streaming).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8750, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=2,
+        help="concurrent run slots (each may fork simulation workers)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="requests allowed to wait before the server sheds with 429",
+    )
+    parser.add_argument(
+        "--plan-cache-entries", type=int, default=128, help="LRU size"
+    )
+    parser.add_argument(
+        "--tenants",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="JSON file of per-tenant policies (see module docstring)",
+    )
+    parser.add_argument(
+        "--executor",
+        type=str,
+        default=None,
+        help="force every request onto this executor (default: the spec's)",
+    )
+    args = parser.parse_args(argv)
+
+    tenants = {}
+    if args.tenants:
+        with open(args.tenants, encoding="utf-8") as handle:
+            raw = json.load(handle)
+        tenants = {
+            name: TenantPolicy.from_dict(name, fields)
+            for name, fields in raw.items()
+        }
+
+    serve(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.max_concurrent,
+            queue_limit=args.queue_limit,
+            plan_cache_entries=args.plan_cache_entries,
+            tenants=tenants,
+            executor_override=args.executor,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,222 @@
+"""A thin synchronous client for :mod:`repro.serve`.
+
+Stdlib sockets only: the client speaks the same minimal HTTP/1.1 the
+server does, reads the ndjson event stream to EOF, and rebuilds the
+server's typed errors (:class:`AdmissionError`, :class:`TenantBudgetError`,
+:class:`SpecError`) so remote failures are caught exactly like local
+ones::
+
+    client = ServeClient(("127.0.0.1", 8750))
+    result = client.submit(spec, tenant="ci")
+    result.summary.elapsed_cycles   # a real RunSummary
+    result.result_dense()           # np.ndarray, bit-identical to local
+
+The wire format is JSON end to end and Python floats round-trip through
+JSON exactly, so ``result.summary`` equals the summary a local
+``Program.run`` of the same spec would produce — the service boundary
+adds no numeric drift.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from ..core.executor.base import RunSummary
+from ..sam.spec import ProgramSpec, decode_tensor
+from .errors import ServeError, error_from_wire
+
+
+@dataclass
+class RunResult:
+    """One completed remote run."""
+
+    summary: RunSummary
+    request_id: str
+    #: ``"hit"`` when the server replayed a cached plan, else ``"miss"``.
+    plan: str = "miss"
+    #: True when this request was coalesced onto an identical in-flight run.
+    coalesced: bool = False
+    #: Encoded result tensor (``None`` when ``return_result=False``).
+    result: Optional[dict[str, Any]] = None
+    #: Live metric samples streamed during the run, in arrival order.
+    samples: list[dict[str, Any]] = field(default_factory=list)
+
+    def result_dense(self):
+        """The run's dense result as an ``np.ndarray``."""
+        if self.result is None:
+            raise ValueError("server did not return a result tensor")
+        tensor = decode_tensor(self.result)
+        return tensor if not hasattr(tensor, "to_dense") else tensor.to_dense()
+
+
+class ServeClient:
+    """Blocking client for one server address."""
+
+    def __init__(self, address: tuple[str, int], timeout: float = 120.0):
+        self.address = (address[0], int(address[1]))
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: ProgramSpec | dict[str, Any],
+        *,
+        tenant: str = "default",
+        request_id: Optional[str] = None,
+        stream_metrics_s: Optional[float] = None,
+        return_result: bool = True,
+        on_sample: Optional[Callable[[dict[str, Any]], None]] = None,
+    ) -> RunResult:
+        """Run ``spec`` remotely and return its :class:`RunResult`.
+
+        Raises the server's typed error (:class:`AdmissionError` on
+        shed, :class:`TenantBudgetError` on budget rejection,
+        :class:`SpecError` on a malformed spec) — the same types a local
+        caller would see.
+        """
+        samples: list[dict[str, Any]] = []
+        outcome: Optional[dict[str, Any]] = None
+        for event in self.submit_stream(
+            spec,
+            tenant=tenant,
+            request_id=request_id,
+            stream_metrics_s=stream_metrics_s,
+            return_result=return_result,
+        ):
+            kind = event.get("event")
+            if kind == "sample":
+                samples.append(event["sample"])
+                if on_sample is not None:
+                    on_sample(event["sample"])
+            elif kind == "error":
+                raise error_from_wire(event.get("error", {}))
+            elif kind == "summary":
+                outcome = event
+        if outcome is None:
+            raise ServeError("server closed the stream without a summary")
+        return RunResult(
+            summary=RunSummary.from_dict(outcome["summary"]),
+            request_id=str(outcome.get("request_id", "")),
+            plan=outcome.get("plan", "miss"),
+            coalesced=bool(outcome.get("coalesced", False)),
+            result=outcome.get("result"),
+            samples=samples,
+        )
+
+    def submit_stream(
+        self,
+        spec: ProgramSpec | dict[str, Any],
+        *,
+        tenant: str = "default",
+        request_id: Optional[str] = None,
+        stream_metrics_s: Optional[float] = None,
+        return_result: bool = True,
+    ) -> Iterator[dict[str, Any]]:
+        """Yield the raw ndjson events of one run as they arrive."""
+        wire = spec.to_dict() if isinstance(spec, ProgramSpec) else spec
+        envelope: dict[str, Any] = {
+            "spec": wire,
+            "tenant": tenant,
+            "return_result": return_result,
+        }
+        if request_id is not None:
+            envelope["request_id"] = request_id
+        if stream_metrics_s is not None:
+            envelope["stream_metrics_s"] = stream_metrics_s
+        status, body_iter = self._request("POST", "/run", envelope)
+        if status != 200:
+            payload = json.loads(b"".join(body_iter) or b"{}")
+            raise error_from_wire(payload.get("error", {}))
+        for line in _iter_lines(body_iter):
+            yield json.loads(line)
+
+    def metrics(self) -> dict[str, Any]:
+        """The server's ``/metrics`` payload."""
+        return self._get_json("/metrics")
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._get_json("/healthz").get("ok"))
+        except (OSError, ServeError, json.JSONDecodeError):
+            return False
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing.
+    # ------------------------------------------------------------------
+
+    def _get_json(self, path: str) -> dict[str, Any]:
+        status, body_iter = self._request("GET", path, None)
+        payload = json.loads(b"".join(body_iter) or b"{}")
+        if status != 200:
+            raise error_from_wire(payload.get("error", {"message": f"HTTP {status}"}))
+        return payload
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict[str, Any]]
+    ) -> tuple[int, Iterator[bytes]]:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        request = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.address[0]}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode() + body
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        try:
+            sock.sendall(request)
+            status, prefix = self._read_status(sock)
+        except BaseException:
+            sock.close()
+            raise
+        return status, _iter_body(sock, prefix)
+
+    @staticmethod
+    def _read_status(sock: socket.socket) -> tuple[int, bytes]:
+        """Consume the status line and headers; return the status code and
+        any body bytes already read past the header terminator."""
+        buffer = b""
+        while b"\r\n\r\n" not in buffer:
+            chunk = sock.recv(4096)
+            if not chunk:
+                raise ServeError("server closed connection before headers")
+            buffer += chunk
+        head, _, rest = buffer.partition(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        try:
+            status = int(status_line.split(" ", 2)[1])
+        except (IndexError, ValueError) as exc:
+            raise ServeError(f"malformed status line: {status_line!r}") from exc
+        return status, rest
+
+
+def _iter_body(sock: socket.socket, prefix: bytes = b"") -> Iterator[bytes]:
+    """Yield body bytes until EOF (the server always closes)."""
+    try:
+        if prefix:
+            yield prefix
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return
+            yield chunk
+    finally:
+        sock.close()
+
+
+def _iter_lines(chunks: Iterator[bytes]) -> Iterator[bytes]:
+    buffer = b""
+    for chunk in chunks:
+        buffer += chunk
+        while b"\n" in buffer:
+            line, _, buffer = buffer.partition(b"\n")
+            if line.strip():
+                yield line
+    if buffer.strip():
+        yield buffer

@@ -1,0 +1,104 @@
+"""Typed serve-layer errors, representable on the wire.
+
+Admission failures are *control decisions*, not crashes: the server sheds
+load with a typed :class:`AdmissionError` (HTTP 429) instead of queueing
+unboundedly, and the client rebuilds the same exception type from the
+wire form so callers can ``except TenantBudgetError`` on either side of
+the socket.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.errors import DamError
+from ..sam.spec import SpecError
+
+
+class ServeError(DamError):
+    """Base class for serve-layer failures."""
+
+    #: HTTP status the server maps this error family to.
+    http_status = 500
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": type(self).__name__, "message": str(self)}
+
+
+class AdmissionError(ServeError):
+    """The run queue is full: the request was shed, not queued.
+
+    ``depth`` is the number of requests already admitted (running plus
+    queued) and ``limit`` the admission ceiling
+    (``max_concurrent + queue_limit``).  Clients should back off and
+    retry; the server's state is untouched.
+    """
+
+    http_status = 429
+
+    def __init__(
+        self,
+        message: str = "run queue is full",
+        *,
+        depth: Optional[int] = None,
+        limit: Optional[int] = None,
+    ):
+        if depth is not None and limit is not None:
+            message = f"{message} ({depth}/{limit} requests in flight)"
+        super().__init__(message)
+        self.depth = depth
+        self.limit = limit
+
+    def to_wire(self) -> dict[str, Any]:
+        wire = super().to_wire()
+        wire.update(depth=self.depth, limit=self.limit)
+        return wire
+
+
+class TenantBudgetError(AdmissionError):
+    """A per-tenant budget rejected the request: too many in-flight runs
+    or the tenant's cumulative run-seconds budget is exhausted."""
+
+    def __init__(
+        self,
+        tenant: str,
+        reason: str,
+        *,
+        depth: Optional[int] = None,
+        limit: Optional[int] = None,
+    ):
+        super().__init__(
+            f"tenant {tenant!r} rejected: {reason}", depth=depth, limit=limit
+        )
+        self.tenant = tenant
+        self.reason = reason
+
+    def to_wire(self) -> dict[str, Any]:
+        wire = super().to_wire()
+        wire.update(tenant=self.tenant, reason=self.reason)
+        return wire
+
+
+def error_from_wire(wire: dict[str, Any]) -> Exception:
+    """Rebuild the typed exception a server shipped as JSON.
+
+    Unknown types degrade to a plain :class:`ServeError` carrying the
+    message — the client never crashes on a newer server's error type.
+    """
+    kind = wire.get("type")
+    message = wire.get("message", "server error")
+    if kind == "TenantBudgetError":
+        return TenantBudgetError(
+            wire.get("tenant", "<unknown>"),
+            wire.get("reason", message),
+            depth=wire.get("depth"),
+            limit=wire.get("limit"),
+        )
+    if kind == "AdmissionError":
+        error = AdmissionError(message)
+        error.depth = wire.get("depth")
+        error.limit = wire.get("limit")
+        return error
+    if kind == "SpecError":
+        return SpecError(message)
+    return ServeError(f"{kind}: {message}" if kind else message)

@@ -1,0 +1,76 @@
+"""The run pool: bounded execution slots with admission control.
+
+Each admitted request occupies one *slot* while it runs a full
+``spec.build() → Program.run()`` job.  Slots are worker threads — the
+job inside may itself be a :class:`ProcessExecutor` run that forks
+simulation workers, so the pool's ``max_concurrent`` bounds *runs*, not
+processes.  Beyond the running slots a short wait queue absorbs bursts;
+past that the pool **sheds**: :meth:`try_acquire` raises a typed
+:class:`~repro.serve.errors.AdmissionError` instead of queueing
+unboundedly.  Shedding is a feature — under sustained overload an
+unbounded queue converts every request into a timeout, while a bounded
+one keeps latency flat for the requests it does accept.
+
+Accounting (``_pending``) is only touched from the server's event loop,
+so it needs no lock; the thread pool below it is the only cross-thread
+boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from .errors import AdmissionError
+
+
+class RunPool:
+    """``max_concurrent`` run slots plus a ``queue_limit`` wait queue."""
+
+    def __init__(self, max_concurrent: int = 2, queue_limit: int = 8):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="repro-serve-run"
+        )
+        #: Requests admitted and not yet finished (running + queued).
+        self._pending = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.max_concurrent + self.queue_limit
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def try_acquire(self) -> None:
+        """Claim one admission slot or shed with :class:`AdmissionError`."""
+        if self._pending >= self.capacity:
+            raise AdmissionError(depth=self._pending, limit=self.capacity)
+        self._pending += 1
+
+    def release(self) -> None:
+        self._pending = max(0, self._pending - 1)
+
+    async def run(self, job: Callable[[], Any]) -> Any:
+        """Execute ``job`` on a pool thread; the caller must hold a slot
+        from :meth:`try_acquire` (released by the caller, not here)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._threads, job)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._threads.shutdown(wait=wait)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "pending": self._pending,
+            "max_concurrent": self.max_concurrent,
+            "queue_limit": self.queue_limit,
+            "capacity": self.capacity,
+        }

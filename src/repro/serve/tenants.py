@@ -1,0 +1,157 @@
+"""Per-tenant admission policies and budget accounting.
+
+A tenant is a named slice of the server's capacity: a cap on concurrent
+runs, a per-run wall-clock deadline ceiling, a default retry ladder, and
+optionally a cumulative run-seconds budget.  The ledger is the single
+authority on "may this request run now" — the server consults it before
+touching the pool, and charges wall-clock seconds back after each run.
+
+Policies *clamp* request configs rather than replacing them: a request
+asking for a 2 s deadline under a 10 s tenant ceiling keeps its 2 s; a
+request asking for 60 s is clamped down to 10.  The request's
+``fallback`` wins over the tenant default when set.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from ..core.executor.config import RunConfig
+from .errors import TenantBudgetError
+
+_POLICY_FIELDS = ("max_in_flight", "deadline_s", "fallback", "run_budget_s")
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission limits for one tenant.
+
+    ``max_in_flight`` bounds concurrent runs; ``deadline_s`` is a
+    per-run wall-clock ceiling (clamped onto every request's
+    ``RunConfig``); ``fallback`` is the default retry ladder applied
+    when a request sets none; ``run_budget_s`` is a cumulative
+    wall-clock budget — once spent, further requests are rejected with
+    :class:`TenantBudgetError` until the ledger is reset.
+    """
+
+    name: str = "default"
+    max_in_flight: int = 8
+    deadline_s: Optional[float] = None
+    fallback: Any = None
+    run_budget_s: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict[str, Any]) -> "TenantPolicy":
+        unknown = sorted(set(data) - set(_POLICY_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown TenantPolicy field(s) {', '.join(map(repr, unknown))} "
+                f"for tenant {name!r}; valid fields: {', '.join(_POLICY_FIELDS)}"
+            )
+        return cls(name=name, **data)
+
+    def clamp(self, config: RunConfig) -> RunConfig:
+        """The request config with this tenant's limits applied."""
+        changes: dict[str, Any] = {}
+        if self.deadline_s is not None:
+            if config.deadline_s is None or config.deadline_s > self.deadline_s:
+                changes["deadline_s"] = self.deadline_s
+        if self.fallback is not None and config.fallback is None:
+            changes["fallback"] = self.fallback
+        return config.replace(**changes) if changes else config
+
+
+@dataclass
+class _TenantState:
+    in_flight: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    spent_s: float = 0.0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class TenantLedger:
+    """Thread-safe admission and budget accounting across tenants.
+
+    Unknown tenants get a copy of the default policy — multi-tenancy is
+    opt-in hardening, not a registration ceremony.
+    """
+
+    def __init__(
+        self,
+        policies: Optional[dict[str, TenantPolicy]] = None,
+        default: Optional[TenantPolicy] = None,
+    ):
+        self._policies = dict(policies or {})
+        self._default = default or TenantPolicy()
+        self._states: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        known = self._policies.get(tenant)
+        if known is not None:
+            return known
+        return replace(self._default, name=tenant)
+
+    def _state(self, tenant: str) -> _TenantState:
+        with self._lock:
+            state = self._states.get(tenant)
+            if state is None:
+                state = self._states[tenant] = _TenantState()
+            return state
+
+    def admit(self, tenant: str) -> TenantPolicy:
+        """Admit one request for ``tenant`` or raise
+        :class:`TenantBudgetError`; every admit must be paired with a
+        :meth:`release`."""
+        policy = self.policy(tenant)
+        state = self._state(tenant)
+        with state.lock:
+            if state.in_flight >= policy.max_in_flight:
+                state.rejected += 1
+                raise TenantBudgetError(
+                    tenant,
+                    "too many runs in flight",
+                    depth=state.in_flight,
+                    limit=policy.max_in_flight,
+                )
+            if (
+                policy.run_budget_s is not None
+                and state.spent_s >= policy.run_budget_s
+            ):
+                state.rejected += 1
+                raise TenantBudgetError(
+                    tenant,
+                    f"run-seconds budget exhausted "
+                    f"({state.spent_s:.3f}s of {policy.run_budget_s}s spent)",
+                )
+            state.in_flight += 1
+            state.admitted += 1
+        return policy
+
+    def release(self, tenant: str, seconds: float = 0.0) -> None:
+        """Return an admitted slot, charging ``seconds`` of wall clock."""
+        state = self._state(tenant)
+        with state.lock:
+            state.in_flight = max(0, state.in_flight - 1)
+            state.spent_s += max(0.0, seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            items = list(self._states.items())
+        out: dict[str, Any] = {}
+        for tenant, state in items:
+            policy = self.policy(tenant)
+            with state.lock:
+                out[tenant] = {
+                    "in_flight": state.in_flight,
+                    "admitted": state.admitted,
+                    "rejected": state.rejected,
+                    "spent_s": state.spent_s,
+                    "max_in_flight": policy.max_in_flight,
+                    "deadline_s": policy.deadline_s,
+                    "run_budget_s": policy.run_budget_s,
+                }
+        return out

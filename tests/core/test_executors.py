@@ -14,6 +14,7 @@ from repro import (
     FairPolicy,
     IncrCycles,
     ProgramBuilder,
+    RunConfig,
     SequentialExecutor,
     SimulationError,
     ThreadedExecutor,
@@ -252,9 +253,11 @@ class TestDeadlock:
         s2, r2 = builder.bounded(1)
         builder.add(Hold(r1, s2))
         builder.add(Hold(r2, s1))
-        kwargs = {"deadlock_grace": 0.4} if executor == "threaded" else {}
+        config = (
+            RunConfig(deadlock_grace=0.4) if executor == "threaded" else None
+        )
         with pytest.raises(DeadlockError, match="dequeue on empty"):
-            builder.build().run(executor=executor, **kwargs)
+            builder.build().run(executor=executor, config=config)
 
     def test_undersized_channel_deadlocks(self, executor):
         """The paper's softmax/reduction deadlock pattern: the consumer only
@@ -293,11 +296,13 @@ class TestDeadlock:
             builder.add(TrailerFirstConsumer(r_d, r_t, n))
             return builder.build()
 
-        kwargs = {"deadlock_grace": 0.4} if executor == "threaded" else {}
+        config = (
+            RunConfig(deadlock_grace=0.4) if executor == "threaded" else None
+        )
         with pytest.raises(DeadlockError):
-            build(depth=4, n=100).run(executor=executor, **kwargs)
+            build(depth=4, n=100).run(executor=executor, config=config)
         # The correctly sized channel (depth >= N) completes.
-        build(depth=100, n=100).run(executor=executor, **kwargs)
+        build(depth=100, n=100).run(executor=executor, config=config)
 
 
 class TestSequentialSpecifics:

@@ -13,6 +13,7 @@ from repro import (
     Observability,
     ProcessExecutor,
     ProgramBuilder,
+    RunConfig,
     SimulationError,
     channel_weights,
     plan_partition,
@@ -309,12 +310,16 @@ class TestProcessEquivalence:
         reference = _fingerprint(reference_program, reference_program.run())
         for workers, pin in [(1, None), (2, (0, 0, 1)), (3, (0, 1, 2))]:
             program = _pipeline_program(pin=pin)
-            summary = program.run(executor="process", workers=workers)
+            summary = program.run(
+                executor="process", config=RunConfig(workers=workers)
+            )
             assert _fingerprint(program, summary) == reference
 
     def test_pipe_shuttle_matches_shm(self):
         program = _pipeline_program(pin=(0, 1, 1))
-        summary = program.run(executor="process", workers=2, shuttle="pipe")
+        summary = program.run(
+            executor="process", config=RunConfig(workers=2, shuttle="pipe")
+        )
         reference_program = _pipeline_program()
         reference = _fingerprint(reference_program, reference_program.run())
         assert _fingerprint(program, summary) == reference
@@ -323,8 +328,11 @@ class TestProcessEquivalence:
         # A 96-byte data ring forces constant backlog-and-flush cycles.
         program = _pipeline_program(pin=(0, 1, 2))
         summary = program.run(
-            executor="process", workers=3, ring_capacity=96,
-            resp_ring_capacity=96,
+            executor="process",
+            config=RunConfig(
+                workers=3,
+                extra={"ring_capacity": 96, "resp_ring_capacity": 96},
+            ),
         )
         reference_program = _pipeline_program()
         reference = _fingerprint(reference_program, reference_program.run())
@@ -337,7 +345,9 @@ class TestProcessEquivalence:
 
         obs_proc = Observability(capture_payloads=True)
         program = _pipeline_program(pin=(0, 0, 1))
-        program.run(executor="process", workers=2, obs=obs_proc)
+        program.run(
+            executor="process", config=RunConfig(workers=2), obs=obs_proc
+        )
 
         def flatten(trace):
             # Worker-scoped pseudo-buffers ("<worker-N>" migrate events)
@@ -357,7 +367,7 @@ class TestProcessEquivalence:
         _pipeline_program().run(obs=obs_seq)
         obs_proc = Observability()
         _pipeline_program(pin=(0, 1, 1)).run(
-            executor="process", workers=2, obs=obs_proc
+            executor="process", config=RunConfig(workers=2), obs=obs_proc
         )
         seq_events = obs_seq.chrome_trace()["traceEvents"]
         proc_events = obs_proc.chrome_trace()["traceEvents"]
@@ -385,7 +395,9 @@ class TestProcessEquivalence:
     def test_metrics_folded_with_process_gauges(self):
         obs = Observability()
         program = _pipeline_program(pin=(0, 1, 2))
-        summary = program.run(executor="process", workers=3, obs=obs)
+        summary = program.run(
+            executor="process", config=RunConfig(workers=3), obs=obs
+        )
         counters = summary.metrics["counters"]
         assert counters["channel_enqueues{channel=ab}"] == 60
         assert counters["channel_peeks{channel=ab}"] == 60
@@ -423,7 +435,7 @@ class TestProcessEquivalence:
         builder.pin(fast_ctx, 0)
         builder.pin(watch_ctx, 1)
         program = builder.build()
-        program.run(executor="process", workers=2)
+        program.run(executor="process", config=RunConfig(workers=2))
         watcher_parent = next(c for c in program.contexts if c.name == "watch")
         assert watcher_parent.reached >= 50
 
@@ -459,7 +471,10 @@ class TestProcessFailures:
         # by the worker itself (no grace period needed — keep it long to
         # prove the watchdog was not involved).
         with pytest.raises(DeadlockError) as excinfo:
-            program.run(executor="process", workers=1, deadlock_grace=30.0)
+            program.run(
+                executor="process",
+                config=RunConfig(workers=1, deadlock_grace=30.0),
+            )
         message = str(excinfo.value)
         assert "A" in message and "B" in message
 
@@ -472,7 +487,9 @@ class TestProcessFailures:
         obs = Observability()
         with pytest.raises(DeadlockError):
             program.run(
-                executor="process", workers=2, deadlock_grace=0.3, obs=obs
+                executor="process",
+                config=RunConfig(workers=2, deadlock_grace=0.3),
+                obs=obs,
             )
         assert obs.stall_report is not None
         assert {stall.context for stall in obs.stall_report.stalls} == {"A", "B"}
@@ -495,7 +512,10 @@ class TestProcessFailures:
         builder.pin(c, 1)
         program = builder.build()
         with pytest.raises(SimulationError) as excinfo:
-            program.run(executor="process", workers=2, deadlock_grace=0.5)
+            program.run(
+                executor="process",
+                config=RunConfig(workers=2, deadlock_grace=0.5),
+            )
         assert excinfo.value.context_name == "bad"
         assert isinstance(excinfo.value.original, ValueError)
 
@@ -518,7 +538,9 @@ class TestProcessFailures:
         builder.add(FunctionContext(drain, handles=[rcv], name="dr"))
         program = builder.build()
         with pytest.raises(SimulationError):
-            program.run(executor="process", workers=1, max_ops=500)
+            program.run(
+                executor="process", config=RunConfig(workers=1, max_ops=500)
+            )
 
 
 # ----------------------------------------------------------------------

@@ -219,13 +219,14 @@ class TestRunConfig:
 
 
 class TestProgramRunApi:
-    def test_legacy_kwargs_warn_and_work(self):
-        program, collector = pipeline()
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
+    def test_legacy_kwargs_rejected(self):
+        """The PR-4 bare-kwargs shim is gone: ``RunConfig`` is the one
+        configuration path, so stray keywords fail loudly at the call."""
+        program, _ = pipeline()
+        with pytest.raises(TypeError, match="fast_path"):
             program.run(executor="sequential", fast_path=False)
-        assert collector.values == [i + 1 for i in range(10)]
 
-    def test_config_form_does_not_warn(self):
+    def test_config_form_runs(self):
         import warnings
 
         program, collector = pipeline()
@@ -246,7 +247,7 @@ class TestProgramRunApi:
         program, _ = pipeline()
         with pytest.raises(TypeError, match="executor instance"):
             program.run(executor=SequentialExecutor(), config=RunConfig())
-        with pytest.raises(TypeError, match="executor instance"):
+        with pytest.raises(TypeError, match="workers"):
             program.run(executor=SequentialExecutor(), workers=2)
 
     def test_auto_runs_and_reports_real_executor(self):

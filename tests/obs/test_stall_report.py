@@ -8,6 +8,7 @@ from repro import (
     IncrCycles,
     Observability,
     ProgramBuilder,
+    RunConfig,
 )
 
 
@@ -34,9 +35,9 @@ def build_cycle():
     return builder.build()
 
 
-EXECUTOR_KWARGS = {
-    "sequential": {},
-    "threaded": {"poll_interval": 0.01, "deadlock_grace": 0.2},
+EXECUTOR_CONFIGS = {
+    "sequential": RunConfig(),
+    "threaded": RunConfig(poll_interval=0.01, deadlock_grace=0.2),
 }
 
 
@@ -45,7 +46,9 @@ class TestStallReport:
     def run_deadlocked(self, executor):
         obs = Observability(trace=False)
         with pytest.raises(DeadlockError) as excinfo:
-            build_cycle().run(executor=executor, obs=obs, **EXECUTOR_KWARGS[executor])
+            build_cycle().run(
+                executor=executor, config=EXECUTOR_CONFIGS[executor], obs=obs
+            )
         return obs, excinfo.value
 
     def test_error_names_blocking_channels(self, executor):

@@ -200,16 +200,13 @@ class TestExecutorMatrix:
                 "the sequential reference"
             )
 
-    def test_legacy_kwargs_form_still_works(self):
-        """Pre-registry call style (bare kwargs) must keep working, with
-        a DeprecationWarning pointing at ``config=RunConfig(...)``."""
-        reference_kernel = _KERNELS["spmspm"]()
-        reference = _signature(reference_kernel, reference_kernel.run())
-
+    def test_legacy_kwargs_form_rejected(self):
+        """The pre-registry bare-kwargs call style was removed with the
+        serve API redesign: ``config=RunConfig(...)`` is the one
+        constructor path, and stray keywords raise immediately."""
         kernel = _KERNELS["spmspm"]()
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            summary = kernel.run(executor="process", workers=2)
-        assert _signature(kernel, summary) == reference
+        with pytest.raises(TypeError, match="workers"):
+            kernel.run(executor="process", workers=2)
 
     @pytest.mark.parametrize(
         "executor,kwargs",
