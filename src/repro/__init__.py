@@ -32,6 +32,7 @@ from .core import (
     Channel,
     ChannelClosed,
     ChannelElement,
+    CheckpointError,
     Context,
     ContextFault,
     DamError,
@@ -43,6 +44,7 @@ from .core import (
     FunctionContext,
     GraphConstructionError,
     IncrCycles,
+    NotCheckpointable,
     Peek,
     Program,
     ProgramBuilder,
@@ -75,6 +77,10 @@ from .obs import (
 # kernel-graph modules).  ``repro.api`` documents which of these names
 # are the stable public surface.
 _LAZY_EXECUTOR = {
+    "Checkpoint",
+    "CheckpointTimer",
+    "latest_checkpoint",
+    "load_checkpoint",
     "Executor",
     "RunSummary",
     "RunConfig",
@@ -135,6 +141,9 @@ __all__ = [
     "Channel",
     "ChannelClosed",
     "ChannelElement",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointTimer",
     "Context",
     "ContextFault",
     "DamError",
@@ -150,6 +159,7 @@ __all__ = [
     "GraphConstructionError",
     "IncrCycles",
     "MetricsRegistry",
+    "NotCheckpointable",
     "Observability",
     "PartitionPlan",
     "Peek",
@@ -184,6 +194,8 @@ __all__ = [
     "channel_weights",
     "decode_tensor",
     "encode_tensor",
+    "latest_checkpoint",
+    "load_checkpoint",
     "make_channel",
     "peak_simulated_occupancy",
     "plan_partition",

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.channel import Receiver, Sender
-from ..core.context import Context
+from ..core.context import Context, UNSET
 from ..core.errors import ChannelClosed
 from ..core.ops import FusedOps, IncrCycles
 from ..core.time import Time
@@ -18,6 +18,8 @@ class Broadcast(Context):
     branch backpressures the broadcast (and therefore every branch), just
     as a physical fan-out buffer would.
     """
+
+    checkpoint_attrs = ("_value",)
 
     def __init__(
         self,
@@ -32,6 +34,7 @@ class Broadcast(Context):
         self.inp = inp
         self.outs = list(outs)
         self.ii = ii
+        self._value = UNSET
         self.register(inp, *outs)
 
     def run(self):
@@ -41,10 +44,11 @@ class Broadcast(Context):
         # initiation interval, pull the next input.
         step = FusedOps(*enqs, IncrCycles(self.ii), deq)
         try:
-            value = yield deq
+            if self._value is UNSET:
+                self._value = yield deq
             while True:
                 for enq in enqs:
-                    enq.data = value
-                value = (yield step)[-1]
+                    enq.data = self._value
+                self._value = (yield step)[-1]
         except ChannelClosed:
             return

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..core.channel import Receiver, Sender
-from ..core.context import Context
+from ..core.context import Context, UNSET
 from ..core.errors import ChannelClosed
 from ..core.ops import IncrCycles
 from ..core.time import Time
@@ -28,6 +28,8 @@ from ..core.time import Time
 
 class UnaryFunction(Context):
     """Apply ``fn`` elementwise: one input per ``ii`` cycles."""
+
+    checkpoint_attrs = ("_phase", "_value")
 
     def __init__(
         self,
@@ -44,17 +46,26 @@ class UnaryFunction(Context):
         self.fn = fn
         self.ii = ii
         self.extra_latency = extra_latency
+        self._phase = 0  # 0=dequeue, 1=extra latency, 2=emit, 3=ii tick
+        self._value = UNSET
         self.register(inp, out)
 
     def run(self):
         fn = self.fn
         try:
             while True:
-                value = yield self.inp.dequeue()
-                if self.extra_latency:
+                if self._phase == 0:
+                    self._value = yield self.inp.dequeue()
+                    self._phase = 1 if self.extra_latency else 2
+                if self._phase == 1:
                     yield IncrCycles(self.extra_latency)
-                yield self.out.enqueue(fn(value))
-                yield IncrCycles(self.ii)
+                    self._phase = 2
+                if self._phase == 2:
+                    yield self.out.enqueue(fn(self._value))
+                    self._phase = 3
+                if self._phase == 3:
+                    yield IncrCycles(self.ii)
+                    self._phase = 0
         except ChannelClosed:
             return
 
@@ -66,6 +77,8 @@ class BinaryFunction(Context):
     when a full input set is available — the CSPT equivalent of the
     event-alignment code an event-driven model needs (Listing 2).
     """
+
+    checkpoint_attrs = ("_phase", "_a", "_b")
 
     def __init__(
         self,
@@ -84,19 +97,37 @@ class BinaryFunction(Context):
         self.fn = fn
         self.ii = ii
         self.extra_latency = extra_latency
+        # 0=peek left, 1=peek right, 2=dequeue left, 3=dequeue right,
+        # 4=extra latency, 5=emit, 6=ii tick.
+        self._phase = 0
+        self._a = UNSET
+        self._b = UNSET
         self.register(left, right, out)
 
     def run(self):
         fn = self.fn
         try:
             while True:
-                a = yield self.left.peek()
-                b = yield self.right.peek()
-                yield self.left.dequeue()
-                yield self.right.dequeue()
-                if self.extra_latency:
+                if self._phase == 0:
+                    self._a = yield self.left.peek()
+                    self._phase = 1
+                if self._phase == 1:
+                    self._b = yield self.right.peek()
+                    self._phase = 2
+                if self._phase == 2:
+                    yield self.left.dequeue()
+                    self._phase = 3
+                if self._phase == 3:
+                    yield self.right.dequeue()
+                    self._phase = 4 if self.extra_latency else 5
+                if self._phase == 4:
                     yield IncrCycles(self.extra_latency)
-                yield self.out.enqueue(fn(a, b))
-                yield IncrCycles(self.ii)
+                    self._phase = 5
+                if self._phase == 5:
+                    yield self.out.enqueue(fn(self._a, self._b))
+                    self._phase = 6
+                if self._phase == 6:
+                    yield IncrCycles(self.ii)
+                    self._phase = 0
         except ChannelClosed:
             return

@@ -10,7 +10,7 @@ lives on the output channel's visibility stamp.
 from __future__ import annotations
 
 from ..core.channel import Receiver, Sender
-from ..core.context import Context
+from ..core.context import Context, UNSET
 from ..core.errors import ChannelClosed
 from ..core.ops import IncrCycles
 from ..core.time import Time
@@ -26,6 +26,8 @@ class Merge(Context):
     output).
     """
 
+    checkpoint_attrs = ("_a_open", "_b_open", "_phase", "_x", "_y", "_winner")
+
     def __init__(
         self,
         a: Receiver,
@@ -39,35 +41,59 @@ class Merge(Context):
         self.b = b
         self.out = out
         self.ii = ii
+        self._a_open = True
+        self._b_open = True
+        # Micro-phase within one firing: 0=peek a, 1=peek b, 2=dequeue the
+        # winner, 3=charge the ii, 4=emit.  The drain loop reuses 0/3/4.
+        self._phase = 0
+        self._x = UNSET
+        self._y = UNSET
+        self._winner = UNSET
         self.register(a, b, out)
 
     def run(self):
-        a_open = True
-        b_open = True
-        while a_open and b_open:
-            try:
-                x = yield self.a.peek()
-            except ChannelClosed:
-                a_open = False
-                break
-            try:
-                y = yield self.b.peek()
-            except ChannelClosed:
-                b_open = False
-                break
-            if x <= y:
-                yield self.a.dequeue()
-                winner = x
-            else:
-                yield self.b.dequeue()
-                winner = y
-            yield IncrCycles(self.ii)
-            yield self.out.enqueue(winner)
-        survivor = self.a if a_open else self.b
+        while self._a_open and self._b_open:
+            if self._phase == 0:
+                try:
+                    self._x = yield self.a.peek()
+                except ChannelClosed:
+                    self._a_open = False
+                    self._phase = 0
+                    break
+                self._phase = 1
+            if self._phase == 1:
+                try:
+                    self._y = yield self.b.peek()
+                except ChannelClosed:
+                    self._b_open = False
+                    self._phase = 0
+                    break
+                self._phase = 2
+            if self._phase == 2:
+                if self._x <= self._y:
+                    yield self.a.dequeue()
+                    self._winner = self._x
+                else:
+                    yield self.b.dequeue()
+                    self._winner = self._y
+                self._phase = 3
+            if self._phase == 3:
+                yield IncrCycles(self.ii)
+                self._phase = 4
+            if self._phase == 4:
+                yield self.out.enqueue(self._winner)
+                self._phase = 0
+        survivor = self.a if self._a_open else self.b
         try:
             while True:
-                value = yield survivor.dequeue()
-                yield IncrCycles(self.ii)
-                yield self.out.enqueue(value)
+                if self._phase == 0:
+                    self._winner = yield survivor.dequeue()
+                    self._phase = 3
+                if self._phase == 3:
+                    yield IncrCycles(self.ii)
+                    self._phase = 4
+                if self._phase == 4:
+                    yield self.out.enqueue(self._winner)
+                    self._phase = 0
         except ChannelClosed:
             return

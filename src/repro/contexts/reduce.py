@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..core.channel import Receiver, Sender
-from ..core.context import Context
+from ..core.context import Context, UNSET
 from ..core.errors import ChannelClosed
 from ..core.ops import IncrCycles
 from ..core.time import Time
@@ -19,6 +19,8 @@ class ReduceNode(Context):
     optionally perform extra work per firing (``work_fn``, the naive
     Fibonacci in Section VI-B).
     """
+
+    checkpoint_attrs = ("_phase", "_a", "_b")
 
     def __init__(
         self,
@@ -37,6 +39,9 @@ class ReduceNode(Context):
         self.combine = combine
         self.work_fn = work_fn
         self.ii = ii
+        self._phase = 0  # 0=dequeue left, 1=dequeue right, 2=tick, 3=emit
+        self._a = UNSET
+        self._b = UNSET
         self.register(left, right, out)
 
     def run(self):
@@ -44,13 +49,21 @@ class ReduceNode(Context):
         work_fn = self.work_fn
         try:
             while True:
-                a = yield self.left.dequeue()
-                b = yield self.right.dequeue()
-                result = combine(a, b)
-                if work_fn is not None:
-                    result = result + work_fn() * 0  # work is timed, not valued
-                yield IncrCycles(self.ii)
-                yield self.out.enqueue(result)
+                if self._phase == 0:
+                    self._a = yield self.left.dequeue()
+                    self._phase = 1
+                if self._phase == 1:
+                    self._b = yield self.right.dequeue()
+                    self._phase = 2
+                if self._phase == 2:
+                    yield IncrCycles(self.ii)
+                    self._phase = 3
+                if self._phase == 3:
+                    result = combine(self._a, self._b)
+                    if work_fn is not None:
+                        result = result + work_fn() * 0  # timed, not valued
+                    yield self.out.enqueue(result)
+                    self._phase = 0
         except ChannelClosed:
             return
 
@@ -62,6 +75,8 @@ class StreamReducer(Context):
     repeats until the input closes.  ``group=None`` reduces the entire
     stream to one value at close.
     """
+
+    checkpoint_attrs = ("_acc", "_saw_any", "_count", "_phase", "_closed", "_pending")
 
     def __init__(
         self,
@@ -82,42 +97,60 @@ class StreamReducer(Context):
         self.group = group
         self.initial = initial
         self.ii = ii
+        self._acc = initial
+        self._saw_any = False
+        self._count = 0  # elements consumed in the current group
+        self._phase = 0  # 0=dequeue, 1=tick (fold happens on dequeue)
+        self._closed = False  # input closed; the final emit is pending
+        self._pending = UNSET  # dequeued value awaiting its fold (post-tick)
         self.register(inp, out)
 
     def run(self):
         combine = self.combine
+
+        def fold(value):
+            if not self._saw_any and self._acc is None:
+                self._acc = value
+            else:
+                self._acc = combine(self._acc, value)
+            self._saw_any = True
+            self._count += 1
+
         if self.group is None:
-            accumulator = self.initial
-            saw_any = False
-            try:
-                while True:
-                    value = yield self.inp.dequeue()
-                    yield IncrCycles(self.ii)
-                    if not saw_any and accumulator is None:
-                        accumulator = value
-                    else:
-                        accumulator = combine(accumulator, value)
-                    saw_any = True
-            except ChannelClosed:
-                if saw_any or self.initial is not None:
-                    yield self.out.enqueue(accumulator)
-                return
-        while True:
-            accumulator = self.initial
-            saw_any = False
-            for _ in range(self.group):
+            if not self._closed:
                 try:
-                    value = yield self.inp.dequeue()
+                    while True:
+                        if self._phase == 0:
+                            self._pending = yield self.inp.dequeue()
+                            self._phase = 1
+                        if self._phase == 1:
+                            yield IncrCycles(self.ii)
+                            fold(self._pending)
+                            self._pending = UNSET
+                            self._phase = 0
                 except ChannelClosed:
-                    if saw_any:
-                        raise AssertionError(
-                            f"{self.name}: input closed mid-group"
-                        ) from None
-                    return
-                yield IncrCycles(self.ii)
-                if not saw_any and accumulator is None:
-                    accumulator = value
-                else:
-                    accumulator = combine(accumulator, value)
-                saw_any = True
-            yield self.out.enqueue(accumulator)
+                    self._closed = True
+            if self._saw_any or self.initial is not None:
+                yield self.out.enqueue(self._acc)
+            return
+        while True:
+            while self._count < self.group:
+                if self._phase == 0:
+                    try:
+                        self._pending = yield self.inp.dequeue()
+                    except ChannelClosed:
+                        if self._count:
+                            raise AssertionError(
+                                f"{self.name}: input closed mid-group"
+                            ) from None
+                        return
+                    self._phase = 1
+                if self._phase == 1:
+                    yield IncrCycles(self.ii)
+                    fold(self._pending)
+                    self._pending = UNSET
+                    self._phase = 0
+            yield self.out.enqueue(self._acc)
+            self._acc = self.initial
+            self._saw_any = False
+            self._count = 0

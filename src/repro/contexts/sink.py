@@ -18,6 +18,8 @@ class Collector(Context):
     which is how calibration traces and latency measurements are captured.
     """
 
+    checkpoint_attrs = ("_phase", "values")
+
     def __init__(
         self,
         inp: Receiver,
@@ -30,18 +32,22 @@ class Collector(Context):
         self.ii = ii
         self.timestamps = timestamps
         self.values: list[Any] = []
+        self._phase = 0  # 0=dequeue (and record), 1=tick
         self.register(inp)
 
     def run(self):
         try:
             while True:
-                value = yield self.inp.dequeue()
-                if self.timestamps:
-                    self.values.append((self.time.now(), value))
-                else:
-                    self.values.append(value)
-                if self.ii:
+                if self._phase == 0:
+                    value = yield self.inp.dequeue()
+                    if self.timestamps:
+                        self.values.append((self.time.now(), value))
+                    else:
+                        self.values.append(value)
+                    self._phase = 1 if self.ii else 0
+                if self._phase == 1:
                     yield IncrCycles(self.ii)
+                    self._phase = 0
         except ChannelClosed:
             return
 
@@ -53,6 +59,8 @@ class Checker(Context):
     mismatch, extra element, or early close.
     """
 
+    checkpoint_attrs = ("seen",)
+
     def __init__(self, inp: Receiver, expected: Iterable[Any], name: str | None = None):
         super().__init__(name=name)
         self.inp = inp
@@ -61,7 +69,9 @@ class Checker(Context):
         self.register(inp)
 
     def run(self):
-        for index, expected in enumerate(self.expected):
+        while self.seen < len(self.expected):
+            index = self.seen
+            expected = self.expected[index]
             try:
                 value = yield self.inp.dequeue()
             except ChannelClosed:
@@ -84,6 +94,8 @@ class Checker(Context):
 
 class NullSink(Context):
     """Discard everything; useful to terminate unused outputs."""
+
+    checkpoint_attrs = ("count",)
 
     def __init__(self, inp: Receiver, name: str | None = None):
         super().__init__(name=name)

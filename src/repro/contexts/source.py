@@ -15,7 +15,11 @@ class IterableSource(Context):
 
     ``initial_delay`` models fill latency before the first element; the
     initiation interval (``ii``) is the simulated cycles between issues.
+    The iterable is materialized at construction time (resumable state
+    must be indexable).
     """
+
+    checkpoint_attrs = ("_index", "_phase", "_delayed")
 
     def __init__(
         self,
@@ -27,30 +31,48 @@ class IterableSource(Context):
     ):
         super().__init__(name=name)
         self.out = out
-        self.items = items
+        self.items = list(items)
         self.ii = ii
         self.initial_delay = initial_delay
+        self._index = 0
+        self._phase = 0  # 0=emit, 1=tick
+        self._delayed = False  # the initial_delay was charged
         self.register(out)
 
     def run(self):
-        if self.initial_delay:
+        if self.initial_delay and not self._delayed:
             yield IncrCycles(self.initial_delay)
-        for item in self.items:
-            yield self.out.enqueue(item)
-            yield IncrCycles(self.ii)
+            self._delayed = True
+        while self._index < len(self.items):
+            if self._phase == 0:
+                yield self.out.enqueue(self.items[self._index])
+                self._phase = 1
+            if self._phase == 1:
+                yield IncrCycles(self.ii)
+                self._phase = 0
+                self._index += 1
 
 
 class RampSource(Context):
     """Emit ``0, 1, ..., count - 1`` — a compact numeric source."""
+
+    checkpoint_attrs = ("_value", "_phase")
 
     def __init__(self, out: Sender, count: int, ii: Time = 1, name: str | None = None):
         super().__init__(name=name)
         self.out = out
         self.count = count
         self.ii = ii
+        self._value = 0
+        self._phase = 0  # 0=emit, 1=tick
         self.register(out)
 
     def run(self):
-        for value in range(self.count):
-            yield self.out.enqueue(value)
-            yield IncrCycles(self.ii)
+        while self._value < self.count:
+            if self._phase == 0:
+                yield self.out.enqueue(self._value)
+                self._phase = 1
+            if self._phase == 1:
+                yield IncrCycles(self.ii)
+                self._phase = 0
+                self._value += 1

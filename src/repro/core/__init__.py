@@ -16,9 +16,11 @@ from .context import Context, ContextGenerator, FunctionContext
 from .element import ChannelElement
 from .errors import (
     ChannelClosed,
+    CheckpointError,
     DamError,
     DeadlockError,
     GraphConstructionError,
+    NotCheckpointable,
     RunTimeoutError,
     SimulationError,
     WorkerCrashError,
@@ -73,19 +75,32 @@ _LAZY_EXECUTOR = {
     "plan_affinity",
 }
 
+# Checkpoint machinery is likewise lazy: most programs never snapshot.
+_LAZY_CHECKPOINT = {
+    "Checkpoint",
+    "CheckpointTimer",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "elastic_pins",
+}
+
 
 def __getattr__(name: str):
-    if name in _LAZY_EXECUTOR:
-        from importlib import import_module
+    from importlib import import_module
 
+    if name in _LAZY_EXECUTOR:
         value = getattr(import_module(".executor", __name__), name)
-        globals()[name] = value
-        return value
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    elif name in _LAZY_CHECKPOINT:
+        value = getattr(import_module(".checkpoint", __name__), name)
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    globals()[name] = value
+    return value
 
 
 def __dir__():
-    return sorted(set(globals()) | _LAZY_EXECUTOR)
+    return sorted(set(globals()) | _LAZY_EXECUTOR | _LAZY_CHECKPOINT)
 
 
 __all__ = [
@@ -100,9 +115,13 @@ __all__ = [
     "FunctionContext",
     "ChannelElement",
     "ChannelClosed",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointTimer",
     "DamError",
     "DeadlockError",
     "GraphConstructionError",
+    "NotCheckpointable",
     "RunTimeoutError",
     "SimulationError",
     "WorkerCrashError",
@@ -144,4 +163,8 @@ __all__ = [
     "TimeCell",
     "Tracer",
     "TraceEvent",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "elastic_pins",
 ]

@@ -436,6 +436,58 @@ class Channel:
         self._select_flavor()
 
     # ------------------------------------------------------------------
+    # Checkpointing (DESIGN.md §17).
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Capture the channel's full run state as a picklable dict.
+
+        Everything :meth:`reset` clears is captured: queued data and
+        responses, the sender's in-flight count, the finished flags, the
+        stats counters, and the profiling log.  Parked-waiter fields are
+        *not* captured — at a quiescent cut every context's suspension is
+        recorded on the context side, and :meth:`restore_state` re-arms
+        waiters empty.
+        """
+        stats = self.stats
+        return {
+            "data": list(self._data),
+            "resps": list(self._resps),
+            "delta": self._delta,
+            "sender_finished": self._sender_finished,
+            "receiver_finished": self._receiver_finished,
+            "stats": {
+                "enqueues": stats.enqueues,
+                "dequeues": stats.dequeues,
+                "peeks": stats.peeks,
+                "max_real_occupancy": stats.max_real_occupancy,
+            },
+            "profile_log": None if self.profile_log is None else list(self.profile_log),
+        }
+
+    def restore_state(self, record: dict[str, Any]) -> None:
+        """Install a state dict produced by :meth:`checkpoint_state`.
+
+        The flavor-specialized fast methods are re-selected for the
+        restored state, exactly as :meth:`reset` does for pristine state.
+        """
+        self._data = deque(tuple(item) for item in record["data"])
+        self._resps = deque(record["resps"])
+        self._delta = record["delta"]
+        self._sender_finished = record["sender_finished"]
+        self._receiver_finished = record["receiver_finished"]
+        stats = ChannelStats()
+        for field in ChannelStats.__slots__:
+            setattr(stats, field, record["stats"][field])
+        self.stats = stats
+        self.waiting_sender = None
+        self.waiting_receiver = None
+        logged = record.get("profile_log")
+        if self.profile_log is not None or logged is not None:
+            self.profile_log = list(logged or [])
+        self._select_flavor()
+
+    # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
 

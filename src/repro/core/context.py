@@ -36,7 +36,7 @@ import itertools
 from typing import Any, Callable, Generator, Iterable
 
 from .channel import Receiver, Sender
-from .errors import GraphConstructionError
+from .errors import GraphConstructionError, NotCheckpointable
 from .ops import Op
 from .time import TimeCell
 
@@ -44,6 +44,34 @@ from .time import TimeCell
 ContextGenerator = Generator[Op, Any, None]
 
 _context_ids = itertools.count()
+
+
+class _Unset:
+    """Singleton marking a resumable attribute not yet primed.
+
+    Resumable contexts (DESIGN.md §17) initialize their inter-yield state
+    attributes to :data:`UNSET` and derive "have I issued the priming
+    yield yet?" from it when a fresh generator starts from restored state.
+    The ``__new__`` override keeps it a singleton across pickling, so
+    ``state is UNSET`` stays valid after a checkpoint round-trips through
+    disk (the same pattern as the stream tokens in ``sam/token.py``).
+    """
+
+    _instance: "_Unset | None" = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+    def __reduce__(self):
+        return (_Unset, ())
+
+
+UNSET = _Unset()
 
 
 class Context:
@@ -57,7 +85,25 @@ class Context:
 
     The executor owns the context's lifecycle; user code never advances the
     clock directly (yield :class:`~repro.core.ops.IncrCycles` instead).
+
+    **Checkpointing** (DESIGN.md §17): a context opts into checkpoint/
+    restore by declaring ``checkpoint_attrs`` — the tuple of instance
+    attribute names that together hold *all* of its inter-yield state —
+    and honoring the resumable-state contract: every attribute named
+    there is mutated only *after* the yield whose result the mutation
+    consumes, so that a fresh ``run()`` generator started from restored
+    attributes re-derives, as its first yield, an op semantically
+    identical to the one the suspended generator was parked on.  The
+    default ``checkpoint_attrs = None`` means "opaque generator state":
+    :meth:`snapshot` raises :class:`~repro.core.errors.NotCheckpointable`
+    and a run with ``RunConfig(checkpoint_interval_s=...)`` refuses up
+    front.
     """
+
+    #: Names of the instance attributes that fully determine this
+    #: context's inter-yield state, or ``None`` when the context keeps
+    #: opaque generator state and cannot be checkpointed.
+    checkpoint_attrs: tuple[str, ...] | None = None
 
     def __init__(self, name: str | None = None):
         self.id = next(_context_ids)
@@ -91,6 +137,44 @@ class Context:
     def run(self) -> ContextGenerator:
         """Produce the generator that is this context's behaviour."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks.
+    # ------------------------------------------------------------------
+
+    @property
+    def checkpointable(self) -> bool:
+        """Whether this context supports :meth:`snapshot`/:meth:`restore`."""
+        return self.checkpoint_attrs is not None
+
+    def snapshot(self) -> dict[str, Any]:
+        """Capture the attributes named by ``checkpoint_attrs``.
+
+        The returned mapping must be picklable; subclasses whose state
+        includes non-picklable values override this (and
+        :meth:`restore`) to encode them.
+        """
+        if self.checkpoint_attrs is None:
+            raise NotCheckpointable([self.name])
+        state = {}
+        for name in self.checkpoint_attrs:
+            value = getattr(self, name)
+            # Shallow-copy containers so the snapshot is insulated from
+            # the still-running context mutating them after the capture.
+            if isinstance(value, (list, dict, set)):
+                value = value.copy()
+            state[name] = value
+        return state
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Install a state mapping previously produced by :meth:`snapshot`."""
+        if self.checkpoint_attrs is None:
+            raise NotCheckpointable([self.name])
+        for name in self.checkpoint_attrs:
+            value = state[name]
+            if isinstance(value, (list, dict, set)):
+                value = value.copy()
+            setattr(self, name, value)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name} @ {self.time.now()}>"

@@ -141,6 +141,39 @@ class RunTimeoutError(DamError):
         super().__init__(f"run exceeded deadline of {deadline_s}s{where}")
 
 
+class NotCheckpointable(DamError):
+    """Checkpointing was requested for a program that cannot be snapshotted.
+
+    A context is checkpointable only when it keeps every piece of
+    inter-yield state in instance attributes declared via
+    ``Context.checkpoint_attrs`` (the resumable-state contract,
+    DESIGN.md §17).  Plain opaque-generator contexts — a bare
+    :class:`~repro.core.context.FunctionContext`, or a subclass that never
+    opted in — refuse with this typed error *before* the run starts, so a
+    long run never discovers at its first cut point that its state cannot
+    be captured.
+    """
+
+    def __init__(self, context_names: list[str]):
+        self.context_names = list(context_names)
+        names = ", ".join(repr(name) for name in self.context_names)
+        super().__init__(
+            f"checkpointing requested but these contexts keep opaque "
+            f"generator state (no checkpoint_attrs/snapshot): {names}"
+        )
+
+
+class CheckpointError(DamError):
+    """A checkpoint file could not be read, or does not fit the program.
+
+    Raised on a bad magic header / version, a truncated or corrupt
+    payload, or a program fingerprint mismatch (the checkpoint was taken
+    from a structurally different graph).  The latest-valid discovery in
+    :func:`~repro.core.checkpoint.latest_checkpoint` *skips* damaged
+    files instead of raising — this error surfaces only when a caller
+    loads a specific path."""
+
+
 # ----------------------------------------------------------------------
 # Cross-process exception marshalling.
 # ----------------------------------------------------------------------

@@ -140,6 +140,21 @@ class RunConfig:
         considers worth it (``plan_clusters`` + observed channel
         weights).  Results, traces, and profiles are bit-identical in
         every mode.
+    checkpoint_interval_s:
+        Enable checkpointing (DESIGN.md §17): at each quiescent cut at
+        least this many wall-clock seconds after the previous capture,
+        the executor snapshots the full program state into
+        ``checkpoint_path``.  ``0`` captures at *every* quiescent
+        opportunity (deterministic cadence; what the bit-identity tests
+        use).  Requires every context to honour the resumable-state
+        contract — a run over an opaque-generator context refuses up
+        front with :class:`~repro.core.errors.NotCheckpointable`.
+    checkpoint_path:
+        Directory receiving the checkpoint epoch files (created if
+        missing).  With ``fallback=`` set, a crashed or timed-out
+        attempt resumes from the latest valid checkpoint here instead of
+        restarting from scratch (``RunSummary.attempts`` records
+        ``resumed_from``).
     tag:
         An opaque identity stamped onto the finished
         :class:`~repro.core.executor.base.RunSummary` (``summary.tag``)
@@ -172,6 +187,8 @@ class RunConfig:
     metrics_interval_s: Optional[float] = None
     metrics_sink: Any = None
     superblocks: Any = None
+    checkpoint_interval_s: Optional[float] = None
+    checkpoint_path: Optional[str] = None
     tag: Optional[str] = None
     extra: dict = field(default_factory=dict)
 

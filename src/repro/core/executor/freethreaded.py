@@ -65,6 +65,8 @@ class FreeThreadedExecutor(ThreadedExecutor):
         metrics_interval_s: Optional[float] = None,
         metrics_sink=None,
         superblocks=None,
+        checkpoint_interval_s: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
     ):
         super().__init__(
             poll_interval=poll_interval,
@@ -75,6 +77,8 @@ class FreeThreadedExecutor(ThreadedExecutor):
             metrics_interval_s=metrics_interval_s,
             metrics_sink=metrics_sink,
             superblocks="auto" if superblocks is None else superblocks,
+            checkpoint_interval_s=checkpoint_interval_s,
+            checkpoint_path=checkpoint_path,
         )
         self.workers = workers
         self.pin_workers = pin_workers
@@ -126,6 +130,8 @@ class FreeThreadedExecutor(ThreadedExecutor):
                 metrics_interval_s=self.metrics_interval_s,
                 metrics_sink=self.metrics_sink,
                 superblocks=self.superblocks,
+                checkpoint_interval_s=self.checkpoint_interval_s,
+                checkpoint_path=self.checkpoint_path,
             )
         else:  # pragma: no cover - no-fork platforms
             fallback = ThreadedExecutor(
@@ -137,6 +143,8 @@ class FreeThreadedExecutor(ThreadedExecutor):
                 metrics_interval_s=self.metrics_interval_s,
                 metrics_sink=self.metrics_sink,
                 superblocks=self.superblocks,
+                checkpoint_interval_s=self.checkpoint_interval_s,
+                checkpoint_path=self.checkpoint_path,
             )
         summary = fallback.execute(program)
         summary.executor = f"{self.name}({fallback.name})"

@@ -82,8 +82,10 @@ from typing import Any, Optional
 
 from ...obs import Observability, fold_channel_metrics, fold_context_metrics
 from ...obs.stall import StallReport
+from .. import checkpoint as _ckpt
 from ..channel import _EMPTY, Channel, ChannelStats
 from ..errors import (
+    CheckpointError,
     DamError,
     DeadlockError,
     RunTimeoutError,
@@ -102,6 +104,9 @@ from .policies import SchedulingPolicy, make_policy
 from .registry import register_executor
 from .sequential import _BLOCKED, _DONE, SequentialExecutor, _ContextState
 from .shm import (
+    CKPT_DUMP,
+    CKPT_PAUSE,
+    CKPT_RUN,
     DATA,
     RECEIVER_DONE,
     RESPONSE,
@@ -111,6 +116,7 @@ from .shm import (
     WORKER_RUNNING,
     ArenaLayout,
     ChannelShuttle,
+    CheckpointBoard,
     ClaimBoard,
     PipeLane,
     SharedArena,
@@ -181,10 +187,15 @@ class _ShuttleSender:
         self.profile_log = None
         self.waiting_sender: Any = None
         self.waiting_receiver: Any = None
-        self._delta = 0
-        self._resps: deque = deque()
-        self._sender_finished = False
-        self._receiver_finished = False
+        # Seed from the wrapped channel: pristine (all empty/False) on a
+        # fresh run, the restored sender-side state — in-flight count,
+        # undrained responses, finished flags — when the program was
+        # resumed from a checkpoint.  The queued data itself seeds the
+        # *receiver* proxy in whichever worker activates that side.
+        self._delta = channel._delta
+        self._resps: deque = deque(channel._resps)
+        self._sender_finished = channel.sender_finished
+        self._receiver_finished = channel.receiver_finished
         self._lane_out = shuttle.data
         self._lane_in = shuttle.resp
         self._pending: deque = deque()
@@ -234,23 +245,24 @@ class _ShuttleSender:
         if self._pending or not self._lane_out.try_push(record):
             self._pending.append(record)
 
-    def poll(self) -> bool:
-        """Flush the outbound backlog and drain the response lane."""
-        progress = False
+    def poll(self) -> int:
+        """Flush the outbound backlog and drain the response lane;
+        returns the number of records moved (truthy iff progress)."""
+        moved = 0
         while self._pending and self._lane_out.try_push(self._pending[0]):
             self._pending.popleft()
-            progress = True
+            moved += 1
         while True:
             ok, record = self._lane_in.try_pop()
             if not ok:
                 break
-            progress = True
+            moved += 1
             if record[0] == RESPONSE:
                 self._resps.append(record[1])
             else:  # RECEIVER_DONE: channel voids, the backlog is dead letters
                 self._receiver_finished = True
                 self._pending.clear()
-        return progress
+        return moved
 
     def outstanding(self) -> bool:
         return bool(self._pending)
@@ -295,9 +307,13 @@ class _ShuttleReceiver:
         self.profile_log = [] if channel.profile_log is not None else None
         self.waiting_sender: Any = None
         self.waiting_receiver: Any = None
-        self._data: deque = deque()
-        self._sender_finished = False
-        self._receiver_finished = False
+        # Seed from the wrapped channel (see _ShuttleSender.__init__):
+        # restored queue contents become the proxy's local queue; lane
+        # records pushed since the fork append after them, preserving
+        # FIFO order across a checkpoint resume.
+        self._data: deque = deque(tuple(item) for item in channel._data)
+        self._sender_finished = channel.sender_finished
+        self._receiver_finished = channel.receiver_finished
         self._lane_in = shuttle.data
         self._lane_out = shuttle.resp
         self._pending: deque = deque()
@@ -352,17 +368,18 @@ class _ShuttleReceiver:
         if self._pending or not self._lane_out.try_push(record):
             self._pending.append(record)
 
-    def poll(self) -> bool:
-        """Flush pending responses and drain the data lane."""
-        progress = False
+    def poll(self) -> int:
+        """Flush pending responses and drain the data lane; returns the
+        number of records moved (truthy iff progress)."""
+        moved = 0
         while self._pending and self._lane_out.try_push(self._pending[0]):
             self._pending.popleft()
-            progress = True
+            moved += 1
         while True:
             ok, record = self._lane_in.try_pop()
             if not ok:
                 break
-            progress = True
+            moved += 1
             if record[0] == DATA:
                 if not self._receiver_finished:
                     self._data.append((record[1], record[2]))
@@ -371,7 +388,7 @@ class _ShuttleReceiver:
             else:  # SENDER_DONE: responses the sender will never drain die here
                 self._sender_finished = True
                 self._pending.clear()
-        return progress
+        return moved
 
     def outstanding(self) -> bool:
         return bool(self._pending)
@@ -436,6 +453,9 @@ class _WorkerExecutor(SequentialExecutor):
         faults=None,
         kill=None,
         superblocks="auto",
+        ckpt_board=None,
+        checkpoint_dir: Optional[str] = None,
+        resume_records: Optional[dict] = None,
     ):
         super().__init__(
             policy=policy,
@@ -477,6 +497,19 @@ class _WorkerExecutor(SequentialExecutor):
         self._active_channels: list[Channel] = []
         self.steal_count = 0
         self.migrations: list[dict] = []
+        #: Checkpoint coordination (parent-driven quiescent cuts).
+        self._ckpt_board = ckpt_board
+        self._ckpt_dir = checkpoint_dir
+        self._ckpt_on = ckpt_board is not None
+        self._ckpt_seen = 0  # last epoch this worker acknowledged
+        self._ckpt_rounds_done = 0
+        #: Resume records (slot-keyed) applied lazily at cluster
+        #: activation; the parent popped them off the program pre-fork.
+        self._ckpt_resume = resume_records or None
+        #: Stats already on an internal channel at activation time of a
+        #: *resumed* run: harvest ships deltas past these so the parent's
+        #: merge (which adds onto the restored base) never double-counts.
+        self._ship_base: dict[int, dict] = {}
 
     # -- lazy cluster activation ---------------------------------------
 
@@ -509,6 +542,20 @@ class _WorkerExecutor(SequentialExecutor):
                     proxy = _ShuttleReceiver(handle.channel, shuttle)
                     handle.channel = proxy
                     self._recv_proxies.append(proxy)
+        if self._ckpt_resume is not None:
+            for index in spec.channels:
+                channel = channels[index]
+                stats = channel.stats
+                self._ship_base[channel.id] = {
+                    "enqueues": stats.enqueues,
+                    "dequeues": stats.dequeues,
+                    "peeks": stats.peeks,
+                    "log_len": (
+                        len(channel.profile_log)
+                        if channel.profile_log is not None
+                        else 0
+                    ),
+                }
         self._active_channels.extend(channels[i] for i in spec.channels)
         tracer = self.tracer
         for slot in spec.contexts:
@@ -517,9 +564,21 @@ class _WorkerExecutor(SequentialExecutor):
             if tracer is not None:
                 state.buffer = tracer.buffer(ctx.name)
             self._states[id(ctx)] = state
-            self.policy.push(state, woken=False)
+            record = (
+                self._ckpt_resume.get(slot)
+                if self._ckpt_resume is not None
+                else None
+            )
+            if record is not None:
+                self._apply_one_resume_record(ctx, state, record)
+            if state.status != _DONE:
+                self.policy.push(state, woken=False)
             self._activated.append(ctx)
-        if len(spec.contexts) >= 2:
+        if (
+            len(spec.contexts) >= 2
+            and not self._ckpt_on
+            and self._ckpt_resume is None
+        ):
             # Recompile the cluster as a superblock *on the adopter*: a
             # stolen cluster's members already carry this worker's shared
             # time slots, so the driver batches against its new clocks.
@@ -606,7 +665,11 @@ class _WorkerExecutor(SequentialExecutor):
     def _publish(self, state: int) -> None:
         progress = self.ops_executed + self._shuttle_moves
         self._status.publish(self._worker, progress, state)
-        if self._kill is not None and progress >= self._kill.after_ops:
+        if (
+            self._kill is not None
+            and self._kill.after_ops is not None
+            and progress >= self._kill.after_ops
+        ):
             # Injected crash: die exactly as an external SIGKILL would —
             # no cleanup, no payload, pipe slammed shut.
             os.kill(os.getpid(), self._kill.signal)
@@ -614,31 +677,153 @@ class _WorkerExecutor(SequentialExecutor):
     def _run_slice(self, state, timeslice) -> None:
         if self._abort.is_set():
             raise _WorkerAborted()
+        if self._ckpt_on and self._ckpt_board.epoch() > self._ckpt_seen:
+            self._ckpt_participate()
         # Publishing at every slice keeps the watchdog honest: a worker
         # crunching local work always shows RUNNING with rising progress.
         self._publish(WORKER_RUNNING)
         super()._run_slice(state, timeslice)
         self._service_shuttles()
 
-    def _service_shuttles(self) -> bool:
-        progress = False
+    def _service_shuttles(self) -> int:
+        moved = 0
         for proxy in self._send_proxies:
-            if proxy.poll():
-                progress = True
+            moved += proxy.poll()
             waiter = proxy.waiting_sender
             if waiter is not None and proxy.sender_ready():
                 proxy.waiting_sender = None
                 self._wake(waiter)
         for proxy in self._recv_proxies:
-            if proxy.poll():
-                progress = True
+            moved += proxy.poll()
             waiter = proxy.waiting_receiver
             if waiter is not None and proxy.receiver_ready():
                 proxy.waiting_receiver = None
                 self._wake(waiter)
-        if progress:
+        if moved:
             self._shuttle_moves += 1
-        return progress
+        return moved
+
+    # -- checkpoint participation (parent-driven quiescent cuts) -------
+
+    def _claim_own_cold(self) -> None:
+        """Claim and activate every cold cluster this worker owns.
+
+        Called at the start of a pause round: a lane whose receiving
+        cluster nobody activated has no consumer, so it could never
+        drain.  Claiming through the board keeps the
+        claimed-exactly-once invariant even against a concurrent steal.
+        """
+        claim = self._claim
+        while True:
+            pick: Optional[ClusterSpec] = None
+            with self._claim_lock:
+                for spec in self._clusters:
+                    if spec.owner == self._worker and claim.is_cold(spec.index):
+                        pick = spec
+                        claim.claim(spec.index, self._worker)
+                        break
+            if pick is None:
+                return
+            self._activate_cluster(pick)
+            self._shuttle_moves += 1
+
+    def _ckpt_participate(self) -> None:
+        """One worker's side of a pause/drain/dump round.
+
+        Entered only at safe points (between slices or in the idle
+        loop), so every local context is between ops — the worker's
+        slice of the cut is quiescent by construction.  The drain loop
+        keeps shuttles moving until the parent observes global lane
+        quiescence, dumps the partition when told to, and returns to
+        normal scheduling when the parent ends the round.
+        """
+        board = self._ckpt_board
+        epoch = board.epoch()
+        if epoch <= self._ckpt_seen:
+            return
+        self._ckpt_seen = epoch
+        self._claim_own_cold()
+        worker = self._worker
+        rounds = 0
+        moves = 0
+        dumped = False
+        board.ack(worker, epoch)
+        while not self._abort.is_set():
+            moves += self._service_shuttles()
+            rounds += 1
+            pending = sum(len(p._pending) for p in self._send_proxies)
+            pending += sum(len(p._pending) for p in self._recv_proxies)
+            board.publish_drain(worker, rounds, moves, pending)
+            if board.epoch() != epoch:
+                break  # the parent moved on (round abandoned)
+            command = board.command()
+            if command == CKPT_RUN:
+                break
+            if command == CKPT_DUMP and not dumped:
+                self._dump_partition(epoch)
+                board.mark_dumped(worker, epoch)
+                dumped = True
+                self._ckpt_rounds_done += 1
+                kill = self._kill
+                if (
+                    kill is not None
+                    and getattr(kill, "after_checkpoints", None) is not None
+                    and self._ckpt_rounds_done >= kill.after_checkpoints
+                ):
+                    # Chaos hook: die right after publishing the dump —
+                    # the worst moment for the parent's stitch.
+                    os.kill(os.getpid(), kill.signal)
+            _wallclock.sleep(0 if rounds <= 3 else self._poll_interval)
+        if self._abort.is_set():
+            raise _WorkerAborted()
+
+    def _dump_partition(self, epoch: int) -> None:
+        """Write this worker's slice of the cut (tmp + rename).
+
+        Context records cover exactly what this worker activated;
+        channel entries carry internal channels whole and cut channels
+        by side (the parent stitches ``send``/``recv`` halves — queued
+        data lives receiver-side, credits sender-side — into one
+        partition-independent state).
+        """
+        slot_of = {
+            id(ctx): slot
+            for slot, ctx in enumerate(self._program.contexts)
+        }
+        records = {
+            slot_of[id(ctx)]: self._context_record(self._states[id(ctx)])
+            for ctx in self._activated
+        }
+        channels: dict[int, dict] = {}
+        for channel in self._active_channels:
+            channels[channel.id] = {"chan": channel.checkpoint_state()}
+        for proxy in self._send_proxies:
+            entry = channels.setdefault(proxy.id, {})
+            entry["send"] = {
+                "delta": proxy._delta,
+                "resps": list(proxy._resps),
+                "sender_finished": proxy._sender_finished,
+                "receiver_finished": proxy._receiver_finished,
+                "enqueues": proxy.stats.enqueues,
+            }
+        for proxy in self._recv_proxies:
+            entry = channels.setdefault(proxy.id, {})
+            entry["recv"] = {
+                "data": list(proxy._data),
+                "sender_finished": proxy._sender_finished,
+                "receiver_finished": proxy._receiver_finished,
+                "dequeues": proxy.stats.dequeues,
+                "peeks": proxy.stats.peeks,
+                "max_real_occupancy": proxy.stats.max_real_occupancy,
+                "profile_log": (
+                    None if proxy.profile_log is None
+                    else list(proxy.profile_log)
+                ),
+            }
+        _ckpt.save_part(
+            self._ckpt_dir, epoch, self._worker,
+            {"records": records, "channels": channels},
+        )
 
     def _poll_remote_waiters(self) -> bool:
         """Wake WaitUntil waiters on remote clocks (shared-slot reads)."""
@@ -681,6 +866,10 @@ class _WorkerExecutor(SequentialExecutor):
         while True:
             if self._abort.is_set():
                 raise _WorkerAborted()
+            if self._ckpt_on and self._ckpt_board.epoch() > self._ckpt_seen:
+                self._ckpt_participate()
+                spins = 0
+                continue  # activation during the round may have queued work
             progress = self._service_shuttles()
             if self._poll_remote_waiters():
                 progress = True
@@ -701,6 +890,14 @@ class _WorkerExecutor(SequentialExecutor):
                 # done sentinels) has been flushed.
                 if not any(p.outstanding() for p in self._send_proxies) and \
                         not any(p.outstanding() for p in self._recv_proxies):
+                    if (
+                        self._ckpt_on
+                        and self._ckpt_board.epoch() > self._ckpt_seen
+                    ):
+                        # A pause round began while we were deciding to
+                        # retire: participate first (the parent counts
+                        # this worker as live until its payload lands).
+                        continue
                     self._publish(WORKER_DONE)
                     return False
             elif not self._remote_dependence(blocked):
@@ -806,8 +1003,25 @@ def _harvest(executor: _WorkerExecutor, obs) -> dict:
         if log:
             entry["profile_log"] = log
 
+    ship_base = executor._ship_base
     for channel in local_channels:
-        ship(channel.id, channel.stats, channel.profile_log)
+        stats = channel.stats
+        log = channel.profile_log
+        base = ship_base.get(channel.id)
+        if base is not None:
+            # Resumed run: the restored channel state carries the
+            # pre-checkpoint totals, but the parent *also* restored them
+            # (RunSummary.merge adds shipped stats onto its own) — ship
+            # only what happened after activation.
+            delta = ChannelStats()
+            delta.enqueues = stats.enqueues - base["enqueues"]
+            delta.dequeues = stats.dequeues - base["dequeues"]
+            delta.peeks = stats.peeks - base["peeks"]
+            delta.max_real_occupancy = stats.max_real_occupancy
+            stats = delta
+            if log is not None:
+                log = log[base["log_len"]:]
+        ship(channel.id, stats, log)
     for proxy in send_proxies:
         ship(proxy.id, proxy.stats, None)
     for proxy in recv_proxies:
@@ -899,6 +1113,7 @@ def _worker_main(
                             shuttle.data, stall.after_records
                         )
 
+        ckpt = options.get("checkpoint")
         executor = _WorkerExecutor(
             worker_index, program, clusters, claim, claim_lock,
             shuttles, clocks, starts, status, abort,
@@ -908,6 +1123,9 @@ def _worker_main(
             timeslice=options["timeslice"],
             faults=faults, kill=kill,
             superblocks=options.get("superblocks", "auto"),
+            ckpt_board=ckpt["board"] if ckpt is not None else None,
+            checkpoint_dir=ckpt["dir"] if ckpt is not None else None,
+            resume_records=options.get("resume_records"),
         )
         try:
             # The worker starts empty; its first _idle() claims work.
@@ -947,6 +1165,267 @@ def _worker_main(
             pass
         status.publish(worker_index, status.progress(worker_index), WORKER_DONE)
         arena.close()  # release inherited views so the mapping unmaps cleanly
+
+
+# ----------------------------------------------------------------------
+# Parent-side checkpoint coordination.
+# ----------------------------------------------------------------------
+
+
+class _CkptCoordinator:
+    """The parent's side of the quiescent-cut protocol (DESIGN.md §17).
+
+    A tiny state machine folded into ``_collect``'s supervision ticks:
+
+    ``idle``
+        Nothing in flight.  When the timer says a capture is due, write
+        the next epoch + ``CKPT_PAUSE`` to the board and move on.
+    ``pausing``
+        Wait until every live worker has acknowledged the epoch (each
+        does so at a slice boundary, so its local contexts are all
+        between operations — locally quiescent by construction).
+    ``draining``
+        Dijkstra-style double sweep over the workers' published drain
+        telemetry.  The cut is globally quiescent when two consecutive
+        sweeps observe the same live set, zero pending outbound records
+        on both, frozen cumulative lane moves, and a strictly advanced
+        round counter for every worker (proof each one completed a full
+        service loop between the sweeps without moving anything).
+    ``dumping``
+        Workers write their partition dumps (tmp + rename, then publish
+        ``dumped_epoch``).  When every live worker has published, stitch
+        the parts with the retired workers' payloads into one
+        :class:`~repro.core.checkpoint.Checkpoint`, save it, delete the
+        parts, and return to ``idle``.
+
+    Any abort (peer crash, deadline, user) cancels the round: the
+    command word flips back to ``CKPT_RUN`` and draining workers resume.
+    A stitch/save failure raises ``SimulationError`` — the caller aborts
+    the run (a checkpointing run that cannot checkpoint should fail
+    loudly, not silently stop protecting the user).
+    """
+
+    def __init__(
+        self, board: CheckpointBoard, timer, path: str, program: Program,
+        clusters: list[ClusterSpec], claim: ClaimBoard, executor_name: str,
+    ):
+        self._board = board
+        self._timer = timer
+        self._path = path
+        self._program = program
+        self._clusters = clusters
+        self._claim = claim
+        self._executor = executor_name
+        self._phase = "idle"
+        self._epoch = timer.epoch
+        self._prev: Optional[dict[int, tuple]] = None
+
+    @property
+    def active(self) -> bool:
+        return self._phase != "idle"
+
+    def cancel(self) -> None:
+        if self._phase != "idle":
+            self._board.set_command(CKPT_RUN)
+            self._phase = "idle"
+            self._prev = None
+
+    def tick(self, live: set, payloads: dict) -> None:
+        """One supervision tick.  ``live`` is the set of workers whose
+        payloads have not landed yet; ``payloads`` the landed ones."""
+        if not live:
+            # Everyone retired mid-round (or before one): nothing left
+            # to cut — the run is completing normally.
+            self.cancel()
+            return
+        if self._phase == "idle":
+            if self._timer.due():
+                self._epoch = self._timer.epoch + 1
+                self._prev = None
+                self._board.request(self._epoch, CKPT_PAUSE)
+                self._phase = "pausing"
+            return
+        rows = {worker: self._board.row(worker) for worker in live}
+        if self._phase == "pausing":
+            if all(rows[w][0] == self._epoch for w in live):
+                self._phase = "draining"
+                self._prev = None
+            return
+        if self._phase == "draining":
+            sweep = {
+                w: (rows[w][1], rows[w][2], rows[w][3]) for w in live
+            }  # (rounds, moves, pending)
+            prev = self._prev
+            if prev is not None and set(prev) == set(sweep):
+                quiet = all(
+                    sweep[w][2] == 0 and prev[w][2] == 0
+                    and sweep[w][1] == prev[w][1]
+                    and sweep[w][0] > prev[w][0]
+                    for w in live
+                )
+                if quiet:
+                    self._board.set_command(CKPT_DUMP)
+                    self._phase = "dumping"
+                    self._prev = None
+                    return
+            self._prev = sweep
+            return
+        if self._phase == "dumping":
+            if all(rows[w][4] == self._epoch for w in live):
+                self._finish(live, payloads)
+
+    def _finish(self, live: set, payloads: dict) -> None:
+        try:
+            checkpoint = self._stitch(live, payloads)
+            checkpoint.save(self._path)
+        except Exception as exc:
+            self._board.set_command(CKPT_RUN)
+            self._phase = "idle"
+            raise SimulationError("<checkpoint>", exc) from exc
+        self._board.set_command(CKPT_RUN)
+        self._phase = "idle"
+        _ckpt.remove_parts(self._path, self._epoch)
+        self._timer.mark()
+
+    def _stitch(self, live: set, payloads: dict) -> "_ckpt.Checkpoint":
+        """Merge live workers' partition dumps and retired workers'
+        harvested payloads into one partition-independent checkpoint."""
+        program = self._program
+        parts = {
+            worker: _ckpt.load_part(self._path, self._epoch, worker)
+            for worker in sorted(live)
+        }
+        retired = [
+            payloads[worker] for worker in sorted(payloads)
+            if payloads[worker].get("status") == "ok"
+        ]
+
+        records: dict[int, dict] = {}
+        for part in parts.values():
+            records.update(part["records"])
+        for payload in retired:
+            attrs_by_slot = payload.get("context_attrs") or {}
+            for slot, finish in (payload.get("finish_times") or {}).items():
+                if slot in records:
+                    continue
+                ctx = program.contexts[slot]
+                shipped = attrs_by_slot.get(slot) or {}
+                records[slot] = {
+                    "kind": "done",
+                    "attrs": {
+                        name: shipped[name]
+                        for name in ctx.checkpoint_attrs
+                        if name in shipped
+                    },
+                    "clock": finish,
+                    "finish_time": finish,
+                }
+        missing = [
+            slot for slot in range(len(program.contexts))
+            if slot not in records
+        ]
+        if missing:
+            names = ", ".join(
+                program.contexts[slot].name for slot in missing[:5]
+            )
+            raise CheckpointError(
+                f"epoch {self._epoch}: no state for context(s) {names} "
+                f"(neither a live partition dump nor a retired worker's "
+                f"payload covers them)"
+            )
+
+        channels: dict[int, dict] = {}
+        for slot, channel in enumerate(program.channels):
+            entries = [
+                part["channels"][channel.id]
+                for part in parts.values()
+                if channel.id in part["channels"]
+            ]
+            whole = next(
+                (e["chan"] for e in entries if "chan" in e), None
+            )
+            if whole is not None:
+                # Cluster-internal on a live worker: the dumped state
+                # already carries the full totals (restored base
+                # inherited at fork, plus everything since).
+                channels[slot] = whole
+                continue
+            # Cut channel (or internal to retired clusters): start from
+            # the parent's fork-time base, add the retired workers'
+            # shipped deltas, then the live proxies' sides.
+            state = channel.checkpoint_state()
+            stats = state["stats"]
+            log = state["profile_log"]
+            for payload in retired:
+                shipped = (
+                    payload.get("channel_stats") or {}
+                ).get(channel.id)
+                if shipped is None:
+                    continue
+                stats["enqueues"] += shipped["enqueues"]
+                stats["dequeues"] += shipped["dequeues"]
+                stats["peeks"] += shipped["peeks"]
+                if shipped["max_real_occupancy"] > stats["max_real_occupancy"]:
+                    stats["max_real_occupancy"] = shipped["max_real_occupancy"]
+                if shipped.get("profile_log"):
+                    log = (log or []) + list(shipped["profile_log"])
+            send = next((e["send"] for e in entries if "send" in e), None)
+            recv = next((e["recv"] for e in entries if "recv" in e), None)
+            if send is not None:
+                state["delta"] = send["delta"]
+                state["resps"] = list(send["resps"])
+                stats["enqueues"] += send["enqueues"]
+            if recv is not None:
+                state["data"] = list(recv["data"])
+                stats["dequeues"] += recv["dequeues"]
+                stats["peeks"] += recv["peeks"]
+                if recv["max_real_occupancy"] > stats["max_real_occupancy"]:
+                    stats["max_real_occupancy"] = recv["max_real_occupancy"]
+                if recv["profile_log"]:
+                    log = (log or []) + list(recv["profile_log"])
+            # Finished flags: each side is authoritative for its own
+            # endpoint; with the lanes drained both proxies agree, and a
+            # missing side means that endpoint's cluster retired — i.e.
+            # the endpoint finished.
+            if send is not None:
+                state["sender_finished"] = send["sender_finished"]
+            elif recv is not None:
+                state["sender_finished"] = recv["sender_finished"]
+            elif entries or retired:
+                state["sender_finished"] = True
+            if recv is not None:
+                state["receiver_finished"] = recv["receiver_finished"]
+            elif send is not None:
+                state["receiver_finished"] = send["receiver_finished"]
+            elif entries or retired:
+                state["receiver_finished"] = True
+            if send is None and recv is None and retired:
+                # Both endpoints retired: the queue is semantically
+                # empty (whatever physically remains is dead letters of
+                # a closed channel).
+                state["data"] = []
+                state["resps"] = []
+                state["delta"] = 0
+            state["profile_log"] = log
+            channels[slot] = state
+
+        placement: dict[str, int] = {}
+        for spec in self._clusters:
+            owner = self._claim.claimant(spec.index)
+            if owner < 0:
+                owner = spec.owner
+            for slot in spec.contexts:
+                placement[program.contexts[slot].name] = owner
+
+        return _ckpt.Checkpoint.capture(
+            program,
+            self._epoch,
+            records,
+            metrics=None,
+            placement=placement,
+            executor=self._executor,
+            channel_states=channels,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -1028,6 +1507,8 @@ class ProcessExecutor(Executor):
         metrics_interval_s: Optional[float] = None,
         metrics_sink=None,
         superblocks: Any = "auto",
+        checkpoint_interval_s: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -1062,6 +1543,12 @@ class ProcessExecutor(Executor):
         #: cluster at activation time, so stolen clusters recompile
         #: against their adopter's shared clock slots.
         self.superblocks = superblocks
+        #: Checkpointing (DESIGN.md §17): when ``checkpoint_path`` is
+        #: set, the parent coordinates quiescent cuts — workers pause,
+        #: drain the shuttle lanes, dump partitions, and the parent
+        #: stitches them into one on-disk checkpoint.
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.checkpoint_path = checkpoint_path
         #: Set by _collect when the run was aborted for its deadline, so
         #: _resolve_failures raises RunTimeoutError instead of reading the
         #: aborted workers' stalls as a deadlock.
@@ -1115,6 +1602,18 @@ class ProcessExecutor(Executor):
         clusters = plan_clusters(program, assignment)
         self.clusters = clusters
 
+        # Resume bookkeeping: pop the records *before* forking so the
+        # workers inherit them via options (never through the program
+        # object, which a later fresh run would then misread).
+        resume_records = program.__dict__.pop("_resume_records", None)
+        resume_epoch = (
+            getattr(program, "_resume_epoch", 0)
+            if resume_records is not None
+            else 0
+        )
+        if self.checkpoint_path is not None:
+            _ckpt.validate_checkpointable(program)
+
         contexts = program.contexts
         layout = ArenaLayout()
         clocks_len = SharedClockArray.size_for(len(contexts))
@@ -1123,6 +1622,10 @@ class ProcessExecutor(Executor):
         status_off = layout.reserve(status_len)
         claim_len = ClaimBoard.size_for(len(clusters))
         claim_off = layout.reserve(claim_len)
+        ckpt_len = ckpt_off = 0
+        if self.checkpoint_path is not None:
+            ckpt_len = CheckpointBoard.size_for(len(groups))
+            ckpt_off = layout.reserve(ckpt_len)
         ring_offsets: list[tuple[int, int]] = []
         if self.shuttle == "shm":
             for _ in plan.cut:
@@ -1161,6 +1664,28 @@ class ProcessExecutor(Executor):
             )
             for spec in clusters:
                 claim.set_owner(spec.index, spec.owner)
+            ckpt_board = None
+            coordinator = None
+            if self.checkpoint_path is not None:
+                _ckpt.clean_stale_temps(self.checkpoint_path)
+                ckpt_board = arena.adopt(
+                    CheckpointBoard(
+                        arena.view(ckpt_off, ckpt_len), len(groups)
+                    )
+                )
+                interval = self.checkpoint_interval_s
+                coordinator = _CkptCoordinator(
+                    board=ckpt_board,
+                    timer=_ckpt.CheckpointTimer(
+                        0.0 if interval is None else interval,
+                        start_epoch=resume_epoch,
+                    ),
+                    path=self.checkpoint_path,
+                    program=program,
+                    clusters=clusters,
+                    claim=claim,
+                    executor_name=self.name,
+                )
             claim_lock = mp_ctx.Lock()
             shuttles: dict[int, ChannelShuttle] = {}
             for index, channel in enumerate(plan.cut):
@@ -1223,6 +1748,12 @@ class ProcessExecutor(Executor):
                 ),
                 "faults": faults,
                 "superblocks": self.superblocks,
+                "checkpoint": (
+                    {"board": ckpt_board, "dir": self.checkpoint_path}
+                    if ckpt_board is not None
+                    else None
+                ),
+                "resume_records": resume_records,
             }
 
             # Live metric streaming samples the *shared* clock slots from
@@ -1253,7 +1784,7 @@ class ProcessExecutor(Executor):
 
             payloads = self._collect(
                 conns, status, abort, procs, claim, clusters, program, clocks,
-                start,
+                start, coordinator=coordinator,
             )
             self._resolve_failures(payloads, program, clocks, start)
             trace = self.obs.trace if self.obs is not None else None
@@ -1268,6 +1799,14 @@ class ProcessExecutor(Executor):
             self._wind_down(procs, conns, abort)
             arena.close()
             arena.unlink()
+            if self.checkpoint_path is not None:
+                # A cancelled round (crash, deadline, abort) leaves its
+                # partition dumps behind; with every worker wound down
+                # it is now safe to sweep them.
+                try:
+                    _ckpt.clean_stale_temps(self.checkpoint_path)
+                except OSError:  # pragma: no cover - directory vanished
+                    pass
 
         self.context_switches += summary.context_switches
         self.wakeups += summary.wakeups
@@ -1328,6 +1867,7 @@ class ProcessExecutor(Executor):
         self, conns: dict, status: StatusBoard, abort, procs,
         claim: ClaimBoard, clusters: list[ClusterSpec], program: Program,
         clocks: SharedClockArray, start: float,
+        coordinator: Optional[_CkptCoordinator] = None,
     ) -> dict:
         """Receive worker payloads; double as the crash supervisor, the
         deadline enforcer, and the global deadlock watchdog.
@@ -1384,6 +1924,17 @@ class ProcessExecutor(Executor):
                     abort.set()  # wind the surviving workers down
             if abort.is_set() and abort_since is None:
                 abort_since = _wallclock.perf_counter()
+            if coordinator is not None:
+                if abort.is_set():
+                    coordinator.cancel()
+                else:
+                    # A stitch failure raises out of here; the abort in
+                    # between winds the workers down on the way out.
+                    try:
+                        coordinator.tick(set(pending.values()), payloads)
+                    except BaseException:
+                        abort.set()
+                        raise
             if collected:
                 stable_since = None
                 last_total = -1
@@ -1415,6 +1966,13 @@ class ProcessExecutor(Executor):
             # run with cold (claimable) clusters left is never deadlocked
             # — some worker will claim one, and claiming bumps progress.
             total, states = status.snapshot()
+            if coordinator is not None and coordinator.active:
+                # Draining workers legitimately park with frozen
+                # status-board progress; the watchdog must not read a
+                # checkpoint round as a deadlock.
+                stable_since = None
+                last_total = total
+                continue
             live = [states[w] for w in pending.values()]
             if live and all(s == WORKER_BLOCKED for s in live) \
                     and total == last_total and claim.cold_count() == 0:

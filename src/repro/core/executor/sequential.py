@@ -38,11 +38,13 @@ checks in place.
 
 from __future__ import annotations
 
+import inspect as _inspect
 import time as _wallclock
 from typing import Any, Optional
 
 from ...obs import Observability, fold_channel_metrics, fold_context_metrics
 from ...obs.stall import StallReport, stall_for
+from .. import checkpoint as _ckpt
 from ..channel import _EMPTY, Channel
 from ..context import Context
 from ..errors import (
@@ -50,6 +52,7 @@ from ..errors import (
     DeadlockError,
     RunTimeoutError,
     SimulationError,
+    unpack_exception,
 )
 from ..ops import (
     AdvanceTo,
@@ -256,6 +259,8 @@ class SequentialExecutor(Executor):
         metrics_interval_s: Optional[float] = None,
         metrics_sink=None,
         superblocks: Any = "auto",
+        checkpoint_interval_s: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
     ):
         self.policy = make_policy(policy)
         self.superblocks = superblocks
@@ -264,6 +269,14 @@ class SequentialExecutor(Executor):
         self.faults = faults
         self.metrics_interval_s = metrics_interval_s
         self.metrics_sink = metrics_sink
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.checkpoint_path = checkpoint_path
+        #: Live capture cadence (a CheckpointTimer) while a checkpointed
+        #: run is executing; None otherwise.
+        self._ckpt_timer: Any = None
+        #: True while this run was restored from a checkpoint (suppresses
+        #: superblock compilation, whose sb_* state is not capturable).
+        self._resuming = False
         #: Context-fault triggers still pending, keyed by context name
         #: (populated per run from ``faults.context_faults``).
         self._fault_map: dict = {}
@@ -309,6 +322,21 @@ class SequentialExecutor(Executor):
 
     def execute(self, program: Program) -> RunSummary:
         start = _wallclock.perf_counter()
+        # Kept under a dedicated name: worker subclasses already use
+        # ``_program`` for the full shipped program while calling
+        # ``execute`` with an empty one (they claim work lazily).
+        self._run_program = program
+        self._ckpt_timer = None
+        if self.checkpoint_path is not None:
+            _ckpt.validate_checkpointable(program)
+            _ckpt.clean_stale_temps(self.checkpoint_path)
+            interval = self.checkpoint_interval_s
+            self._ckpt_timer = _ckpt.CheckpointTimer(
+                0.0 if interval is None else interval,
+                start_epoch=getattr(program, "_resume_epoch", 0),
+            )
+        resume_records = self._take_resume_records(program)
+        self._resuming = resume_records is not None
         states = {id(ctx): _ContextState(ctx) for ctx in program.contexts}
         # Waiters on another context's clock: target id -> [(threshold, state)].
         self._time_waiters: dict[int, list[tuple[Any, _ContextState]]] = {}
@@ -347,9 +375,16 @@ class SequentialExecutor(Executor):
             self._always_bounded
             or self._deadline_at is not None
             or bool(self._fault_map)
+            # Checkpoint capture happens between bounded slices: the
+            # run-to-block FIFO branch would let one busy context starve
+            # the quiescent-cut opportunity for the whole run.
+            or self._ckpt_timer is not None
         )
         if self._bounded and self.policy.timeslice is None:
             self.policy.timeslice = _BOUNDED_TIMESLICE
+
+        if resume_records is not None:
+            self._apply_resume_records(program, states, resume_records)
 
         self._compile_superblocks(program, states, collect_wall)
 
@@ -447,6 +482,12 @@ class SequentialExecutor(Executor):
             return 0
         if not self._fast_capable or self._fault_map:
             return 0
+        # Superblock sb_* scheduling state is not part of any context's
+        # declared checkpoint attributes, so checkpointed (and resumed)
+        # runs stay on the generic/fast per-context paths — results are
+        # bit-identical either way by the §15 equivalence guarantee.
+        if self._ckpt_timer is not None or self._resuming:
+            return 0
         if mode == "auto" and collect_wall:
             return 0
         return compile_superblocks(self, program, states, mode)
@@ -458,6 +499,7 @@ class SequentialExecutor(Executor):
         policy = self.policy
         previous: _ContextState | None = None
         deadline_at = self._deadline_at
+        ckpt_timer = self._ckpt_timer
         if (
             policy.__class__ is FifoPolicy
             and not collect_wall
@@ -501,6 +543,11 @@ class SequentialExecutor(Executor):
                     _wallclock.perf_counter() >= deadline_at
                 ):
                     raise _DeadlineExpired
+                if ckpt_timer is not None and ckpt_timer.due():
+                    # Between slices every context's in-flight value has
+                    # been written back to its state record and no op is
+                    # mid-transition: a quiescent cut by construction.
+                    self._capture_checkpoint()
                 if state.status == _READY:
                     # Slice expired without blocking: preempted.
                     self.preemptions += 1
@@ -522,6 +569,145 @@ class SequentialExecutor(Executor):
                     state.gen.close()
                 except Exception:  # noqa: BLE001 - cleanup must not mask the abort
                     pass
+
+    # ------------------------------------------------------------------
+    # Checkpoint capture and resume (DESIGN.md §17).
+    # ------------------------------------------------------------------
+
+    def _take_resume_records(self, program: Program):
+        """Consume (one-shot) the resume records a checkpoint restore left
+        on the program; subclasses that receive records another way (the
+        process executor's forked workers) override this."""
+        return program.__dict__.pop("_resume_records", None)
+
+    def _context_record(self, state: _ContextState) -> dict:
+        """Classify one context's suspension into a resume record."""
+        ctx = state.context
+        if state.status == _DONE:
+            return _ckpt.record_done(ctx)
+        if (
+            state.retry_op is None
+            and state.fused_ops is None
+            and state.pending_exc is None
+            and _inspect.getgeneratorstate(state.gen) == _inspect.GEN_CREATED
+        ):
+            # Truly unstarted.  The generator-state check is load-bearing:
+            # a delivered Enqueue result is None, indistinguishable from
+            # "never primed" by pending_value alone.
+            return _ckpt.record_fresh(ctx)
+        if state.fused_ops is not None:
+            index = state.fused_index
+            executed = state.retry_op is None
+            return _ckpt.record_suspended(
+                ctx,
+                executed=executed,
+                pending_value=state.pending_value if executed else None,
+                pending_exc=state.pending_exc,
+                fused_index=index,
+                fused_prefix=list(state.fused_results[:index]),
+                fused_len=len(state.fused_ops),
+            )
+        executed = state.retry_op is None
+        return _ckpt.record_suspended(
+            ctx,
+            executed=executed,
+            pending_value=state.pending_value if executed else None,
+            pending_exc=state.pending_exc,
+        )
+
+    def _capture_checkpoint(self) -> None:
+        """Snapshot the whole program at the current between-slices cut."""
+        program = self._run_program
+        states = self._states
+        records = {
+            slot: self._context_record(states[id(ctx)])
+            for slot, ctx in enumerate(program.contexts)
+        }
+        obs = self.obs
+        registry = obs.metrics if obs is not None else None
+        checkpoint = _ckpt.Checkpoint.capture(
+            program,
+            self._ckpt_timer.epoch + 1,
+            records,
+            metrics=registry.dump_state() if registry is not None else None,
+            executor=self.name,
+        )
+        checkpoint.save(self.checkpoint_path)
+        self._ckpt_timer.mark()
+
+    def _apply_resume_records(
+        self, program: Program, states: dict, records: dict
+    ) -> None:
+        """Start each context from its checkpointed suspension.
+
+        Contexts restored as ``fresh`` — and those parked on an
+        *un-executed* simple op — need no machinery at all: the fresh
+        generator re-derives the suspended yield from the restored
+        attributes and the scheduler primes and (re-)attempts it
+        naturally.  Executed suspensions prime the generator here,
+        discard the re-derived first yield, and inject the recorded
+        result; fused suspensions additionally rebuild the mid-batch
+        bookkeeping that :meth:`_resume_pending` already knows how to
+        finish (``fused_plan=None`` routes it through the generic
+        :meth:`_run_fusion`).
+        """
+        for slot, ctx in enumerate(program.contexts):
+            record = records.get(slot)
+            if record is None:
+                continue
+            self._apply_one_resume_record(ctx, states[id(ctx)], record)
+
+    def _apply_one_resume_record(self, ctx, state, record: dict) -> None:
+        """Rebuild one context's scheduler bookkeeping from its record
+        (shared with the process executor's lazy cluster activation)."""
+        kind = record["kind"]
+        if kind == "done":
+            state.status = _DONE
+            return
+        if kind == "fresh":
+            return
+        executed = record["executed"]
+        fused_index = record.get("fused_index")
+        if fused_index is None and not executed:
+            return  # plain re-derive + re-attempt
+        try:
+            first_op = state.gen.send(None)
+        except BaseException as failure:  # noqa: BLE001 - contract breach
+            raise SimulationError(
+                ctx.name,
+                RuntimeError(
+                    "context did not re-derive its suspended yield on "
+                    f"resume (resumable-state contract breach): {failure!r}"
+                ),
+            ) from failure
+        packed = record.get("pending_exc")
+        pending_exc = unpack_exception(packed) if packed is not None else None
+        if fused_index is None:
+            # Simple executed op: deliver the recorded outcome at the
+            # (discarded) re-derived yield.
+            state.pending_value = record["pending_value"]
+            state.pending_exc = pending_exc
+            return
+        ops_seq = first_op.ops if first_op.__class__ is FusedOps else first_op
+        if not isinstance(ops_seq, (tuple, list)):
+            raise SimulationError(
+                ctx.name,
+                RuntimeError(
+                    "resumed context yielded a non-fused op where the "
+                    f"checkpoint recorded a fused batch: {first_op!r}"
+                ),
+            )
+        results = list(record["fused_prefix"])
+        results.extend([None] * (record["fused_len"] - len(results)))
+        state.fused_ops = ops_seq
+        state.fused_index = fused_index
+        state.fused_results = results
+        state.fused_plan = None  # forces the generic _run_fusion path
+        if executed:
+            state.pending_value = record["pending_value"]
+            state.pending_exc = pending_exc
+        else:
+            state.retry_op = ops_seq[fused_index]
 
     # ------------------------------------------------------------------
 

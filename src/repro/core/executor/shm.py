@@ -291,6 +291,97 @@ class StatusBoard:
 
 
 # ----------------------------------------------------------------------
+# Checkpoint coordination board.
+# ----------------------------------------------------------------------
+
+
+#: Commands the parent publishes on the checkpoint board.
+CKPT_RUN = 0    # no round active: execute normally
+CKPT_PAUSE = 1  # stop executing contexts; drain shuttles; publish counters
+CKPT_DUMP = 2   # lanes are globally quiet: dump your partition slice
+
+
+class CheckpointBoard:
+    """Parent/worker rendezvous for quiescent-cut checkpoints.
+
+    The parent owns the header — a monotone request epoch plus a command
+    word — and each worker owns one row of counters:
+
+    * ``ack`` — the epoch this worker last acknowledged (it has stopped
+      executing contexts and entered its drain loop);
+    * ``rounds`` — drain-loop iterations (monotone); the parent requires
+      every worker to complete at least one full poll between its two
+      quiescence sweeps;
+    * ``moves`` — cumulative shuttle records moved while draining; any
+      in-flight record shows up here as a delta between sweeps;
+    * ``pending`` — records queued locally that have not fit in a lane
+      yet; global quiescence requires zero everywhere;
+    * ``dumped`` — the epoch whose partition dump this worker has
+      written (tmp + rename) to the checkpoint directory.
+
+    Word layout: ``[0]`` request epoch, ``[1]`` command, then five words
+    per worker.  All fields are single aligned 8-byte items (see the
+    module-level memory-ordering note).
+    """
+
+    _ROW = 5
+
+    def __init__(self, view: memoryview, workers: int):
+        self._words = view.cast("Q")
+        self.workers = workers
+        for index in range(2 + self._ROW * workers):
+            self._words[index] = 0
+
+    def release(self) -> None:
+        self._words.release()
+
+    @staticmethod
+    def size_for(workers: int) -> int:
+        return 8 * (2 + CheckpointBoard._ROW * max(workers, 1))
+
+    # -- parent side ---------------------------------------------------
+
+    def request(self, epoch: int, command: int) -> None:
+        # Command first: a worker that reads the new epoch must never
+        # see a stale DUMP from the previous round.
+        self._words[1] = command
+        self._words[0] = epoch
+
+    def set_command(self, command: int) -> None:
+        self._words[1] = command
+
+    def row(self, worker: int) -> tuple[int, int, int, int, int]:
+        base = 2 + self._ROW * worker
+        words = self._words
+        return (
+            words[base], words[base + 1], words[base + 2],
+            words[base + 3], words[base + 4],
+        )
+
+    # -- worker side ---------------------------------------------------
+
+    def epoch(self) -> int:
+        return self._words[0]
+
+    def command(self) -> int:
+        return self._words[1]
+
+    def ack(self, worker: int, epoch: int) -> None:
+        self._words[2 + self._ROW * worker] = epoch
+
+    def publish_drain(
+        self, worker: int, rounds: int, moves: int, pending: int
+    ) -> None:
+        base = 2 + self._ROW * worker
+        self._words[base + 1] = rounds
+        self._words[base + 2] = moves
+        self._words[base + 3] = pending
+
+    def mark_dumped(self, worker: int, epoch: int) -> None:
+        self._words[2 + self._ROW * worker + 4] = epoch
+
+
+# ----------------------------------------------------------------------
 # Cluster claim board (work stealing).
 # ----------------------------------------------------------------------
 

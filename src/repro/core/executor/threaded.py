@@ -40,6 +40,7 @@ from typing import Any, Optional
 
 from ...obs import Observability, fold_channel_metrics, fold_context_metrics
 from ...obs.stall import StallReport, stall_for
+from .. import checkpoint as _ckpt
 from ..channel import _EMPTY, Channel
 from ..context import Context
 from ..errors import (
@@ -48,6 +49,7 @@ from ..errors import (
     DeadlockError,
     RunTimeoutError,
     SimulationError,
+    unpack_exception,
 )
 from ..ops import (
     AdvanceTo,
@@ -107,10 +109,14 @@ class ThreadedExecutor(Executor):
         metrics_interval_s: Optional[float] = None,
         metrics_sink=None,
         superblocks: Any = "auto",
+        checkpoint_interval_s: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
     ):
         self.poll_interval = poll_interval
         self.deadlock_grace = deadlock_grace
         self.obs = obs
+        self.checkpoint_interval_s = checkpoint_interval_s
+        self.checkpoint_path = checkpoint_path
         #: Superblock mode (DESIGN.md §15): eligible cold clusters run on
         #: one thread each via an embedded sequential cluster driver with
         #: shared-clock shadow cells; every other context keeps its own
@@ -133,6 +139,30 @@ class ThreadedExecutor(Executor):
         # channel, peer context).  Written under _blocked_lock.
         self._blocked_sites: dict[str, tuple[str, Optional[Channel], Optional[Context]]] = {}
         self._ops_executed = 0
+        # -- checkpoint pause protocol (DESIGN.md §17) -----------------
+        # The controller raises ``_ckpt_request``; every live thread
+        # acknowledges at its next safe point — the top of its op loop
+        # (executed record) or between bounded parks on an un-executed
+        # op — then waits on ``_ckpt_cv`` without executing anything.
+        # When every live thread has acknowledged, nothing can mutate a
+        # channel or clock: a quiescent cut by construction.
+        self._ckpt_timer: Any = None
+        self._ckpt_request = False
+        self._ckpt_cv = threading.Condition()
+        # Round counter: an acknowledging thread waits for the *round it
+        # acked in* to end, not for a boolean to flip — back-to-back
+        # rounds (interval <= 0) would otherwise swallow the flip and
+        # strand every thread in a stale wait.
+        self._ckpt_round = 0
+        self._ckpt_acked = 0
+        self._ckpt_records: dict[int, dict] = {}
+        # Mid-batch bookkeeping per context, maintained only while
+        # checkpointing is on: [fused_index, live results list, batch
+        # length] — None index means "not inside a fused batch".
+        self._ckpt_cells: dict[int, list] = {}
+        self._resume_records: Optional[dict[int, dict]] = None
+        self._resuming = False
+        self._slots: dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -150,8 +180,37 @@ class ThreadedExecutor(Executor):
             else {}
         )
         self._program = program
+        self._slots = {id(ctx): slot for slot, ctx in enumerate(program.contexts)}
+        self._ckpt_timer = None
+        if self.checkpoint_path is not None:
+            _ckpt.validate_checkpointable(program)
+            _ckpt.clean_stale_temps(self.checkpoint_path)
+            interval = self.checkpoint_interval_s
+            self._ckpt_timer = _ckpt.CheckpointTimer(
+                0.0 if interval is None else interval,
+                start_epoch=getattr(program, "_resume_epoch", 0),
+            )
+            self._ckpt_cells = {
+                id(ctx): [None, None, None] for ctx in program.contexts
+            }
+        resume = program.__dict__.pop("_resume_records", None)
+        self._resuming = resume is not None
+        self._resume_records = resume
+        # Contexts restored as done never get a thread: their finish
+        # times and their channels' closure flags came back with the
+        # checkpoint, so there is nothing left to drive (and _finish must
+        # not run — it would re-close and re-stamp).
+        done_ids = (
+            {
+                id(ctx)
+                for slot, ctx in enumerate(program.contexts)
+                if resume.get(slot, {}).get("kind") == "done"
+            }
+            if resume
+            else set()
+        )
         self._time_sync = {id(ctx): _TimeSync() for ctx in program.contexts}
-        self._unfinished = len(program.contexts)
+        self._unfinished = len(program.contexts) - len(done_ids)
         self._unfinished_lock = threading.Lock()
 
         obs = self.obs
@@ -183,7 +242,7 @@ class ThreadedExecutor(Executor):
                 target=self._drive, args=(ctx,), name=f"dam-{ctx.name}", daemon=True
             )
             for ctx in program.contexts
-            if id(ctx) not in clustered
+            if id(ctx) not in clustered and id(ctx) not in done_ids
         ]
         threads.extend(
             threading.Thread(
@@ -201,6 +260,12 @@ class ThreadedExecutor(Executor):
             target=self._watch, args=(threads,), name="dam-watchdog", daemon=True
         )
         watchdog.start()
+        controller = None
+        if self._ckpt_timer is not None:
+            controller = threading.Thread(
+                target=self._ckpt_loop, name="dam-checkpointer", daemon=True
+            )
+            controller.start()
         sampler = self._start_sampler(
             self.metrics_interval_s, self._sampler_probe(program), self.metrics_sink
         )
@@ -210,6 +275,10 @@ class ThreadedExecutor(Executor):
         finally:
             self._abort.set()  # stop the watchdog
             watchdog.join()
+            if controller is not None:
+                with self._ckpt_cv:
+                    self._ckpt_cv.notify_all()
+                controller.join()
             self._stop_sampler(sampler, obs)
 
         for ctx in program.contexts:
@@ -327,6 +396,11 @@ class ThreadedExecutor(Executor):
         mode = normalize_mode(self.superblocks)
         if mode == "off" or self.obs is not None or self._fault_map:
             return []
+        # Checkpointed (and resumed) runs need one thread per context:
+        # the pause protocol's safe points live in _drive, and cluster-
+        # driver sb_* state is not part of any capturable record.
+        if self._ckpt_timer is not None or self._resuming:
+            return []
         clusters = plan_clusters(
             program, {id(ctx): 0 for ctx in program.contexts}
         )
@@ -374,6 +448,8 @@ class ThreadedExecutor(Executor):
         gen = ctx.run()
         value: Any = None
         exc: BaseException | None = None
+        started = False  # the generator has been primed (first send done)
+        resume_batch: Optional[tuple] = None
         # The buffer is this thread's own: appends need no locking and,
         # unlike a shared event log, cannot perturb peer scheduling.
         buf = self._buffers.get(ctx.name)
@@ -382,13 +458,72 @@ class ThreadedExecutor(Executor):
         wall_start = _wallclock.perf_counter() if self._collect_metrics else 0.0
         abort_is_set = self._abort.is_set
         fault = self._fault_map.pop(ctx.name, None)
+        cell = self._ckpt_cells.get(id(ctx))
+        record = (
+            self._resume_records.pop(self._slots[id(ctx)], None)
+            if self._resume_records
+            else None
+        )
         try:
+            if record is not None and record["kind"] == "suspended":
+                # Resume prologue (DESIGN.md §17): prime the fresh
+                # generator so it re-derives the suspended yield from the
+                # restored attributes, then route the recorded outcome
+                # back in instead of re-executing the op.  Un-executed
+                # simple suspensions skip all of this — the loop below
+                # re-derives and re-attempts them naturally.
+                packed = record.get("pending_exc")
+                pending_exc = (
+                    unpack_exception(packed) if packed is not None else None
+                )
+                fused_index = record.get("fused_index")
+                if fused_index is not None:
+                    op0 = self._resume_prime(ctx, gen)
+                    started = True
+                    subs0 = op0.ops if type(op0) is FusedOps else op0
+                    if not isinstance(subs0, (tuple, list)):
+                        raise SimulationError(
+                            ctx.name,
+                            RuntimeError(
+                                "resumed context yielded a non-fused op "
+                                "where the checkpoint recorded a fused "
+                                f"batch: {op0!r}"
+                            ),
+                        )
+                    results0 = list(record.get("fused_prefix") or [])
+                    start_at = fused_index
+                    if record["executed"]:
+                        results0.append(record["pending_value"])
+                        start_at = fused_index + 1
+                    resume_batch = (subs0, start_at, results0, pending_exc)
+                elif record["executed"] or pending_exc is not None:
+                    self._resume_prime(ctx, gen)
+                    started = True
+                    value, exc = record["pending_value"], pending_exc
             while True:
                 # Per-op abort check: without it a context that never
                 # blocks (pure IncrCycles loops) would ignore deadline and
                 # peer-failure aborts until it happened to park.
                 if abort_is_set():
                     raise _Aborted
+                if resume_batch is not None:
+                    # Finish the checkpointed mid-batch suspension before
+                    # the first checkpoint gate: the pending prefix is
+                    # thread-local state no record could describe twice.
+                    subs, start_at, results, exc = resume_batch
+                    resume_batch = None
+                    if exc is None:
+                        value, exc, count = self._run_batch(
+                            ctx, subs, buf, results, start_at, cell
+                        )
+                        ops += count
+                        continue
+                    # The recorded batch outcome was an exception (a
+                    # closing dequeue): fall through and deliver it.
+                if self._ckpt_request:
+                    self._ckpt_ack(
+                        ctx, self._ready_record(ctx, started, value, exc)
+                    )
                 if fault is not None and ops >= fault.after_ops:
                     exc, fault = fault.make(), None
                 try:
@@ -401,69 +536,15 @@ class ThreadedExecutor(Executor):
                     break
                 except ChannelClosed:
                     break
+                started = True
                 value, exc = None, None
                 kind = type(op)
                 if kind is FusedOps or kind is tuple or kind is list:
                     subs = op.ops if kind is FusedOps else op
-                    results = []
-                    for sub in subs:
-                        # Accounting is per constituent, matching the
-                        # sequential executor: the batch itself is not
-                        # an op, and a closing dequeue is still counted.
-                        self._progress += 1
-                        self._ops_executed += 1
-                        ops += 1
-                        skind = type(sub)
-                        if skind is Enqueue:
-                            self._do_enqueue(ctx, sub)
-                            if buf is not None:
-                                buf.append(
-                                    "enqueue", sub.sender.channel.name,
-                                    ctx.time.now(), sub.data,
-                                )
-                            results.append(None)
-                        elif skind is Dequeue or skind is Peek:
-                            try:
-                                result = self._do_dequeue(
-                                    ctx, sub, remove=skind is Dequeue
-                                )
-                            except ChannelClosed as closed:
-                                exc = closed
-                                break  # abandon the rest of the batch
-                            if buf is not None:
-                                buf.append(
-                                    "dequeue" if skind is Dequeue else "peek",
-                                    sub.receiver.channel.name,
-                                    ctx.time.now(), result,
-                                )
-                            results.append(result)
-                        elif skind is IncrCycles:
-                            ctx.time.incr(sub.cycles)
-                            if buf is not None:
-                                buf.append("advance", None, ctx.time.now())
-                            results.append(None)
-                        elif skind is AdvanceTo:
-                            ctx.time.advance(sub.time)
-                            if buf is not None:
-                                buf.append("advance", None, ctx.time.now())
-                            results.append(None)
-                        elif skind is ViewTime:
-                            results.append(sub.context.time.now())
-                            spins += 1
-                        elif skind is WaitUntil:
-                            results.append(self._wait_until(ctx, sub))
-                        else:
-                            raise SimulationError(
-                                ctx.name,
-                                TypeError(
-                                    "FusedOps constituent must be a "
-                                    f"non-fused op: {sub!r}"
-                                ),
-                            )
-                    if exc is None:
-                        # A list, matching the sequential fast path's
-                        # reused plan buffer (same type either way).
-                        value = results
+                    value, exc, count = self._run_batch(
+                        ctx, subs, buf, [], 0, cell
+                    )
+                    ops += count
                     continue
                 if kind is Enqueue:
                     self._do_enqueue(ctx, op)
@@ -533,6 +614,233 @@ class ThreadedExecutor(Executor):
                     _wallclock.perf_counter() - wall_start
                 )
 
+    def _run_batch(
+        self,
+        ctx: Context,
+        subs,
+        buf,
+        results: list,
+        start: int,
+        cell: Optional[list],
+    ) -> tuple:
+        """Execute constituents ``[start:]`` of a fused batch.
+
+        Returns ``(value, exc, count)``: the delivery for the generator
+        (the results list, or ``None`` paired with the closing exception)
+        and the number of constituents executed here.  ``cell`` — present
+        only while checkpointing is on — tracks the in-progress position
+        so a pause while blocked on a constituent records the exact
+        mid-batch suspension.
+        """
+        exc: BaseException | None = None
+        count = 0
+        try:
+            for index in range(start, len(subs)):
+                sub = subs[index]
+                if cell is not None:
+                    cell[0], cell[1], cell[2] = index, results, len(subs)
+                # Accounting is per constituent, matching the sequential
+                # executor: the batch itself is not an op, and a closing
+                # dequeue is still counted.
+                self._progress += 1
+                self._ops_executed += 1
+                count += 1
+                skind = type(sub)
+                if skind is Enqueue:
+                    self._do_enqueue(ctx, sub)
+                    if buf is not None:
+                        buf.append(
+                            "enqueue", sub.sender.channel.name,
+                            ctx.time.now(), sub.data,
+                        )
+                    results.append(None)
+                elif skind is Dequeue or skind is Peek:
+                    try:
+                        result = self._do_dequeue(
+                            ctx, sub, remove=skind is Dequeue
+                        )
+                    except ChannelClosed as closed:
+                        exc = closed
+                        break  # abandon the rest of the batch
+                    if buf is not None:
+                        buf.append(
+                            "dequeue" if skind is Dequeue else "peek",
+                            sub.receiver.channel.name,
+                            ctx.time.now(), result,
+                        )
+                    results.append(result)
+                elif skind is IncrCycles:
+                    ctx.time.incr(sub.cycles)
+                    if buf is not None:
+                        buf.append("advance", None, ctx.time.now())
+                    results.append(None)
+                elif skind is AdvanceTo:
+                    ctx.time.advance(sub.time)
+                    if buf is not None:
+                        buf.append("advance", None, ctx.time.now())
+                    results.append(None)
+                elif skind is ViewTime:
+                    results.append(sub.context.time.now())
+                    self._ctx_spins[ctx.name] += 1
+                elif skind is WaitUntil:
+                    results.append(self._wait_until(ctx, sub))
+                else:
+                    raise SimulationError(
+                        ctx.name,
+                        TypeError(
+                            "FusedOps constituent must be a "
+                            f"non-fused op: {sub!r}"
+                        ),
+                    )
+        finally:
+            if cell is not None:
+                cell[0] = None
+        # A list, matching the sequential fast path's reused plan buffer
+        # (same type either way).
+        return (results if exc is None else None, exc, count)
+
+    # ------------------------------------------------------------------
+    # Checkpoint pause protocol (DESIGN.md §17).
+    # ------------------------------------------------------------------
+
+    def _resume_prime(self, ctx: Context, gen):
+        """Prime a resumed generator; its first yield re-derives the
+        suspended op (discarded — the recorded outcome replaces it)."""
+        try:
+            return gen.send(None)
+        except BaseException as failure:  # noqa: BLE001 - contract breach
+            raise SimulationError(
+                ctx.name,
+                RuntimeError(
+                    "context did not re-derive its suspended yield on "
+                    f"resume (resumable-state contract breach): {failure!r}"
+                ),
+            ) from failure
+
+    def _ready_record(self, ctx: Context, started: bool, value, exc) -> dict:
+        """The resume record for a thread paused at the top of its op
+        loop: the last op executed fully and its outcome awaits delivery
+        (or the generator never started)."""
+        if not started:
+            return _ckpt.record_fresh(ctx)
+        return _ckpt.record_suspended(
+            ctx, executed=True, pending_value=value, pending_exc=exc
+        )
+
+    def _ckpt_gate_blocked(self, ctx: Context) -> None:
+        """Safe point between bounded parks on an un-executed op.
+
+        Called with no channel condition held (the park's ``with`` block
+        has exited), so acknowledging here can never stop a peer from
+        reaching its own gate.
+        """
+        if not self._ckpt_request:
+            return
+        cell = self._ckpt_cells.get(id(ctx))
+        if cell is not None and cell[0] is not None:
+            record = _ckpt.record_suspended(
+                ctx,
+                executed=False,
+                fused_index=cell[0],
+                fused_prefix=list(cell[1][: cell[0]]),
+                fused_len=cell[2],
+            )
+        else:
+            record = _ckpt.record_suspended(ctx, executed=False)
+        self._ckpt_ack(ctx, record)
+
+    def _ckpt_ack(self, ctx: Context, record: dict) -> None:
+        """Publish this context's record, then stay parked — executing
+        nothing — until the controller finishes the capture."""
+        slot = self._slots[id(ctx)]
+        with self._ckpt_cv:
+            if not self._ckpt_request:
+                # The round ended between the lock-free gate check and
+                # acquiring the condition; nothing to acknowledge.
+                return
+            round_id = self._ckpt_round
+            self._ckpt_records[slot] = record
+            self._ckpt_acked += 1
+            self._ckpt_cv.notify_all()
+            # Wait for *this* round to end.  The controller may begin the
+            # next round immediately (interval <= 0), so waiting on the
+            # request boolean alone would strand this thread in a stale
+            # wait while the new round counts acks it never re-sent.
+            while self._ckpt_round == round_id and not self._abort.is_set():
+                self._ckpt_cv.wait(self.poll_interval)
+        if self._abort.is_set():
+            raise _Aborted
+
+    def _ckpt_loop(self) -> None:
+        """Controller thread: pause, capture, resume at the configured
+        cadence until the run finishes or aborts."""
+        timer = self._ckpt_timer
+        while not self._abort.is_set():
+            with self._unfinished_lock:
+                if self._unfinished <= 0:
+                    return
+            if timer.due():
+                try:
+                    self._ckpt_pause_and_capture()
+                except BaseException as failure:  # noqa: BLE001 - abort the run
+                    self._errors.append(
+                        failure
+                        if isinstance(failure, DamError)
+                        else SimulationError("<checkpoint>", failure)
+                    )
+                    self._abort.set()
+                    return
+            else:
+                _wallclock.sleep(self.poll_interval)
+
+    def _ckpt_pause_and_capture(self) -> None:
+        """One pause/capture/resume round.
+
+        Raising the request flag makes every live thread acknowledge at
+        its next safe point; a thread that instead *finishes* mid-round
+        leaves the live count, so the wait below converges either way.
+        Threads resumed by the final notify re-check their own state —
+        blocked ops simply re-attempt against the (unchanged) channels.
+        """
+        with self._ckpt_cv:
+            self._ckpt_records = {}
+            self._ckpt_acked = 0
+            self._ckpt_request = True
+            try:
+                while not self._abort.is_set():
+                    with self._unfinished_lock:
+                        live = self._unfinished
+                    if live <= 0 or self._ckpt_acked >= live:
+                        break
+                    self._ckpt_cv.wait(self.poll_interval)
+                if not self._abort.is_set():
+                    self._capture_checkpoint()
+            finally:
+                self._ckpt_request = False
+                self._ckpt_round += 1
+                self._ckpt_cv.notify_all()
+
+    def _capture_checkpoint(self) -> None:
+        """All live threads acknowledged: assemble and write the cut.
+        Contexts with no published record finished earlier (their threads
+        exited) and are captured as done."""
+        program = self._program
+        records = dict(self._ckpt_records)
+        for slot, ctx in enumerate(program.contexts):
+            if slot not in records:
+                records[slot] = _ckpt.record_done(ctx)
+        obs = self.obs
+        registry = obs.metrics if obs is not None else None
+        checkpoint = _ckpt.Checkpoint.capture(
+            program,
+            self._ckpt_timer.epoch + 1,
+            records,
+            metrics=registry.dump_state() if registry is not None else None,
+            executor=self.name,
+        )
+        checkpoint.save(self.checkpoint_path)
+        self._ckpt_timer.mark()
+
     # ------------------------------------------------------------------
     # Blocking channel operations (the SVP paths).
     # ------------------------------------------------------------------
@@ -540,22 +848,25 @@ class ThreadedExecutor(Executor):
     def _do_enqueue(self, ctx: Context, op: Enqueue) -> None:
         channel = op.sender.channel
         clock = ctx.time
-        with channel.cond:
-            # ``try_enqueue`` is re-fetched on every attempt: a close
-            # transition while parked re-selects the flavor under this
-            # same condition, so the retry sees the fresh bound method.
-            while not channel.try_enqueue(clock, op.data):
+        while True:
+            with channel.cond:
+                # ``try_enqueue`` is re-fetched on every attempt: a close
+                # transition while parked re-selects the flavor under this
+                # same condition, so the retry sees the fresh bound method.
+                if channel.try_enqueue(clock, op.data):
+                    channel.cond.notify_all()
+                    return
                 self._park(
                     ctx, channel.cond, f"enqueue on full {channel.name}",
                     channel=channel,
                 )
-            channel.cond.notify_all()
+            self._ckpt_gate_blocked(ctx)
 
     def _do_dequeue(self, ctx: Context, op: Any, remove: bool) -> Any:
         channel = op.receiver.channel
         clock = ctx.time
-        with channel.cond:
-            while True:
+        while True:
+            with channel.cond:
                 if remove:
                     value = channel.fast_dequeue(clock)
                     if value is not _EMPTY:
@@ -569,6 +880,7 @@ class ThreadedExecutor(Executor):
                     ctx, channel.cond, f"dequeue on empty {channel.name}",
                     channel=channel,
                 )
+            self._ckpt_gate_blocked(ctx)
 
     def _wait_until(self, ctx: Context, op: WaitUntil) -> Any:
         target = op.context
@@ -576,18 +888,21 @@ class ThreadedExecutor(Executor):
             self._ctx_spins[ctx.name] += 1
             return target.time.now()
         sync = self._time_sync[id(target)]
-        with sync.cond:
-            sync.waiter_count += 1
-            try:
-                while target.time.now() < op.time:
-                    self._ctx_spins[ctx.name] += 1
+        while True:
+            with sync.cond:
+                if target.time.now() >= op.time:
+                    break
+                self._ctx_spins[ctx.name] += 1
+                sync.waiter_count += 1
+                try:
                     self._park(
                         ctx, sync.cond,
                         f"wait-until {op.time} on {target.name}",
                         peer=target,
                     )
-            finally:
-                sync.waiter_count -= 1
+                finally:
+                    sync.waiter_count -= 1
+            self._ckpt_gate_blocked(ctx)
         return target.time.now()
 
     def _park(
@@ -690,6 +1005,11 @@ class ThreadedExecutor(Executor):
                 self._errors.append(self._timeout_error(self._program))
                 self._abort.set()
                 return
+            if self._ckpt_request:
+                # A checkpoint pause freezes every thread on purpose;
+                # stillness during it is not a deadlock.
+                stall_start = None
+                continue
             progress = self._progress
             with self._blocked_lock:
                 all_parked = self._blocked_count >= unfinished

@@ -49,7 +49,14 @@ class FaultInjected(RuntimeError):
 
 @dataclass(frozen=True)
 class WorkerKill:
-    """SIGKILL a worker once its op counter reaches ``after_ops``.
+    """SIGKILL a worker at a trigger point.
+
+    Two trigger kinds: ``after_ops`` fires once the worker's published
+    operation counter reaches the threshold; ``after_checkpoints`` fires
+    immediately after the worker has dumped its partition for the Nth
+    checkpoint round — the worst possible moment for the parent's stitch,
+    which is exactly what resume-from-checkpoint tests want to survive.
+    Either trigger may be ``None`` (inert).
 
     ``worker=None`` means "pick a victim from the plan's seed" — resolved
     to a concrete index by :meth:`FaultPlan.resolve` once the worker count
@@ -57,8 +64,9 @@ class WorkerKill:
     """
 
     worker: Optional[int] = None
-    after_ops: int = 0
+    after_ops: Optional[int] = 0
     signal: int = _signal.SIGKILL
+    after_checkpoints: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -138,10 +146,15 @@ class FaultPlan:
     def kill_worker(
         self,
         worker: Optional[int] = None,
-        after_ops: int = 0,
+        after_ops: Optional[int] = None,
         signal: int = _signal.SIGKILL,
+        after_checkpoints: Optional[int] = None,
     ) -> "FaultPlan":
-        self.kills.append(WorkerKill(worker, after_ops, signal))
+        if after_ops is None and after_checkpoints is None:
+            after_ops = 0  # bare kill_worker() keeps its old meaning
+        self.kills.append(
+            WorkerKill(worker, after_ops, signal, after_checkpoints)
+        )
         return self
 
     def raise_in(

@@ -133,6 +133,17 @@ class Program:
         Every attempt — including the successful one — is recorded in
         ``RunSummary.attempts``; if the whole ladder fails, the record is
         attached to the raised exception as ``exc.attempts``.
+
+        With ``RunConfig(checkpoint_path=...)`` set, a retry does better
+        than starting over: the latest *valid* checkpoint in the
+        directory is restored after the reset (state, clocks, channels —
+        and the metrics registry, into the attached ``obs``), so the
+        next attempt resumes mid-run.  Each attempt record carries
+        ``resumed_from`` (``{"path", "epoch"}``, or ``None`` for a
+        from-scratch attempt), and when the next executor is the process
+        executor the checkpoint's observed post-steal placement seeds
+        the partitioner via elastic pins (correct on any worker count;
+        see :func:`repro.core.checkpoint.elastic_pins`).
         """
         from time import perf_counter
 
@@ -155,6 +166,12 @@ class Program:
 
         obs = config.obs
         attempts: list[dict] = []
+        #: What the attempt about to run was restored from (None = scratch).
+        resumed_from: Optional[dict] = (
+            {"path": None, "epoch": getattr(self, "_resume_epoch", 0)}
+            if getattr(self, "_resume_records", None) is not None
+            else None
+        )
         for position, spec in enumerate(specs):
             cls = resolve_executor(spec)
             instance = cls.from_config(config)
@@ -173,6 +190,7 @@ class Program:
                         "error": repr(exc),
                         "seconds": perf_counter() - started,
                         "tag": config.tag,
+                        "resumed_from": resumed_from,
                     }
                 )
                 if position == len(specs) - 1:
@@ -187,8 +205,13 @@ class Program:
                         obs.trace.clear()
                     obs.stall_report = None
                     obs.crash_report = None
-                    if obs.metrics is not None:
-                        obs.metrics.counter("run_retries").inc()
+                resumed_from = None
+                if config.checkpoint_path is not None:
+                    resumed_from, config = self._restore_latest_checkpoint(
+                        config, obs
+                    )
+                if obs is not None and obs.metrics is not None:
+                    obs.metrics.counter("run_retries").inc()
             else:
                 attempts.append(
                     {
@@ -197,6 +220,7 @@ class Program:
                         "error": None,
                         "seconds": perf_counter() - started,
                         "tag": config.tag,
+                        "resumed_from": resumed_from,
                     }
                 )
                 summary.attempts = attempts
@@ -204,6 +228,36 @@ class Program:
                     summary.tag = config.tag
                 return summary
         raise AssertionError("unreachable: ladder neither returned nor raised")
+
+    def _restore_latest_checkpoint(self, config, obs):
+        """Restore the newest valid checkpoint for a ladder retry.
+
+        Returns ``(resumed_from, config)``: the attempt annotation (or
+        ``None`` when the directory holds no usable checkpoint — the
+        retry then runs from scratch, exactly as before checkpointing
+        existed) and the possibly-updated config.  The checkpoint's
+        saved metrics registry is loaded into ``obs`` so counters
+        continue from the cut, and when the caller configured an
+        explicit worker count the observed placement is folded into
+        ``config.pins`` for elastic repartitioning.
+        """
+        from .checkpoint import elastic_pins, latest_checkpoint
+
+        checkpoint = latest_checkpoint(config.checkpoint_path, self)
+        if checkpoint is None:
+            return None, config
+        checkpoint.restore_into(self)
+        if (
+            obs is not None
+            and obs.metrics is not None
+            and checkpoint.metrics is not None
+        ):
+            obs.metrics.load_state(checkpoint.metrics)
+        if checkpoint.placement and config.workers:
+            pins = elastic_pins(self, checkpoint, config.workers)
+            if pins:
+                config = config.replace(pins=pins)
+        return {"path": checkpoint.path, "epoch": checkpoint.epoch}, config
 
     def reset(self) -> None:
         """Restore every context clock and channel to pre-run state.
@@ -226,6 +280,10 @@ class Program:
             context.finish_time = None
         for channel in self.channels:
             channel.reset()
+        # A pending checkpoint restore is run state too: reset means "from
+        # scratch" (a later restore_into() re-arms both attributes).
+        self.__dict__.pop("_resume_records", None)
+        self.__dict__.pop("_resume_epoch", None)
 
     def context_count(self) -> int:
         return len(self.contexts)

@@ -218,6 +218,65 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
 
+    # ------------------------------------------------------------------
+    # Checkpoint round-trip (DESIGN.md §17).  snapshot() is lossy — it
+    # flattens label tuples into display strings and reduces histograms
+    # to their summaries — so checkpoints carry this raw form instead,
+    # from which load_state() rebuilds every metric exactly (including
+    # the quantile bucket sketches).
+    # ------------------------------------------------------------------
+
+    def dump_state(self) -> dict[str, Any]:
+        """Full-fidelity state of every metric, as picklable plain data."""
+        return {
+            "counters": [
+                (key, metric.value) for key, metric in sorted(self._counters.items())
+            ],
+            "gauges": [
+                (key, metric.value) for key, metric in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                (
+                    key,
+                    {
+                        "count": metric.count,
+                        "total": metric.total,
+                        "min": metric.min,
+                        "max": metric.max,
+                        "buckets": dict(metric._buckets),
+                    },
+                )
+                for key, metric in sorted(self._histograms.items())
+            ],
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Replace this registry's contents with a :meth:`dump_state` dump."""
+
+        def rekey(key) -> _MetricKey:
+            name, labels = key
+            return name, tuple(tuple(pair) for pair in labels)
+
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        for key, value in state.get("counters", []):
+            metric = Counter()
+            metric.value = value
+            self._counters[rekey(key)] = metric
+        for key, value in state.get("gauges", []):
+            metric = Gauge()
+            metric.value = value
+            self._gauges[rekey(key)] = metric
+        for key, dumped in state.get("histograms", []):
+            metric = Histogram()
+            metric.count = dumped["count"]
+            metric.total = dumped["total"]
+            metric.min = dumped["min"]
+            metric.max = dumped["max"]
+            metric._buckets = dict(dumped["buckets"])
+            self._histograms[rekey(key)] = metric
+
 
 def fold_channel_metrics(registry: MetricsRegistry, channels) -> None:
     """Fold per-channel :class:`~repro.core.channel.ChannelStats` into the

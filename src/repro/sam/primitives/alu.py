@@ -6,6 +6,7 @@ import math
 from typing import Callable
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
@@ -18,6 +19,8 @@ class BinaryAlu(SamContext):
     for its two ref outputs); stops are checked for alignment and passed
     through.
     """
+
+    checkpoint_attrs = ("_a", "_b")
 
     def __init__(
         self,
@@ -33,6 +36,8 @@ class BinaryAlu(SamContext):
         self.in_val2 = in_val2
         self.out_val = out_val
         self.fn = fn
+        self._a = UNSET
+        self._b = UNSET
         self.register(in_val1, in_val2, out_val)
 
     def run(self):
@@ -44,8 +49,11 @@ class BinaryAlu(SamContext):
         enq = self.out_val.enqueue(None)
         step = FusedOps(enq, self.tick(), deq1, deq2)
         step_control = FusedOps(enq, self.tick_control(), deq1, deq2)
-        a, b = yield FusedOps(deq1, deq2)
+        if self._a is UNSET:
+            res = yield FusedOps(deq1, deq2)
+            self._a, self._b = res
         while True:
+            a, b = self._a, self._b
             if a is DONE or b is DONE:
                 assert a is DONE and b is DONE, (
                     f"{self.name}: value streams ended at different points"
@@ -56,10 +64,12 @@ class BinaryAlu(SamContext):
             if a.__class__ is Stop or b.__class__ is Stop:
                 assert a == b, f"{self.name}: misaligned tokens {a!r} vs {b!r}"
                 enq.data = a
-                _, _, a, b = yield step_control
+                res = yield step_control
+                self._a, self._b = res[2], res[3]
             else:
                 enq.data = fn(a, b)
-                _, _, a, b = yield step
+                res = yield step
+                self._a, self._b = res[2], res[3]
 
 
 def mul(a: float, b: float) -> float:
@@ -78,6 +88,8 @@ class UnaryAlu(SamContext):
     Section VIII-A1.
     """
 
+    checkpoint_attrs = ("_token",)
+
     def __init__(
         self,
         in_val: Receiver,
@@ -90,6 +102,7 @@ class UnaryAlu(SamContext):
         self.in_val = in_val
         self.out_val = out_val
         self.fn = fn
+        self._token = UNSET
         self.register(in_val, out_val)
 
     def run(self):
@@ -98,18 +111,20 @@ class UnaryAlu(SamContext):
         enq = self.out_val.enqueue(None)
         step = FusedOps(enq, self.tick(), deq)
         step_control = FusedOps(enq, self.tick_control(), deq)
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
         while True:
+            token = self._token
             if token is DONE:
                 enq.data = DONE
                 yield enq
                 return
             if token.__class__ is Stop:
                 enq.data = token
-                token = (yield step_control)[2]
+                self._token = (yield step_control)[2]
             else:
                 enq.data = fn(token)
-                token = (yield step)[2]
+                self._token = (yield step)[2]
 
 
 def exp(value: float) -> float:

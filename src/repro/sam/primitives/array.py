@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..token import ABSENT, DONE, Stop
 from .base import SamContext, TimingParams
@@ -19,6 +20,8 @@ class ArrayVals(SamContext):
     through unchanged.
     """
 
+    checkpoint_attrs = ("_token",)
+
     def __init__(
         self,
         vals: np.ndarray,
@@ -31,6 +34,7 @@ class ArrayVals(SamContext):
         self.vals = np.asarray(vals, dtype=np.float64)
         self.in_ref = in_ref
         self.out_val = out_val
+        self._token = UNSET
         self.register(in_ref, out_val)
 
     def run(self):
@@ -39,15 +43,17 @@ class ArrayVals(SamContext):
         enq = self.out_val.enqueue(None)
         step = FusedOps(enq, self.tick(), deq)
         step_control = FusedOps(enq, self.tick_control(), deq)
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
         while True:
+            token = self._token
             if token is DONE:
                 enq.data = DONE
                 yield enq
                 return
             if token.__class__ is Stop:
                 enq.data = token
-                token = (yield step_control)[2]
+                self._token = (yield step_control)[2]
             else:
                 enq.data = 0.0 if token is ABSENT else float(vals[token])
-                token = (yield step)[2]
+                self._token = (yield step)[2]

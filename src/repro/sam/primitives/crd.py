@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
@@ -20,6 +21,8 @@ from .base import SamContext, TimingParams
 
 class CrdDrop(SamContext):
     """Keep outer coordinates with nonempty inner fibers."""
+
+    checkpoint_attrs = ("_outer", "_inner", "_nonempty", "_matching")
 
     def __init__(
         self,
@@ -33,6 +36,10 @@ class CrdDrop(SamContext):
         self.in_outer_crd = in_outer_crd
         self.in_inner_crd = in_inner_crd
         self.out_crd = out_crd
+        self._outer = UNSET
+        self._inner = UNSET  # UNSET = not yet pulled for the current outer
+        self._nonempty = False
+        self._matching = UNSET  # the mirrored outer stop, once pulled
         self.register(in_outer_crd, in_inner_crd, out_crd)
 
     def run(self):
@@ -44,12 +51,15 @@ class CrdDrop(SamContext):
         emit_pull = FusedOps(enq, self.tick_control(), deq_outer)
         skip_pull = FusedOps(self.tick_control(), deq_outer)
         emit_next = FusedOps(enq, deq_outer)
-        outer = yield deq_outer
+        if self._outer is UNSET:
+            self._outer = yield deq_outer
         while True:
+            outer = self._outer
             if outer is DONE:
-                inner = yield deq_inner
-                assert inner is DONE, (
-                    f"{self.name}: outer done but inner sent {inner!r}"
+                if self._inner is UNSET:
+                    self._inner = yield deq_inner
+                assert self._inner is DONE, (
+                    f"{self.name}: outer done but inner sent {self._inner!r}"
                 )
                 enq.data = DONE
                 yield enq
@@ -57,48 +67,70 @@ class CrdDrop(SamContext):
             if outer.__class__ is Stop:
                 # An empty outer fiber: the inner stream presents the
                 # matching one-deeper stop; mirror the outer stop through.
-                inner = yield deq_inner
+                if self._inner is UNSET:
+                    self._inner = yield deq_inner
+                inner = self._inner
                 assert isinstance(inner, Stop) and inner.level == outer.level + 1, (
                     f"{self.name}: outer stop {outer!r} paired with inner "
                     f"{inner!r} (expected Stop({outer.level + 1}))"
                 )
                 enq.data = outer
-                outer = (yield emit_pull)[2]
+                res = yield emit_pull
+                self._inner = UNSET
+                self._outer = res[2]
                 continue
             # Scan this outer coordinate's inner fiber.
-            nonempty = False
-            inner = yield deq_inner
-            while inner.__class__ is not Stop:
-                assert inner is not DONE, (
+            if self._inner is UNSET:
+                self._inner = yield deq_inner
+            while self._inner.__class__ is not Stop:
+                assert self._inner is not DONE, (
                     f"{self.name}: inner stream done mid-fiber"
                 )
-                nonempty = True
-                inner = (yield scan)[1]
+                res = yield scan
+                self._nonempty = True
+                self._inner = res[1]
+            inner = self._inner
             if inner.level >= 1:
                 # Inner boundary also closes outer levels: mirror it on the
                 # outer stream (consume) and the output (emit, one level
                 # shallower).
-                if nonempty:
-                    enq.data = outer
-                    matching = (yield emit_pull)[2]
-                else:
-                    matching = (yield skip_pull)[1]
+                if self._matching is UNSET:
+                    if self._nonempty:
+                        enq.data = outer
+                        res = yield emit_pull
+                        self._matching = res[2]
+                    else:
+                        res = yield skip_pull
+                        self._matching = res[1]
+                matching = self._matching
                 expected = inner.level - 1
                 assert isinstance(matching, Stop) and matching.level == expected, (
                     f"{self.name}: expected outer Stop({expected}), got "
                     f"{matching!r}"
                 )
                 enq.data = matching
-                outer = (yield emit_next)[1]
-            elif nonempty:
+                res = yield emit_next
+                self._outer = res[1]
+                self._inner = UNSET
+                self._matching = UNSET
+                self._nonempty = False
+            elif self._nonempty:
                 enq.data = outer
-                outer = (yield emit_pull)[2]
+                res = yield emit_pull
+                self._outer = res[2]
+                self._inner = UNSET
+                self._nonempty = False
             else:
-                outer = (yield skip_pull)[1]
+                res = yield skip_pull
+                self._outer = res[1]
+                self._inner = UNSET
+                self._nonempty = False
 
 
 class CrdHold(SamContext):
     """Emit the held outer coordinate once per inner payload."""
+
+    checkpoint_attrs = ("_outer", "_inner", "_matching")
 
     def __init__(
         self,
@@ -112,6 +144,9 @@ class CrdHold(SamContext):
         self.in_outer_crd = in_outer_crd
         self.in_inner_crd = in_inner_crd
         self.out_crd = out_crd
+        self._outer = UNSET
+        self._inner = UNSET  # UNSET = not yet pulled for the current outer
+        self._matching = UNSET  # the consumed outer stop, once pulled
         self.register(in_outer_crd, in_inner_crd, out_crd)
 
     def run(self):
@@ -121,12 +156,15 @@ class CrdHold(SamContext):
         # Hot path: emit the held outer crd, tick, refill inner.
         hold_step = FusedOps(enq, self.tick(), deq_inner)
         emit_pull = FusedOps(enq, self.tick_control(), deq_outer)
-        outer = yield deq_outer
+        if self._outer is UNSET:
+            self._outer = yield deq_outer
         while True:
+            outer = self._outer
             if outer is DONE:
-                inner = yield deq_inner
-                assert inner is DONE, (
-                    f"{self.name}: outer done but inner sent {inner!r}"
+                if self._inner is UNSET:
+                    self._inner = yield deq_inner
+                assert self._inner is DONE, (
+                    f"{self.name}: outer done but inner sent {self._inner!r}"
                 )
                 enq.data = DONE
                 yield enq
@@ -134,24 +172,34 @@ class CrdHold(SamContext):
             if outer.__class__ is Stop:
                 # Empty outer fiber: pass the inner stream's matching
                 # one-deeper stop through (output aligns with the inner).
-                inner = yield deq_inner
+                if self._inner is UNSET:
+                    self._inner = yield deq_inner
+                inner = self._inner
                 assert isinstance(inner, Stop) and inner.level == outer.level + 1, (
                     f"{self.name}: outer stop {outer!r} paired with inner "
                     f"{inner!r} (expected Stop({outer.level + 1}))"
                 )
                 enq.data = inner
-                outer = (yield emit_pull)[2]
+                res = yield emit_pull
+                self._outer = res[2]
+                self._inner = UNSET
                 continue
-            inner = yield deq_inner
-            while inner.__class__ is not Stop:
-                assert inner is not DONE, (
+            if self._inner is UNSET:
+                self._inner = yield deq_inner
+            while self._inner.__class__ is not Stop:
+                assert self._inner is not DONE, (
                     f"{self.name}: inner stream done mid-fiber"
                 )
                 enq.data = outer
-                inner = (yield hold_step)[2]
+                res = yield hold_step
+                self._inner = res[2]
+            inner = self._inner
             enq.data = inner
             if inner.level >= 1:
-                matching = (yield emit_pull)[2]
+                if self._matching is UNSET:
+                    res = yield emit_pull
+                    self._matching = res[2]
+                matching = self._matching
                 expected = inner.level - 1
                 assert (
                     isinstance(matching, Stop)
@@ -160,6 +208,11 @@ class CrdHold(SamContext):
                     f"{self.name}: expected outer Stop({expected}), "
                     f"got {matching!r}"
                 )
-                outer = yield deq_outer
+                res = yield deq_outer
+                self._outer = res
+                self._inner = UNSET
+                self._matching = UNSET
             else:
-                outer = (yield emit_pull)[2]
+                res = yield emit_pull
+                self._outer = res[2]
+                self._inner = UNSET

@@ -20,6 +20,7 @@ dense counterpart ("repeated range generator") used by SDDMM/MHA.
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..tensor import Level
 from ..token import ABSENT, DONE, Stop
@@ -28,6 +29,8 @@ from .base import SamContext, TimingParams
 
 class FiberLookup(SamContext):
     """Scan ``level``: refs in, (crd, ref) fibers out."""
+
+    checkpoint_attrs = ("_token", "_open_fiber")
 
     def __init__(
         self,
@@ -43,6 +46,8 @@ class FiberLookup(SamContext):
         self.in_ref = in_ref
         self.out_crd = out_crd
         self.out_ref = out_ref
+        self._token = UNSET
+        self._open_fiber = False  # a fiber was emitted and awaits its boundary
         self.register(in_ref, out_crd, out_ref)
 
     def run(self):
@@ -66,34 +71,37 @@ class FiberLookup(SamContext):
         # instead of one scheduler round-trip per element.  The op order
         # is exactly the historical one-yield-per-element form's.
         batches = {}
-        open_fiber = False  # a fiber was emitted and awaits its boundary
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
         while True:
+            token = self._token
             if token is DONE:
-                if open_fiber:
+                if self._open_fiber:
                     enq_crd.data = enq_ref.data = Stop(0)
                     yield emit_control
+                    self._open_fiber = False
                 enq_crd.data = enq_ref.data = DONE
                 yield (enq_crd, enq_ref)
                 return
             if token.__class__ is Stop:
                 enq_crd.data = enq_ref.data = token.bumped()
-                open_fiber = False
-                token = (yield step_control)[3]
+                res = yield step_control
+                self._open_fiber = False
+                self._token = res[3]
                 continue
             # A reference (or ABSENT: an empty fiber placeholder).
             if token is ABSENT:
                 coords = refs = ()
             else:
                 coords, refs = level.fiber(token)
-            key = (len(coords), open_fiber)
+            key = (len(coords), self._open_fiber)
             batch = batches.get(key)
             if batch is None:
                 crd_ops = [out_crd.enqueue(None) for _ in coords]
                 ref_ops = [out_ref.enqueue(None) for _ in coords]
                 subs = (
                     [bound_crd, bound_ref, tick_control]
-                    if open_fiber
+                    if self._open_fiber
                     else []
                 )
                 for crd_op, ref_op in zip(crd_ops, ref_ops):
@@ -107,5 +115,6 @@ class FiberLookup(SamContext):
             ):
                 crd_op.data = coord
                 ref_op.data = ref
-            open_fiber = True
-            token = (yield fused)[-1]
+            res = yield fused
+            self._open_fiber = True
+            self._token = res[-1]

@@ -10,6 +10,7 @@ intersections produce.
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
@@ -17,6 +18,8 @@ from .base import SamContext, TimingParams
 
 class ValDrop(SamContext):
     """Forward non-zero payloads and all control tokens."""
+
+    checkpoint_attrs = ("_token",)
 
     def __init__(
         self,
@@ -28,6 +31,7 @@ class ValDrop(SamContext):
         super().__init__(timing=timing, name=name)
         self.in_val = in_val
         self.out_val = out_val
+        self._token = UNSET
         self.register(in_val, out_val)
 
     def run(self):
@@ -36,17 +40,19 @@ class ValDrop(SamContext):
         step = FusedOps(enq, self.tick(), deq)
         step_control = FusedOps(enq, self.tick_control(), deq)
         skip = FusedOps(self.tick(), deq)
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
         while True:
+            token = self._token
             if token is DONE:
                 enq.data = DONE
                 yield enq
                 return
             if token.__class__ is Stop:
                 enq.data = token
-                token = (yield step_control)[2]
+                self._token = (yield step_control)[2]
             elif token != 0.0:
                 enq.data = token
-                token = (yield step)[2]
+                self._token = (yield step)[2]
             else:
-                token = (yield skip)[1]
+                self._token = (yield skip)[1]

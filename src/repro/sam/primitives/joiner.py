@@ -16,6 +16,7 @@ stream plus a ref stream per input operand.
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..token import ABSENT, DONE, Stop
 from .base import SamContext, TimingParams
@@ -30,6 +31,8 @@ class _TwoStreamJoiner(SamContext):
     fused yield, preserving the exact op order of the historical
     one-yield-per-op form.
     """
+
+    checkpoint_attrs = ("_c1", "_r1", "_c2", "_r2")
 
     def __init__(
         self,
@@ -51,6 +54,7 @@ class _TwoStreamJoiner(SamContext):
         self.out_crd = out_crd
         self.out_ref1 = out_ref1
         self.out_ref2 = out_ref2
+        self._c1 = self._r1 = self._c2 = self._r2 = UNSET
         self.register(
             in_crd1, in_ref1, in_crd2, in_ref2, out_crd, out_ref1, out_ref2
         )
@@ -94,8 +98,11 @@ class Intersect(_TwoStreamJoiner):
         stop_both = kit["stop_both"]
         skip1 = kit["skip1"]
         skip2 = kit["skip2"]
-        c1, r1, c2, r2 = yield kit["pull_both"]
+        if self._c1 is UNSET:
+            res = yield kit["pull_both"]
+            self._c1, self._r1, self._c2, self._r2 = res
         while True:
+            c1, r1, c2, r2 = self._c1, self._r1, self._c2, self._r2
             s1 = c1.__class__ is Stop
             s2 = c2.__class__ is Stop
             if c1 is DONE or c2 is DONE:
@@ -112,36 +119,36 @@ class Intersect(_TwoStreamJoiner):
                 )
                 ec.data = e1.data = e2.data = c1
                 res = yield stop_both
-                c1 = res[4]
-                r1 = res[5]
-                c2 = res[6]
-                r2 = res[7]
+                self._c1 = res[4]
+                self._r1 = res[5]
+                self._c2 = res[6]
+                self._r2 = res[7]
             elif s1:
                 # Side 2 still has coordinates this fiber: no match possible.
                 res = yield skip2
-                c2 = res[1]
-                r2 = res[2]
+                self._c2 = res[1]
+                self._r2 = res[2]
             elif s2:
                 res = yield skip1
-                c1 = res[1]
-                r1 = res[2]
+                self._c1 = res[1]
+                self._r1 = res[2]
             elif c1 == c2:
                 ec.data = c1
                 e1.data = r1
                 e2.data = r2
                 res = yield emit_both
-                c1 = res[4]
-                r1 = res[5]
-                c2 = res[6]
-                r2 = res[7]
+                self._c1 = res[4]
+                self._r1 = res[5]
+                self._c2 = res[6]
+                self._r2 = res[7]
             elif c1 < c2:
                 res = yield skip1
-                c1 = res[1]
-                r1 = res[2]
+                self._c1 = res[1]
+                self._r1 = res[2]
             else:
                 res = yield skip2
-                c2 = res[1]
-                r2 = res[2]
+                self._c2 = res[1]
+                self._r2 = res[2]
 
 
 class Union(_TwoStreamJoiner):
@@ -153,8 +160,11 @@ class Union(_TwoStreamJoiner):
         emit_pull1 = kit["emit_pull1"]
         emit_pull2 = kit["emit_pull2"]
         stop_both = kit["stop_both"]
-        c1, r1, c2, r2 = yield kit["pull_both"]
+        if self._c1 is UNSET:
+            res = yield kit["pull_both"]
+            self._c1, self._r1, self._c2, self._r2 = res
         while True:
+            c1, r1, c2, r2 = self._c1, self._r1, self._c2, self._r2
             s1 = c1.__class__ is Stop
             s2 = c2.__class__ is Stop
             if c1 is DONE or c2 is DONE:
@@ -171,44 +181,44 @@ class Union(_TwoStreamJoiner):
                 )
                 ec.data = e1.data = e2.data = c1
                 res = yield stop_both
-                c1 = res[4]
-                r1 = res[5]
-                c2 = res[6]
-                r2 = res[7]
+                self._c1 = res[4]
+                self._r1 = res[5]
+                self._c2 = res[6]
+                self._r2 = res[7]
             elif s1:
                 ec.data = c2
                 e1.data = ABSENT
                 e2.data = r2
                 res = yield emit_pull2
-                c2 = res[4]
-                r2 = res[5]
+                self._c2 = res[4]
+                self._r2 = res[5]
             elif s2:
                 ec.data = c1
                 e1.data = r1
                 e2.data = ABSENT
                 res = yield emit_pull1
-                c1 = res[4]
-                r1 = res[5]
+                self._c1 = res[4]
+                self._r1 = res[5]
             elif c1 == c2:
                 ec.data = c1
                 e1.data = r1
                 e2.data = r2
                 res = yield emit_both
-                c1 = res[4]
-                r1 = res[5]
-                c2 = res[6]
-                r2 = res[7]
+                self._c1 = res[4]
+                self._r1 = res[5]
+                self._c2 = res[6]
+                self._r2 = res[7]
             elif c1 < c2:
                 ec.data = c1
                 e1.data = r1
                 e2.data = ABSENT
                 res = yield emit_pull1
-                c1 = res[4]
-                r1 = res[5]
+                self._c1 = res[4]
+                self._r1 = res[5]
             else:
                 ec.data = c2
                 e1.data = ABSENT
                 e2.data = r2
                 res = yield emit_pull2
-                c2 = res[4]
-                r2 = res[5]
+                self._c2 = res[4]
+                self._r2 = res[5]

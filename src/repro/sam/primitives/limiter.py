@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
@@ -37,6 +38,8 @@ _POLICIES = ("tail", "smallest")
 
 class NonzeroLimiter(SamContext):
     """Cap innermost fibers of an aligned (crd, val) pair (see module docs)."""
+
+    checkpoint_attrs = ("_crd", "_val", "_kept", "_fiber", "_emit_index", "dropped")
 
     def __init__(
         self,
@@ -61,6 +64,11 @@ class NonzeroLimiter(SamContext):
         self.max_nonzeros = max_nonzeros
         self.policy = policy
         self.dropped = 0  # total payloads discarded (observability)
+        self._crd = UNSET
+        self._val = UNSET
+        self._kept = 0  # payloads passed so far in the current fiber (tail)
+        self._fiber: list[tuple[Any, Any]] = []  # gathered window (smallest)
+        self._emit_index = 0  # progress through the current window flush
         self.register(in_crd, in_val, out_crd, out_val)
 
     def run(self):
@@ -71,7 +79,6 @@ class NonzeroLimiter(SamContext):
 
     def _run_tail(self):
         """Streaming policy: pass the first K of each fiber, drop the rest."""
-        kept = 0
         max_nonzeros = self.max_nonzeros
         deq_crd = self.in_crd.dequeue()
         deq_val = self.in_val.dequeue()
@@ -83,8 +90,10 @@ class NonzeroLimiter(SamContext):
             enq_crd, enq_val, self.tick_control(), deq_crd, deq_val
         )
         drop = FusedOps(self.tick(), deq_crd, deq_val)
-        crd, val = yield pull
+        if self._crd is UNSET:
+            self._crd, self._val = yield pull
         while True:
+            crd, val = self._crd, self._val
             if crd is DONE:
                 assert val is DONE, f"{self.name}: misaligned DONE"
                 enq_crd.data = enq_val.data = DONE
@@ -93,21 +102,23 @@ class NonzeroLimiter(SamContext):
             if crd.__class__ is Stop:
                 assert crd == val, f"{self.name}: misaligned stops {crd!r}/{val!r}"
                 enq_crd.data = enq_val.data = crd
-                kept = 0
-                crd, val = (yield emit_control)[3:5]
+                res = yield emit_control
+                self._kept = 0
+                self._crd, self._val = res[3], res[4]
                 continue
-            if kept < max_nonzeros:
-                kept += 1
+            if self._kept < max_nonzeros:
                 enq_crd.data = crd
                 enq_val.data = val
-                crd, val = (yield emit)[3:5]
+                res = yield emit
+                self._kept += 1
+                self._crd, self._val = res[3], res[4]
             else:
+                res = yield drop
                 self.dropped += 1
-                crd, val = (yield drop)[1:3]
+                self._crd, self._val = res[1], res[2]
 
     def _run_smallest(self):
         """Windowed policy: keep the K largest-magnitude values per fiber."""
-        fiber: list[tuple[Any, Any]] = []
         deq_crd = self.in_crd.dequeue()
         deq_val = self.in_val.dequeue()
         enq_crd = self.out_crd.enqueue(None)
@@ -118,8 +129,10 @@ class NonzeroLimiter(SamContext):
         emit_control = FusedOps(
             enq_crd, enq_val, self.tick_control(), deq_crd, deq_val
         )
-        crd, val = yield pull
+        if self._crd is UNSET:
+            self._crd, self._val = yield pull
         while True:
+            crd, val = self._crd, self._val
             if crd is DONE:
                 assert val is DONE, f"{self.name}: misaligned DONE"
                 enq_crd.data = enq_val.data = DONE
@@ -127,20 +140,30 @@ class NonzeroLimiter(SamContext):
                 return
             if crd.__class__ is Stop:
                 assert crd == val, f"{self.name}: misaligned stops {crd!r}/{val!r}"
-                for keep_crd, keep_val in self._select(fiber):
+                selected = self._select(self._fiber)
+                while self._emit_index < len(selected):
+                    keep_crd, keep_val = selected[self._emit_index]
                     enq_crd.data = keep_crd
                     enq_val.data = keep_val
                     yield emit
-                fiber = []
+                    self._emit_index += 1
                 enq_crd.data = enq_val.data = crd
-                crd, val = (yield emit_control)[3:5]
+                res = yield emit_control
+                if len(self._fiber) > self.max_nonzeros:
+                    self.dropped += len(self._fiber) - self.max_nonzeros
+                self._fiber = []
+                self._emit_index = 0
+                self._crd, self._val = res[3], res[4]
                 continue
-            fiber.append((crd, val))
-            crd, val = (yield gather)[1:3]
+            res = yield gather
+            self._fiber.append((crd, val))
+            self._crd, self._val = res[1], res[2]
 
     def _select(self, fiber):
+        """The kept (crd, val) pairs, in coordinate order (pure: drop
+        accounting happens at the fiber boundary, not here, so the flush
+        loop can re-derive its pending op from restored state)."""
         if len(fiber) > self.max_nonzeros:
-            self.dropped += len(fiber) - self.max_nonzeros
             # Keep the K largest magnitudes, re-emitted in coordinate order.
             return sorted(
                 sorted(fiber, key=lambda cv: -abs(cv[1]))[: self.max_nonzeros],

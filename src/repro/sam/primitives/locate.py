@@ -18,6 +18,7 @@ from __future__ import annotations
 from bisect import bisect_left
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..tensor import CompressedLevel, DenseLevel, Level
 from ..token import ABSENT, DONE, Stop
@@ -26,6 +27,8 @@ from .base import SamContext, TimingParams
 
 class Locate(SamContext):
     """Coordinates in, child references (or ABSENT) out; fixed fiber."""
+
+    checkpoint_attrs = ("_token",)
 
     def __init__(
         self,
@@ -41,6 +44,7 @@ class Locate(SamContext):
         self.fiber_ref = fiber_ref
         self.in_crd = in_crd
         self.out_ref = out_ref
+        self._token = UNSET
         self.register(in_crd, out_ref)
 
     def _lookup(self, coordinate: int):
@@ -68,15 +72,17 @@ class Locate(SamContext):
         enq = self.out_ref.enqueue(None)
         step = FusedOps(enq, self.tick(), deq)
         step_control = FusedOps(enq, self.tick_control(), deq)
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
         while True:
+            token = self._token
             if token is DONE:
                 enq.data = DONE
                 yield enq
                 return
             if token.__class__ is Stop:
                 enq.data = token
-                token = (yield step_control)[2]
+                self._token = (yield step_control)[2]
             else:
                 enq.data = lookup(token)
-                token = (yield step)[2]
+                self._token = (yield step)[2]

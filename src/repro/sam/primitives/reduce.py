@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
@@ -18,6 +19,8 @@ from .base import SamContext, TimingParams
 
 class Reduce(SamContext):
     """Streaming innermost-fiber reduction (default: sum)."""
+
+    checkpoint_attrs = ("_token", "_acc", "_virgin")
 
     def __init__(
         self,
@@ -35,11 +38,13 @@ class Reduce(SamContext):
         self.fn = fn
         self.identity = identity
         self.suppress_uninhabited = suppress_uninhabited
+        self._token = UNSET
+        self._acc = identity
+        self._virgin = True
         self.register(in_val, out_val)
 
     def run(self):
         fn = self.fn
-        accumulator = self.identity
         # With ``suppress_uninhabited``: a higher-level stop arriving
         # before any payload or innermost (S0) boundary closes
         # *uninhabited* space (an empty operand) and emits no value.
@@ -49,7 +54,6 @@ class Reduce(SamContext):
         # innermost fibers are legitimate per-element outcomes (e.g.
         # empty intersections in SpMSpM, which must still produce their
         # zero).  Hence the flag.  See tests/sam/test_primitives.py.
-        virgin = True
         deq = self.in_val.dequeue()
         enq_acc = self.out_val.enqueue(None)  # accumulator (or final DONE)
         enq_stop = self.out_val.enqueue(None)  # trailing shallower stop
@@ -57,28 +61,34 @@ class Reduce(SamContext):
         flush_inner = FusedOps(enq_acc, self.tick_control(), deq)
         flush_outer = FusedOps(enq_acc, enq_stop, self.tick_control(), deq)
         flush_suppressed = FusedOps(enq_stop, self.tick_control(), deq)
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
         while True:
+            token = self._token
             if token is DONE:
                 enq_acc.data = DONE
                 yield enq_acc
                 return
             if token.__class__ is Stop:
                 if token.level == 0:
-                    virgin = False
-                    enq_acc.data = accumulator
-                    accumulator = self.identity
-                    token = (yield flush_inner)[2]
-                elif self.suppress_uninhabited and virgin:
-                    accumulator = self.identity
+                    enq_acc.data = self._acc
+                    res = yield flush_inner
+                    self._virgin = False
+                    self._acc = self.identity
+                    self._token = res[2]
+                elif self.suppress_uninhabited and self._virgin:
                     enq_stop.data = Stop(token.level - 1)
-                    token = (yield flush_suppressed)[2]
+                    res = yield flush_suppressed
+                    self._acc = self.identity
+                    self._token = res[2]
                 else:
-                    enq_acc.data = accumulator
-                    accumulator = self.identity
+                    enq_acc.data = self._acc
                     enq_stop.data = Stop(token.level - 1)
-                    token = (yield flush_outer)[3]
+                    res = yield flush_outer
+                    self._acc = self.identity
+                    self._token = res[3]
             else:
-                virgin = False
-                accumulator = fn(accumulator, token)
-                token = (yield step)[1]
+                res = yield step
+                self._virgin = False
+                self._acc = fn(self._acc, token)
+                self._token = res[1]

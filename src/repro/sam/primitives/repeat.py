@@ -17,6 +17,7 @@ compares; the cycle-based counterpart lives in
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..token import DONE, REPEAT, Stop
 from .base import SamContext, TimingParams
@@ -24,6 +25,8 @@ from .base import SamContext, TimingParams
 
 class RepeatSigGen(SamContext):
     """Coordinates in, repeat signals out (one ``R`` per coordinate)."""
+
+    checkpoint_attrs = ("_token",)
 
     def __init__(
         self,
@@ -35,6 +38,7 @@ class RepeatSigGen(SamContext):
         super().__init__(timing=timing, name=name)
         self.in_crd = in_crd
         self.out_sig = out_sig
+        self._token = UNSET
         self.register(in_crd, out_sig)
 
     def run(self):
@@ -42,22 +46,26 @@ class RepeatSigGen(SamContext):
         enq = self.out_sig.enqueue(None)
         step = FusedOps(enq, self.tick(), deq)
         step_control = FusedOps(enq, self.tick_control(), deq)
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
         while True:
+            token = self._token
             if token is DONE:
                 enq.data = DONE
                 yield enq
                 return
             if token.__class__ is Stop:
                 enq.data = token
-                token = (yield step_control)[2]
+                self._token = (yield step_control)[2]
             else:
                 enq.data = REPEAT
-                token = (yield step)[2]
+                self._token = (yield step)[2]
 
 
 class Repeat(SamContext):
     """Replicate references per repeat-signal group (see module docs)."""
+
+    checkpoint_attrs = ("_ref", "_signal", "_matching", "_flushed")
 
     def __init__(
         self,
@@ -71,6 +79,10 @@ class Repeat(SamContext):
         self.in_ref = in_ref
         self.in_sig = in_sig
         self.out_ref = out_ref
+        self._ref = UNSET
+        self._signal = UNSET  # UNSET = not yet pulled for the current ref
+        self._matching = UNSET  # the consumed ref-stream stop, once pulled
+        self._flushed = False  # the level-0 group boundary was emitted
         self.register(in_ref, in_sig, out_ref)
 
     def run(self):
@@ -81,13 +93,16 @@ class Repeat(SamContext):
         emit_sig = FusedOps(enq, self.tick(), deq_sig)
         stop_flush = FusedOps(enq, self.tick_control())
         stop_pull = FusedOps(enq, self.tick_control(), deq_ref)
-        ref = yield deq_ref
+        if self._ref is UNSET:
+            self._ref = yield deq_ref
         while True:
+            ref = self._ref
             if ref is DONE:
-                signal = yield deq_sig
-                assert signal is DONE, (
+                if self._signal is UNSET:
+                    self._signal = yield deq_sig
+                assert self._signal is DONE, (
                     f"{self.name}: ref stream done but signal stream sent "
-                    f"{signal!r}"
+                    f"{self._signal!r}"
                 )
                 enq.data = DONE
                 yield enq
@@ -96,19 +111,26 @@ class Repeat(SamContext):
                 # An empty reference fiber: the signal stream presents the
                 # matching one-deeper stop; consume the pair and pass the
                 # deeper stop through.
-                signal = yield deq_sig
+                if self._signal is UNSET:
+                    self._signal = yield deq_sig
+                signal = self._signal
                 assert isinstance(signal, Stop) and signal.level == ref.level + 1, (
                     f"{self.name}: ref stop {ref!r} paired with signal "
                     f"{signal!r} (expected Stop({ref.level + 1}))"
                 )
                 enq.data = signal
-                ref = (yield stop_pull)[2]
+                res = yield stop_pull
+                self._ref = res[2]
+                self._signal = UNSET
                 continue
             # Replicate this ref for one signal group.
-            signal = yield deq_sig
-            while signal is REPEAT:
+            if self._signal is UNSET:
+                self._signal = yield deq_sig
+            while self._signal is REPEAT:
                 enq.data = ref
-                signal = (yield emit_sig)[2]
+                res = yield emit_sig
+                self._signal = res[2]
+            signal = self._signal
             assert isinstance(signal, Stop), (
                 f"{self.name}: signal stream ended mid-group with "
                 f"{signal!r}"
@@ -117,7 +139,10 @@ class Repeat(SamContext):
             if signal.level >= 1:
                 # The group closed outer levels too: consume the ref
                 # stream's matching (one-shallower) stop.
-                matching = (yield stop_pull)[2]
+                if self._matching is UNSET:
+                    res = yield stop_pull
+                    self._matching = res[2]
+                matching = self._matching
                 assert (
                     isinstance(matching, Stop)
                     and matching.level == signal.level - 1
@@ -125,7 +150,15 @@ class Repeat(SamContext):
                     f"{self.name}: expected ref-stream Stop("
                     f"{signal.level - 1}), got {matching!r}"
                 )
-                ref = yield deq_ref
+                res = yield deq_ref
+                self._ref = res
+                self._signal = UNSET
+                self._matching = UNSET
             else:
-                yield stop_flush
-                ref = yield deq_ref
+                if not self._flushed:
+                    yield stop_flush
+                    self._flushed = True
+                res = yield deq_ref
+                self._ref = res
+                self._signal = UNSET
+                self._flushed = False

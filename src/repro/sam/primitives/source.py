@@ -17,6 +17,8 @@ class RootSource(SamContext):
     tensor from the root fiber reference 0.
     """
 
+    checkpoint_attrs = ("_phase",)
+
     def __init__(
         self,
         out: Sender,
@@ -25,12 +27,19 @@ class RootSource(SamContext):
     ):
         super().__init__(timing=timing, name=name)
         self.out = out
+        self._phase = 0
         self.register(out)
 
     def run(self):
-        yield self.out.enqueue(0)
-        yield self.tick()
-        yield self.out.enqueue(DONE)
+        if self._phase == 0:
+            yield self.out.enqueue(0)
+            self._phase = 1
+        if self._phase == 1:
+            yield self.tick()
+            self._phase = 2
+        if self._phase == 2:
+            yield self.out.enqueue(DONE)
+            self._phase = 3
 
 
 class StreamSource(SamContext):
@@ -40,6 +49,8 @@ class StreamSource(SamContext):
     (ending with ``DONE``); :func:`repro.sam.token.is_control` helpers and
     the stream well-formedness tests cover this.
     """
+
+    checkpoint_attrs = ("_index",)
 
     def __init__(
         self,
@@ -51,11 +62,13 @@ class StreamSource(SamContext):
         super().__init__(timing=timing, name=name)
         self.out = out
         self.tokens = list(tokens)
+        self._index = 0
         self.register(out)
 
     def run(self):
         enq = self.out.enqueue(None)
         step = FusedOps(enq, self.tick())
-        for token in self.tokens:
-            enq.data = token
+        while self._index < len(self.tokens):
+            enq.data = self.tokens[self._index]
             yield step
+            self._index += 1

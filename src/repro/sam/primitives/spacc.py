@@ -14,6 +14,7 @@ consecutive subfibers and the spacc merges them into one output row per
 from __future__ import annotations
 
 from ...core.channel import Receiver, Sender
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..token import DONE, Stop
 from .base import SamContext, TimingParams
@@ -21,6 +22,8 @@ from .base import SamContext, TimingParams
 
 class SpaccV1(SamContext):
     """Merge subfibers: (crd, val) streams in, one merged fiber out."""
+
+    checkpoint_attrs = ("_crd", "_val", "_acc", "_emit_index")
 
     def __init__(
         self,
@@ -36,10 +39,13 @@ class SpaccV1(SamContext):
         self.in_val = in_val
         self.out_crd = out_crd
         self.out_val = out_val
+        self._crd = UNSET
+        self._val = UNSET  # UNSET = not yet pulled for the current crd
+        self._acc: dict[int, float] = {}
+        self._emit_index = 0  # progress through the current merged flush
         self.register(in_crd, in_val, out_crd, out_val)
 
     def run(self):
-        accumulator: dict[int, float] = {}
         deq_crd = self.in_crd.dequeue()
         deq_val = self.in_val.dequeue()
         enq_crd = self.out_crd.enqueue(None)
@@ -51,35 +57,52 @@ class SpaccV1(SamContext):
         boundary_flush = FusedOps(
             enq_crd, enq_val, self.tick_control(), deq_crd
         )
-        crd = yield deq_crd
+        if self._crd is UNSET:
+            self._crd = yield deq_crd
         while True:
+            crd = self._crd
             if crd is DONE:
-                val = yield deq_val
-                assert val is DONE, f"{self.name}: crd done before val done"
+                if self._val is UNSET:
+                    self._val = yield deq_val
+                assert self._val is DONE, f"{self.name}: crd done before val done"
                 enq_crd.data = enq_val.data = DONE
                 yield (enq_crd, enq_val)
                 return
             if crd.__class__ is Stop:
-                val = yield deq_val
+                if self._val is UNSET:
+                    self._val = yield deq_val
+                val = self._val
                 assert crd == val, (
                     f"{self.name}: misaligned stops {crd!r} vs {val!r}"
                 )
                 if crd.level == 0:
                     # Subfiber boundary: keep accumulating across it.
-                    crd = (yield skip_control)[1]
+                    res = yield skip_control
+                    self._val = UNSET
+                    self._crd = res[1]
                     continue
                 # Outer boundary: flush the merged fiber.
-                for coord in sorted(accumulator):
+                coords = sorted(self._acc)
+                while self._emit_index < len(coords):
+                    coord = coords[self._emit_index]
                     enq_crd.data = coord
-                    enq_val.data = accumulator[coord]
+                    enq_val.data = self._acc[coord]
                     yield emit
-                accumulator.clear()
+                    self._emit_index += 1
                 enq_crd.data = enq_val.data = Stop(crd.level - 1)
-                crd = (yield boundary_flush)[3]
+                res = yield boundary_flush
+                self._acc = {}
+                self._emit_index = 0
+                self._val = UNSET
+                self._crd = res[3]
             else:
-                val = yield deq_val
+                if self._val is UNSET:
+                    self._val = yield deq_val
+                val = self._val
                 assert not isinstance(val, (Stop, type(DONE))), (
                     f"{self.name}: crd payload paired with control {val!r}"
                 )
-                accumulator[crd] = accumulator.get(crd, 0.0) + val
-                crd = (yield step)[1]
+                res = yield step
+                self._acc[crd] = self._acc.get(crd, 0.0) + val
+                self._val = UNSET
+                self._crd = res[1]

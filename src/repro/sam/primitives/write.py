@@ -13,6 +13,7 @@ from typing import Any
 import numpy as np
 
 from ...core.channel import Receiver
+from ...core.context import UNSET
 from ...core.ops import FusedOps
 from ..tensor import CompressedLevel
 from ..token import DONE, Stop
@@ -27,6 +28,8 @@ class FiberWrite(SamContext):
     After the run, :meth:`to_level` returns the compressed level.
     """
 
+    checkpoint_attrs = ("_token", "seg", "crd")
+
     def __init__(
         self,
         in_crd: Receiver,
@@ -37,24 +40,27 @@ class FiberWrite(SamContext):
         self.in_crd = in_crd
         self.seg: list[int] = [0]
         self.crd: list[int] = []
+        self._token = UNSET
         self.register(in_crd)
 
     def run(self):
-        seg = self.seg
-        crd = self.crd
         deq = self.in_crd.dequeue()
         step = FusedOps(self.tick(), deq)
         step_control = FusedOps(self.tick_control(), deq)
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
         while True:
+            token = self._token
             if token is DONE:
                 return
             if token.__class__ is Stop:
-                seg.append(len(crd))
-                token = (yield step_control)[1]
+                res = yield step_control
+                self.seg.append(len(self.crd))
+                self._token = res[1]
             else:
-                crd.append(token)
-                token = (yield step)[1]
+                res = yield step
+                self.crd.append(token)
+                self._token = res[1]
 
     def to_level(self) -> CompressedLevel:
         return CompressedLevel(self.seg, self.crd)
@@ -62,6 +68,8 @@ class FiberWrite(SamContext):
 
 class ValsWrite(SamContext):
     """Collect a value stream's payloads into a numpy array."""
+
+    checkpoint_attrs = ("_token", "vals")
 
     def __init__(
         self,
@@ -72,22 +80,26 @@ class ValsWrite(SamContext):
         super().__init__(timing=timing, name=name)
         self.in_val = in_val
         self.vals: list[float] = []
+        self._token = UNSET
         self.register(in_val)
 
     def run(self):
-        vals = self.vals
         deq = self.in_val.dequeue()
         step = FusedOps(self.tick(), deq)
         step_control = FusedOps(self.tick_control(), deq)
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
         while True:
+            token = self._token
             if token is DONE:
                 return
             if token.__class__ is Stop:
-                token = (yield step_control)[1]
+                res = yield step_control
+                self._token = res[1]
             else:
-                vals.append(token)
-                token = (yield step)[1]
+                res = yield step
+                self.vals.append(token)
+                self._token = res[1]
 
     def to_array(self) -> np.ndarray:
         return np.array(self.vals, dtype=np.float64)
@@ -95,6 +107,8 @@ class ValsWrite(SamContext):
 
 class StreamSink(SamContext):
     """Record every token of a stream verbatim (including controls)."""
+
+    checkpoint_attrs = ("_token", "tokens")
 
     def __init__(
         self,
@@ -105,15 +119,18 @@ class StreamSink(SamContext):
         super().__init__(timing=timing, name=name)
         self.inp = inp
         self.tokens: list[Any] = []
+        self._token = UNSET
         self.register(inp)
 
     def run(self):
-        tokens = self.tokens
         deq = self.inp.dequeue()
         step = FusedOps(self.tick(), deq)
-        token = yield deq
+        if self._token is UNSET:
+            self._token = yield deq
+            self.tokens.append(self._token)
         while True:
-            tokens.append(token)
-            if token is DONE:
+            if self._token is DONE:
                 return
-            token = (yield step)[1]
+            res = yield step
+            self._token = res[1]
+            self.tokens.append(self._token)

@@ -41,6 +41,14 @@ def main(argv: list[str] | None = None) -> None:
         "--plan-cache-entries", type=int, default=128, help="LRU size"
     )
     parser.add_argument(
+        "--plan-cache-path",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="persist learned plans here: loaded at startup (if present), "
+        "saved at shutdown — warm placements survive restarts",
+    )
+    parser.add_argument(
         "--tenants",
         type=str,
         default=None,
@@ -71,6 +79,7 @@ def main(argv: list[str] | None = None) -> None:
             max_concurrent=args.max_concurrent,
             queue_limit=args.queue_limit,
             plan_cache_entries=args.plan_cache_entries,
+            plan_cache_path=args.plan_cache_path,
             tenants=tenants,
             executor_override=args.executor,
         )

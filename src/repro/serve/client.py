@@ -53,11 +53,36 @@ class RunResult:
 
 
 class ServeClient:
-    """Blocking client for one server address."""
+    """Blocking client for one server address.
+
+    Control-plane GETs (``/metrics``, ``/healthz``) ride one persistent
+    keep-alive connection — responses are Content-Length framed, so
+    sequential requests reuse the socket, and a dead peer (server
+    restart, idle timeout) is handled by one transparent reconnect.
+    ``/run`` submissions use a dedicated connection per request: the
+    ndjson event stream is framed by EOF, so it inherently closes.
+    """
 
     def __init__(self, address: tuple[str, int], timeout: float = 120.0):
         self.address = (address[0], int(address[1]))
         self.timeout = timeout
+        #: The cached keep-alive socket (GET requests only).
+        self._sock: Optional[socket.socket] = None
+
+    def close(self) -> None:
+        """Drop the cached keep-alive connection (idempotent)."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already dead
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Public API.
@@ -151,11 +176,48 @@ class ServeClient:
     # ------------------------------------------------------------------
 
     def _get_json(self, path: str) -> dict[str, Any]:
-        status, body_iter = self._request("GET", path, None)
-        payload = json.loads(b"".join(body_iter) or b"{}")
+        status, body = self._framed_request(path)
+        payload = json.loads(body or b"{}")
         if status != 200:
             raise error_from_wire(payload.get("error", {"message": f"HTTP {status}"}))
         return payload
+
+    def _framed_request(self, path: str) -> tuple[int, bytes]:
+        """One GET over the persistent connection.
+
+        A send/recv failure on a *reused* socket means the peer died
+        between requests (restart, idle close) — reconnect once and
+        retry; the request is a read-only GET, so the retry is safe.
+        Failures on a fresh connection propagate: the server is down.
+        """
+        request = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {self.address[0]}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        ).encode()
+        for _attempt in range(2):
+            sock = self._sock
+            reused = sock is not None
+            if sock is None:
+                sock = socket.create_connection(
+                    self.address, timeout=self.timeout
+                )
+            try:
+                sock.sendall(request)
+                status, headers, body = _read_framed(sock)
+            except (OSError, ServeError):
+                sock.close()
+                self._sock = None
+                if not reused:
+                    raise
+                continue  # stale keep-alive socket: reconnect once
+            if headers.get("connection", "").lower() == "close":
+                sock.close()
+                self._sock = None
+            else:
+                self._sock = sock
+            return status, body
+        raise ServeError("keep-alive reconnect failed")  # pragma: no cover
 
     def _request(
         self, method: str, path: str, payload: Optional[dict[str, Any]]
@@ -194,6 +256,35 @@ class ServeClient:
         except (IndexError, ValueError) as exc:
             raise ServeError(f"malformed status line: {status_line!r}") from exc
         return status, rest
+
+
+def _read_framed(sock: socket.socket) -> tuple[int, dict[str, str], bytes]:
+    """Read one Content-Length-framed response without closing the
+    socket (the keep-alive path)."""
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        chunk = sock.recv(4096)
+        if not chunk:
+            raise ServeError("server closed connection before headers")
+        buffer += chunk
+    head, _, body = buffer.partition(b"\r\n\r\n")
+    lines = head.split(b"\r\n")
+    status_line = lines[0].decode("latin-1")
+    try:
+        status = int(status_line.split(" ", 2)[1])
+    except (IndexError, ValueError) as exc:
+        raise ServeError(f"malformed status line: {status_line!r}") from exc
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0) or 0)
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ServeError("server closed connection mid-body")
+        body += chunk
+    return status, headers, body[:length]
 
 
 def _iter_body(sock: socket.socket, prefix: bytes = b"") -> Iterator[bytes]:

@@ -26,12 +26,17 @@ they only skip the planning work, which is what the
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..core.executor.config import RunConfig
+
+#: On-disk plan-cache format version (see :meth:`PlanCache.save_json`).
+CACHE_VERSION = 1
 
 
 @dataclass
@@ -131,3 +136,75 @@ class PlanCache:
                 "hits": self.hits,
                 "misses": self.misses,
             }
+
+    # ------------------------------------------------------------------
+    # Persistence: warm caches survive server restarts.
+    # ------------------------------------------------------------------
+
+    def save_json(self, path: str) -> int:
+        """Write every cached plan to ``path`` (atomic tmp + rename).
+
+        The payload is plain JSON — placements are name-keyed and
+        weights name-keyed floats, so they round-trip exactly.  Returns
+        the number of entries written.
+        """
+        with self._lock:
+            entries = [
+                {
+                    "key": plan.key,
+                    "placement": plan.placement,
+                    "weights": plan.weights,
+                    "context_count": plan.context_count,
+                    "channel_count": plan.channel_count,
+                    "uses": plan.uses,
+                }
+                for plan in self._entries.values()
+            ]
+        payload = {"version": CACHE_VERSION, "entries": entries}
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        return len(entries)
+
+    def load_json(self, path: str) -> int:
+        """Load plans saved by :meth:`save_json` into this cache.
+
+        Unknown versions and malformed files are rejected with
+        ``ValueError`` (a corrupt cache should fail loudly at startup,
+        not silently serve nothing).  Returns the number of entries
+        loaded; existing same-key entries are overwritten, LRU order
+        follows file order.
+        """
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            raise ValueError(
+                f"{path!r} is not a version-{CACHE_VERSION} plan cache"
+            )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise ValueError(f"{path!r}: 'entries' must be a list")
+        count = 0
+        for raw in entries:
+            placement = raw.get("placement")
+            self.store(
+                CachedPlan(
+                    key=str(raw["key"]),
+                    placement=(
+                        {str(k): int(v) for k, v in placement.items()}
+                        if placement
+                        else None
+                    ),
+                    weights=(
+                        {str(k): float(v) for k, v in raw["weights"].items()}
+                        if raw.get("weights")
+                        else None
+                    ),
+                    context_count=int(raw.get("context_count", 0)),
+                    channel_count=int(raw.get("channel_count", 0)),
+                    uses=int(raw.get("uses", 0)),
+                )
+            )
+            count += 1
+        return count

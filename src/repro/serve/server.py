@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -66,6 +67,9 @@ class ServeConfig:
     #: Requests allowed to wait beyond the running slots before shedding.
     queue_limit: int = 8
     plan_cache_entries: int = 128
+    #: Persist the plan cache here: loaded (if present) at construction,
+    #: saved on shutdown — warm plans survive server restarts.
+    plan_cache_path: Optional[str] = None
     #: Per-tenant policies; unknown tenants fall back to ``default_policy``.
     tenants: dict[str, TenantPolicy] = field(default_factory=dict)
     default_policy: TenantPolicy = field(default_factory=TenantPolicy)
@@ -80,6 +84,9 @@ class SimServer:
         self.config = config or ServeConfig()
         self.metrics = MetricsRegistry()
         self.plan_cache = PlanCache(self.config.plan_cache_entries)
+        path = self.config.plan_cache_path
+        if path and os.path.exists(path):
+            self.plan_cache.load_json(path)
         self.tenants = TenantLedger(
             self.config.tenants, default=self.config.default_policy
         )
@@ -89,6 +96,9 @@ class SimServer:
         self._request_ids = itertools.count(1)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set[asyncio.Task] = set()
+        #: Set at shutdown: idle keep-alive connections stop waiting for
+        #: a next request and close (in-flight requests still drain).
+        self._closing = asyncio.Event()
         self.address: Optional[tuple[str, int]] = None
 
     # ------------------------------------------------------------------
@@ -114,6 +124,7 @@ class SimServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        self._closing.set()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         # The pool threads only run jobs the drained connections already
@@ -122,6 +133,8 @@ class SimServer:
         await asyncio.get_running_loop().run_in_executor(
             None, self.pool.shutdown
         )
+        if self.config.plan_cache_path:
+            self.plan_cache.save_json(self.config.plan_cache_path)
 
     # ------------------------------------------------------------------
     # Connection handling (minimal HTTP/1.1 over asyncio streams).
@@ -145,37 +158,67 @@ class SimServer:
                 pass
 
     async def _handle_connection(self, reader, writer) -> None:
-        request_line = (await reader.readline()).decode("latin-1").strip()
-        if not request_line:
-            return
-        try:
-            method, path, _version = request_line.split(" ", 2)
-        except ValueError:
-            await _respond_json(writer, 400, {"error": "malformed request line"})
-            return
-        headers: dict[str, str] = {}
+        # Keep-alive loop: Content-Length-framed responses (the GETs and
+        # every error) leave the connection open for the next request;
+        # ``POST /run`` streams ndjson to EOF and therefore always
+        # closes (the stream has no length to frame).
         while True:
-            line = (await reader.readline()).decode("latin-1")
-            if line in ("\r\n", "\n", ""):
-                break
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", 0) or 0)
-        if length > MAX_BODY_BYTES:
-            await _respond_json(writer, 413, {"error": "request body too large"})
-            return
-        body = await reader.readexactly(length) if length else b""
-
-        if method == "GET" and path == "/metrics":
-            await _respond_json(writer, 200, self.metrics_payload())
-        elif method == "GET" and path == "/healthz":
-            await _respond_json(writer, 200, {"ok": True})
-        elif method == "POST" and path == "/run":
-            await self._handle_run(body, writer)
-        else:
-            await _respond_json(
-                writer, 404, {"error": f"no route for {method} {path}"}
+            read_task = asyncio.ensure_future(reader.readline())
+            close_task = asyncio.ensure_future(self._closing.wait())
+            done, _pending = await asyncio.wait(
+                {read_task, close_task},
+                return_when=asyncio.FIRST_COMPLETED,
             )
+            if read_task not in done:
+                # Shutdown while idle between requests: hang up.
+                read_task.cancel()
+                return
+            close_task.cancel()
+            request_line = read_task.result().decode("latin-1").strip()
+            if not request_line:
+                return
+            try:
+                method, path, _version = request_line.split(" ", 2)
+            except ValueError:
+                await _respond_json(
+                    writer, 400, {"error": "malformed request line"},
+                    close=True,
+                )
+                return
+            headers: dict[str, str] = {}
+            while True:
+                line = (await reader.readline()).decode("latin-1")
+                if line in ("\r\n", "\n", ""):
+                    break
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            close = headers.get("connection", "").lower() == "close"
+            length = int(headers.get("content-length", 0) or 0)
+            if length > MAX_BODY_BYTES:
+                await _respond_json(
+                    writer, 413, {"error": "request body too large"},
+                    close=True,
+                )
+                return
+            body = await reader.readexactly(length) if length else b""
+
+            if method == "GET" and path == "/metrics":
+                await _respond_json(
+                    writer, 200, self.metrics_payload(), close=close
+                )
+            elif method == "GET" and path == "/healthz":
+                await _respond_json(writer, 200, {"ok": True}, close=close)
+            elif method == "POST" and path == "/run":
+                await self._handle_run(body, writer)
+                return
+            else:
+                await _respond_json(
+                    writer, 404,
+                    {"error": f"no route for {method} {path}"},
+                    close=close,
+                )
+            if close:
+                return
 
     def metrics_payload(self) -> dict[str, Any]:
         return {
@@ -446,14 +489,17 @@ _STATUS_TEXT = {
 }
 
 
-async def _respond_json(writer, status: int, payload: dict[str, Any]) -> None:
+async def _respond_json(
+    writer, status: int, payload: dict[str, Any], close: bool = True
+) -> None:
     body = json.dumps(payload).encode()
+    connection = "close" if close else "keep-alive"
     writer.write(
         (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
+            f"Connection: {connection}\r\n\r\n"
         ).encode()
     )
     writer.write(body)

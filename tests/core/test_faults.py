@@ -240,6 +240,17 @@ class TestFaultPlan:
         assert plan.kill_for(3) == WorkerKill(3, 9, signal.SIGKILL)
         assert plan.kill_for(0) is None
 
+    def test_kill_after_checkpoints_leaves_ops_trigger_unset(self):
+        plan = FaultPlan().kill_worker(worker=0, after_checkpoints=2).resolve(2)
+        kill = plan.kill_for(0)
+        assert kill.after_ops is None
+        assert kill.after_checkpoints == 2
+
+    def test_bare_kill_still_means_immediately(self):
+        plan = FaultPlan().kill_worker(worker=1).resolve(2)
+        assert plan.kill_for(1).after_ops == 0
+        assert plan.kill_for(1).after_checkpoints is None
+
     def test_stall_lookup(self):
         plan = FaultPlan().stall_shuttle("bus", after_records=2)
         assert plan.stall_for("bus").after_records == 2
@@ -461,6 +472,148 @@ class TestRetryLadder:
             assert not channel.sender_finished
         second = _fingerprint(program, program.run())
         assert first == second
+
+
+# ----------------------------------------------------------------------
+# Checkpoint chaos (§17): kill a worker at a checkpoint round, resume
+# from the surviving checkpoint, leave nothing behind.
+# ----------------------------------------------------------------------
+
+
+def _spmspm_kernel():
+    from repro.sam import CsfTensor
+    from repro.sam.graphs import build_spmspm
+    from repro.sam.tensor import random_dense
+
+    b = random_dense(8, 8, density=0.4, seed=23)
+    ct = random_dense(8, 8, density=0.4, seed=24)
+    return build_spmspm(
+        CsfTensor.from_dense(b, "cc"),
+        CsfTensor.from_dense(ct, "cc"),
+        depth=4,
+    )
+
+
+def _kernel_fingerprint(kernel, summary):
+    chans = tuple(
+        sorted(
+            (ch.name, ch.stats.enqueues, ch.stats.dequeues)
+            for ch in kernel.program.channels
+        )
+    )
+    times = tuple(
+        sorted((c.name, float(c.time.now())) for c in kernel.program.contexts)
+    )
+    return (
+        summary.elapsed_cycles,
+        kernel.result_dense().tobytes(),
+        chans,
+        times,
+    )
+
+
+def _checkpoint_leftovers(ckdir):
+    """Anything in the checkpoint dir that is not a finished checkpoint
+    (stale ``part-*`` dumps, ``*.tmp.*`` rename droppings)."""
+    return [
+        name
+        for name in os.listdir(ckdir)
+        if not (name.startswith("ckpt-") and name.endswith(".dam"))
+    ]
+
+
+@needs_fork
+class TestCheckpointChaos:
+    """A worker SIGKILLed right after dumping its checkpoint partition.
+
+    ``after_checkpoints=2`` kills at the *second* round: a round-2
+    request proves round 1 stitched successfully, so a valid checkpoint
+    is guaranteed to exist when the crash lands.  The kill fires only if
+    the victim is still live at its second dump — a fast run can retire
+    it first — so each scenario gets a few tries to land the crash.
+    The autouse fixture asserts no orphan workers and no leaked shm on
+    top of each test's own stale-file checks.
+    """
+
+    TRIES = 6
+
+    @staticmethod
+    def _reference():
+        kernel = _spmspm_kernel()
+        return _kernel_fingerprint(
+            kernel,
+            kernel.run(
+                executor="process", config=RunConfig(workers=2, timeslice=7)
+            ),
+        )
+
+    def test_ladder_resumes_from_checkpoint_bit_identically(self, tmp_path):
+        expected = self._reference()
+        for attempt in range(self.TRIES):
+            ckdir = tmp_path / str(attempt)
+            kernel = _spmspm_kernel()
+            plan = FaultPlan(seed=7).kill_worker(
+                worker=0, after_checkpoints=2
+            )
+            summary = kernel.run(
+                executor="process",
+                config=RunConfig(
+                    workers=2,
+                    timeslice=7,
+                    faults=plan,
+                    fallback="sequential",
+                    checkpoint_interval_s=0.0,
+                    checkpoint_path=str(ckdir),
+                ),
+            )
+            assert _kernel_fingerprint(kernel, summary) == expected
+            assert not _checkpoint_leftovers(ckdir)
+            if summary.attempts[0]["outcome"] != "crashed":
+                continue  # run finished before the second dump; retry
+            assert summary.attempts[0]["resumed_from"] is None
+            assert summary.attempts[-1]["outcome"] == "ok"
+            resumed = summary.attempts[-1]["resumed_from"]
+            assert resumed is not None and resumed["epoch"] >= 1
+            return
+        pytest.fail(f"kill never fired in {self.TRIES} tries")
+
+    def test_crash_then_elastic_resume_on_more_workers(self, tmp_path):
+        from repro.core import checkpoint as ckpt
+
+        expected = self._reference()
+        for attempt in range(self.TRIES):
+            ckdir = tmp_path / str(attempt)
+            kernel = _spmspm_kernel()
+            plan = FaultPlan(seed=7).kill_worker(
+                worker=1, after_checkpoints=2
+            )
+            try:
+                kernel.run(
+                    executor="process",
+                    config=RunConfig(
+                        workers=2,
+                        timeslice=7,
+                        faults=plan,
+                        checkpoint_interval_s=0.0,
+                        checkpoint_path=str(ckdir),
+                    ),
+                )
+                continue  # run finished before the second dump; retry
+            except WorkerCrashError:
+                pass
+            assert not _checkpoint_leftovers(ckdir)
+
+            fresh = _spmspm_kernel()
+            found = ckpt.latest_checkpoint(str(ckdir), fresh.program)
+            assert found is not None and found.epoch >= 1
+            restored = ckpt.load(found.path, fresh.program)
+            restored.restore_into(fresh.program)
+            summary = fresh.run(
+                executor="process", config=RunConfig(workers=3, timeslice=7)
+            )
+            assert _kernel_fingerprint(fresh, summary) == expected
+            return
+        pytest.fail(f"kill never fired in {self.TRIES} tries")
 
 
 # ----------------------------------------------------------------------

@@ -324,3 +324,97 @@ class TestMetricsEndpoint:
 
     def test_healthz(self, client):
         assert client.healthy()
+
+
+class TestKeepAlive:
+    """Control-plane GETs ride one persistent connection (§16)."""
+
+    def test_sequential_gets_reuse_the_socket(self, server):
+        with ServeClient(server.address) as client:
+            client.metrics()
+            sock = client._sock
+            assert sock is not None, "GET did not cache its connection"
+            client.healthy()
+            client.metrics()
+            assert client._sock is sock, "keep-alive socket was not reused"
+
+    def test_reconnects_transparently_when_peer_dies(self, server):
+        with ServeClient(server.address) as client:
+            client.metrics()
+            stale = client._sock
+            assert stale is not None
+            # Kill the cached connection underneath the client; the next
+            # GET must reconnect once instead of surfacing the error.
+            stale.close()
+            payload = client.metrics()
+            assert "metrics" in payload
+            assert client._sock is not None and client._sock is not stale
+
+    def test_run_stream_does_not_disturb_the_cached_socket(self, server):
+        with ServeClient(server.address) as client:
+            client.metrics()
+            sock = client._sock
+            result = client.submit(_spmspm_spec())  # /run: own connection
+            assert result.summary.elapsed_cycles > 0
+            assert client._sock is sock
+            assert client.metrics()["pool"]["pending"] == 0
+
+
+class TestPlanCachePersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.serve.plancache import CachedPlan, PlanCache
+
+        cache = PlanCache()
+        cache.store(
+            CachedPlan(
+                key="shape:process:2",
+                placement={"ctx_a": 0, "ctx_b": 1},
+                weights={"chan_x": 12.0},
+                context_count=2,
+                channel_count=1,
+                uses=3,
+            )
+        )
+        cache.store(CachedPlan(key="other:sequential:auto"))
+        path = tmp_path / "plans.json"
+        assert cache.save_json(str(path)) == 2
+
+        fresh = PlanCache()
+        assert fresh.load_json(str(path)) == 2
+        plan = fresh.lookup("shape:process:2")
+        assert plan is not None
+        assert plan.placement == {"ctx_a": 0, "ctx_b": 1}
+        assert plan.weights == {"chan_x": 12.0}
+        assert plan.uses == 4  # 3 persisted + the lookup above
+
+    def test_load_rejects_corrupt_and_wrong_version(self, tmp_path):
+        from repro.serve.plancache import PlanCache
+
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"version": 999, "entries": []}))
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json at all {")
+        cache = PlanCache()
+        with pytest.raises(ValueError):
+            cache.load_json(str(wrong))
+        with pytest.raises(ValueError):  # JSONDecodeError is a ValueError
+            cache.load_json(str(garbage))
+
+    def test_warm_plans_survive_a_server_restart(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        first = start_in_thread(ServeConfig(plan_cache_path=path))
+        try:
+            result = ServeClient(first.address).submit(_spmspm_spec())
+            assert result.plan == "miss"
+        finally:
+            first.stop()  # shutdown persists the learned plans
+
+        second = start_in_thread(ServeConfig(plan_cache_path=path))
+        try:
+            with ServeClient(second.address) as client:
+                # The very first request of the restarted server replays
+                # the plan learned before the restart.
+                assert client.submit(_spmspm_spec()).plan == "hit"
+                assert client.metrics()["plan_cache"]["entries"] >= 1
+        finally:
+            second.stop()
